@@ -1,0 +1,302 @@
+package mip
+
+// testing.B companions to the cmd/mipbench experiment harness: one
+// benchmark per experiment/table of EXPERIMENTS.md (E1-E12), runnable with
+//
+//	go test -bench=. -benchmem
+//
+// The mipbench binary prints the full tables; these benchmarks measure the
+// steady-state cost of each experiment's core operation.
+
+import (
+	"fmt"
+	"testing"
+
+	"mip/internal/dp"
+	"mip/internal/engine"
+	"mip/internal/smpc"
+	"mip/internal/stats"
+	"mip/internal/synth"
+)
+
+func benchPlatform(b *testing.B, nWorkers, rowsEach int, sec SecurityMode) *Platform {
+	b.Helper()
+	var workers []WorkerConfig
+	for i := 0; i < nWorkers; i++ {
+		tab, err := GenerateCohort(SynthSpec{Dataset: "edsd", Rows: rowsEach, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		workers = append(workers, WorkerConfig{ID: fmt.Sprintf("w%d", i), Data: tab})
+	}
+	p, err := New(Config{Workers: workers, Security: sec, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(p.Close)
+	return p
+}
+
+// E1 — the Figure 3 descriptive-statistics table.
+func BenchmarkDescriptiveStats(b *testing.B) {
+	p := benchPlatform(b, 3, 500, SecurityOff)
+	req := Request{Datasets: []string{"edsd"}, Y: []string{"p_tau", "lefthippocampus"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunExperiment("descriptive_stats", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E2 — the Figure 2 federated linear-regression fit.
+func BenchmarkLinearRegression(b *testing.B) {
+	p := benchPlatform(b, 3, 500, SecurityOff)
+	req := Request{
+		Datasets: []string{"edsd"},
+		Y:        []string{"minimentalstate"},
+		X:        []string{"lefthippocampus", "subjectageyears"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunExperiment("linear_regression", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E3 — the use case's k-means over four sites.
+func BenchmarkKMeansUseCase(b *testing.B) {
+	p := benchPlatform(b, 4, 500, SecurityOff)
+	req := Request{
+		Datasets:   []string{"edsd"},
+		Y:          []string{"ab42", "p_tau", "leftententorhinalarea"},
+		Parameters: map[string]any{"k": 3, "iterations_max_number": 10, "e": 0},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunExperiment("kmeans", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E4 — equivalence-path overhead: the same aggregate, plain vs SMPC.
+func BenchmarkAggregatePlain(b *testing.B)  { benchAggregate(b, SecurityOff) }
+func BenchmarkAggregateSecure(b *testing.B) { benchAggregate(b, SecuritySMPCShamir) }
+
+func benchAggregate(b *testing.B, sec SecurityMode) {
+	p := benchPlatform(b, 3, 400, sec)
+	req := Request{Datasets: []string{"edsd"}, Y: []string{"ab42"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunExperiment("ttest_onesample", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E5 — secure vector sum per scheme (dim 1024, 4 workers, 3 nodes).
+func BenchmarkSMPCSumFullThreshold(b *testing.B) { benchSMPCSum(b, smpc.FullThreshold) }
+func BenchmarkSMPCSumShamir(b *testing.B)        { benchSMPCSum(b, smpc.ShamirScheme) }
+
+func benchSMPCSum(b *testing.B, scheme smpc.Scheme) {
+	c, err := smpc.NewCluster(smpc.Config{Scheme: scheme, Nodes: 3, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vec := make([]float64, 1024)
+	for i := range vec {
+		vec[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for w := 0; w < 4; w++ {
+			if err := c.ImportSecret("j", fmt.Sprintf("w%d", w), vec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := c.Aggregate("j", smpc.OpSum, smpc.Noise{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E6 — the expensive ops: secure product and min (dim 64).
+func BenchmarkSMPCOpsProduct(b *testing.B) { benchSMPCOp(b, smpc.OpProduct) }
+func BenchmarkSMPCOpsMin(b *testing.B)     { benchSMPCOp(b, smpc.OpMin) }
+
+func benchSMPCOp(b *testing.B, op smpc.Op) {
+	c, err := smpc.NewCluster(smpc.Config{Scheme: smpc.FullThreshold, Nodes: 3, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vec := make([]float64, 64)
+	for i := range vec {
+		vec[i] = 1 + float64(i%7)/10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for w := 0; w < 2; w++ {
+			if err := c.ImportSecret("j", fmt.Sprintf("w%d", w), vec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := c.Aggregate("j", op, smpc.Noise{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E7 — DP mechanism release cost.
+func BenchmarkDPGaussianRelease(b *testing.B) {
+	m := dp.NewGaussian(1, 1, 1e-5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Release(42)
+	}
+}
+
+// E8 — in-engine vectorized aggregation over 100k rows.
+func BenchmarkEngineVectorized(b *testing.B) {
+	tab := engine.NewTable(engine.Schema{{Name: "x", Type: engine.Float64}})
+	rng := stats.NewRNG(1)
+	for i := 0; i < 100000; i++ {
+		if err := tab.AppendRow(rng.Float64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	db := engine.NewDB()
+	db.RegisterTable("t", tab)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT avg(x) AS m, sum(x*x) AS s2, count(*) AS n FROM t WHERE x > 0.2`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E8 baseline — the same query through per-row boxed access.
+func BenchmarkEngineRowAtATime(b *testing.B) {
+	tab := engine.NewTable(engine.Schema{{Name: "x", Type: engine.Float64}})
+	rng := stats.NewRNG(1)
+	for i := 0; i < 100000; i++ {
+		if err := tab.AppendRow(rng.Float64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	col := tab.Col(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var cnt, sum, sum2 float64
+		for r := 0; r < tab.NumRows(); r++ {
+			v := col.Value(r)
+			x, ok := v.(float64)
+			if !ok || x <= 0.2 {
+				continue
+			}
+			cnt++
+			sum += x
+			sum2 += x * x
+		}
+		_ = cnt
+	}
+}
+
+// E9 — merge-table aggregate pushdown over 4 workers.
+func BenchmarkMergePushdown(b *testing.B) {
+	mt := &engine.MergeTable{TableName: "data"}
+	for i := 0; i < 4; i++ {
+		tab, err := synth.Generate(synth.Spec{Dataset: "edsd", Rows: 2000, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		db := engine.NewDB()
+		db.RegisterTable("data", tab)
+		mt.Parts = append(mt.Parts, &engine.LocalPart{Name: fmt.Sprintf("w%d", i), DB: db})
+	}
+	master := engine.NewDB()
+	master.RegisterMerge("data", mt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := master.Query(`SELECT alzheimerbroadcategory AS dx, avg(ab42) AS m FROM data GROUP BY alzheimerbroadcategory`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E10 — one federated logistic-regression round (the iteration unit whose
+// per-site cost the scaling experiment sweeps).
+func BenchmarkLogisticRegression(b *testing.B) {
+	p := benchPlatform(b, 4, 400, SecurityOff)
+	req := Request{
+		Datasets:   []string{"edsd"},
+		Y:          []string{"alzheimerbroadcategory"},
+		X:          []string{"lefthippocampus", "p_tau"},
+		Filter:     "alzheimerbroadcategory IN ('AD','CN')",
+		Parameters: map[string]any{"pos_level": "AD"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunExperiment("logistic_regression", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E11 — experiment-lifecycle overhead through the API layer is exercised
+// by the HTTP tests; here we measure the underlying synchronous run of the
+// same k-means experiment.
+func BenchmarkExperimentKMeansSmall(b *testing.B) {
+	p := benchPlatform(b, 2, 200, SecurityOff)
+	req := Request{
+		Datasets:   []string{"edsd"},
+		Y:          []string{"ab42", "p_tau"},
+		Parameters: map[string]any{"k": 2, "iterations_max_number": 5, "e": 0},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunExperiment("kmeans", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E12 — the privacy boundary's hot path: flatten + secret-share + import
+// of one worker transfer (dim 256).
+func BenchmarkSecureImport(b *testing.B) {
+	c, err := smpc.NewCluster(smpc.Config{Scheme: smpc.ShamirScheme, Nodes: 3, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vec := make([]float64, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.ImportSecret(fmt.Sprintf("j%d", i), "w", vec); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Aggregate(fmt.Sprintf("j%d", i), smpc.OpSum, smpc.Noise{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Sorted eigensolver benchmark: PCA's core (p=8 correlation matrix).
+func BenchmarkEigenSym(b *testing.B) {
+	rng := stats.NewRNG(3)
+	m := stats.NewDense(8, 8)
+	for i := 0; i < 8; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.Normal(0, 1)
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+		m.Add(i, i, 10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := stats.EigenSym(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+
+	"mip"
+	"mip/internal/engine"
+	"mip/internal/federation"
+	"mip/internal/smpc"
+	"mip/internal/synth"
+)
+
+// buildPlatform assembles an in-process federation of nWorkers synthetic
+// EDSD shards of rowsEach rows.
+func buildPlatform(nWorkers, rowsEach int, security mip.SecurityMode) *mip.Platform {
+	var workers []mip.WorkerConfig
+	base := 0
+	for i := 0; i < nWorkers; i++ {
+		tab, err := synth.Generate(synth.Spec{
+			Dataset: "edsd", Rows: rowsEach, Seed: int64(1000 + i), Shift: float64(i) * 0.2,
+		})
+		fatalIf(err)
+		workers = append(workers, mip.WorkerConfig{ID: fmt.Sprintf("w%d", i), Data: rekey(tab, base)})
+		base += rowsEach
+	}
+	p, err := mip.New(mip.Config{Workers: workers, Security: security, Seed: 7})
+	fatalIf(err)
+	return p
+}
+
+// rekey renumbers row ids so they are globally unique across workers.
+func rekey(t *engine.Table, base int) *engine.Table {
+	out := engine.NewTable(t.Schema())
+	for r := 0; r < t.NumRows(); r++ {
+		row := t.Row(r)
+		row[0] = int64(base + r)
+		if err := out.AppendRow(row...); err != nil {
+			fatalIf(err)
+		}
+	}
+	return out
+}
+
+// generateCaseload builds one fixed synthetic caseload; the equivalence
+// experiment splits the *same rows* across different worker counts.
+func generateCaseload(totalRows int) *engine.Table {
+	tab, err := synth.Generate(synth.Spec{Dataset: "edsd", Rows: totalRows, Seed: 424242})
+	fatalIf(err)
+	return tab
+}
+
+// splitPlatform deals the caseload's rows round-robin onto nWorkers.
+func splitPlatform(caseload *engine.Table, nWorkers int) *mip.Platform {
+	shards := make([]*engine.Table, nWorkers)
+	for i := range shards {
+		shards[i] = engine.NewTable(caseload.Schema())
+	}
+	for r := 0; r < caseload.NumRows(); r++ {
+		fatalIf(shards[r%nWorkers].AppendRow(caseload.Row(r)...))
+	}
+	var workers []mip.WorkerConfig
+	for i, s := range shards {
+		workers = append(workers, mip.WorkerConfig{ID: fmt.Sprintf("w%d", i), Data: s})
+	}
+	p, err := mip.New(mip.Config{Workers: workers})
+	fatalIf(err)
+	return p
+}
+
+// newCluster builds a raw SMPC cluster for the protocol-level experiments.
+func newCluster(scheme smpc.Scheme, nodes int) *smpc.Cluster {
+	c, err := smpc.NewCluster(smpc.Config{Scheme: scheme, Nodes: nodes, Seed: 11})
+	fatalIf(err)
+	return c
+}
+
+// dataTableName is re-exported for readability in the experiment files.
+const dataTableName = federation.DataTable

@@ -1,0 +1,79 @@
+// Command mipbench regenerates every experiment of EXPERIMENTS.md: one
+// table/figure per experiment id, mapped to the paper's figures and claims
+// (the paper's evaluation is descriptive, so each experiment reproduces a
+// figure's content or a quantitative claim's shape — see DESIGN.md).
+//
+// Usage:
+//
+//	mipbench               # run everything
+//	mipbench -exp e5       # one experiment
+//	mipbench -list         # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// experiment is one registered benchmark.
+type experiment struct {
+	id    string
+	title string
+	run   func()
+}
+
+var experiments []experiment
+
+func register(id, title string, run func()) {
+	experiments = append(experiments, experiment{id, title, run})
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (e1..e12) or all")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	sort.Slice(experiments, func(i, j int) bool {
+		a, b := experiments[i].id, experiments[j].id
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-5s %s\n", e.id, e.title)
+		}
+		return
+	}
+	ran := 0
+	for _, e := range experiments {
+		if *exp != "all" && !strings.EqualFold(*exp, e.id) {
+			continue
+		}
+		fmt.Printf("\n================================================================\n")
+		fmt.Printf("%s — %s\n", strings.ToUpper(e.id), e.title)
+		fmt.Printf("================================================================\n")
+		e.run()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+}
+
+// header prints a section line.
+func header(format string, args ...any) {
+	fmt.Printf("\n-- "+format+" --\n", args...)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

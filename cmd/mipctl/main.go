@@ -1,0 +1,275 @@
+// Command mipctl is the CLI client for a running mipd: it lists
+// algorithms, datasets and variables, submits experiments and polls them
+// to completion — the scientist's workflow from the paper's Figures 4-5,
+// without the browser.
+//
+// Usage:
+//
+//	mipctl [-server http://localhost:8080] algorithms
+//	mipctl datasets
+//	mipctl variables [-pathology dementia] [-search hippocampus]
+//	mipctl experiments
+//	mipctl run -algorithm linear_regression -datasets edsd \
+//	       -y minimentalstate -x lefthippocampus,subjectageyears \
+//	       [-param k=3] [-param pos_level=AD] [-filter "age > 60"]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "mipd base URL")
+	algorithm := flag.String("algorithm", "", "algorithm name (run)")
+	datasets := flag.String("datasets", "", "comma-separated datasets (run)")
+	yvars := flag.String("y", "", "comma-separated Y variables (run)")
+	xvars := flag.String("x", "", "comma-separated X variables (run)")
+	filter := flag.String("filter", "", "SQL filter (run)")
+	pathology := flag.String("pathology", "dementia", "pathology (variables)")
+	search := flag.String("search", "", "variable search query (variables)")
+	name := flag.String("name", "", "experiment name (run)")
+	var params multiFlag
+	flag.Var(&params, "param", "algorithm parameter key=value (repeatable)")
+	flag.Parse()
+
+	cmd := flag.Arg(0)
+	// The flag package stops at the first positional argument, so flags
+	// placed after the subcommand (mipctl run -algorithm …) would be lost;
+	// re-parse the remainder. subArgs holds the subcommand's positionals.
+	var subArgs []string
+	if rest := flag.Args(); len(rest) > 1 {
+		if err := flag.CommandLine.Parse(rest[1:]); err != nil {
+			os.Exit(2)
+		}
+		subArgs = flag.Args()
+	}
+	switch cmd {
+	case "algorithms":
+		get(*server+"/algorithms", prettyPrint)
+	case "datasets":
+		get(*server+"/datasets", prettyPrint)
+	case "variables":
+		url := fmt.Sprintf("%s/pathologies/%s/variables", *server, *pathology)
+		if *search != "" {
+			url += "?search=" + *search
+		}
+		get(url, prettyPrint)
+	case "experiments":
+		get(*server+"/experiments", prettyPrint)
+	case "run":
+		runExperiment(*server, *name, *algorithm, *datasets, *yvars, *xvars, *filter, params)
+	case "workflows":
+		get(*server+"/workflows", prettyPrint)
+	case "workflow":
+		runWorkflow(*server, *name, subArgs)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: mipctl [flags] algorithms|datasets|variables|experiments|workflows|run|workflow")
+		os.Exit(2)
+	}
+}
+
+func get(url string, show func([]byte)) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 {
+		log.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	show(body)
+}
+
+func prettyPrint(body []byte) {
+	var v any
+	if json.Unmarshal(body, &v) == nil {
+		out, _ := json.MarshalIndent(v, "", "  ")
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Println(string(body))
+}
+
+func runExperiment(server, name, algorithm, datasets, y, x, filter string, params []string) {
+	if algorithm == "" {
+		log.Fatal("run needs -algorithm")
+	}
+	req := map[string]any{
+		"name":      name,
+		"algorithm": algorithm,
+		"request": map[string]any{
+			"datasets":   splitList(datasets),
+			"y":          splitList(y),
+			"x":          splitList(x),
+			"filter":     filter,
+			"parameters": parseParams(params),
+		},
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(server+"/experiments", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	created, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 201 {
+		log.Fatalf("HTTP %d: %s", resp.StatusCode, created)
+	}
+	var exp struct {
+		UUID   string `json:"uuid"`
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(created, &exp); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("experiment %s submitted; polling...\n", exp.UUID)
+	for {
+		time.Sleep(200 * time.Millisecond)
+		var full struct {
+			Status string          `json:"status"`
+			Error  string          `json:"error"`
+			Result json.RawMessage `json:"result"`
+		}
+		get(server+"/experiments/"+exp.UUID, func(b []byte) { json.Unmarshal(b, &full) })
+		switch full.Status {
+		case "success":
+			prettyPrint(full.Result)
+			return
+		case "error":
+			log.Fatalf("experiment failed: %s", full.Error)
+		default:
+			fmt.Printf("  status: %s (your experiment is currently running)\n", full.Status)
+		}
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// parseParams turns key=value flags into a parameter map, guessing types:
+// numbers become numbers, comma lists become string lists, "k1:v1;k2:v2"
+// nested lists become level maps.
+func parseParams(params []string) map[string]any {
+	out := map[string]any{}
+	for _, p := range params {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok {
+			log.Fatalf("bad -param %q (want key=value)", p)
+		}
+		out[k] = guessValue(v)
+	}
+	return out
+}
+
+func guessValue(v string) any {
+	if n, err := strconv.ParseFloat(v, 64); err == nil {
+		return n
+	}
+	if strings.Contains(v, ";") { // levels map: var:l1|l2;var2:l1|l2
+		m := map[string]any{}
+		for _, pair := range strings.Split(v, ";") {
+			name, lv, ok := strings.Cut(pair, ":")
+			if !ok {
+				continue
+			}
+			var levels []any
+			for _, l := range strings.Split(lv, "|") {
+				levels = append(levels, l)
+			}
+			m[name] = levels
+		}
+		return m
+	}
+	if strings.Contains(v, ",") {
+		var list []any
+		for _, e := range strings.Split(v, ",") {
+			list = append(list, strings.TrimSpace(e))
+		}
+		return list
+	}
+	return v
+}
+
+// runWorkflow submits a chain of steps given as "alg:dataset:y[:x]"
+// positional arguments and polls it to completion, e.g.
+//
+//	mipctl workflow descriptive_stats:edsd:ab42 pca:edsd:ab42,p_tau
+func runWorkflow(server, name string, stepSpecs []string) {
+	if len(stepSpecs) == 0 {
+		log.Fatal("workflow needs at least one step (alg:datasets:y[:x])")
+	}
+	var steps []map[string]any
+	for _, spec := range stepSpecs {
+		parts := strings.Split(spec, ":")
+		if len(parts) < 3 {
+			log.Fatalf("bad step %q (want alg:datasets:y[:x])", spec)
+		}
+		req := map[string]any{
+			"datasets": splitList(parts[1]),
+			"y":        splitList(parts[2]),
+		}
+		if len(parts) > 3 {
+			req["x"] = splitList(parts[3])
+		}
+		steps = append(steps, map[string]any{
+			"name":      parts[0],
+			"algorithm": parts[0],
+			"request":   req,
+		})
+	}
+	body, _ := json.Marshal(map[string]any{"name": name, "steps": steps})
+	resp, err := http.Post(server+"/workflows", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	created, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 201 {
+		log.Fatalf("HTTP %d: %s", resp.StatusCode, created)
+	}
+	var wf struct {
+		UUID string `json:"uuid"`
+	}
+	if err := json.Unmarshal(created, &wf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workflow %s submitted; polling...\n", wf.UUID)
+	for {
+		time.Sleep(200 * time.Millisecond)
+		var full struct {
+			Status string          `json:"status"`
+			Steps  json.RawMessage `json:"steps"`
+		}
+		get(server+"/workflows/"+wf.UUID, func(b []byte) { json.Unmarshal(b, &full) })
+		if full.Status == "success" || full.Status == "error" {
+			fmt.Printf("workflow %s: %s\n", wf.UUID, full.Status)
+			prettyPrint(full.Steps)
+			return
+		}
+		fmt.Printf("  status: %s\n", full.Status)
+	}
+}

@@ -1,0 +1,57 @@
+package mip
+
+import (
+	"io"
+
+	"mip/internal/catalogue"
+	"mip/internal/engine"
+	"mip/internal/etl"
+	"mip/internal/synth"
+)
+
+// Data-loading helpers for building worker tables.
+
+// SynthSpec re-exports the synthetic dementia cohort generator's spec.
+type SynthSpec = synth.Spec
+
+// GenerateCohort produces a synthetic dementia cohort (EDSD/ADNI-like
+// schema) for demos, tests and benchmarks.
+func GenerateCohort(spec SynthSpec) (*Table, error) { return synth.Generate(spec) }
+
+// GenerateUseCase produces the four per-hospital cohorts of the paper's
+// Alzheimer's use case: brescia (1960), lausanne (1032), lille (1103),
+// adni (1066).
+func GenerateUseCase(seed int64) (map[string]*Table, error) { return synth.UseCase(seed) }
+
+// GenerateSurvival produces an epilepsy-like time-to-event cohort for the
+// Kaplan-Meier workflows.
+func GenerateSurvival(spec synth.SurvivalSpec) (*Table, error) { return synth.Survival(spec) }
+
+// SurvivalSpec re-exports the survival generator's spec.
+type SurvivalSpec = synth.SurvivalSpec
+
+// LoadCSVTable reads a harmonized CSV (header row; NA/empty cells are
+// NULL) into a worker data table, inferring column types.
+func LoadCSVTable(path string) (*Table, error) { return engine.LoadCSVFile(path) }
+
+// ETLMapping re-exports the harmonization mapping (renames, unit
+// rescaling, category recoding) for loading raw hospital exports.
+type ETLMapping = etl.Mapping
+
+// ETLRule is one column rule of an ETLMapping.
+type ETLRule = etl.Rule
+
+// ETLQualityReport summarizes an ETL load.
+type ETLQualityReport = etl.QualityReport
+
+// HarmonizeCSV loads a raw hospital CSV through the ETL pipeline against
+// the named pathology's CDE metadata and returns the harmonized table.
+func HarmonizeCSV(r io.Reader, m ETLMapping, pathology string) (*Table, *ETLQualityReport, error) {
+	cat := catalogue.Default()
+	db := engine.NewDB()
+	report, err := etl.LoadCSV(r, m, cat.Pathology(pathology), db, "harmonized")
+	if err != nil {
+		return nil, nil, err
+	}
+	return db.Table("harmonized"), report, nil
+}

@@ -1,0 +1,95 @@
+// Secure aggregation walkthrough: the same mean computed over three
+// aggregation paths —
+//
+//  1. plain transfers (the remote/merge-table path for non-sensitive data),
+//  2. Shamir secret sharing (honest-but-curious, fast),
+//  3. SPDZ-style full-threshold sharing (active-malicious w/ abort, slow),
+//
+// and then with Gaussian differential-privacy noise injected *inside* the
+// SMPC protocol (the paper's secure-aggregation training mode), showing
+// the privacy/utility trade-off across ε.
+//
+// Run with: go run ./examples/securemean
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"mip"
+)
+
+func buildPlatform(security mip.SecurityMode, noise mip.NoiseKind, scale float64) *mip.Platform {
+	var workers []mip.WorkerConfig
+	for i, id := range []string{"site-a", "site-b", "site-c", "site-d"} {
+		cohort, err := mip.GenerateCohort(mip.SynthSpec{
+			Dataset: "edsd", Rows: 250, Seed: int64(10 + i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		workers = append(workers, mip.WorkerConfig{ID: id, Data: cohort})
+	}
+	p, err := mip.New(mip.Config{
+		Workers:    workers,
+		Security:   security,
+		NoiseKind:  noise,
+		NoiseScale: scale,
+		Seed:       99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func meanOf(p *mip.Platform) (float64, int, int64) {
+	res, err := p.RunExperiment("ttest_onesample", mip.Request{
+		Datasets: []string{"edsd"},
+		Y:        []string{"ab42"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	msgs, bytes := p.SMPCStats()
+	return res["mean"].(float64), msgs, bytes
+}
+
+func main() {
+	fmt.Println("federated mean of Aβ42 over 4 sites × 250 patients")
+	fmt.Printf("\n%-28s %12s %10s %12s\n", "aggregation path", "mean", "messages", "bytes")
+
+	plain := buildPlatform(mip.SecurityOff, mip.NoiseNone, 0)
+	m0, _, _ := meanOf(plain)
+	fmt.Printf("%-28s %12.4f %10d %12d\n", "plain transfers", m0, 0, 0)
+	plain.Close()
+
+	shamir := buildPlatform(mip.SecuritySMPCShamir, mip.NoiseNone, 0)
+	m1, msg1, b1 := meanOf(shamir)
+	fmt.Printf("%-28s %12.4f %10d %12d\n", "SMPC Shamir (t=1, n=3)", m1, msg1, b1)
+	shamir.Close()
+
+	ft := buildPlatform(mip.SecuritySMPCFullThreshold, mip.NoiseNone, 0)
+	m2, msg2, b2 := meanOf(ft)
+	fmt.Printf("%-28s %12.4f %10d %12d\n", "SMPC full-threshold (SPDZ)", m2, msg2, b2)
+	ft.Close()
+
+	fmt.Printf("\nmax deviation across paths: %.2g (fixed-point resolution bound)\n",
+		math.Max(math.Abs(m1-m0), math.Abs(m2-m0)))
+
+	// DP inside the protocol: sweep the Gaussian noise scale.
+	fmt.Printf("\n%-14s %12s %12s\n", "noise σ", "released", "abs error")
+	for _, sigma := range []float64{0, 1, 5, 25, 100} {
+		kind := mip.NoiseGaussian
+		if sigma == 0 {
+			kind = mip.NoiseNone
+		}
+		p := buildPlatform(mip.SecuritySMPCShamir, kind, sigma)
+		m, _, _ := meanOf(p)
+		fmt.Printf("%-14.1f %12.4f %12.4f\n", sigma, m, math.Abs(m-m0))
+		p.Close()
+	}
+	fmt.Println("\nlarger σ = stronger privacy for each site's sum, at the cost of accuracy —")
+	fmt.Println("the trade-off the data owners tune per the paper's Training section.")
+}

@@ -1,0 +1,3 @@
+module mip
+
+go 1.22

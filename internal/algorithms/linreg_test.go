@@ -1,0 +1,187 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+
+	"mip/internal/stats"
+)
+
+// pooledOLS is an independent reference implementation over raw rows.
+func pooledOLS(t *testing.T, xs [][]float64, y []float64) (beta []float64, se []float64, r2 float64) {
+	t.Helper()
+	n := len(y)
+	p := len(xs) + 1
+	x := stats.NewDense(n, p)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, 1)
+		for j, col := range xs {
+			x.Set(i, j+1, col[i])
+		}
+	}
+	xtx := stats.XtX(x)
+	beta, err := stats.SolveSPD(xtx, stats.XtY(x, y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sse, sy, syy float64
+	for i := 0; i < n; i++ {
+		pred := 0.0
+		for j := 0; j < p; j++ {
+			pred += x.At(i, j) * beta[j]
+		}
+		r := y[i] - pred
+		sse += r * r
+		sy += y[i]
+		syy += y[i] * y[i]
+	}
+	sigma2 := sse / float64(n-p)
+	inv, err := stats.InvSPD(xtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se = make([]float64, p)
+	for j := 0; j < p; j++ {
+		se[j] = math.Sqrt(sigma2 * inv.At(j, j))
+	}
+	sst := syy - sy*sy/float64(n)
+	return beta, se, 1 - sse/sst
+}
+
+func TestLinearRegressionMatchesPooled(t *testing.T) {
+	m, pooled := testFed(t, 4, 150, false)
+	req := Request{
+		Datasets: []string{"edsd"},
+		Y:        []string{"minimentalstate"},
+		X:        []string{"lefthippocampus", "subjectageyears"},
+	}
+	res := runAlg(t, m, "linear_regression", req)
+	model := res["model"].(*LinRegModel)
+
+	cols := pooledColumns(t, pooled, []string{"minimentalstate", "lefthippocampus", "subjectageyears"}, "")
+	beta, se, r2 := pooledOLS(t, cols[1:], cols[0])
+
+	if model.N != len(cols[0]) {
+		t.Fatalf("N = %d, want %d", model.N, len(cols[0]))
+	}
+	for j := range beta {
+		near(t, model.Coefficients[j].Estimate, beta[j], 1e-8, "beta "+model.Coefficients[j].Name)
+		near(t, model.Coefficients[j].StdErr, se[j], 1e-8, "se "+model.Coefficients[j].Name)
+	}
+	near(t, model.RSquared, r2, 1e-8, "R²")
+	// Hippocampal volume must be a significant positive predictor of MMSE
+	// in the synthetic cohorts (the use case's signal).
+	hip := model.Coefficients[1]
+	if hip.Estimate <= 0 || hip.PValue > 1e-4 {
+		t.Fatalf("hippocampus coefficient %+v should be strongly positive", hip)
+	}
+}
+
+func TestLinearRegressionNominalCovariate(t *testing.T) {
+	m, pooled := testFed(t, 3, 200, false)
+	req := Request{
+		Datasets: []string{"edsd"},
+		Y:        []string{"lefthippocampus"},
+		X:        []string{"alzheimerbroadcategory"},
+		Parameters: map[string]any{
+			"levels": map[string]any{"alzheimerbroadcategory": []any{"CN", "MCI", "AD"}},
+		},
+	}
+	res := runAlg(t, m, "linear_regression", req)
+	model := res["model"].(*LinRegModel)
+	if len(model.Coefficients) != 3 {
+		t.Fatalf("coefficients = %d, want 3 (intercept + 2 dummies)", len(model.Coefficients))
+	}
+	if model.Coefficients[1].Name != "alzheimerbroadcategory=MCI" ||
+		model.Coefficients[2].Name != "alzheimerbroadcategory=AD" {
+		t.Fatalf("dummy names: %v %v", model.Coefficients[1].Name, model.Coefficients[2].Name)
+	}
+	// Reference: group means. Intercept = CN mean; dummies = shifts.
+	tab, err := pooled.Query(`SELECT alzheimerbroadcategory AS g, avg(lefthippocampus) AS m FROM data WHERE lefthippocampus IS NOT NULL GROUP BY alzheimerbroadcategory ORDER BY g`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := map[string]float64{}
+	for i := 0; i < tab.NumRows(); i++ {
+		means[tab.Col(0).StringAt(i)] = tab.Col(1).Float64s()[i]
+	}
+	near(t, model.Coefficients[0].Estimate, means["CN"], 1e-8, "intercept=CN mean")
+	near(t, model.Coefficients[2].Estimate, means["AD"]-means["CN"], 1e-8, "AD shift")
+	if model.Coefficients[2].Estimate >= 0 {
+		t.Fatal("AD shift should be negative (atrophy)")
+	}
+}
+
+func TestLinearRegressionSecureMatchesPlain(t *testing.T) {
+	plain, _ := testFed(t, 3, 120, false)
+	secure, _ := testFed(t, 3, 120, true)
+	req := Request{
+		Datasets: []string{"edsd"},
+		Y:        []string{"minimentalstate"},
+		X:        []string{"lefthippocampus"},
+	}
+	mp := runAlg(t, plain, "linear_regression", req)["model"].(*LinRegModel)
+	ms := runAlg(t, secure, "linear_regression", req)["model"].(*LinRegModel)
+	for j := range mp.Coefficients {
+		near(t, ms.Coefficients[j].Estimate, mp.Coefficients[j].Estimate, 1e-3, "secure beta")
+	}
+	near(t, ms.RSquared, mp.RSquared, 1e-3, "secure R²")
+}
+
+func TestLinearRegressionUnderdetermined(t *testing.T) {
+	m, _ := testFed(t, 1, 12, false)
+	req := Request{
+		Datasets: []string{"edsd"},
+		Y:        []string{"minimentalstate"},
+		X: []string{"lefthippocampus", "righthippocampus", "leftententorhinalarea",
+			"rightententorhinalarea", "leftlateralventricle", "rightlateralventricle",
+			"ab42", "p_tau", "subjectageyears"},
+		Filter: "row_id < 8",
+	}
+	sess, _ := m.NewSession(req.Datasets)
+	if _, err := (&LinearRegression{}).Run(sess, req); err == nil {
+		t.Fatal("n <= p must fail")
+	}
+}
+
+func TestLinearRegressionCV(t *testing.T) {
+	m, _ := testFed(t, 3, 150, false)
+	req := Request{
+		Datasets:   []string{"edsd"},
+		Y:          []string{"minimentalstate"},
+		X:          []string{"lefthippocampus", "subjectageyears"},
+		Parameters: map[string]any{"num_folds": 4},
+	}
+	res := runAlg(t, m, "linear_regression_cv", req)
+	folds := res["folds"].([]FoldScore)
+	if len(folds) != 4 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	totalN := 0
+	for _, f := range folds {
+		if f.N == 0 {
+			t.Fatalf("fold %d empty", f.Fold)
+		}
+		if f.MSE <= 0 {
+			t.Fatalf("fold %d MSE = %v", f.Fold, f.MSE)
+		}
+		totalN += f.N
+	}
+	// Every complete-cases row lands in exactly one fold.
+	tab, err := m.MergeQuery(req.Datasets,
+		`SELECT count(*) AS n FROM data WHERE minimentalstate IS NOT NULL AND lefthippocampus IS NOT NULL AND subjectageyears IS NOT NULL AND row_id IS NOT NULL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(tab.Col(0).CastFloat64().Float64s()[0])
+	if totalN != want {
+		t.Fatalf("fold sizes sum to %d, want %d", totalN, want)
+	}
+	meanR2 := res["mean_r2"].(float64)
+	if meanR2 < 0.1 {
+		t.Fatalf("mean CV R² = %v, expected real signal", meanR2)
+	}
+	if res["mean_mse"].(float64) <= 0 {
+		t.Fatal("mean MSE must be positive")
+	}
+}

@@ -1,0 +1,550 @@
+package algorithms
+
+import (
+	"fmt"
+	"math"
+
+	"mip/internal/engine"
+	"mip/internal/federation"
+)
+
+// Federated naive Bayes: training is a single aggregation round of
+// per-class counts, per-class Gaussian moments for numeric features and
+// per-class level counts (Laplace-smoothed) for nominal features. The
+// cross-validated variant trains k models by excluding each fold and then
+// scores each fold locally, aggregating only confusion counts.
+
+func init() {
+	federation.RegisterLocal("nb_train_local", nbTrainLocal)
+	federation.RegisterLocal("nb_score_local", nbScoreLocal)
+	Register(&NaiveBayes{})
+	Register(&NaiveBayesCV{})
+}
+
+// nbArgs unpacks the shared kwargs.
+type nbArgs struct {
+	yvar    string
+	classes []string
+	numeric []string
+	nominal []string
+	levels  map[string][]string
+}
+
+func nbParse(kwargs federation.Kwargs) (*nbArgs, error) {
+	a := &nbArgs{}
+	a.yvar, _ = kwargs["y"].(string)
+	if a.yvar == "" {
+		return nil, fmt.Errorf("algorithms: missing y kwarg")
+	}
+	var err error
+	if a.classes, err = kwVarsKey(kwargs, "classes"); err != nil {
+		return nil, err
+	}
+	if raw, ok := kwargs["numeric"]; ok && raw != nil {
+		if a.numeric, err = kwVarsKey(kwargs, "numeric"); err != nil {
+			return nil, err
+		}
+	}
+	if raw, ok := kwargs["nominal"]; ok && raw != nil {
+		if a.nominal, err = kwVarsKey(kwargs, "nominal"); err != nil {
+			return nil, err
+		}
+	}
+	if a.levels, err = levelsFromKwargs(kwargs, "levels"); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// nbTrainLocal emits, flattened:
+//
+//	class_counts: [k]
+//	gauss: [k][numeric × 2] (Σx, Σx²) — as matrix rows per class
+//	cat:   [k][Σ levels] level counts per nominal var, concatenated
+func nbTrainLocal(wctx *federation.WorkerCtx, data *engine.Table, kwargs federation.Kwargs) (federation.Transfer, error) {
+	a, err := nbParse(kwargs)
+	if err != nil {
+		return nil, err
+	}
+	ys, err := stringCol(data, a.yvar)
+	if err != nil {
+		return nil, err
+	}
+	classIdx := map[string]int{}
+	for i, c := range a.classes {
+		classIdx[c] = i
+	}
+	k := len(a.classes)
+
+	numCols := make([][]float64, len(a.numeric))
+	for i, v := range a.numeric {
+		c, err := floatCol(data, v)
+		if err != nil {
+			return nil, err
+		}
+		numCols[i] = c
+	}
+	nomCols := make([][]string, len(a.nominal))
+	nomWidth := 0
+	for i, v := range a.nominal {
+		c, err := stringCol(data, v)
+		if err != nil {
+			return nil, err
+		}
+		nomCols[i] = c
+		nomWidth += len(a.levels[v])
+	}
+
+	counts := make([]float64, k)
+	gauss := make([][]float64, k)
+	cat := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		gauss[c] = make([]float64, len(a.numeric)*2)
+		cat[c] = make([]float64, nomWidth)
+	}
+	// Apply fold filtering on raw indices if requested.
+	useRow := foldSelector(data, kwargs)
+
+	for r := range ys {
+		if !useRow(r) {
+			continue
+		}
+		c, ok := classIdx[ys[r]]
+		if !ok {
+			continue
+		}
+		counts[c]++
+		for vi := range a.numeric {
+			x := numCols[vi][r]
+			gauss[c][vi*2] += x
+			gauss[c][vi*2+1] += x * x
+		}
+		off := 0
+		for vi, v := range a.nominal {
+			lv := a.levels[v]
+			for li, l := range lv {
+				if nomCols[vi][r] == l {
+					cat[c][off+li]++
+					break
+				}
+			}
+			off += len(lv)
+		}
+	}
+	return federation.Transfer{"counts": counts, "gauss": gauss, "cat": cat}, nil
+}
+
+// foldSelector builds a row predicate from the CV kwargs (always true when
+// no fold is requested).
+func foldSelector(data *engine.Table, kwargs federation.Kwargs) func(int) bool {
+	foldRaw, ok := kwargs["fold"]
+	if !ok {
+		return func(int) bool { return true }
+	}
+	fold := int(anyToFloat(foldRaw))
+	k := int(anyToFloat(kwargs["num_folds"]))
+	if fold < 0 || k <= 1 {
+		return func(int) bool { return true }
+	}
+	mode, _ := kwargs["fold_mode"].(string)
+	ids := data.ColByName("row_id")
+	if ids == nil {
+		return func(int) bool { return true }
+	}
+	iv := ids.CastFloat64().Float64s()
+	return func(r int) bool {
+		inFold := foldOf(int64(iv[r]), k) == fold
+		if mode == "only" {
+			return inFold
+		}
+		return !inFold
+	}
+}
+
+// NBModel is the trained model the master assembles (and ships back to the
+// workers for CV scoring).
+type NBModel struct {
+	Classes []string            `json:"classes"`
+	Priors  []float64           `json:"priors"`
+	Numeric []string            `json:"numeric"`
+	Mean    [][]float64         `json:"mean"` // [class][numeric]
+	Var     [][]float64         `json:"var"`
+	Nominal []string            `json:"nominal"`
+	Levels  map[string][]string `json:"levels"`
+	CatProb [][]float64         `json:"cat_prob"` // [class][concat levels]
+	N       float64             `json:"n"`
+	Alpha   float64             `json:"alpha"` // Laplace smoothing
+}
+
+// assembleNB turns aggregated sufficient statistics into the model.
+func assembleNB(a *nbArgs, counts []float64, gauss, cat [][]float64, alpha float64) (*NBModel, error) {
+	k := len(a.classes)
+	model := &NBModel{
+		Classes: a.classes, Numeric: a.numeric, Nominal: a.nominal,
+		Levels: a.levels, Alpha: alpha,
+	}
+	var total float64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("algorithms: no training rows")
+	}
+	model.N = total
+	for c := 0; c < k; c++ {
+		model.Priors = append(model.Priors, (counts[c]+alpha)/(total+alpha*float64(k)))
+		means := make([]float64, len(a.numeric))
+		vars := make([]float64, len(a.numeric))
+		for vi := range a.numeric {
+			n := counts[c]
+			if n < 2 {
+				means[vi], vars[vi] = 0, 1
+				continue
+			}
+			s, s2 := gauss[c][vi*2], gauss[c][vi*2+1]
+			means[vi] = s / n
+			v := (s2 - s*s/n) / (n - 1)
+			if v < 1e-9 {
+				v = 1e-9
+			}
+			vars[vi] = v
+		}
+		model.Mean = append(model.Mean, means)
+		model.Var = append(model.Var, vars)
+
+		probs := make([]float64, len(cat[c]))
+		off := 0
+		for _, v := range a.nominal {
+			lv := a.levels[v]
+			var ltot float64
+			for li := range lv {
+				ltot += cat[c][off+li]
+			}
+			for li := range lv {
+				probs[off+li] = (cat[c][off+li] + alpha) / (ltot + alpha*float64(len(lv)))
+			}
+			off += len(lv)
+		}
+		model.CatProb = append(model.CatProb, probs)
+	}
+	return model, nil
+}
+
+// predictNB returns the class index with maximal posterior for one row.
+func predictNB(m *NBModel, numVals []float64, nomVals []string) int {
+	best, bestLL := 0, math.Inf(-1)
+	for c := range m.Classes {
+		ll := math.Log(m.Priors[c])
+		for vi := range m.Numeric {
+			mu, v := m.Mean[c][vi], m.Var[c][vi]
+			d := numVals[vi] - mu
+			ll += -0.5*math.Log(2*math.Pi*v) - d*d/(2*v)
+		}
+		off := 0
+		for ni, v := range m.Nominal {
+			lv := m.Levels[v]
+			matched := false
+			for li, l := range lv {
+				if nomVals[ni] == l {
+					ll += math.Log(m.CatProb[c][off+li])
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				ll += math.Log(m.Alpha / (m.Alpha * float64(len(lv)+1)))
+			}
+			off += len(lv)
+		}
+		if ll > bestLL {
+			best, bestLL = c, ll
+		}
+	}
+	return best
+}
+
+// nbScoreLocal classifies the local (fold) slice with the model from
+// kwargs and returns the k×k confusion matrix.
+func nbScoreLocal(wctx *federation.WorkerCtx, data *engine.Table, kwargs federation.Kwargs) (federation.Transfer, error) {
+	a, err := nbParse(kwargs)
+	if err != nil {
+		return nil, err
+	}
+	model := &NBModel{
+		Classes: a.classes, Numeric: a.numeric, Nominal: a.nominal, Levels: a.levels,
+		Alpha: anyToFloatDefault(kwargs["alpha"], 1),
+	}
+	t := kw(kwargs)
+	if model.Priors, err = t.Floats("priors"); err != nil {
+		return nil, err
+	}
+	if model.Mean, err = t.Matrix("mean"); err != nil {
+		return nil, err
+	}
+	if model.Var, err = t.Matrix("var"); err != nil {
+		return nil, err
+	}
+	if model.CatProb, err = t.Matrix("cat_prob"); err != nil {
+		return nil, err
+	}
+
+	ys, err := stringCol(data, a.yvar)
+	if err != nil {
+		return nil, err
+	}
+	classIdx := map[string]int{}
+	for i, c := range a.classes {
+		classIdx[c] = i
+	}
+	numCols := make([][]float64, len(a.numeric))
+	for i, v := range a.numeric {
+		if numCols[i], err = floatCol(data, v); err != nil {
+			return nil, err
+		}
+	}
+	nomCols := make([][]string, len(a.nominal))
+	for i, v := range a.nominal {
+		if nomCols[i], err = stringCol(data, v); err != nil {
+			return nil, err
+		}
+	}
+	useRow := foldSelector(data, kwargs)
+	k := len(a.classes)
+	conf := make([][]float64, k)
+	for i := range conf {
+		conf[i] = make([]float64, k)
+	}
+	numVals := make([]float64, len(a.numeric))
+	nomVals := make([]string, len(a.nominal))
+	for r := range ys {
+		if !useRow(r) {
+			continue
+		}
+		truth, ok := classIdx[ys[r]]
+		if !ok {
+			continue
+		}
+		for vi := range numCols {
+			numVals[vi] = numCols[vi][r]
+		}
+		for vi := range nomCols {
+			nomVals[vi] = nomCols[vi][r]
+		}
+		pred := predictNB(model, numVals, nomVals)
+		conf[truth][pred]++
+	}
+	return federation.Transfer{"conf": conf}, nil
+}
+
+func anyToFloatDefault(v any, def float64) float64 {
+	f := anyToFloat(v)
+	if f < 0 {
+		return def
+	}
+	return f
+}
+
+// NaiveBayes implements naive Bayes training.
+type NaiveBayes struct{}
+
+// Spec implements Algorithm.
+func (*NaiveBayes) Spec() Spec {
+	return Spec{
+		Name:  "naive_bayes",
+		Label: "Naive Bayes Training",
+		Desc:  "Gaussian/categorical naive Bayes trained from one federated round of class-conditional sufficient statistics.",
+		Y:     VarSpec{Min: 1, Max: 1, Types: []string{"nominal"}},
+		X:     VarSpec{Min: 1, Types: []string{"real", "integer", "nominal"}},
+		Parameters: []ParamSpec{
+			{Name: "classes", Label: "Outcome classes", Type: "string"},
+			{Name: "levels", Label: "Nominal feature levels", Type: "string"},
+			{Name: "alpha", Label: "Laplace smoothing", Type: "real", Default: 1.0},
+		},
+	}
+}
+
+// splitFeatures partitions X into numeric and nominal (by levels map).
+func splitFeatures(req Request) (numeric, nominal []string, levels map[string][]string) {
+	levels = levelsParam(req)
+	for _, v := range req.X {
+		if _, ok := levels[v]; ok {
+			nominal = append(nominal, v)
+		} else {
+			numeric = append(numeric, v)
+		}
+	}
+	return numeric, nominal, levels
+}
+
+func nbKwargs(req Request, classes []string, numeric, nominal []string, levels map[string][]string) federation.Kwargs {
+	return federation.Kwargs{
+		"y": req.Y[0], "classes": classes,
+		"numeric": numeric, "nominal": nominal, "levels": levels,
+	}
+}
+
+// trainNB runs one training round (fold < 0 trains on everything).
+func trainNB(sess *federation.Session, req Request, fold, numFolds int) (*NBModel, *nbArgs, error) {
+	classes := req.ParamStrings("classes")
+	if len(classes) < 2 {
+		return nil, nil, fmt.Errorf("algorithms: naive_bayes needs parameter classes with >= 2 values")
+	}
+	numeric, nominal, levels := splitFeatures(req)
+	kwargs := nbKwargs(req, classes, numeric, nominal, levels)
+	vars := append([]string{req.Y[0]}, req.X...)
+	if fold >= 0 {
+		kwargs["fold"] = fold
+		kwargs["num_folds"] = numFolds
+		kwargs["fold_mode"] = "exclude"
+		vars = append(vars, "row_id")
+	}
+	agg, err := sess.Sum(federation.LocalRunSpec{
+		Func:   "nb_train_local",
+		Vars:   vars,
+		Filter: req.Filter,
+		Kwargs: kwargs,
+	}, "counts", "gauss", "cat")
+	if err != nil {
+		return nil, nil, err
+	}
+	counts, _ := agg.Floats("counts")
+	gauss, err := agg.Matrix("gauss")
+	if err != nil {
+		return nil, nil, err
+	}
+	cat, err := agg.Matrix("cat")
+	if err != nil {
+		return nil, nil, err
+	}
+	a := &nbArgs{yvar: req.Y[0], classes: classes, numeric: numeric, nominal: nominal, levels: levels}
+	model, err := assembleNB(a, counts, gauss, cat, req.ParamFloat("alpha", 1))
+	return model, a, err
+}
+
+// Run implements Algorithm.
+func (alg *NaiveBayes) Run(sess *federation.Session, req Request) (Result, error) {
+	if err := requireVars(alg.Spec(), req); err != nil {
+		return nil, err
+	}
+	model, _, err := trainNB(sess, req, -1, 0)
+	if err != nil {
+		return nil, err
+	}
+	return Result{"model": model}, nil
+}
+
+// NaiveBayesCV is naive Bayes with k-fold cross-validation.
+type NaiveBayesCV struct{}
+
+// Spec implements Algorithm.
+func (*NaiveBayesCV) Spec() Spec {
+	return Spec{
+		Name:  "naive_bayes_cv",
+		Label: "Naive Bayes with Cross Validation",
+		Desc:  "k-fold cross-validated naive Bayes; per-fold confusion matrices, accuracy and macro precision/recall/F1.",
+		Y:     VarSpec{Min: 1, Max: 1, Types: []string{"nominal"}},
+		X:     VarSpec{Min: 1, Types: []string{"real", "integer", "nominal"}},
+		Parameters: []ParamSpec{
+			{Name: "classes", Label: "Outcome classes", Type: "string"},
+			{Name: "levels", Label: "Nominal feature levels", Type: "string"},
+			{Name: "alpha", Label: "Laplace smoothing", Type: "real", Default: 1.0},
+			{Name: "num_folds", Label: "Folds", Type: "int", Default: 5},
+		},
+	}
+}
+
+// Run implements Algorithm.
+func (alg *NaiveBayesCV) Run(sess *federation.Session, req Request) (Result, error) {
+	if err := requireVars(alg.Spec(), req); err != nil {
+		return nil, err
+	}
+	k := req.ParamInt("num_folds", 5)
+	if k < 2 {
+		return nil, fmt.Errorf("algorithms: num_folds must be >= 2")
+	}
+	classes := req.ParamStrings("classes")
+	numeric, nominal, levels := splitFeatures(req)
+	vars := append(append([]string{req.Y[0]}, req.X...), "row_id")
+
+	kc := len(classes)
+	total := make([][]float64, kc)
+	for i := range total {
+		total[i] = make([]float64, kc)
+	}
+	var folds []map[string]any
+	var meanAcc float64
+	for f := 0; f < k; f++ {
+		model, _, err := trainNB(sess, req, f, k)
+		if err != nil {
+			return nil, fmt.Errorf("fold %d: %w", f, err)
+		}
+		kwargs := nbKwargs(req, classes, numeric, nominal, levels)
+		kwargs["priors"] = model.Priors
+		kwargs["mean"] = model.Mean
+		kwargs["var"] = model.Var
+		kwargs["cat_prob"] = model.CatProb
+		kwargs["alpha"] = model.Alpha
+		kwargs["fold"] = f
+		kwargs["num_folds"] = k
+		kwargs["fold_mode"] = "only"
+		agg, err := sess.Sum(federation.LocalRunSpec{
+			Func:   "nb_score_local",
+			Vars:   vars,
+			Filter: req.Filter,
+			Kwargs: kwargs,
+		}, "conf")
+		if err != nil {
+			return nil, fmt.Errorf("fold %d scoring: %w", f, err)
+		}
+		conf, err := agg.Matrix("conf")
+		if err != nil {
+			return nil, err
+		}
+		var n, correct float64
+		for i := 0; i < kc; i++ {
+			for j := 0; j < kc; j++ {
+				n += conf[i][j]
+				total[i][j] += conf[i][j]
+				if i == j {
+					correct += conf[i][j]
+				}
+			}
+		}
+		acc := 0.0
+		if n > 0 {
+			acc = correct / n
+		}
+		meanAcc += acc / float64(k)
+		folds = append(folds, map[string]any{"fold": f, "n": n, "accuracy": acc, "confusion": conf})
+	}
+
+	// Macro metrics over the pooled confusion matrix.
+	var macroP, macroR float64
+	for c := 0; c < kc; c++ {
+		var tp, colSum, rowSum float64
+		tp = total[c][c]
+		for j := 0; j < kc; j++ {
+			colSum += total[j][c]
+			rowSum += total[c][j]
+		}
+		if colSum > 0 {
+			macroP += tp / colSum / float64(kc)
+		}
+		if rowSum > 0 {
+			macroR += tp / rowSum / float64(kc)
+		}
+	}
+	macroF1 := 0.0
+	if macroP+macroR > 0 {
+		macroF1 = 2 * macroP * macroR / (macroP + macroR)
+	}
+	return Result{
+		"folds":           folds,
+		"confusion":       total,
+		"classes":         classes,
+		"mean_accuracy":   meanAcc,
+		"macro_precision": macroP,
+		"macro_recall":    macroR,
+		"macro_f1":        macroF1,
+	}, nil
+}

@@ -1,0 +1,302 @@
+// Package api implements the platform's REST interface — the backend the
+// MIP dashboard talks to (Figures 3-5 of the paper): list pathologies,
+// datasets and variables, browse the algorithm catalogue, create an
+// experiment, poll it while "your experiment is currently running", and
+// fetch its result. Experiments execute asynchronously through the task
+// queue (the Celery/RabbitMQ substitute), exactly like the paper's stack.
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mip/internal/algorithms"
+	"mip/internal/catalogue"
+	"mip/internal/federation"
+	"mip/internal/queue"
+)
+
+// ExperimentRequest is the POST /experiments payload.
+type ExperimentRequest struct {
+	Name      string             `json:"name"`
+	Algorithm string             `json:"algorithm"`
+	Request   algorithms.Request `json:"request"`
+}
+
+// Experiment is the stored state of one experiment.
+type Experiment struct {
+	UUID      string             `json:"uuid"`
+	Name      string             `json:"name"`
+	Algorithm string             `json:"algorithm"`
+	Request   algorithms.Request `json:"request"`
+	Status    string             `json:"status"` // pending | running | success | error
+	Result    json.RawMessage    `json:"result,omitempty"`
+	Error     string             `json:"error,omitempty"`
+	Created   time.Time          `json:"created"`
+	Finished  *time.Time         `json:"finished,omitempty"`
+
+	taskID string
+}
+
+// Server wires the master, the catalogue and the task runner into HTTP
+// handlers.
+type Server struct {
+	Master    *federation.Master
+	Catalogue *catalogue.Catalogue
+	Runner    *queue.Runner
+
+	mu          sync.Mutex
+	experiments map[string]*Experiment
+	workflows   map[string]*Workflow
+	seq         int
+}
+
+// NewServer builds the API server and registers the experiment task
+// handler on the runner.
+func NewServer(master *federation.Master, cat *catalogue.Catalogue, runner *queue.Runner) *Server {
+	s := &Server{
+		Master:      master,
+		Catalogue:   cat,
+		Runner:      runner,
+		experiments: make(map[string]*Experiment),
+	}
+	runner.Register("experiment", s.runExperimentTask)
+	runner.Register("workflow", s.runWorkflowTask)
+	return s
+}
+
+// Handler returns the REST mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "workers": len(s.Master.Workers())})
+	})
+	mux.HandleFunc("GET /pathologies", s.handlePathologies)
+	mux.HandleFunc("GET /pathologies/{code}/variables", s.handleVariables)
+	mux.HandleFunc("GET /datasets", s.handleDatasets)
+	mux.HandleFunc("GET /algorithms", s.handleAlgorithms)
+	mux.HandleFunc("POST /experiments", s.handleCreateExperiment)
+	mux.HandleFunc("GET /experiments", s.handleListExperiments)
+	mux.HandleFunc("GET /experiments/{uuid}", s.handleGetExperiment)
+	s.registerWorkflowRoutes(mux)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handlePathologies(w http.ResponseWriter, _ *http.Request) {
+	var out []map[string]any
+	for _, code := range s.Catalogue.Pathologies() {
+		p := s.Catalogue.Pathology(code)
+		out = append(out, map[string]any{
+			"code": p.Code, "label": p.Label, "datasets": p.Datasets,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleVariables(w http.ResponseWriter, r *http.Request) {
+	code := r.PathValue("code")
+	p := s.Catalogue.Pathology(code)
+	if p == nil {
+		writeErr(w, http.StatusNotFound, "unknown pathology %q", code)
+		return
+	}
+	if q := r.URL.Query().Get("search"); q != "" {
+		writeJSON(w, http.StatusOK, p.Search(q))
+		return
+	}
+	writeJSON(w, http.StatusOK, p.AllVariables())
+}
+
+// handleDatasets reports live dataset availability from the master (which
+// tracks it per worker for algorithm shipping).
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	if err := s.Master.RefreshAvailability(); err != nil {
+		writeErr(w, http.StatusBadGateway, "availability: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Master.Availability())
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, algorithms.Specs())
+}
+
+func (s *Server) handleCreateExperiment(w http.ResponseWriter, r *http.Request) {
+	var req ExperimentRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if algorithms.Get(req.Algorithm) == nil {
+		writeErr(w, http.StatusUnprocessableEntity, "unknown algorithm %q (see GET /algorithms)", req.Algorithm)
+		return
+	}
+	if err := s.validateDatasets(req.Request.Datasets); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.seq++
+	exp := &Experiment{
+		UUID:      fmt.Sprintf("exp-%06d", s.seq),
+		Name:      req.Name,
+		Algorithm: req.Algorithm,
+		Request:   req.Request,
+		Status:    "pending",
+		Created:   time.Now(),
+	}
+	s.experiments[exp.UUID] = exp
+	s.mu.Unlock()
+
+	taskID, err := s.Runner.Submit("experiment", map[string]any{"uuid": exp.UUID})
+	if err != nil {
+		s.mu.Lock()
+		exp.Status = "error"
+		exp.Error = err.Error()
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "submitting: %v", err)
+		return
+	}
+	s.mu.Lock()
+	exp.taskID = taskID
+	snapshot := *exp // the runner mutates exp concurrently; encode a copy
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, &snapshot)
+}
+
+func (s *Server) validateDatasets(datasets []string) error {
+	if len(datasets) == 0 {
+		return nil
+	}
+	avail := s.Master.Availability()
+	var missing []string
+	for _, d := range datasets {
+		if len(avail[d]) == 0 {
+			missing = append(missing, d)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("no worker holds dataset(s) %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// runExperimentTask is the queue handler that actually executes an
+// experiment on the federation.
+func (s *Server) runExperimentTask(ctx context.Context, payload json.RawMessage) (any, error) {
+	var p struct {
+		UUID string `json:"uuid"`
+	}
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	exp := s.experiments[p.UUID]
+	if exp == nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("api: unknown experiment %q", p.UUID)
+	}
+	exp.Status = "running"
+	alg := algorithms.Get(exp.Algorithm)
+	req := exp.Request
+	s.mu.Unlock()
+
+	finish := func(result algorithms.Result, err error) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		now := time.Now()
+		exp.Finished = &now
+		if err != nil {
+			exp.Status = "error"
+			exp.Error = err.Error()
+			return
+		}
+		enc, encErr := json.Marshal(result)
+		if encErr != nil {
+			exp.Status = "error"
+			exp.Error = encErr.Error()
+			return
+		}
+		exp.Status = "success"
+		exp.Result = enc
+	}
+
+	sess, err := s.Master.NewSession(req.Datasets)
+	if err != nil {
+		finish(nil, err)
+		return nil, nil // failure recorded on the experiment, not retried
+	}
+	result, err := alg.Run(sess, req)
+	finish(result, err)
+	return map[string]string{"uuid": p.UUID}, nil
+}
+
+func (s *Server) handleListExperiments(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]*Experiment, 0, len(s.experiments))
+	for _, e := range s.experiments {
+		cp := *e
+		out = append(out, &cp)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].UUID < out[j].UUID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetExperiment(w http.ResponseWriter, r *http.Request) {
+	uuid := r.PathValue("uuid")
+	s.mu.Lock()
+	e := s.experiments[uuid]
+	var cp *Experiment
+	if e != nil {
+		c := *e
+		cp = &c
+	}
+	s.mu.Unlock()
+	if cp == nil {
+		writeErr(w, http.StatusNotFound, "unknown experiment %q", uuid)
+		return
+	}
+	writeJSON(w, http.StatusOK, cp)
+}
+
+// WaitForExperiment polls until the experiment finishes (test/CLI helper).
+func (s *Server) WaitForExperiment(ctx context.Context, uuid string) (*Experiment, error) {
+	for {
+		s.mu.Lock()
+		e := s.experiments[uuid]
+		var snapshot *Experiment
+		if e != nil {
+			c := *e
+			snapshot = &c
+		}
+		s.mu.Unlock()
+		if snapshot == nil {
+			return nil, fmt.Errorf("api: unknown experiment %q", uuid)
+		}
+		if snapshot.Status == "success" || snapshot.Status == "error" {
+			return snapshot, nil
+		}
+		select {
+		case <-ctx.Done():
+			return snapshot, ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}

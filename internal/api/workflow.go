@@ -1,0 +1,236 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"mip/internal/algorithms"
+)
+
+// Workflows: the dashboard's Workflow tab chains several experiments into
+// one asynchronous unit (e.g. descriptive statistics → PCA → k-means over
+// the same cohort). Steps run sequentially on the federation; the workflow
+// fails fast on the first failing step, and per-step results are stored
+// with the workflow.
+
+// WorkflowStep is one algorithm invocation in a chain.
+type WorkflowStep struct {
+	Name      string             `json:"name"`
+	Algorithm string             `json:"algorithm"`
+	Request   algorithms.Request `json:"request"`
+}
+
+// WorkflowRequest is the POST /workflows payload.
+type WorkflowRequest struct {
+	Name  string         `json:"name"`
+	Steps []WorkflowStep `json:"steps"`
+}
+
+// WorkflowStepResult is one step's outcome.
+type WorkflowStepResult struct {
+	Name      string          `json:"name"`
+	Algorithm string          `json:"algorithm"`
+	Status    string          `json:"status"` // pending | success | error | skipped
+	Result    json.RawMessage `json:"result,omitempty"`
+	Error     string          `json:"error,omitempty"`
+}
+
+// Workflow is the stored state of one chain.
+type Workflow struct {
+	UUID     string               `json:"uuid"`
+	Name     string               `json:"name"`
+	Status   string               `json:"status"` // pending | running | success | error
+	Steps    []WorkflowStepResult `json:"steps"`
+	Created  time.Time            `json:"created"`
+	Finished *time.Time           `json:"finished,omitempty"`
+
+	spec []WorkflowStep
+}
+
+// snapshotWorkflow deep-copies a workflow (steps included) so JSON
+// encoding outside the lock cannot race with the runner's mutations.
+func snapshotWorkflow(wf *Workflow) *Workflow {
+	cp := *wf
+	cp.Steps = append([]WorkflowStepResult(nil), wf.Steps...)
+	return &cp
+}
+
+// registerWorkflowRoutes adds the workflow endpoints to the mux; called by
+// Handler.
+func (s *Server) registerWorkflowRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /workflows", s.handleCreateWorkflow)
+	mux.HandleFunc("GET /workflows", s.handleListWorkflows)
+	mux.HandleFunc("GET /workflows/{uuid}", s.handleGetWorkflow)
+}
+
+func (s *Server) handleCreateWorkflow(w http.ResponseWriter, r *http.Request) {
+	var req WorkflowRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Steps) == 0 {
+		writeErr(w, http.StatusUnprocessableEntity, "workflow needs at least one step")
+		return
+	}
+	for i, st := range req.Steps {
+		if algorithms.Get(st.Algorithm) == nil {
+			writeErr(w, http.StatusUnprocessableEntity, "step %d: unknown algorithm %q", i, st.Algorithm)
+			return
+		}
+		if err := s.validateDatasets(st.Request.Datasets); err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "step %d: %v", i, err)
+			return
+		}
+	}
+	s.mu.Lock()
+	s.seq++
+	wf := &Workflow{
+		UUID:    fmt.Sprintf("wf-%06d", s.seq),
+		Name:    req.Name,
+		Status:  "pending",
+		Created: time.Now(),
+		spec:    req.Steps,
+	}
+	for _, st := range req.Steps {
+		wf.Steps = append(wf.Steps, WorkflowStepResult{
+			Name: st.Name, Algorithm: st.Algorithm, Status: "pending",
+		})
+	}
+	if s.workflows == nil {
+		s.workflows = make(map[string]*Workflow)
+	}
+	s.workflows[wf.UUID] = wf
+	snapshot := snapshotWorkflow(wf)
+	s.mu.Unlock()
+
+	if _, err := s.Runner.Submit("workflow", map[string]any{"uuid": wf.UUID}); err != nil {
+		s.mu.Lock()
+		wf.Status = "error"
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "submitting: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, snapshot)
+}
+
+// runWorkflowTask executes the chain.
+func (s *Server) runWorkflowTask(ctx context.Context, payload json.RawMessage) (any, error) {
+	var p struct {
+		UUID string `json:"uuid"`
+	}
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	wf := s.workflows[p.UUID]
+	if wf == nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("api: unknown workflow %q", p.UUID)
+	}
+	wf.Status = "running"
+	steps := append([]WorkflowStep(nil), wf.spec...)
+	s.mu.Unlock()
+
+	failed := false
+	for i, st := range steps {
+		if failed {
+			s.mu.Lock()
+			wf.Steps[i].Status = "skipped"
+			s.mu.Unlock()
+			continue
+		}
+		result, err := s.runStep(st)
+		s.mu.Lock()
+		if err != nil {
+			wf.Steps[i].Status = "error"
+			wf.Steps[i].Error = err.Error()
+			failed = true
+		} else {
+			wf.Steps[i].Status = "success"
+			wf.Steps[i].Result = result
+		}
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	now := time.Now()
+	wf.Finished = &now
+	if failed {
+		wf.Status = "error"
+	} else {
+		wf.Status = "success"
+	}
+	s.mu.Unlock()
+	return map[string]string{"uuid": p.UUID}, nil
+}
+
+func (s *Server) runStep(st WorkflowStep) (json.RawMessage, error) {
+	alg := algorithms.Get(st.Algorithm)
+	if alg == nil {
+		return nil, fmt.Errorf("unknown algorithm %q", st.Algorithm)
+	}
+	sess, err := s.Master.NewSession(st.Request.Datasets)
+	if err != nil {
+		return nil, err
+	}
+	res, err := alg.Run(sess, st.Request)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(res)
+}
+
+func (s *Server) handleListWorkflows(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]*Workflow, 0, len(s.workflows))
+	for _, wf := range s.workflows {
+		out = append(out, snapshotWorkflow(wf))
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].UUID < out[j].UUID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetWorkflow(w http.ResponseWriter, r *http.Request) {
+	uuid := r.PathValue("uuid")
+	s.mu.Lock()
+	wf := s.workflows[uuid]
+	var cp *Workflow
+	if wf != nil {
+		cp = snapshotWorkflow(wf)
+	}
+	s.mu.Unlock()
+	if cp == nil {
+		writeErr(w, http.StatusNotFound, "unknown workflow %q", uuid)
+		return
+	}
+	writeJSON(w, http.StatusOK, cp)
+}
+
+// WaitForWorkflow polls until the workflow finishes.
+func (s *Server) WaitForWorkflow(ctx context.Context, uuid string) (*Workflow, error) {
+	for {
+		s.mu.Lock()
+		wf := s.workflows[uuid]
+		var snapshot *Workflow
+		if wf != nil {
+			snapshot = snapshotWorkflow(wf)
+		}
+		s.mu.Unlock()
+		if snapshot == nil {
+			return nil, fmt.Errorf("api: unknown workflow %q", uuid)
+		}
+		if snapshot.Status == "success" || snapshot.Status == "error" {
+			return snapshot, nil
+		}
+		select {
+		case <-ctx.Done():
+			return snapshot, ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}

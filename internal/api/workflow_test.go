@@ -1,0 +1,184 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"mip/internal/algorithms"
+)
+
+func TestWorkflowLifecycle(t *testing.T) {
+	s, ts := testServer(t)
+	req := WorkflowRequest{
+		Name: "profile then cluster",
+		Steps: []WorkflowStep{
+			{
+				Name:      "profile",
+				Algorithm: "descriptive_stats",
+				Request:   algorithms.Request{Datasets: []string{"edsd"}, Y: []string{"ab42", "p_tau"}},
+			},
+			{
+				Name:      "pca",
+				Algorithm: "pca",
+				Request:   algorithms.Request{Datasets: []string{"edsd"}, Y: []string{"ab42", "p_tau", "lefthippocampus"}},
+			},
+			{
+				Name:      "cluster",
+				Algorithm: "kmeans",
+				Request: algorithms.Request{
+					Datasets:   []string{"edsd"},
+					Y:          []string{"ab42", "p_tau"},
+					Parameters: map[string]any{"k": 2, "iterations_max_number": 20},
+				},
+			},
+		},
+	}
+	var wf Workflow
+	if code := postJSON(t, ts.URL+"/workflows", req, &wf); code != 201 {
+		t.Fatalf("create = %d", code)
+	}
+	if len(wf.Steps) != 3 {
+		t.Fatalf("steps = %d", len(wf.Steps))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	final, err := s.WaitForWorkflow(ctx, wf.UUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != "success" {
+		t.Fatalf("status = %q, steps = %+v", final.Status, final.Steps)
+	}
+	for _, st := range final.Steps {
+		if st.Status != "success" || len(st.Result) == 0 {
+			t.Fatalf("step %q: %q (%s)", st.Name, st.Status, st.Error)
+		}
+	}
+	if final.Finished == nil {
+		t.Fatal("finished timestamp missing")
+	}
+
+	// List and get endpoints.
+	var list []Workflow
+	if code := getJSON(t, ts.URL+"/workflows", &list); code != 200 || len(list) != 1 {
+		t.Fatalf("list = %d entries (code %d)", len(list), code)
+	}
+	var fetched Workflow
+	if code := getJSON(t, ts.URL+"/workflows/"+wf.UUID, &fetched); code != 200 {
+		t.Fatalf("get = %d", code)
+	}
+	if fetched.Status != "success" {
+		t.Fatalf("fetched status = %q", fetched.Status)
+	}
+}
+
+func TestWorkflowFailFast(t *testing.T) {
+	s, ts := testServer(t)
+	req := WorkflowRequest{
+		Name: "fails in the middle",
+		Steps: []WorkflowStep{
+			{Name: "ok", Algorithm: "descriptive_stats",
+				Request: algorithms.Request{Datasets: []string{"edsd"}, Y: []string{"ab42"}}},
+			{Name: "boom", Algorithm: "linear_regression",
+				Request: algorithms.Request{Datasets: []string{"edsd"}, Y: []string{"ab42"}}}, // no X → error
+			{Name: "never", Algorithm: "descriptive_stats",
+				Request: algorithms.Request{Datasets: []string{"edsd"}, Y: []string{"p_tau"}}},
+		},
+	}
+	var wf Workflow
+	if code := postJSON(t, ts.URL+"/workflows", req, &wf); code != 201 {
+		t.Fatalf("create = %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	final, err := s.WaitForWorkflow(ctx, wf.UUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != "error" {
+		t.Fatalf("status = %q", final.Status)
+	}
+	if final.Steps[0].Status != "success" {
+		t.Fatalf("step 0 = %q", final.Steps[0].Status)
+	}
+	if final.Steps[1].Status != "error" || final.Steps[1].Error == "" {
+		t.Fatalf("step 1 = %+v", final.Steps[1])
+	}
+	if final.Steps[2].Status != "skipped" {
+		t.Fatalf("step 2 = %q", final.Steps[2].Status)
+	}
+}
+
+func TestWorkflowValidation(t *testing.T) {
+	_, ts := testServer(t)
+	// Empty workflow.
+	if code := postJSON(t, ts.URL+"/workflows", WorkflowRequest{Name: "empty"}, nil); code != 422 {
+		t.Fatalf("empty = %d", code)
+	}
+	// Unknown algorithm inside a step.
+	code := postJSON(t, ts.URL+"/workflows", WorkflowRequest{
+		Steps: []WorkflowStep{{Algorithm: "ghost"}},
+	}, nil)
+	if code != 422 {
+		t.Fatalf("unknown algorithm = %d", code)
+	}
+	// Unknown dataset inside a step.
+	code = postJSON(t, ts.URL+"/workflows", WorkflowRequest{
+		Steps: []WorkflowStep{{
+			Algorithm: "descriptive_stats",
+			Request:   algorithms.Request{Datasets: []string{"ghost"}, Y: []string{"ab42"}},
+		}},
+	}, nil)
+	if code != 422 {
+		t.Fatalf("unknown dataset = %d", code)
+	}
+	// Malformed body.
+	resp, err := http.Post(ts.URL+"/workflows", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("malformed = %d", resp.StatusCode)
+	}
+	// Unknown workflow id.
+	if code := getJSON(t, ts.URL+"/workflows/ghost", nil); code != 404 {
+		t.Fatalf("unknown workflow = %d", code)
+	}
+}
+
+// The decoder must not be confused by Result round trips.
+func TestWorkflowResultDecodable(t *testing.T) {
+	s, ts := testServer(t)
+	var wf Workflow
+	postJSON(t, ts.URL+"/workflows", WorkflowRequest{
+		Steps: []WorkflowStep{{
+			Name:      "corr",
+			Algorithm: "pearson_correlation",
+			Request: algorithms.Request{
+				Datasets: []string{"edsd"},
+				Y:        []string{"minimentalstate"},
+				X:        []string{"lefthippocampus"},
+			},
+		}},
+	}, &wf)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	final, err := s.WaitForWorkflow(ctx, wf.UUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res map[string]any
+	if err := json.Unmarshal(final.Steps[0].Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	corrs := res["correlations"].([]any)
+	r := corrs[0].(map[string]any)["r"].(float64)
+	if r <= 0 {
+		t.Fatalf("r = %v, expected positive MMSE~hippocampus correlation", r)
+	}
+}

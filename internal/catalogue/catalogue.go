@@ -1,0 +1,333 @@
+// Package catalogue implements MIP's data catalogue: the hierarchical
+// common-data-element (CDE) metadata that drives the dashboard's variable
+// browser (Figure 3's "domain, datasets, search, parameters" panels) and
+// the validation of experiment requests (which variables exist, their
+// types, allowed enumerations and ranges, and which datasets carry them).
+package catalogue
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// VarType classifies a CDE variable.
+type VarType string
+
+// Variable types.
+const (
+	Real    VarType = "real"
+	Integer VarType = "integer"
+	Nominal VarType = "nominal"
+	Text    VarType = "text"
+)
+
+// Variable is one common data element.
+type Variable struct {
+	Code         string   `json:"code"`  // column name in the data table
+	Label        string   `json:"label"` // human-readable name
+	Type         VarType  `json:"type"`
+	Units        string   `json:"units,omitempty"`
+	Enumerations []string `json:"enumerations,omitempty"` // nominal values
+	Min          *float64 `json:"min,omitempty"`
+	Max          *float64 `json:"max,omitempty"`
+	Description  string   `json:"description,omitempty"`
+}
+
+// Group is a node of the variable hierarchy.
+type Group struct {
+	Code      string     `json:"code"`
+	Label     string     `json:"label"`
+	Variables []Variable `json:"variables,omitempty"`
+	Groups    []*Group   `json:"groups,omitempty"`
+}
+
+// Dataset describes one registered dataset.
+type Dataset struct {
+	Code  string `json:"code"`
+	Label string `json:"label"`
+}
+
+// Pathology is the top-level domain (dementia, epilepsy, mental health,
+// traumatic brain injury — the pathologies the paper lists).
+type Pathology struct {
+	Code     string    `json:"code"`
+	Label    string    `json:"label"`
+	Datasets []Dataset `json:"datasets"`
+	Root     *Group    `json:"root"`
+}
+
+// Catalogue is the full metadata tree.
+type Catalogue struct {
+	mu          sync.RWMutex
+	pathologies map[string]*Pathology
+}
+
+// New returns an empty catalogue.
+func New() *Catalogue {
+	return &Catalogue{pathologies: make(map[string]*Pathology)}
+}
+
+// AddPathology registers a pathology (replacing any previous definition).
+func (c *Catalogue) AddPathology(p *Pathology) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pathologies[p.Code] = p
+}
+
+// Pathology returns a pathology by code, or nil.
+func (c *Catalogue) Pathology(code string) *Pathology {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.pathologies[code]
+}
+
+// Pathologies lists codes, sorted.
+func (c *Catalogue) Pathologies() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.pathologies))
+	for k := range c.pathologies {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Variable finds a variable by code within a pathology, or nil.
+func (p *Pathology) Variable(code string) *Variable {
+	var found *Variable
+	p.walk(func(g *Group) {
+		for i := range g.Variables {
+			if g.Variables[i].Code == code {
+				found = &g.Variables[i]
+			}
+		}
+	})
+	return found
+}
+
+// AllVariables returns every variable of the pathology, sorted by code.
+func (p *Pathology) AllVariables() []Variable {
+	var out []Variable
+	p.walk(func(g *Group) { out = append(out, g.Variables...) })
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}
+
+// Search returns variables whose code or label contains the query
+// (case-insensitive), sorted by code — the dashboard's variable search.
+func (p *Pathology) Search(query string) []Variable {
+	q := strings.ToLower(query)
+	var out []Variable
+	p.walk(func(g *Group) {
+		for _, v := range g.Variables {
+			if strings.Contains(strings.ToLower(v.Code), q) ||
+				strings.Contains(strings.ToLower(v.Label), q) {
+				out = append(out, v)
+			}
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}
+
+func (p *Pathology) walk(fn func(*Group)) {
+	if p.Root == nil {
+		return
+	}
+	var rec func(*Group)
+	rec = func(g *Group) {
+		fn(g)
+		for _, sub := range g.Groups {
+			rec(sub)
+		}
+	}
+	rec(p.Root)
+}
+
+// HasDataset reports whether the pathology registers the dataset code.
+func (p *Pathology) HasDataset(code string) bool {
+	for _, d := range p.Datasets {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks a value against the variable's constraints.
+func (v *Variable) Validate(val any) error {
+	switch v.Type {
+	case Nominal:
+		s, ok := val.(string)
+		if !ok {
+			return fmt.Errorf("catalogue: %s expects a string, got %T", v.Code, val)
+		}
+		for _, e := range v.Enumerations {
+			if e == s {
+				return nil
+			}
+		}
+		return fmt.Errorf("catalogue: %q is not an allowed value of %s (%v)", s, v.Code, v.Enumerations)
+	case Real, Integer:
+		var f float64
+		switch x := val.(type) {
+		case float64:
+			f = x
+		case int:
+			f = float64(x)
+		case int64:
+			f = float64(x)
+		default:
+			return fmt.Errorf("catalogue: %s expects a number, got %T", v.Code, val)
+		}
+		if v.Min != nil && f < *v.Min {
+			return fmt.Errorf("catalogue: %s = %v below minimum %v", v.Code, f, *v.Min)
+		}
+		if v.Max != nil && f > *v.Max {
+			return fmt.Errorf("catalogue: %s = %v above maximum %v", v.Code, f, *v.Max)
+		}
+	}
+	return nil
+}
+
+// MarshalJSON / load-save round trips.
+
+// ToJSON serializes the catalogue.
+func (c *Catalogue) ToJSON() ([]byte, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	codes := make([]string, 0, len(c.pathologies))
+	for k := range c.pathologies {
+		codes = append(codes, k)
+	}
+	sort.Strings(codes)
+	list := make([]*Pathology, 0, len(codes))
+	for _, k := range codes {
+		list = append(list, c.pathologies[k])
+	}
+	return json.MarshalIndent(list, "", "  ")
+}
+
+// FromJSON loads a catalogue.
+func FromJSON(data []byte) (*Catalogue, error) {
+	var list []*Pathology
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("catalogue: %w", err)
+	}
+	c := New()
+	for _, p := range list {
+		c.AddPathology(p)
+	}
+	return c, nil
+}
+
+func fptr(v float64) *float64 { return &v }
+
+// Dementia returns the built-in dementia pathology metadata matching the
+// variables the synthetic cohorts generate (and the paper's dashboard
+// screenshots: brain anatomy volumes, CSF proteins, demographics,
+// diagnosis).
+func Dementia() *Pathology {
+	return &Pathology{
+		Code:  "dementia",
+		Label: "Dementia",
+		Datasets: []Dataset{
+			{Code: "edsd", Label: "EDSD"},
+			{Code: "edsd-synthdata", Label: "EDSD (synthetic)"},
+			{Code: "ppmi", Label: "PPMI"},
+			{Code: "adni", Label: "ADNI"},
+			{Code: "brescia", Label: "Fatebenefratelli Brescia"},
+			{Code: "lausanne", Label: "CHUV Lausanne"},
+			{Code: "lille", Label: "CHRU Lille"},
+		},
+		Root: &Group{
+			Code:  "root",
+			Label: "Dementia variables",
+			Groups: []*Group{
+				{
+					Code:  "demographics",
+					Label: "Demographics",
+					Variables: []Variable{
+						{Code: "subjectageyears", Label: "Age (years)", Type: Real, Units: "years", Min: fptr(0), Max: fptr(120)},
+						{Code: "gender", Label: "Gender", Type: Nominal, Enumerations: []string{"F", "M"}},
+					},
+				},
+				{
+					Code:  "diagnosis",
+					Label: "Diagnosis",
+					Variables: []Variable{
+						{Code: "alzheimerbroadcategory", Label: "Alzheimer broad category", Type: Nominal, Enumerations: []string{"AD", "MCI", "CN"}},
+						{Code: "psy", Label: "Depression comorbidity", Type: Nominal, Enumerations: []string{"yes", "no"}},
+						{Code: "va", Label: "Vascular white-matter damage", Type: Nominal, Enumerations: []string{"yes", "no"}},
+						{Code: "minimentalstate", Label: "MMSE Total scores", Type: Real, Min: fptr(0), Max: fptr(30)},
+					},
+				},
+				{
+					Code:  "brain_anatomy",
+					Label: "Brain Anatomy",
+					Groups: []*Group{
+						{
+							Code:  "grey_matter",
+							Label: "Grey matter volume",
+							Variables: []Variable{
+								{Code: "lefthippocampus", Label: "Left Hippocampus", Type: Real, Units: "ml", Min: fptr(0)},
+								{Code: "righthippocampus", Label: "Right Hippocampus", Type: Real, Units: "ml", Min: fptr(0)},
+								{Code: "leftententorhinalarea", Label: "Left Ent Entorhinal Area", Type: Real, Units: "ml", Min: fptr(0)},
+								{Code: "rightententorhinalarea", Label: "Right Ent Entorhinal Area", Type: Real, Units: "ml", Min: fptr(0)},
+							},
+						},
+						{
+							Code:  "csf",
+							Label: "Cerebrospinal fluid",
+							Variables: []Variable{
+								{Code: "leftlateralventricle", Label: "Left Lateral Ventricle", Type: Real, Units: "ml", Min: fptr(0)},
+								{Code: "rightlateralventricle", Label: "Right Lateral Ventricle", Type: Real, Units: "ml", Min: fptr(0)},
+							},
+						},
+					},
+				},
+				{
+					Code:  "csf_proteins",
+					Label: "CSF proteins",
+					Variables: []Variable{
+						{Code: "ab42", Label: "Amyloid beta 1-42", Type: Real, Units: "pg/ml", Min: fptr(0)},
+						{Code: "p_tau", Label: "Phosphorylated tau", Type: Real, Units: "pg/ml", Min: fptr(0)},
+					},
+				},
+			},
+		},
+	}
+}
+
+// Epilepsy returns a minimal epilepsy pathology for the survival examples.
+func Epilepsy() *Pathology {
+	return &Pathology{
+		Code:  "epilepsy",
+		Label: "Epilepsy",
+		Datasets: []Dataset{
+			{Code: "epi-site-a", Label: "Site A"},
+			{Code: "epi-site-b", Label: "Site B"},
+		},
+		Root: &Group{
+			Code:  "root",
+			Label: "Epilepsy variables",
+			Variables: []Variable{
+				{Code: "grp", Label: "Treatment group", Type: Nominal, Enumerations: []string{"control", "treated"}},
+				{Code: "time", Label: "Time to relapse (months)", Type: Real, Units: "months", Min: fptr(0)},
+				{Code: "event", Label: "Relapse observed", Type: Integer, Min: fptr(0), Max: fptr(1)},
+			},
+		},
+	}
+}
+
+// Default returns a catalogue with the built-in pathologies.
+func Default() *Catalogue {
+	c := New()
+	c.AddPathology(Dementia())
+	c.AddPathology(Epilepsy())
+	return c
+}

@@ -1,0 +1,107 @@
+package catalogue
+
+import (
+	"testing"
+)
+
+func TestDefaultCatalogue(t *testing.T) {
+	c := Default()
+	ps := c.Pathologies()
+	if len(ps) != 2 || ps[0] != "dementia" || ps[1] != "epilepsy" {
+		t.Fatalf("pathologies = %v", ps)
+	}
+	if c.Pathology("nope") != nil {
+		t.Fatal("unknown pathology should be nil")
+	}
+}
+
+func TestVariableLookup(t *testing.T) {
+	d := Dementia()
+	v := d.Variable("lefthippocampus")
+	if v == nil || v.Units != "ml" || v.Type != Real {
+		t.Fatalf("lefthippocampus = %+v", v)
+	}
+	if d.Variable("ghost") != nil {
+		t.Fatal("unknown variable should be nil")
+	}
+	all := d.AllVariables()
+	if len(all) < 12 {
+		t.Fatalf("AllVariables = %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Code < all[i-1].Code {
+			t.Fatal("AllVariables not sorted")
+		}
+	}
+}
+
+func TestSearch(t *testing.T) {
+	d := Dementia()
+	hits := d.Search("hippocampus")
+	if len(hits) != 2 {
+		t.Fatalf("search hits = %d", len(hits))
+	}
+	hits = d.Search("AMYLOID")
+	if len(hits) != 1 || hits[0].Code != "ab42" {
+		t.Fatalf("label search = %v", hits)
+	}
+	if len(d.Search("zzzz")) != 0 {
+		t.Fatal("no-match search should be empty")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := Dementia()
+	mmse := d.Variable("minimentalstate")
+	if err := mmse.Validate(25.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := mmse.Validate(31.0); err == nil {
+		t.Fatal("above max must fail")
+	}
+	if err := mmse.Validate(-1.0); err == nil {
+		t.Fatal("below min must fail")
+	}
+	if err := mmse.Validate("abc"); err == nil {
+		t.Fatal("string for real must fail")
+	}
+	gender := d.Variable("gender")
+	if err := gender.Validate("F"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gender.Validate("X"); err == nil {
+		t.Fatal("bad enumeration must fail")
+	}
+	if err := gender.Validate(3); err == nil {
+		t.Fatal("number for nominal must fail")
+	}
+}
+
+func TestHasDataset(t *testing.T) {
+	d := Dementia()
+	if !d.HasDataset("edsd") || d.HasDataset("nope") {
+		t.Fatal("HasDataset wrong")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := Default()
+	data, err := c.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := back.Pathology("dementia")
+	if d == nil {
+		t.Fatal("dementia lost in round trip")
+	}
+	if v := d.Variable("ab42"); v == nil || v.Label != "Amyloid beta 1-42" {
+		t.Fatalf("ab42 lost: %+v", v)
+	}
+	if _, err := FromJSON([]byte("{broken")); err == nil {
+		t.Fatal("bad JSON must fail")
+	}
+}

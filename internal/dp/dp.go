@@ -1,0 +1,206 @@
+// Package dp implements the differential-privacy layer of the platform's
+// training flow: the paper's Workers either inject Gaussian noise locally
+// ("local differential privacy (DP) guarantee") or rely on secure
+// aggregation with noise added inside the SMPC protocol. This package
+// provides the calibrated mechanisms, sensitivity helpers (clipping), and
+// an (ε, δ) privacy accountant with basic and advanced composition.
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"mip/internal/stats"
+)
+
+// ErrBudgetExhausted is returned when a release would exceed the
+// accountant's privacy budget.
+var ErrBudgetExhausted = errors.New("dp: privacy budget exhausted")
+
+// LaplaceScale returns the Laplace scale b achieving ε-DP for the given L1
+// sensitivity: b = Δ₁/ε.
+func LaplaceScale(sensitivity, epsilon float64) float64 {
+	if epsilon <= 0 {
+		return math.Inf(1)
+	}
+	return sensitivity / epsilon
+}
+
+// GaussianSigma returns the Gaussian σ achieving (ε, δ)-DP for the given
+// L2 sensitivity via the classic analytic bound
+// σ = Δ₂·sqrt(2·ln(1.25/δ))/ε (valid for ε ≤ 1; conservative above).
+func GaussianSigma(sensitivity, epsilon, delta float64) float64 {
+	if epsilon <= 0 || delta <= 0 {
+		return math.Inf(1)
+	}
+	return sensitivity * math.Sqrt(2*math.Log(1.25/delta)) / epsilon
+}
+
+// Mechanism releases noisy values under a fixed privacy parameterization.
+type Mechanism struct {
+	rng *stats.RNG
+
+	// Laplace if Delta (δ) is zero, Gaussian otherwise.
+	Epsilon     float64
+	Delta       float64
+	Sensitivity float64
+}
+
+// NewLaplace builds an ε-DP Laplace mechanism for the given L1 sensitivity.
+func NewLaplace(sensitivity, epsilon float64, seed int64) *Mechanism {
+	return &Mechanism{rng: stats.NewRNG(seed), Epsilon: epsilon, Sensitivity: sensitivity}
+}
+
+// NewGaussian builds an (ε, δ)-DP Gaussian mechanism for the given L2
+// sensitivity.
+func NewGaussian(sensitivity, epsilon, delta float64, seed int64) *Mechanism {
+	return &Mechanism{rng: stats.NewRNG(seed), Epsilon: epsilon, Delta: delta, Sensitivity: sensitivity}
+}
+
+// Scale returns the noise scale in use (Laplace b or Gaussian σ).
+func (m *Mechanism) Scale() float64 {
+	if m.Delta == 0 {
+		return LaplaceScale(m.Sensitivity, m.Epsilon)
+	}
+	return GaussianSigma(m.Sensitivity, m.Epsilon, m.Delta)
+}
+
+// Release perturbs one value.
+func (m *Mechanism) Release(v float64) float64 {
+	if m.Epsilon <= 0 {
+		return v // ε=0 disables the mechanism explicitly (testing only)
+	}
+	if m.Delta == 0 {
+		return v + m.rng.Laplace(0, m.Scale())
+	}
+	return v + m.rng.Normal(0, m.Scale())
+}
+
+// ReleaseVec perturbs a vector element-wise (sensitivity must already
+// account for the vector norm).
+func (m *Mechanism) ReleaseVec(vs []float64) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = m.Release(v)
+	}
+	return out
+}
+
+// ClipL2 scales v down to at most the given L2 norm bound and returns the
+// clipped vector and its original norm. Clipping bounds per-record
+// sensitivity in gradient aggregation.
+func ClipL2(v []float64, bound float64) ([]float64, float64) {
+	var ss float64
+	for _, x := range v {
+		ss += x * x
+	}
+	norm := math.Sqrt(ss)
+	if norm <= bound || norm == 0 {
+		out := make([]float64, len(v))
+		copy(out, v)
+		return out, norm
+	}
+	scale := bound / norm
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x * scale
+	}
+	return out, norm
+}
+
+// ClipL1 bounds the L1 norm analogously.
+func ClipL1(v []float64, bound float64) ([]float64, float64) {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	if s <= bound || s == 0 {
+		out := make([]float64, len(v))
+		copy(out, v)
+		return out, s
+	}
+	scale := bound / s
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x * scale
+	}
+	return out, s
+}
+
+// Accountant tracks cumulative privacy loss against a budget.
+type Accountant struct {
+	mu sync.Mutex
+
+	BudgetEpsilon float64
+	BudgetDelta   float64
+
+	spends []spend
+}
+
+type spend struct{ eps, delta float64 }
+
+// NewAccountant returns an accountant with the given total budget.
+func NewAccountant(epsilon, delta float64) *Accountant {
+	return &Accountant{BudgetEpsilon: epsilon, BudgetDelta: delta}
+}
+
+// Spend records a release if the budget (under basic composition) allows
+// it, and returns ErrBudgetExhausted otherwise.
+func (a *Accountant) Spend(eps, delta float64) error {
+	if eps < 0 || delta < 0 {
+		return fmt.Errorf("dp: negative privacy parameters")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	curEps, curDelta := a.totalsLocked()
+	if curEps+eps > a.BudgetEpsilon+1e-12 || curDelta+delta > a.BudgetDelta+1e-15 {
+		return ErrBudgetExhausted
+	}
+	a.spends = append(a.spends, spend{eps, delta})
+	return nil
+}
+
+// totalsLocked computes basic (sequential) composition totals.
+func (a *Accountant) totalsLocked() (eps, delta float64) {
+	for _, s := range a.spends {
+		eps += s.eps
+		delta += s.delta
+	}
+	return eps, delta
+}
+
+// Spent returns the basic-composition totals so far.
+func (a *Accountant) Spent() (eps, delta float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.totalsLocked()
+}
+
+// Releases returns the number of recorded releases.
+func (a *Accountant) Releases() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.spends)
+}
+
+// AdvancedComposition returns the (ε', δ') guarantee after k releases of an
+// (ε, δ) mechanism under the advanced composition theorem with slack
+// δSlack: ε' = ε·sqrt(2k·ln(1/δSlack)) + k·ε·(e^ε − 1),
+// δ' = k·δ + δSlack.
+func AdvancedComposition(eps, delta float64, k int, deltaSlack float64) (epsPrime, deltaPrime float64) {
+	fk := float64(k)
+	epsPrime = eps*math.Sqrt(2*fk*math.Log(1/deltaSlack)) + fk*eps*(math.Exp(eps)-1)
+	deltaPrime = fk*delta + deltaSlack
+	return epsPrime, deltaPrime
+}
+
+// PerStepEpsilon inverts basic composition: the per-release ε that spends a
+// total budget over k releases.
+func PerStepEpsilon(totalEps float64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return totalEps / float64(k)
+}

@@ -1,0 +1,167 @@
+package dp
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScales(t *testing.T) {
+	if b := LaplaceScale(2, 0.5); b != 4 {
+		t.Fatalf("Laplace scale = %v", b)
+	}
+	if !math.IsInf(LaplaceScale(1, 0), 1) {
+		t.Fatal("ε=0 must give infinite scale")
+	}
+	sigma := GaussianSigma(1, 1, 1e-5)
+	want := math.Sqrt(2 * math.Log(1.25e5))
+	if math.Abs(sigma-want) > 1e-12 {
+		t.Fatalf("Gaussian σ = %v, want %v", sigma, want)
+	}
+}
+
+func TestLaplaceMechanismDistribution(t *testing.T) {
+	m := NewLaplace(1, 0.5, 7) // b = 2
+	const n = 100000
+	var sum, sumAbs float64
+	for i := 0; i < n; i++ {
+		x := m.Release(10)
+		sum += x
+		sumAbs += math.Abs(x - 10)
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.1 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if mad := sumAbs / n; math.Abs(mad-2) > 0.1 {
+		t.Fatalf("E|noise| = %v, want 2", mad)
+	}
+}
+
+func TestGaussianMechanismDistribution(t *testing.T) {
+	m := NewGaussian(1, 1, 1e-5, 11)
+	sigma := m.Scale()
+	const n = 100000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := m.Release(0)
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	sd := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean) > 0.1 || math.Abs(sd-sigma)/sigma > 0.05 {
+		t.Fatalf("mean=%v sd=%v want sd=%v", mean, sd, sigma)
+	}
+}
+
+func TestReleaseVec(t *testing.T) {
+	m := NewLaplace(1, 1, 3)
+	out := m.ReleaseVec([]float64{1, 2, 3})
+	if len(out) != 3 {
+		t.Fatal("length")
+	}
+}
+
+func TestZeroEpsilonPassthrough(t *testing.T) {
+	m := &Mechanism{Epsilon: 0}
+	if m.Release(5) != 5 {
+		t.Fatal("ε=0 should pass through")
+	}
+}
+
+func TestClipL2(t *testing.T) {
+	v := []float64{3, 4} // norm 5
+	clipped, norm := ClipL2(v, 1)
+	if norm != 5 {
+		t.Fatalf("norm = %v", norm)
+	}
+	if math.Abs(clipped[0]-0.6) > 1e-12 || math.Abs(clipped[1]-0.8) > 1e-12 {
+		t.Fatalf("clipped = %v", clipped)
+	}
+	// Below the bound: unchanged, and not aliased.
+	same, _ := ClipL2(v, 10)
+	same[0] = 99
+	if v[0] == 99 {
+		t.Fatal("ClipL2 aliased its input")
+	}
+}
+
+func TestClipL1(t *testing.T) {
+	v := []float64{1, -3} // L1 = 4
+	clipped, norm := ClipL1(v, 2)
+	if norm != 4 {
+		t.Fatalf("norm = %v", norm)
+	}
+	if math.Abs(clipped[0]-0.5) > 1e-12 || math.Abs(clipped[1]+1.5) > 1e-12 {
+		t.Fatalf("clipped = %v", clipped)
+	}
+}
+
+// Property: clipping never increases the norm beyond the bound.
+func TestClipProperty(t *testing.T) {
+	f := func(a, b, c float64, bound float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) || math.IsNaN(bound) ||
+			math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsInf(c, 0) {
+			return true
+		}
+		bound = math.Abs(bound)
+		if bound == 0 {
+			return true
+		}
+		clipped, _ := ClipL2([]float64{a, b, c}, bound)
+		var ss float64
+		for _, x := range clipped {
+			ss += x * x
+		}
+		return math.Sqrt(ss) <= bound*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccountant(t *testing.T) {
+	a := NewAccountant(1.0, 1e-5)
+	for i := 0; i < 10; i++ {
+		if err := a.Spend(0.1, 1e-6); err != nil {
+			t.Fatalf("spend %d: %v", i, err)
+		}
+	}
+	if err := a.Spend(0.1, 0); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("expected exhaustion, got %v", err)
+	}
+	eps, delta := a.Spent()
+	if math.Abs(eps-1.0) > 1e-9 || math.Abs(delta-1e-5) > 1e-12 {
+		t.Fatalf("spent = %v, %v", eps, delta)
+	}
+	if a.Releases() != 10 {
+		t.Fatalf("releases = %d", a.Releases())
+	}
+	if err := a.Spend(-1, 0); err == nil {
+		t.Fatal("negative ε must error")
+	}
+}
+
+func TestAdvancedComposition(t *testing.T) {
+	// For small ε, advanced composition beats basic for large k.
+	eps, delta := 0.01, 0.0
+	k := 1000
+	advEps, advDelta := AdvancedComposition(eps, delta, k, 1e-6)
+	basicEps := eps * float64(k)
+	if advEps >= basicEps {
+		t.Fatalf("advanced ε=%v should beat basic ε=%v at k=%d", advEps, basicEps, k)
+	}
+	if advDelta != 1e-6 {
+		t.Fatalf("advanced δ = %v", advDelta)
+	}
+}
+
+func TestPerStepEpsilon(t *testing.T) {
+	if e := PerStepEpsilon(1.0, 10); e != 0.1 {
+		t.Fatalf("per-step ε = %v", e)
+	}
+	if e := PerStepEpsilon(1.0, 0); e != 0 {
+		t.Fatalf("k=0 should give 0, got %v", e)
+	}
+}

@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// CSV ingestion: the paper notes that "the source data in each hospital may
+// be stored in a different form (e.g., csv files) ... and MIP provides the
+// required ETL processes to upload it to MonetDB". These loaders are that
+// path: schema inference over a sample, then a typed columnar load.
+
+// InferSchema reads the header and up to sampleRows records to decide a
+// column type for each field: BIGINT if all values parse as integers,
+// DOUBLE if all parse as numbers, BOOLEAN if all parse as booleans,
+// otherwise VARCHAR. Empty strings and the given NA markers count as NULL
+// and do not influence the type.
+func InferSchema(r io.Reader, sampleRows int, naMarkers ...string) (Schema, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("engine: reading CSV header: %w", err)
+	}
+	names := append([]string(nil), header...)
+	na := naSet(naMarkers)
+
+	kind := make([]int, len(names)) // 0 unseen, 1 int, 2 float, 3 bool, 4 string
+	for n := 0; sampleRows <= 0 || n < sampleRows; n++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range rec {
+			if i >= len(kind) {
+				continue
+			}
+			v = strings.TrimSpace(v)
+			if v == "" || na[v] {
+				continue
+			}
+			k := classify(v)
+			if k > kind[i] {
+				kind[i] = k
+			}
+			// int+float mix → float; anything+string → string; bool+number → string
+			if kind[i] == 3 && (k == 1 || k == 2) || (kind[i] == 1 || kind[i] == 2) && k == 3 {
+				kind[i] = 4
+			}
+		}
+	}
+	schema := make(Schema, len(names))
+	for i, n := range names {
+		t := String
+		switch kind[i] {
+		case 1:
+			t = Int64
+		case 2:
+			t = Float64
+		case 3:
+			t = Bool
+		}
+		schema[i] = ColumnDef{Name: strings.TrimSpace(n), Type: t}
+	}
+	return schema, nil
+}
+
+func classify(v string) int {
+	if _, err := strconv.ParseInt(v, 10, 64); err == nil {
+		return 1
+	}
+	if _, err := strconv.ParseFloat(v, 64); err == nil {
+		return 2
+	}
+	switch strings.ToLower(v) {
+	case "true", "false":
+		return 3
+	}
+	return 4
+}
+
+func naSet(markers []string) map[string]bool {
+	na := map[string]bool{"NA": true, "N/A": true, "null": true, "NULL": true, "NaN": true, "nan": true}
+	for _, m := range markers {
+		na[m] = true
+	}
+	return na
+}
+
+// LoadCSV reads CSV data with a header row into a new table using the given
+// schema (pass nil to infer it from the whole input — only possible when r
+// is seekable, so prefer LoadCSVFile for that).
+func LoadCSV(r io.Reader, schema Schema, naMarkers ...string) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("engine: reading CSV header: %w", err)
+	}
+	if schema == nil {
+		return nil, fmt.Errorf("engine: LoadCSV requires a schema; use LoadCSVFile to infer")
+	}
+	// Map file columns to schema columns by name.
+	idx := make([]int, len(header))
+	for i, h := range header {
+		idx[i] = schema.ColIndex(strings.TrimSpace(h))
+	}
+	na := naSet(naMarkers)
+	t := NewTable(schema)
+	row := make([]any, len(schema))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i := range row {
+			row[i] = nil
+		}
+		for i, v := range rec {
+			if i >= len(idx) || idx[i] < 0 {
+				continue
+			}
+			v = strings.TrimSpace(v)
+			if v == "" || na[v] {
+				continue
+			}
+			row[idx[i]] = v
+		}
+		if err := t.AppendRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// LoadCSVFile infers the schema from the file and loads it fully.
+func LoadCSVFile(path string, naMarkers ...string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	schema, err := InferSchema(f, 0, naMarkers...)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return LoadCSV(f, schema, naMarkers...)
+}
+
+// WriteCSV writes the table (with header) to w. NULLs become empty fields.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema().Names()); err != nil {
+		return err
+	}
+	rec := make([]string, t.NumCols())
+	for i := 0; i < t.NumRows(); i++ {
+		for j := 0; j < t.NumCols(); j++ {
+			c := t.Col(j)
+			if c.IsNull(i) {
+				rec[j] = ""
+				continue
+			}
+			switch c.Type() {
+			case Float64:
+				rec[j] = strconv.FormatFloat(c.Float64s()[i], 'g', -1, 64)
+			case Int64:
+				rec[j] = strconv.FormatInt(c.Int64s()[i], 10)
+			case Bool:
+				rec[j] = strconv.FormatBool(c.Bools()[i])
+			default:
+				rec[j] = c.StringAt(i)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `id,age,mmse,diagnosis,enrolled
+1,71.5,28,CN,true
+2,68,21,MCI,false
+3,80.2,NA,AD,true
+4,,29,CN,false
+`
+
+func TestInferSchema(t *testing.T) {
+	schema, err := InferSchema(strings.NewReader(sampleCSV), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Schema{
+		{"id", Int64}, {"age", Float64}, {"mmse", Int64},
+		{"diagnosis", String}, {"enrolled", Bool},
+	}
+	if !schema.Equal(want) {
+		t.Fatalf("schema = %v", schema)
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	schema, _ := InferSchema(strings.NewReader(sampleCSV), 0)
+	tab, err := LoadCSV(strings.NewReader(sampleCSV), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 4 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	if !tab.ColByName("mmse").IsNull(2) {
+		t.Fatal("NA must load as NULL")
+	}
+	if !tab.ColByName("age").IsNull(3) {
+		t.Fatal("empty field must load as NULL")
+	}
+	if tab.ColByName("diagnosis").StringAt(0) != "CN" {
+		t.Fatal("string load wrong")
+	}
+	if tab.ColByName("enrolled").Bools()[0] != true {
+		t.Fatal("bool load wrong")
+	}
+}
+
+func TestLoadCSVFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.csv")
+	if err := os.WriteFile(path, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := LoadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(tab, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Reload what we wrote: same shape, same values.
+	schema, _ := InferSchema(strings.NewReader(buf.String()), 0)
+	tab2, err := LoadCSV(strings.NewReader(buf.String()), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab2.NumRows() != tab.NumRows() || tab2.NumCols() != tab.NumCols() {
+		t.Fatalf("round trip changed shape: %dx%d vs %dx%d", tab2.NumRows(), tab2.NumCols(), tab.NumRows(), tab.NumCols())
+	}
+	if tab2.ColByName("age").Float64s()[0] != 71.5 {
+		t.Fatal("round trip changed values")
+	}
+	if !tab2.ColByName("mmse").IsNull(2) {
+		t.Fatal("round trip lost NULL")
+	}
+}
+
+func TestInferSchemaMixedIntFloat(t *testing.T) {
+	csv := "a,b\n1,x\n2.5,y\n"
+	schema, err := InferSchema(strings.NewReader(csv), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema[0].Type != Float64 {
+		t.Fatalf("int+float should infer DOUBLE, got %v", schema[0].Type)
+	}
+	if schema[1].Type != String {
+		t.Fatalf("letters should infer VARCHAR, got %v", schema[1].Type)
+	}
+}
+
+func TestInferSchemaCustomNA(t *testing.T) {
+	csv := "a\n-999\n5\n"
+	schema, err := InferSchema(strings.NewReader(csv), 0, "-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := LoadCSV(strings.NewReader(csv), schema, "-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Col(0).IsNull(0) {
+		t.Fatal("custom NA marker not honoured")
+	}
+	if tab.Col(0).Int64s()[1] != 5 {
+		t.Fatal("value row wrong")
+	}
+}
+
+func TestLoadCSVIgnoresUnknownColumns(t *testing.T) {
+	schema := Schema{{"a", Int64}}
+	tab, err := LoadCSV(strings.NewReader("a,b\n1,zzz\n"), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumCols() != 1 || tab.Col(0).Int64s()[0] != 1 {
+		t.Fatal("extra CSV columns should be dropped")
+	}
+}

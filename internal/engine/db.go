@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DB is the engine's catalog: named base tables plus registered merge
+// tables (the federation views). All methods are safe for concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	merges  map[string]*MergeTable
+	queries atomic.Int64
+}
+
+// QueryCount returns the number of statements executed so far (scans,
+// DDL, DML alike); the UDF-fusion tests and benchmarks use it to assert
+// the single-scan property.
+func (db *DB) QueryCount() int64 { return db.queries.Load() }
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{
+		tables: make(map[string]*Table),
+		merges: make(map[string]*MergeTable),
+	}
+}
+
+// CreateTable registers an empty table with the given schema.
+func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; ok {
+		return nil, fmt.Errorf("engine: table %q already exists", name)
+	}
+	if _, ok := db.merges[key]; ok {
+		return nil, fmt.Errorf("engine: merge table %q already exists", name)
+	}
+	t := NewTable(schema)
+	db.tables[key] = t
+	return t, nil
+}
+
+// RegisterTable installs an existing table under the given name, replacing
+// any previous table (used by the ETL loaders).
+func (db *DB) RegisterTable(name string, t *Table) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tables[strings.ToLower(name)] = t
+}
+
+// Table returns the named base table, or nil.
+func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[strings.ToLower(name)]
+}
+
+// DropTable removes a base or merge table.
+func (db *DB) DropTable(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; ok {
+		delete(db.tables, key)
+		return true
+	}
+	if _, ok := db.merges[key]; ok {
+		delete(db.merges, key)
+		return true
+	}
+	return false
+}
+
+// RegisterMerge installs a merge table: a non-materialized UNION ALL view
+// over remote parts, MonetDB-style. Queries against it push partial
+// aggregates down to the parts where possible.
+func (db *DB) RegisterMerge(name string, m *MergeTable) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.merges[strings.ToLower(name)] = m
+}
+
+// Merge returns the named merge table, or nil.
+func (db *DB) Merge(name string) *MergeTable {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.merges[strings.ToLower(name)]
+}
+
+// TableNames lists base tables, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Query parses and executes a single SQL statement and returns its result
+// table (nil for DDL/DML statements).
+func (db *DB) Query(sql string) (*Table, error) {
+	db.queries.Add(1)
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.Run(st)
+}
+
+// Run executes a parsed statement.
+func (db *DB) Run(st Statement) (*Table, error) {
+	switch s := st.(type) {
+	case *SelectStmt:
+		if m := db.Merge(s.From); m != nil {
+			if len(s.Joins) > 0 {
+				return nil, fmt.Errorf("engine: JOIN over merge tables is not supported")
+			}
+			return m.execSelect(s)
+		}
+		if len(s.Joins) > 0 || s.FromAlias != "" {
+			joined, err := db.buildJoined(s)
+			if err != nil {
+				return nil, err
+			}
+			return execSelect(s, joined)
+		}
+		t := db.Table(s.From)
+		if t == nil {
+			return nil, fmt.Errorf("engine: unknown table %q", s.From)
+		}
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return execSelect(s, t)
+	case *CreateTableStmt:
+		_, err := db.CreateTable(s.Name, s.Schema)
+		return nil, err
+	case *InsertStmt:
+		return nil, db.runInsert(s)
+	case *DropTableStmt:
+		if !db.DropTable(s.Name) && !s.IfExists {
+			return nil, fmt.Errorf("engine: unknown table %q", s.Name)
+		}
+		return nil, nil
+	case *DeleteStmt:
+		return nil, db.runDelete(s)
+	}
+	return nil, fmt.Errorf("engine: unsupported statement %T", st)
+}
+
+func (db *DB) runInsert(s *InsertStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.tables[strings.ToLower(s.Name)]
+	if t == nil {
+		return fmt.Errorf("engine: unknown table %q", s.Name)
+	}
+	colIdx := make([]int, 0, len(t.schema))
+	if len(s.Cols) == 0 {
+		for i := range t.schema {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, c := range s.Cols {
+			i := t.schema.ColIndex(c)
+			if i < 0 {
+				return fmt.Errorf("engine: unknown column %q", c)
+			}
+			colIdx = append(colIdx, i)
+		}
+	}
+	for _, row := range s.Rows {
+		if len(row) != len(colIdx) {
+			return fmt.Errorf("engine: row has %d values, expected %d", len(row), len(colIdx))
+		}
+		full := make([]any, len(t.schema))
+		for k, ci := range colIdx {
+			full[ci] = row[k]
+		}
+		if err := t.AppendRow(full...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) runDelete(s *DeleteStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.tables[strings.ToLower(s.Name)]
+	if t == nil {
+		return fmt.Errorf("engine: unknown table %q", s.Name)
+	}
+	if s.Where == nil {
+		db.tables[strings.ToLower(s.Name)] = NewTable(t.schema)
+		return nil
+	}
+	sel, err := FilterSel(&Unary{Op: "NOT", X: wrapNullFalse(s.Where)}, t)
+	if err != nil {
+		return err
+	}
+	db.tables[strings.ToLower(s.Name)] = t.Gather(sel)
+	return nil
+}
+
+// wrapNullFalse turns NULL predicate results into FALSE so that
+// DELETE ... WHERE keeps rows whose predicate is NULL (SQL semantics: only
+// rows where the predicate is TRUE are deleted).
+func wrapNullFalse(e Expr) Expr {
+	return &Call{Name: "coalesce", Args: []Expr{e, &Lit{Val: false}}}
+}

@@ -1,0 +1,786 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// execSelect runs a parsed SELECT over an input table. It implements the
+// pipeline scan → filter → (group-by aggregate | project) → having →
+// order by → limit, all column-at-a-time.
+func execSelect(st *SelectStmt, input *Table) (*Table, error) {
+	t := input
+
+	// WHERE: compute a selection vector and gather once.
+	if st.Where != nil {
+		sel, err := FilterSel(st.Where, t)
+		if err != nil {
+			return nil, err
+		}
+		t = t.Gather(sel)
+	}
+
+	hasAgg := len(st.GroupBy) > 0 || st.Having != nil
+	for _, it := range st.Items {
+		if HasAgg(it.Expr) {
+			hasAgg = true
+		}
+	}
+
+	var out *Table
+	var err error
+	if hasAgg {
+		out, err = execAggregate(st, t)
+		if err != nil {
+			return nil, err
+		}
+		if len(st.OrderBy) > 0 {
+			out, err = execOrderBy(st.OrderBy, out)
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// ORDER BY may reference source columns that the projection drops
+		// (SELECT id ... ORDER BY age), as well as projection aliases. Build
+		// an extended table carrying both, sort it, then project.
+		if len(st.OrderBy) > 0 {
+			ext, outNames, err := extendWithProjection(st, t)
+			if err != nil {
+				return nil, err
+			}
+			ext, err = execOrderBy(st.OrderBy, ext)
+			if err != nil {
+				return nil, err
+			}
+			out, err = projectNames(ext, outNames)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			out, err = execProject(st, t)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	out = execLimit(st, out)
+	return out, nil
+}
+
+// extendWithProjection evaluates the select items over t and returns a
+// table holding the projected columns first (under their output names)
+// followed by the source columns that do not collide, plus the list of
+// output column names in order.
+func extendWithProjection(st *SelectStmt, t *Table) (*Table, []string, error) {
+	var schema Schema
+	var cols []*Vector
+	var outNames []string
+	if st.Star {
+		for i, c := range t.Schema() {
+			schema = append(schema, c)
+			cols = append(cols, t.Col(i))
+			outNames = append(outNames, c.Name)
+		}
+		return mustTable(schema, cols, outNames)
+	}
+	taken := map[string]bool{}
+	for _, it := range st.Items {
+		v, err := Eval(it.Expr, t)
+		if err != nil {
+			return nil, nil, err
+		}
+		name := it.Alias
+		if name == "" {
+			name = exprName(it.Expr)
+		}
+		schema = append(schema, ColumnDef{Name: name, Type: v.Type()})
+		cols = append(cols, v)
+		outNames = append(outNames, name)
+		taken[strings.ToLower(name)] = true
+	}
+	for i, c := range t.Schema() {
+		if taken[strings.ToLower(c.Name)] {
+			continue
+		}
+		schema = append(schema, c)
+		cols = append(cols, t.Col(i))
+	}
+	return mustTable(schema, cols, outNames)
+}
+
+func mustTable(schema Schema, cols []*Vector, outNames []string) (*Table, []string, error) {
+	tab, err := NewTableFromVectors(schema, cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tab, outNames, nil
+}
+
+// projectNames selects the named columns in order.
+func projectNames(t *Table, names []string) (*Table, error) {
+	schema := make(Schema, len(names))
+	cols := make([]*Vector, len(names))
+	for i, n := range names {
+		idx := t.Schema().ColIndex(n)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: internal: lost column %q", n)
+		}
+		schema[i] = t.Schema()[idx]
+		cols[i] = t.Col(idx)
+	}
+	return NewTableFromVectors(schema, cols)
+}
+
+func execProject(st *SelectStmt, t *Table) (*Table, error) {
+	if st.Star {
+		return t, nil
+	}
+	schema := make(Schema, len(st.Items))
+	cols := make([]*Vector, len(st.Items))
+	for i, it := range st.Items {
+		v, err := Eval(it.Expr, t)
+		if err != nil {
+			return nil, err
+		}
+		name := it.Alias
+		if name == "" {
+			name = exprName(it.Expr)
+		}
+		schema[i] = ColumnDef{Name: name, Type: v.Type()}
+		cols[i] = v
+	}
+	return NewTableFromVectors(schema, cols)
+}
+
+func exprName(e Expr) string {
+	if c, ok := e.(*ColRef); ok {
+		return c.Name
+	}
+	return strings.ToLower(e.String())
+}
+
+func execLimit(st *SelectStmt, t *Table) *Table {
+	n := t.NumRows()
+	start := st.Offset
+	if start > n {
+		start = n
+	}
+	end := n
+	if st.Limit >= 0 && start+st.Limit < n {
+		end = start + st.Limit
+	}
+	if start == 0 && end == n {
+		return t
+	}
+	sel := make([]int32, 0, end-start)
+	for i := start; i < end; i++ {
+		sel = append(sel, int32(i))
+	}
+	return t.Gather(sel)
+}
+
+func execOrderBy(keys []OrderItem, t *Table) (*Table, error) {
+	n := t.NumRows()
+	vecs := make([]*Vector, len(keys))
+	for i, k := range keys {
+		v, err := Eval(k.Expr, t)
+		if err != nil {
+			return nil, err
+		}
+		vecs[i] = v
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := int(idx[a]), int(idx[b])
+		for k, v := range vecs {
+			c := compareRows(v, ia, ib)
+			if c == 0 {
+				continue
+			}
+			if keys[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return t.Gather(idx), nil
+}
+
+// compareRows orders two rows of one vector; NULLs sort first.
+func compareRows(v *Vector, a, b int) int {
+	na, nb := v.IsNull(a), v.IsNull(b)
+	switch {
+	case na && nb:
+		return 0
+	case na:
+		return -1
+	case nb:
+		return 1
+	}
+	switch v.Type() {
+	case String:
+		return strings.Compare(v.StringAt(a), v.StringAt(b))
+	case Bool:
+		x, y := v.Bools()[a], v.Bools()[b]
+		switch {
+		case x == y:
+			return 0
+		case !x:
+			return -1
+		default:
+			return 1
+		}
+	default:
+		f := v.CastFloat64().Float64s()
+		switch {
+		case f[a] < f[b]:
+			return -1
+		case f[a] > f[b]:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+// --- aggregation ---
+
+// aggState accumulates one aggregate across groups.
+type aggState struct {
+	call *AggCall
+	// per-group state
+	count  []int64
+	sum    []float64
+	sum2   []float64
+	minF   []float64
+	maxF   []float64
+	minS   []string
+	maxS   []string
+	seenMM []bool // min/max initialized
+	sumY   []float64
+	sumXY  []float64
+	sumY2  []float64
+	vals   [][]float64 // for median/quantile
+	seen   []map[string]struct{}
+	qarg   float64 // quantile fraction
+	strMM  bool    // string-typed min/max
+}
+
+func newAggState(call *AggCall, groups int, t *Table) (*aggState, []*Vector, error) {
+	s := &aggState{call: call}
+	var argVecs []*Vector
+	for _, a := range call.Args {
+		v, err := Eval(a, t)
+		if err != nil {
+			return nil, nil, err
+		}
+		argVecs = append(argVecs, v)
+	}
+	name := call.Name
+	switch name {
+	case "count":
+		s.count = make([]int64, groups)
+		if call.Distinct {
+			s.seen = make([]map[string]struct{}, groups)
+			for i := range s.seen {
+				s.seen[i] = make(map[string]struct{})
+			}
+		}
+	case "sum", "avg", "stddev_samp", "stddev", "var_samp", "variance":
+		s.count = make([]int64, groups)
+		s.sum = make([]float64, groups)
+		s.sum2 = make([]float64, groups)
+	case "min", "max":
+		if len(argVecs) == 1 && argVecs[0].Type() == String {
+			s.strMM = true
+			s.minS = make([]string, groups)
+			s.maxS = make([]string, groups)
+		} else {
+			s.minF = make([]float64, groups)
+			s.maxF = make([]float64, groups)
+		}
+		s.seenMM = make([]bool, groups)
+		s.count = make([]int64, groups)
+	case "corr":
+		if len(call.Args) != 2 {
+			return nil, nil, fmt.Errorf("engine: corr takes 2 arguments")
+		}
+		s.count = make([]int64, groups)
+		s.sum = make([]float64, groups)
+		s.sumY = make([]float64, groups)
+		s.sum2 = make([]float64, groups)
+		s.sumY2 = make([]float64, groups)
+		s.sumXY = make([]float64, groups)
+	case "median", "quantile":
+		s.count = make([]int64, groups)
+		s.vals = make([][]float64, groups)
+		s.qarg = 0.5
+		if name == "quantile" {
+			if len(call.Args) != 2 {
+				return nil, nil, fmt.Errorf("engine: quantile takes (expr, fraction)")
+			}
+			lit, ok := call.Args[1].(*Lit)
+			if !ok {
+				return nil, nil, fmt.Errorf("engine: quantile fraction must be a literal")
+			}
+			switch f := lit.Val.(type) {
+			case float64:
+				s.qarg = f
+			case int64:
+				s.qarg = float64(f)
+			default:
+				return nil, nil, fmt.Errorf("engine: bad quantile fraction")
+			}
+			argVecs = argVecs[:1]
+		}
+	default:
+		return nil, nil, fmt.Errorf("engine: unknown aggregate %q", name)
+	}
+	// Numeric aggregates view args as float64.
+	if !s.strMM && !call.Star {
+		for i, v := range argVecs {
+			if v.Type() != String {
+				argVecs[i] = v.CastFloat64()
+			}
+		}
+	}
+	return s, argVecs, nil
+}
+
+// observeAll folds every row into the per-group accumulators. groupOf may
+// be nil (single group). The moment-style aggregates get a branch-light
+// fast path over the raw float payload — the engine's vectorized execution
+// the paper leans on.
+func (s *aggState) observeAll(groupOf []int, args []*Vector, n int) {
+	gOf := func(row int) int {
+		if groupOf == nil {
+			return 0
+		}
+		return groupOf[row]
+	}
+	switch s.call.Name {
+	case "sum", "avg", "stddev_samp", "stddev", "var_samp", "variance":
+		if len(args) == 0 {
+			return
+		}
+		xs := args[0].Float64s()
+		valid := args[0].Valid()
+		if groupOf == nil && valid == nil {
+			// Hot path: single group, no NULLs — tight loop.
+			var cnt int64
+			var sum, sum2 float64
+			for _, x := range xs {
+				cnt++
+				sum += x
+				sum2 += x * x
+			}
+			s.count[0] += cnt
+			s.sum[0] += sum
+			s.sum2[0] += sum2
+			return
+		}
+		for row := 0; row < n; row++ {
+			if !valid.Get(row) {
+				continue
+			}
+			g := gOf(row)
+			x := xs[row]
+			s.count[g]++
+			s.sum[g] += x
+			s.sum2[g] += x * x
+		}
+		return
+	case "count":
+		if s.call.Star {
+			if groupOf == nil {
+				s.count[0] += int64(n)
+				return
+			}
+			for row := 0; row < n; row++ {
+				s.count[groupOf[row]]++
+			}
+			return
+		}
+		if !s.call.Distinct && len(args) > 0 {
+			valid := args[0].Valid()
+			if valid == nil {
+				if groupOf == nil {
+					s.count[0] += int64(n)
+					return
+				}
+				for row := 0; row < n; row++ {
+					s.count[groupOf[row]]++
+				}
+				return
+			}
+			for row := 0; row < n; row++ {
+				if valid.Get(row) {
+					s.count[gOf(row)]++
+				}
+			}
+			return
+		}
+	}
+	for row := 0; row < n; row++ {
+		s.observe(gOf(row), args, row)
+	}
+}
+
+func (s *aggState) observe(g int, args []*Vector, row int) {
+	if s.call.Star {
+		s.count[g]++
+		return
+	}
+	if len(args) == 0 {
+		return
+	}
+	if args[0].IsNull(row) {
+		return
+	}
+	switch s.call.Name {
+	case "count":
+		if s.call.Distinct {
+			key := fmt.Sprint(args[0].Value(row))
+			if _, ok := s.seen[g][key]; ok {
+				return
+			}
+			s.seen[g][key] = struct{}{}
+		}
+		s.count[g]++
+	case "sum", "avg", "stddev_samp", "stddev", "var_samp", "variance":
+		x := args[0].Float64s()[row]
+		s.count[g]++
+		s.sum[g] += x
+		s.sum2[g] += x * x
+	case "min", "max":
+		s.count[g]++
+		if s.strMM {
+			x := args[0].StringAt(row)
+			if !s.seenMM[g] {
+				s.minS[g], s.maxS[g], s.seenMM[g] = x, x, true
+				return
+			}
+			if x < s.minS[g] {
+				s.minS[g] = x
+			}
+			if x > s.maxS[g] {
+				s.maxS[g] = x
+			}
+			return
+		}
+		x := args[0].Float64s()[row]
+		if !s.seenMM[g] {
+			s.minF[g], s.maxF[g], s.seenMM[g] = x, x, true
+			return
+		}
+		if x < s.minF[g] {
+			s.minF[g] = x
+		}
+		if x > s.maxF[g] {
+			s.maxF[g] = x
+		}
+	case "corr":
+		if args[1].IsNull(row) {
+			return
+		}
+		x, y := args[0].Float64s()[row], args[1].Float64s()[row]
+		s.count[g]++
+		s.sum[g] += x
+		s.sumY[g] += y
+		s.sum2[g] += x * x
+		s.sumY2[g] += y * y
+		s.sumXY[g] += x * y
+	case "median", "quantile":
+		s.count[g]++
+		s.vals[g] = append(s.vals[g], args[0].Float64s()[row])
+	}
+}
+
+// result materializes the aggregate's output column.
+func (s *aggState) result(groups int) *Vector {
+	switch s.call.Name {
+	case "count":
+		out := make([]int64, groups)
+		copy(out, s.count)
+		return NewInt64Vector(out, nil)
+	case "sum":
+		return s.floatResult(groups, func(g int) (float64, bool) {
+			if s.count[g] == 0 {
+				return 0, false
+			}
+			return s.sum[g], true
+		})
+	case "avg":
+		return s.floatResult(groups, func(g int) (float64, bool) {
+			if s.count[g] == 0 {
+				return 0, false
+			}
+			return s.sum[g] / float64(s.count[g]), true
+		})
+	case "stddev_samp", "stddev", "var_samp", "variance":
+		return s.floatResult(groups, func(g int) (float64, bool) {
+			n := float64(s.count[g])
+			if n < 2 {
+				return 0, false
+			}
+			v := (s.sum2[g] - s.sum[g]*s.sum[g]/n) / (n - 1)
+			if v < 0 {
+				v = 0
+			}
+			if s.call.Name == "stddev_samp" || s.call.Name == "stddev" {
+				return math.Sqrt(v), true
+			}
+			return v, true
+		})
+	case "min", "max":
+		if s.strMM {
+			out := NewVector(String)
+			for g := 0; g < groups; g++ {
+				if !s.seenMM[g] {
+					out.AppendNull()
+					continue
+				}
+				if s.call.Name == "min" {
+					out.AppendString(s.minS[g])
+				} else {
+					out.AppendString(s.maxS[g])
+				}
+			}
+			return out
+		}
+		return s.floatResult(groups, func(g int) (float64, bool) {
+			if !s.seenMM[g] {
+				return 0, false
+			}
+			if s.call.Name == "min" {
+				return s.minF[g], true
+			}
+			return s.maxF[g], true
+		})
+	case "corr":
+		return s.floatResult(groups, func(g int) (float64, bool) {
+			n := float64(s.count[g])
+			if n < 2 {
+				return 0, false
+			}
+			cov := s.sumXY[g] - s.sum[g]*s.sumY[g]/n
+			vx := s.sum2[g] - s.sum[g]*s.sum[g]/n
+			vy := s.sumY2[g] - s.sumY[g]*s.sumY[g]/n
+			if vx <= 0 || vy <= 0 {
+				return 0, false
+			}
+			return cov / math.Sqrt(vx*vy), true
+		})
+	case "median", "quantile":
+		return s.floatResult(groups, func(g int) (float64, bool) {
+			if len(s.vals[g]) == 0 {
+				return 0, false
+			}
+			sorted := append([]float64(nil), s.vals[g]...)
+			sort.Float64s(sorted)
+			return quantileSorted(sorted, s.qarg), true
+		})
+	}
+	return nil
+}
+
+func (s *aggState) floatResult(groups int, f func(int) (float64, bool)) *Vector {
+	out := make([]float64, groups)
+	valid := NewBitmap(groups)
+	for g := 0; g < groups; g++ {
+		v, ok := f(g)
+		if !ok {
+			valid.Set(g, false)
+			out[g] = math.NaN()
+			continue
+		}
+		out[g] = v
+	}
+	return NewFloat64Vector(out, valid)
+}
+
+// quantileSorted is a type-7 quantile over a sorted slice (mirrors
+// stats.QuantileSorted; duplicated to keep the engine dependency-free).
+func quantileSorted(s []float64, q float64) float64 {
+	n := len(s)
+	if n == 1 {
+		return s[0]
+	}
+	h := q * float64(n-1)
+	lo := int(math.Floor(h))
+	if lo >= n-1 {
+		return s[n-1]
+	}
+	if lo < 0 {
+		return s[0]
+	}
+	frac := h - float64(lo)
+	return s[lo] + frac*(s[lo+1]-s[lo])
+}
+
+// rewriteAgg replaces aggregate calls and group-key expressions inside e
+// with references to the synthetic columns of the intermediate table.
+func rewriteAgg(e Expr, keys map[string]string, aggs *[]*AggCall, aggCols map[string]string) Expr {
+	if k, ok := keys[e.String()]; ok {
+		return &ColRef{Name: k}
+	}
+	switch t := e.(type) {
+	case *AggCall:
+		sig := t.String()
+		if col, ok := aggCols[sig]; ok {
+			return &ColRef{Name: col}
+		}
+		col := fmt.Sprintf("$agg%d", len(*aggs))
+		aggCols[sig] = col
+		*aggs = append(*aggs, t)
+		return &ColRef{Name: col}
+	case *Unary:
+		return &Unary{Op: t.Op, X: rewriteAgg(t.X, keys, aggs, aggCols)}
+	case *Binary:
+		return &Binary{Op: t.Op, L: rewriteAgg(t.L, keys, aggs, aggCols), R: rewriteAgg(t.R, keys, aggs, aggCols)}
+	case *Call:
+		args := make([]Expr, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = rewriteAgg(a, keys, aggs, aggCols)
+		}
+		return &Call{Name: t.Name, Args: args}
+	case *IsNullExpr:
+		return &IsNullExpr{X: rewriteAgg(t.X, keys, aggs, aggCols), Not: t.Not}
+	case *CaseExpr:
+		out := &CaseExpr{}
+		for _, w := range t.Whens {
+			out.Whens = append(out.Whens, CaseWhen{
+				Cond: rewriteAgg(w.Cond, keys, aggs, aggCols),
+				Then: rewriteAgg(w.Then, keys, aggs, aggCols),
+			})
+		}
+		if t.Else != nil {
+			out.Else = rewriteAgg(t.Else, keys, aggs, aggCols)
+		}
+		return out
+	}
+	return e
+}
+
+func execAggregate(st *SelectStmt, t *Table) (*Table, error) {
+	// 1. Evaluate group keys and assign group ids.
+	keyVecs := make([]*Vector, len(st.GroupBy))
+	for i, g := range st.GroupBy {
+		v, err := Eval(g, t)
+		if err != nil {
+			return nil, err
+		}
+		keyVecs[i] = v
+	}
+	n := t.NumRows()
+	var groupOf []int
+	var groupRows []int // representative row per group
+	groups := 1
+	if len(st.GroupBy) > 0 {
+		groupOf = make([]int, n)
+		groupIdx := make(map[string]int)
+		var keyBuf strings.Builder
+		for i := 0; i < n; i++ {
+			keyBuf.Reset()
+			for _, kv := range keyVecs {
+				if kv.IsNull(i) {
+					keyBuf.WriteString("\x00N|")
+					continue
+				}
+				fmt.Fprintf(&keyBuf, "%v|", kv.Value(i))
+			}
+			k := keyBuf.String()
+			g, ok := groupIdx[k]
+			if !ok {
+				g = len(groupRows)
+				groupIdx[k] = g
+				groupRows = append(groupRows, i)
+			}
+			groupOf[i] = g
+		}
+		groups = len(groupRows)
+	}
+
+	// 2. Rewrite select items and HAVING; collect aggregate calls.
+	keyNames := map[string]string{}
+	for i, g := range st.GroupBy {
+		keyNames[g.String()] = fmt.Sprintf("$key%d", i)
+	}
+	var aggCalls []*AggCall
+	aggCols := map[string]string{}
+	items := make([]SelectItem, len(st.Items))
+	for i, it := range st.Items {
+		items[i] = SelectItem{Expr: rewriteAgg(it.Expr, keyNames, &aggCalls, aggCols), Alias: it.Alias}
+		if items[i].Alias == "" {
+			items[i].Alias = exprName(it.Expr)
+		}
+	}
+	var having Expr
+	if st.Having != nil {
+		having = rewriteAgg(st.Having, keyNames, &aggCalls, aggCols)
+	}
+
+	// 3. Run accumulators.
+	states := make([]*aggState, len(aggCalls))
+	argVecs := make([][]*Vector, len(aggCalls))
+	for i, c := range aggCalls {
+		s, av, err := newAggState(c, groups, t)
+		if err != nil {
+			return nil, err
+		}
+		states[i], argVecs[i] = s, av
+	}
+	for i, s := range states {
+		s.observeAll(groupOf, argVecs[i], n)
+	}
+
+	// 4. Build the intermediate table: $key* columns + $agg* columns.
+	var schema Schema
+	var cols []*Vector
+	for i, kv := range keyVecs {
+		sel := make([]int32, groups)
+		for g, r := range groupRows {
+			sel[g] = int32(r)
+		}
+		schema = append(schema, ColumnDef{Name: fmt.Sprintf("$key%d", i), Type: kv.Type()})
+		cols = append(cols, kv.Gather(sel))
+	}
+	for i, s := range states {
+		v := s.result(groups)
+		schema = append(schema, ColumnDef{Name: fmt.Sprintf("$agg%d", i), Type: v.Type()})
+		cols = append(cols, v)
+	}
+	mid, err := NewTableFromVectors(schema, cols)
+	if err != nil {
+		return nil, err
+	}
+
+	// 5. HAVING filter.
+	if having != nil {
+		sel, err := FilterSel(having, mid)
+		if err != nil {
+			return nil, err
+		}
+		mid = mid.Gather(sel)
+	}
+
+	// 6. Final projection over the intermediate table.
+	outSchema := make(Schema, len(items))
+	outCols := make([]*Vector, len(items))
+	for i, it := range items {
+		v, err := Eval(it.Expr, mid)
+		if err != nil {
+			return nil, err
+		}
+		outSchema[i] = ColumnDef{Name: it.Alias, Type: v.Type()}
+		outCols[i] = v
+	}
+	return NewTableFromVectors(outSchema, outCols)
+}

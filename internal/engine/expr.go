@@ -1,0 +1,414 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a scalar expression evaluated column-at-a-time over a table batch.
+// Aggregate calls never appear inside Eval — the planner lifts them out.
+type Expr interface {
+	fmt.Stringer
+}
+
+// ColRef references a column by name.
+type ColRef struct{ Name string }
+
+func (e *ColRef) String() string { return e.Name }
+
+// Lit is a literal constant. Null literals carry IsNull=true.
+type Lit struct {
+	Val    any
+	IsNull bool
+}
+
+func (e *Lit) String() string {
+	if e.IsNull {
+		return "NULL"
+	}
+	if s, ok := e.Val.(string); ok {
+		return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+	}
+	return fmt.Sprint(e.Val)
+}
+
+// Unary is -x or NOT x.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+func (e *Unary) String() string { return fmt.Sprintf("(%s %s)", e.Op, e.X) }
+
+// Binary is an infix operation: arithmetic (+ - * / %), comparison
+// (= <> < <= > >=), or logical (AND OR).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+func (e *Binary) String() string { return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R) }
+
+// Call is a scalar function application.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+func (e *Call) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+}
+
+// AggCall is an aggregate function application (sum, count, avg, min, max,
+// stddev_samp, var_samp, corr, median, quantile). Star marks COUNT(*).
+type AggCall struct {
+	Name     string
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+func (e *AggCall) String() string {
+	if e.Star {
+		return e.Name + "(*)"
+	}
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	d := ""
+	if e.Distinct {
+		d = "DISTINCT "
+	}
+	return fmt.Sprintf("%s(%s%s)", e.Name, d, strings.Join(args, ", "))
+}
+
+// IsNullExpr is x IS [NOT] NULL.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+func (e *IsNullExpr) String() string {
+	if e.Not {
+		return fmt.Sprintf("(%s IS NOT NULL)", e.X)
+	}
+	return fmt.Sprintf("(%s IS NULL)", e.X)
+}
+
+// InExpr is x [NOT] IN (v1, v2, ...).
+type InExpr struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+func (e *InExpr) String() string {
+	items := make([]string, len(e.List))
+	for i, a := range e.List {
+		items[i] = a.String()
+	}
+	n := ""
+	if e.Not {
+		n = "NOT "
+	}
+	return fmt.Sprintf("(%s %sIN (%s))", e.X, n, strings.Join(items, ", "))
+}
+
+// CaseExpr is CASE WHEN c1 THEN v1 [WHEN ...] [ELSE e] END.
+type CaseExpr struct {
+	Whens []CaseWhen
+	Else  Expr
+}
+
+// CaseWhen is one WHEN/THEN arm.
+type CaseWhen struct {
+	Cond, Then Expr
+}
+
+func (e *CaseExpr) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	for _, w := range e.Whens {
+		fmt.Fprintf(&b, " WHEN %s THEN %s", w.Cond, w.Then)
+	}
+	if e.Else != nil {
+		fmt.Fprintf(&b, " ELSE %s", e.Else)
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+// HasAgg reports whether the expression contains an aggregate call.
+func HasAgg(e Expr) bool {
+	switch t := e.(type) {
+	case *AggCall:
+		return true
+	case *Unary:
+		return HasAgg(t.X)
+	case *Binary:
+		return HasAgg(t.L) || HasAgg(t.R)
+	case *Call:
+		for _, a := range t.Args {
+			if HasAgg(a) {
+				return true
+			}
+		}
+	case *IsNullExpr:
+		return HasAgg(t.X)
+	case *InExpr:
+		if HasAgg(t.X) {
+			return true
+		}
+		for _, a := range t.List {
+			if HasAgg(a) {
+				return true
+			}
+		}
+	case *CaseExpr:
+		for _, w := range t.Whens {
+			if HasAgg(w.Cond) || HasAgg(w.Then) {
+				return true
+			}
+		}
+		if t.Else != nil {
+			return HasAgg(t.Else)
+		}
+	}
+	return false
+}
+
+// Eval evaluates a scalar expression over every row of t, vectorized.
+func Eval(e Expr, t *Table) (*Vector, error) {
+	n := t.NumRows()
+	switch x := e.(type) {
+	case *ColRef:
+		v := t.ColByName(x.Name)
+		if v == nil {
+			return nil, fmt.Errorf("engine: unknown column %q", x.Name)
+		}
+		return v, nil
+	case *Lit:
+		return evalLit(x, n)
+	case *Unary:
+		return evalUnary(x, t)
+	case *Binary:
+		return evalBinary(x, t)
+	case *Call:
+		return evalCall(x, t)
+	case *IsNullExpr:
+		inner, err := Eval(x.X, t)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]bool, n)
+		for i := 0; i < n; i++ {
+			out[i] = inner.IsNull(i) != x.Not
+		}
+		return NewBoolVector(out, nil), nil
+	case *InExpr:
+		return evalIn(x, t)
+	case *CaseExpr:
+		return evalCase(x, t)
+	case *AggCall:
+		return nil, fmt.Errorf("engine: aggregate %s not allowed in scalar context", x.Name)
+	}
+	return nil, fmt.Errorf("engine: cannot evaluate %T", e)
+}
+
+func evalLit(x *Lit, n int) (*Vector, error) {
+	if x.IsNull {
+		v := NewVector(Float64)
+		for i := 0; i < n; i++ {
+			v.AppendNull()
+		}
+		return v, nil
+	}
+	switch val := x.Val.(type) {
+	case float64:
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = val
+		}
+		return NewFloat64Vector(out, nil), nil
+	case int64:
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = val
+		}
+		return NewInt64Vector(out, nil), nil
+	case string:
+		out := make([]string, n)
+		for i := range out {
+			out[i] = val
+		}
+		return NewStringVector(out, nil), nil
+	case bool:
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = val
+		}
+		return NewBoolVector(out, nil), nil
+	}
+	return nil, fmt.Errorf("engine: unsupported literal %T", x.Val)
+}
+
+func evalUnary(x *Unary, t *Table) (*Vector, error) {
+	inner, err := Eval(x.X, t)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "-":
+		switch inner.Type() {
+		case Int64:
+			out := make([]int64, inner.Len())
+			for i, v := range inner.Int64s() {
+				out[i] = -v
+			}
+			return NewInt64Vector(out, inner.Valid()), nil
+		default:
+			f := inner.CastFloat64()
+			out := make([]float64, f.Len())
+			for i, v := range f.Float64s() {
+				out[i] = -v
+			}
+			return NewFloat64Vector(out, f.Valid()), nil
+		}
+	case "NOT":
+		if inner.Type() != Bool {
+			return nil, fmt.Errorf("engine: NOT applied to %v", inner.Type())
+		}
+		out := make([]bool, inner.Len())
+		for i, v := range inner.Bools() {
+			out[i] = !v
+		}
+		return NewBoolVector(out, inner.Valid()), nil
+	}
+	return nil, fmt.Errorf("engine: unknown unary operator %q", x.Op)
+}
+
+func evalIn(x *InExpr, t *Table) (*Vector, error) {
+	inner, err := Eval(x.X, t)
+	if err != nil {
+		return nil, err
+	}
+	n := inner.Len()
+	out := make([]bool, n)
+	valid := NewBitmap(n)
+	// Collect literal values.
+	type litval struct {
+		s   string
+		f   float64
+		str bool
+	}
+	var lits []litval
+	for _, le := range x.List {
+		l, ok := le.(*Lit)
+		if !ok {
+			return nil, fmt.Errorf("engine: IN list must contain literals")
+		}
+		if l.IsNull {
+			continue
+		}
+		switch v := l.Val.(type) {
+		case string:
+			lits = append(lits, litval{s: v, str: true})
+		case float64:
+			lits = append(lits, litval{f: v})
+		case int64:
+			lits = append(lits, litval{f: float64(v)})
+		case bool:
+			f := 0.0
+			if v {
+				f = 1
+			}
+			lits = append(lits, litval{f: f})
+		}
+	}
+	for i := 0; i < n; i++ {
+		if inner.IsNull(i) {
+			valid.Set(i, false)
+			continue
+		}
+		var hit bool
+		switch inner.Type() {
+		case String:
+			s := inner.StringAt(i)
+			for _, l := range lits {
+				if l.str && l.s == s {
+					hit = true
+					break
+				}
+			}
+		default:
+			f := inner.CastFloat64().Float64s()[i]
+			for _, l := range lits {
+				if !l.str && l.f == f {
+					hit = true
+					break
+				}
+			}
+		}
+		out[i] = hit != x.Not
+	}
+	return NewBoolVector(out, valid), nil
+}
+
+func evalCase(x *CaseExpr, t *Table) (*Vector, error) {
+	n := t.NumRows()
+	conds := make([]*Vector, len(x.Whens))
+	thens := make([]*Vector, len(x.Whens))
+	for i, w := range x.Whens {
+		c, err := Eval(w.Cond, t)
+		if err != nil {
+			return nil, err
+		}
+		if c.Type() != Bool {
+			return nil, fmt.Errorf("engine: CASE condition must be boolean")
+		}
+		v, err := Eval(w.Then, t)
+		if err != nil {
+			return nil, err
+		}
+		conds[i], thens[i] = c, v
+	}
+	var els *Vector
+	if x.Else != nil {
+		v, err := Eval(x.Else, t)
+		if err != nil {
+			return nil, err
+		}
+		els = v
+	}
+	// Result type: first THEN branch decides.
+	rt := thens[0].Type()
+	out := NewVector(rt)
+	if rt == String {
+		// fresh dict
+	}
+	for i := 0; i < n; i++ {
+		var src *Vector
+		for k, c := range conds {
+			if !c.IsNull(i) && c.Bools()[i] {
+				src = thens[k]
+				break
+			}
+		}
+		if src == nil {
+			src = els
+		}
+		if src == nil || src.IsNull(i) {
+			out.AppendNull()
+			continue
+		}
+		if err := out.AppendValue(src.Value(i)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Hash equi-joins. A SELECT with JOIN clauses first materializes the joined
+// relation (qualified column names alias.col), then runs through the usual
+// filter/aggregate/order pipeline. Equality conditions on columns drive the
+// hash join; any residual ON conditions are applied as a post-join filter.
+
+// buildJoined resolves the FROM table and folds every JOIN clause into one
+// joined table.
+func (db *DB) buildJoined(st *SelectStmt) (*Table, error) {
+	if db.Merge(st.From) != nil {
+		return nil, fmt.Errorf("engine: JOIN over merge tables is not supported")
+	}
+	base := db.Table(st.From)
+	if base == nil {
+		return nil, fmt.Errorf("engine: unknown table %q", st.From)
+	}
+	alias := st.FromAlias
+	if alias == "" {
+		alias = st.From
+	}
+	cur := qualifyTable(base, alias)
+	for _, jc := range st.Joins {
+		if db.Merge(jc.Table) != nil {
+			return nil, fmt.Errorf("engine: JOIN over merge tables is not supported")
+		}
+		right := db.Table(jc.Table)
+		if right == nil {
+			return nil, fmt.Errorf("engine: unknown table %q", jc.Table)
+		}
+		ra := jc.Alias
+		if ra == "" {
+			ra = jc.Table
+		}
+		joined, err := hashJoin(cur, qualifyTable(right, ra), jc)
+		if err != nil {
+			return nil, err
+		}
+		cur = joined
+	}
+	return cur, nil
+}
+
+// qualifyTable renames every column to alias.col (vectors are shared, not
+// copied).
+func qualifyTable(t *Table, alias string) *Table {
+	schema := make(Schema, len(t.Schema()))
+	cols := make([]*Vector, len(schema))
+	for i, c := range t.Schema() {
+		schema[i] = ColumnDef{Name: alias + "." + c.Name, Type: c.Type}
+		cols[i] = t.Col(i)
+	}
+	out, err := NewTableFromVectors(schema, cols)
+	if err != nil {
+		panic(err) // same shapes by construction
+	}
+	return out
+}
+
+// splitOn separates the ON expression into equi-join key pairs and a
+// residual predicate.
+func splitOn(on Expr, left, right *Table) (lk, rk []string, residual Expr, err error) {
+	var conds []Expr
+	var flatten func(e Expr)
+	flatten = func(e Expr) {
+		if b, ok := e.(*Binary); ok && b.Op == "AND" {
+			flatten(b.L)
+			flatten(b.R)
+			return
+		}
+		conds = append(conds, e)
+	}
+	flatten(on)
+	for _, c := range conds {
+		b, ok := c.(*Binary)
+		if ok && b.Op == "=" {
+			lc, lok := b.L.(*ColRef)
+			rc, rok := b.R.(*ColRef)
+			if lok && rok {
+				lIn, rIn := resolveSide(lc.Name, left, right), resolveSide(rc.Name, left, right)
+				switch {
+				case lIn == 1 && rIn == 2:
+					lk = append(lk, lc.Name)
+					rk = append(rk, rc.Name)
+					continue
+				case lIn == 2 && rIn == 1:
+					lk = append(lk, rc.Name)
+					rk = append(rk, lc.Name)
+					continue
+				}
+			}
+		}
+		if residual == nil {
+			residual = c
+		} else {
+			residual = &Binary{Op: "AND", L: residual, R: c}
+		}
+	}
+	if len(lk) == 0 {
+		return nil, nil, nil, fmt.Errorf("engine: JOIN requires at least one left=right equality in ON")
+	}
+	return lk, rk, residual, nil
+}
+
+// resolveSide reports which table a column name belongs to: 1=left,
+// 2=right, 0=neither/ambiguous.
+func resolveSide(name string, left, right *Table) int {
+	inL := left.ColByName(name) != nil
+	inR := right.ColByName(name) != nil
+	switch {
+	case inL && !inR:
+		return 1
+	case inR && !inL:
+		return 2
+	}
+	return 0
+}
+
+// hashJoin performs the (inner or left-outer) equi-join.
+func hashJoin(left, right *Table, jc JoinClause) (*Table, error) {
+	lk, rk, residual, err := splitOn(jc.On, left, right)
+	if err != nil {
+		return nil, err
+	}
+	// Build side: hash the right table's key tuples.
+	rKeyCols := make([]*Vector, len(rk))
+	for i, n := range rk {
+		rKeyCols[i] = right.ColByName(n)
+	}
+	lKeyCols := make([]*Vector, len(lk))
+	for i, n := range lk {
+		lKeyCols[i] = left.ColByName(n)
+	}
+	index := make(map[string][]int32, right.NumRows())
+	var keyBuf strings.Builder
+	keyOf := func(cols []*Vector, row int) (string, bool) {
+		keyBuf.Reset()
+		for _, c := range cols {
+			if c.IsNull(row) {
+				return "", false // SQL: NULL keys never match
+			}
+			fmt.Fprintf(&keyBuf, "%v|", c.Value(row))
+		}
+		return keyBuf.String(), true
+	}
+	for r := 0; r < right.NumRows(); r++ {
+		if k, ok := keyOf(rKeyCols, r); ok {
+			index[k] = append(index[k], int32(r))
+		}
+	}
+
+	// Output schema: left columns then right columns (all qualified).
+	schema := append(Schema{}, left.Schema()...)
+	schema = append(schema, right.Schema()...)
+	out := NewTable(schema)
+	lw, rw := left.NumCols(), right.NumCols()
+	row := make([]any, lw+rw)
+	emit := func(lr int, rr int32) error {
+		for j := 0; j < lw; j++ {
+			row[j] = left.Col(j).Value(lr)
+		}
+		if rr < 0 {
+			for j := 0; j < rw; j++ {
+				row[lw+j] = nil
+			}
+		} else {
+			for j := 0; j < rw; j++ {
+				row[lw+j] = right.Col(j).Value(int(rr))
+			}
+		}
+		return out.AppendRow(row...)
+	}
+	for lr := 0; lr < left.NumRows(); lr++ {
+		matched := false
+		if k, ok := keyOf(lKeyCols, lr); ok {
+			for _, rr := range index[k] {
+				if err := emit(lr, rr); err != nil {
+					return nil, err
+				}
+				matched = true
+			}
+		}
+		if !matched && jc.Left {
+			if err := emit(lr, -1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if residual != nil {
+		sel, err := FilterSel(residual, out)
+		if err != nil {
+			return nil, err
+		}
+		// LEFT JOIN residual semantics simplified: residual filters the
+		// joined rows (matching most practical uses of ON ... AND extra).
+		out = out.Gather(sel)
+	}
+	return out, nil
+}

@@ -1,0 +1,484 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Part is one member of a merge table: typically a remote table on another
+// node, addressed through whatever transport the federation layer provides.
+// Query ships SQL text to wherever the part's rows live and returns the
+// result — the engine never needs the part's raw rows unless a query cannot
+// be decomposed.
+type Part interface {
+	// PartName identifies the part (e.g. the worker node id).
+	PartName() string
+	// Query executes SQL against the part and returns the result table.
+	Query(sql string) (*Table, error)
+}
+
+// LocalPart adapts a local DB table as a merge-table part (used in tests
+// and single-process deployments).
+type LocalPart struct {
+	Name string
+	DB   *DB
+}
+
+// PartName implements Part.
+func (p *LocalPart) PartName() string { return p.Name }
+
+// Query implements Part.
+func (p *LocalPart) Query(sql string) (*Table, error) { return p.DB.Query(sql) }
+
+// MergeTable is a non-materialized UNION ALL view over parts holding
+// identically-schemed tables (MonetDB's remote+merge tables, which MIP uses
+// for its non-secure aggregation path). Aggregate queries are decomposed
+// into per-part partial aggregates whenever the aggregate set allows it, so
+// only aggregates — never rows — travel.
+type MergeTable struct {
+	Schema    Schema
+	TableName string // table name on each part
+	Parts     []Part
+
+	lastStats MergeStats // protected by mergeStatsMu
+}
+
+// Stats tracks how a merge query was served, for the E9 benchmark.
+type MergeStats struct {
+	Pushdown     bool // true if only partial aggregates travelled
+	RowsShipped  int  // rows received from parts
+	PartsQueried int
+}
+
+// LastStats returns statistics of the most recent execSelect call.
+func (m *MergeTable) LastStats() MergeStats { return m.lastStats }
+
+var mergeStatsMu sync.Mutex
+
+func (m *MergeTable) setStats(s MergeStats) {
+	mergeStatsMu.Lock()
+	m.lastStats = s
+	mergeStatsMu.Unlock()
+}
+
+// lastStats is protected by mergeStatsMu.
+// (kept simple: merge tables are read-mostly and stats are advisory)
+
+// execSelect serves a SELECT against the merge view.
+func (m *MergeTable) execSelect(st *SelectStmt) (*Table, error) {
+	if plan, ok := m.decompose(st); ok {
+		return m.execPushdown(st, plan)
+	}
+	return m.execMaterialize(st)
+}
+
+// execMaterialize unions all part rows locally (with WHERE pushed down)
+// and runs the query over the union. Fallback path for non-decomposable
+// aggregates (median/quantile) and plain row queries.
+func (m *MergeTable) execMaterialize(st *SelectStmt) (*Table, error) {
+	sql := fmt.Sprintf("SELECT * FROM %s", m.TableName)
+	if st.Where != nil {
+		sql += " WHERE " + st.Where.String()
+	}
+	parts, err := m.queryAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	schema := m.Schema
+	if len(schema) == 0 && len(parts) > 0 {
+		schema = parts[0].Schema()
+	}
+	union := NewTable(schema)
+	shipped := 0
+	for _, pt := range parts {
+		shipped += pt.NumRows()
+		if err := union.Append(pt); err != nil {
+			return nil, err
+		}
+	}
+	m.setStats(MergeStats{Pushdown: false, RowsShipped: shipped, PartsQueried: len(m.Parts)})
+	local := *st
+	local.Where = nil // already applied at the parts
+	return execSelect(&local, union)
+}
+
+// queryAll fans the SQL out to every part concurrently.
+func (m *MergeTable) queryAll(sql string) ([]*Table, error) {
+	out := make([]*Table, len(m.Parts))
+	errs := make([]error, len(m.Parts))
+	var wg sync.WaitGroup
+	for i, p := range m.Parts {
+		wg.Add(1)
+		go func(i int, p Part) {
+			defer wg.Done()
+			t, err := p.Query(sql)
+			if err != nil {
+				errs[i] = fmt.Errorf("part %s: %w", p.PartName(), err)
+				return
+			}
+			out[i] = t
+		}(i, p)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return out, nil
+}
+
+// partialSpec describes how one original aggregate is computed from
+// partial columns after the per-part round.
+type partialSpec struct {
+	orig *AggCall
+	// partials: SQL aggregate expressions shipped to the parts, and the
+	// merge operation (sum/min/max) that combines the per-part values.
+	partials []partialCol
+	// final builds the original aggregate's value from the merged partial
+	// column names.
+	final func(cols []string) Expr
+}
+
+type partialCol struct {
+	sqlExpr string // aggregate expression sent to the part
+	merge   string // "sum" | "min" | "max"
+}
+
+// decompose checks whether every aggregate in the query can be computed
+// from additive per-part partials and, if so, returns the plan.
+// GROUP BY keys must be plain column references for pushdown.
+func (m *MergeTable) decompose(st *SelectStmt) ([]partialSpec, bool) {
+	hasAgg := false
+	for _, it := range st.Items {
+		if HasAgg(it.Expr) {
+			hasAgg = true
+		}
+	}
+	if !hasAgg {
+		return nil, false
+	}
+	for _, g := range st.GroupBy {
+		if _, ok := g.(*ColRef); !ok {
+			return nil, false
+		}
+	}
+	if st.Having != nil && !decomposableExpr(st.Having) {
+		return nil, false
+	}
+	var aggs []*AggCall
+	seen := map[string]bool{}
+	collect := func(e Expr) bool { return collectAggs(e, &aggs, seen) }
+	for _, it := range st.Items {
+		if !collect(it.Expr) {
+			return nil, false
+		}
+	}
+	if st.Having != nil && !collect(st.Having) {
+		return nil, false
+	}
+	var specs []partialSpec
+	for _, a := range aggs {
+		spec, ok := decomposeAgg(a)
+		if !ok {
+			return nil, false
+		}
+		specs = append(specs, spec)
+	}
+	return specs, true
+}
+
+func decomposableExpr(e Expr) bool {
+	switch t := e.(type) {
+	case *AggCall:
+		_, ok := decomposeAgg(t)
+		return ok
+	case *Unary:
+		return decomposableExpr(t.X)
+	case *Binary:
+		return decomposableExpr(t.L) && decomposableExpr(t.R)
+	case *Call:
+		for _, a := range t.Args {
+			if !decomposableExpr(a) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func collectAggs(e Expr, aggs *[]*AggCall, seen map[string]bool) bool {
+	switch t := e.(type) {
+	case *AggCall:
+		if !seen[t.String()] {
+			seen[t.String()] = true
+			*aggs = append(*aggs, t)
+		}
+		return true
+	case *Unary:
+		return collectAggs(t.X, aggs, seen)
+	case *Binary:
+		return collectAggs(t.L, aggs, seen) && collectAggs(t.R, aggs, seen)
+	case *Call:
+		for _, a := range t.Args {
+			if !collectAggs(a, aggs, seen) {
+				return false
+			}
+		}
+		return true
+	case *IsNullExpr:
+		return collectAggs(t.X, aggs, seen)
+	case *CaseExpr:
+		for _, w := range t.Whens {
+			if !collectAggs(w.Cond, aggs, seen) || !collectAggs(w.Then, aggs, seen) {
+				return false
+			}
+		}
+		if t.Else != nil {
+			return collectAggs(t.Else, aggs, seen)
+		}
+		return true
+	}
+	return true
+}
+
+// decomposeAgg maps one aggregate to its partial columns and final
+// expression. COUNT DISTINCT, median and quantile are not decomposable.
+func decomposeAgg(a *AggCall) (partialSpec, bool) {
+	if a.Distinct {
+		return partialSpec{}, false
+	}
+	argSQL := func(i int) string { return a.Args[i].String() }
+	col := func(name string) Expr { return &ColRef{Name: name} }
+	switch a.Name {
+	case "count":
+		expr := "count(*)"
+		if !a.Star {
+			expr = fmt.Sprintf("count(%s)", argSQL(0))
+		}
+		return partialSpec{
+			orig:     a,
+			partials: []partialCol{{expr, "sum"}},
+			final:    func(c []string) Expr { return &Call{Name: "cast_double", Args: []Expr{col(c[0])}} },
+		}, true
+	case "sum":
+		return partialSpec{
+			orig:     a,
+			partials: []partialCol{{fmt.Sprintf("sum(%s)", argSQL(0)), "sum"}},
+			final:    func(c []string) Expr { return col(c[0]) },
+		}, true
+	case "min", "max":
+		return partialSpec{
+			orig:     a,
+			partials: []partialCol{{fmt.Sprintf("%s(%s)", a.Name, argSQL(0)), a.Name}},
+			final:    func(c []string) Expr { return col(c[0]) },
+		}, true
+	case "avg":
+		return partialSpec{
+			orig: a,
+			partials: []partialCol{
+				{fmt.Sprintf("sum(%s)", argSQL(0)), "sum"},
+				{fmt.Sprintf("count(%s)", argSQL(0)), "sum"},
+			},
+			final: func(c []string) Expr {
+				return &Binary{Op: "/", L: col(c[0]), R: &Call{Name: "cast_double", Args: []Expr{col(c[1])}}}
+			},
+		}, true
+	case "stddev_samp", "stddev", "var_samp", "variance":
+		x := argSQL(0)
+		return partialSpec{
+			orig: a,
+			partials: []partialCol{
+				{fmt.Sprintf("sum(%s)", x), "sum"},
+				{fmt.Sprintf("sum((%s) * (%s))", x, x), "sum"},
+				{fmt.Sprintf("count(%s)", x), "sum"},
+			},
+			final: func(c []string) Expr {
+				// (sum2 - sum*sum/n) / (n-1), sqrt for stddev.
+				n := &Call{Name: "cast_double", Args: []Expr{col(c[2])}}
+				variance := &Binary{Op: "/",
+					L: &Binary{Op: "-", L: col(c[1]),
+						R: &Binary{Op: "/", L: &Binary{Op: "*", L: col(c[0]), R: col(c[0])}, R: n}},
+					R: &Binary{Op: "-", L: n, R: &Lit{Val: 1.0}},
+				}
+				if a.Name == "stddev_samp" || a.Name == "stddev" {
+					return &Call{Name: "sqrt", Args: []Expr{variance}}
+				}
+				return variance
+			},
+		}, true
+	case "corr":
+		x, y := argSQL(0), argSQL(1)
+		return partialSpec{
+			orig: a,
+			partials: []partialCol{
+				{fmt.Sprintf("sum(CASE WHEN (%s) IS NOT NULL AND (%s) IS NOT NULL THEN (%s) ELSE NULL END)", x, y, x), "sum"},
+				{fmt.Sprintf("sum(CASE WHEN (%s) IS NOT NULL AND (%s) IS NOT NULL THEN (%s) ELSE NULL END)", x, y, y), "sum"},
+				{fmt.Sprintf("sum(CASE WHEN (%s) IS NOT NULL AND (%s) IS NOT NULL THEN (%s)*(%s) ELSE NULL END)", x, y, x, x), "sum"},
+				{fmt.Sprintf("sum(CASE WHEN (%s) IS NOT NULL AND (%s) IS NOT NULL THEN (%s)*(%s) ELSE NULL END)", x, y, y, y), "sum"},
+				{fmt.Sprintf("sum(CASE WHEN (%s) IS NOT NULL AND (%s) IS NOT NULL THEN (%s)*(%s) ELSE NULL END)", x, y, x, y), "sum"},
+				{fmt.Sprintf("count((%s) + (%s))", x, y), "sum"},
+			},
+			final: func(c []string) Expr {
+				n := &Call{Name: "cast_double", Args: []Expr{col(c[5])}}
+				cov := &Binary{Op: "-", L: col(c[4]),
+					R: &Binary{Op: "/", L: &Binary{Op: "*", L: col(c[0]), R: col(c[1])}, R: n}}
+				vx := &Binary{Op: "-", L: col(c[2]),
+					R: &Binary{Op: "/", L: &Binary{Op: "*", L: col(c[0]), R: col(c[0])}, R: n}}
+				vy := &Binary{Op: "-", L: col(c[3]),
+					R: &Binary{Op: "/", L: &Binary{Op: "*", L: col(c[1]), R: col(c[1])}, R: n}}
+				return &Binary{Op: "/", L: cov,
+					R: &Call{Name: "sqrt", Args: []Expr{&Binary{Op: "*", L: vx, R: vy}}}}
+			},
+		}, true
+	}
+	return partialSpec{}, false
+}
+
+// execPushdown runs the decomposed plan: per-part partial aggregates,
+// merged locally, then the final projection.
+func (m *MergeTable) execPushdown(st *SelectStmt, specs []partialSpec) (*Table, error) {
+	// 1. Build the partial query.
+	var sel []string
+	for i, g := range st.GroupBy {
+		sel = append(sel, fmt.Sprintf("%s AS gk%d", g.String(), i))
+	}
+	pcol := 0
+	colNames := make([][]string, len(specs))
+	for i, sp := range specs {
+		for _, pc := range sp.partials {
+			name := fmt.Sprintf("p%d", pcol)
+			colNames[i] = append(colNames[i], name)
+			sel = append(sel, fmt.Sprintf("%s AS %s", pc.sqlExpr, name))
+			pcol++
+		}
+	}
+	sql := fmt.Sprintf("SELECT %s FROM %s", strings.Join(sel, ", "), m.TableName)
+	if st.Where != nil {
+		sql += " WHERE " + st.Where.String()
+	}
+	if len(st.GroupBy) > 0 {
+		var keys []string
+		for _, g := range st.GroupBy {
+			keys = append(keys, g.String())
+		}
+		sql += " GROUP BY " + strings.Join(keys, ", ")
+	}
+
+	// 2. Fan out.
+	partTables, err := m.queryAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	shipped := 0
+	unionAll := NewTable(partTables[0].Schema())
+	for _, pt := range partTables {
+		shipped += pt.NumRows()
+		if err := unionAll.Append(pt); err != nil {
+			return nil, err
+		}
+	}
+	m.setStats(MergeStats{Pushdown: true, RowsShipped: shipped, PartsQueried: len(m.Parts)})
+
+	// 3. Merge partials: group by the gk* columns, combining each partial
+	// with its merge op.
+	mergeStmt := &SelectStmt{Limit: -1}
+	for i := range st.GroupBy {
+		name := fmt.Sprintf("gk%d", i)
+		mergeStmt.Items = append(mergeStmt.Items, SelectItem{Expr: &ColRef{Name: name}, Alias: name})
+		mergeStmt.GroupBy = append(mergeStmt.GroupBy, &ColRef{Name: name})
+	}
+	pcol = 0
+	for _, sp := range specs {
+		for _, pc := range sp.partials {
+			name := fmt.Sprintf("p%d", pcol)
+			mergeStmt.Items = append(mergeStmt.Items, SelectItem{
+				Expr:  &AggCall{Name: pc.merge, Args: []Expr{&ColRef{Name: name}}},
+				Alias: name,
+			})
+			pcol++
+		}
+	}
+	merged, err := execSelect(mergeStmt, unionAll)
+	if err != nil {
+		return nil, err
+	}
+
+	// 4. Final projection over merged partials: rewrite the original items
+	// replacing group keys and aggregate calls.
+	keyNames := map[string]string{}
+	for i, g := range st.GroupBy {
+		keyNames[g.String()] = fmt.Sprintf("gk%d", i)
+	}
+	finalOf := map[string]Expr{}
+	for i, sp := range specs {
+		finalOf[sp.orig.String()] = sp.final(colNames[i])
+	}
+	var rewrite func(Expr) Expr
+	rewrite = func(e Expr) Expr {
+		if k, ok := keyNames[e.String()]; ok {
+			return &ColRef{Name: k}
+		}
+		switch t := e.(type) {
+		case *AggCall:
+			return finalOf[t.String()]
+		case *Unary:
+			return &Unary{Op: t.Op, X: rewrite(t.X)}
+		case *Binary:
+			return &Binary{Op: t.Op, L: rewrite(t.L), R: rewrite(t.R)}
+		case *Call:
+			args := make([]Expr, len(t.Args))
+			for i, a := range t.Args {
+				args[i] = rewrite(a)
+			}
+			return &Call{Name: t.Name, Args: args}
+		case *IsNullExpr:
+			return &IsNullExpr{X: rewrite(t.X), Not: t.Not}
+		case *CaseExpr:
+			out := &CaseExpr{}
+			for _, w := range t.Whens {
+				out.Whens = append(out.Whens, CaseWhen{Cond: rewrite(w.Cond), Then: rewrite(w.Then)})
+			}
+			if t.Else != nil {
+				out.Else = rewrite(t.Else)
+			}
+			return out
+		}
+		return e
+	}
+
+	if st.Having != nil {
+		selv, err := FilterSel(rewrite(st.Having), merged)
+		if err != nil {
+			return nil, err
+		}
+		merged = merged.Gather(selv)
+	}
+
+	outSchema := make(Schema, len(st.Items))
+	outCols := make([]*Vector, len(st.Items))
+	for i, it := range st.Items {
+		v, err := Eval(rewrite(it.Expr), merged)
+		if err != nil {
+			return nil, err
+		}
+		name := it.Alias
+		if name == "" {
+			name = exprName(it.Expr)
+		}
+		outSchema[i] = ColumnDef{Name: name, Type: v.Type()}
+		outCols[i] = v
+	}
+	out, err := NewTableFromVectors(outSchema, outCols)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.OrderBy) > 0 {
+		out, err = execOrderBy(st.OrderBy, out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return execLimit(st, out), nil
+}

@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// buildFederation creates nParts local DBs each holding a shard of the same
+// logical table, plus a pooled DB with all rows, and returns the merge view
+// and the pooled DB for equivalence checks.
+func buildFederation(t *testing.T, nParts int) (*DB, *MergeTable, *DB) {
+	t.Helper()
+	schema := Schema{{"hospital", String}, {"age", Float64}, {"mmse", Float64}, {"diagnosis", String}}
+	master := NewDB()
+	pooled := NewDB()
+	pooledTab := NewTable(schema)
+	pooled.RegisterTable("data", pooledTab)
+
+	mt := &MergeTable{Schema: schema, TableName: "data"}
+	row := 0
+	for p := 0; p < nParts; p++ {
+		db := NewDB()
+		tab := NewTable(schema)
+		for i := 0; i < 50+p*13; i++ {
+			h := fmt.Sprintf("hosp%d", p)
+			age := 55 + float64((row*37)%40) + float64(p)
+			var mmse any = float64(10 + (row*29)%20)
+			if row%11 == 0 {
+				mmse = nil
+			}
+			diag := []string{"CN", "MCI", "AD"}[row%3]
+			if err := tab.AppendRow(h, age, mmse, diag); err != nil {
+				t.Fatal(err)
+			}
+			if err := pooledTab.AppendRow(h, age, mmse, diag); err != nil {
+				t.Fatal(err)
+			}
+			row++
+		}
+		db.RegisterTable("data", tab)
+		mt.Parts = append(mt.Parts, &LocalPart{Name: fmt.Sprintf("part%d", p), DB: db})
+	}
+	master.RegisterMerge("data", mt)
+	return master, mt, pooled
+}
+
+// checkSame asserts two result tables are equal within tolerance.
+func checkSame(t *testing.T, sql string, got, want *Table) {
+	t.Helper()
+	if got.NumRows() != want.NumRows() || got.NumCols() != want.NumCols() {
+		t.Fatalf("%s: dims %dx%d vs %dx%d", sql, got.NumRows(), got.NumCols(), want.NumRows(), want.NumCols())
+	}
+	for i := 0; i < got.NumRows(); i++ {
+		for j := 0; j < got.NumCols(); j++ {
+			a, b := got.Col(j).Value(i), want.Col(j).Value(i)
+			af, aok := a.(float64)
+			bf, bok := b.(float64)
+			if aok && bok {
+				if math.Abs(af-bf) > 1e-9*(1+math.Abs(bf)) {
+					t.Fatalf("%s: [%d][%d] = %v, want %v", sql, i, j, a, b)
+				}
+				continue
+			}
+			// count() comes back as BIGINT pooled but the pushdown path may
+			// deliver a float; normalize.
+			if ai, ok := a.(int64); ok {
+				a = float64(ai)
+			}
+			if bi, ok := b.(int64); ok {
+				b = float64(bi)
+			}
+			if a != b {
+				t.Fatalf("%s: [%d][%d] = %v (%T), want %v (%T)", sql, i, j, a, a, b, b)
+			}
+		}
+	}
+}
+
+// TestMergePushdownEquivalence is the paper's consistency claim (E4/E9):
+// a federated aggregate must equal the pooled aggregate, with only partial
+// aggregates crossing the wire.
+func TestMergePushdownEquivalence(t *testing.T) {
+	master, mt, pooled := buildFederation(t, 4)
+	queries := []string{
+		`SELECT count(*) AS n FROM data`,
+		`SELECT sum(age) AS s, avg(age) AS m FROM data`,
+		`SELECT min(age) AS lo, max(age) AS hi FROM data`,
+		`SELECT count(mmse) AS n FROM data`,
+		`SELECT stddev_samp(age) AS sd, var_samp(age) AS v FROM data`,
+		`SELECT diagnosis, count(*) AS n, avg(mmse) AS m FROM data GROUP BY diagnosis ORDER BY diagnosis`,
+		`SELECT diagnosis, avg(age) AS m FROM data WHERE age > 60 GROUP BY diagnosis ORDER BY diagnosis`,
+		`SELECT hospital, diagnosis, count(*) AS n FROM data GROUP BY hospital, diagnosis ORDER BY hospital, diagnosis`,
+		`SELECT corr(age, mmse) AS r FROM data`,
+		`SELECT diagnosis, count(*) AS n FROM data GROUP BY diagnosis HAVING count(*) > 20 ORDER BY diagnosis`,
+		`SELECT avg(age) AS m FROM data WHERE diagnosis IN ('AD', 'MCI')`,
+	}
+	for _, sql := range queries {
+		got, err := master.Query(sql)
+		if err != nil {
+			t.Fatalf("merge query %q: %v", sql, err)
+		}
+		if !mt.LastStats().Pushdown {
+			t.Errorf("%s: expected aggregate pushdown", sql)
+		}
+		want, err := pooled.Query(sql)
+		if err != nil {
+			t.Fatalf("pooled query %q: %v", sql, err)
+		}
+		checkSame(t, sql, got, want)
+	}
+}
+
+// Non-decomposable aggregates (median/quantile) and row queries fall back
+// to materializing the union; results must still be exact.
+func TestMergeMaterializeFallback(t *testing.T) {
+	master, mt, pooled := buildFederation(t, 3)
+	queries := []string{
+		`SELECT median(age) AS m FROM data`,
+		`SELECT quantile(age, 0.25) AS q FROM data`,
+		`SELECT count(DISTINCT diagnosis) AS d FROM data`,
+	}
+	for _, sql := range queries {
+		got, err := master.Query(sql)
+		if err != nil {
+			t.Fatalf("merge query %q: %v", sql, err)
+		}
+		if mt.LastStats().Pushdown {
+			t.Errorf("%s: expected materialize fallback", sql)
+		}
+		want, err := pooled.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSame(t, sql, got, want)
+	}
+}
+
+// Pushdown must ship far fewer rows than materialization.
+func TestMergePushdownShipsOnlyAggregates(t *testing.T) {
+	master, mt, _ := buildFederation(t, 4)
+	if _, err := master.Query(`SELECT avg(age) AS m FROM data`); err != nil {
+		t.Fatal(err)
+	}
+	push := mt.LastStats()
+	if push.RowsShipped != 4 { // one partial row per part
+		t.Fatalf("pushdown shipped %d rows, want 4", push.RowsShipped)
+	}
+	if _, err := master.Query(`SELECT median(age) AS m FROM data`); err != nil {
+		t.Fatal(err)
+	}
+	mat := mt.LastStats()
+	if mat.RowsShipped <= push.RowsShipped {
+		t.Fatalf("materialize shipped %d rows, pushdown %d — expected many more", mat.RowsShipped, push.RowsShipped)
+	}
+}
+
+func TestMergeRowQuery(t *testing.T) {
+	master, _, pooled := buildFederation(t, 2)
+	sql := `SELECT hospital, age FROM data WHERE age > 80 ORDER BY age, hospital LIMIT 10`
+	got, err := master.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pooled.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSame(t, sql, got, want)
+}
+
+func TestMergeSinglePart(t *testing.T) {
+	master, _, pooled := buildFederation(t, 1)
+	sql := `SELECT diagnosis, avg(age) AS m FROM data GROUP BY diagnosis ORDER BY diagnosis`
+	got, err := master.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := pooled.Query(sql)
+	checkSame(t, sql, got, want)
+}
+
+func TestMergePartError(t *testing.T) {
+	mt := &MergeTable{
+		Schema:    Schema{{"x", Float64}},
+		TableName: "nope",
+		Parts:     []Part{&LocalPart{Name: "p0", DB: NewDB()}},
+	}
+	db := NewDB()
+	db.RegisterMerge("v", mt)
+	if _, err := db.Query(`SELECT sum(x) FROM v`); err == nil {
+		t.Fatal("expected error from failing part")
+	}
+}

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates SQL token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp    // operators and punctuation
+	tokParam // ? placeholder
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased; identifiers as written
+	pos  int
+}
+
+var sqlKeywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "AND": true,
+	"OR": true, "NOT": true, "NULL": true, "IS": true, "IN": true,
+	"TRUE": true, "FALSE": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "CREATE": true, "TABLE": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "DROP": true, "IF": true, "EXISTS": true,
+	"ASC": true, "DESC": true, "DISTINCT": true, "CAST": true, "OFFSET": true,
+	"REMOTE": true, "MERGE": true, "DELETE": true, "BETWEEN": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "ON": true,
+}
+
+// lex tokenizes a SQL string.
+func lex(sql string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(sql)
+	for i < n {
+		c := sql[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && sql[i+1] == '-': // line comment
+			for i < n && sql[i] != '\n' {
+				i++
+			}
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(sql[i+1]))):
+			start := i
+			seenDot, seenExp := false, false
+			for i < n {
+				d := sql[i]
+				if unicode.IsDigit(rune(d)) {
+					i++
+				} else if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					i++
+				} else if (d == 'e' || d == 'E') && !seenExp {
+					seenExp = true
+					i++
+					if i < n && (sql[i] == '+' || sql[i] == '-') {
+						i++
+					}
+				} else {
+					break
+				}
+			}
+			toks = append(toks, token{tokNumber, sql[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < n {
+				if sql[i] == '\'' {
+					if i+1 < n && sql[i+1] == '\'' { // escaped quote
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				b.WriteByte(sql[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("engine: unterminated string literal at %d", start)
+			}
+			toks = append(toks, token{tokString, b.String(), start})
+		case c == '"': // quoted identifier
+			start := i
+			i++
+			j := strings.IndexByte(sql[i:], '"')
+			if j < 0 {
+				return nil, fmt.Errorf("engine: unterminated quoted identifier at %d", start)
+			}
+			toks = append(toks, token{tokIdent, sql[i : i+j], start})
+			i += j + 1
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(sql[i])) || unicode.IsDigit(rune(sql[i])) || sql[i] == '_') {
+				i++
+			}
+			word := sql[start:i]
+			up := strings.ToUpper(word)
+			if sqlKeywords[up] {
+				toks = append(toks, token{tokKeyword, up, start})
+			} else {
+				toks = append(toks, token{tokIdent, word, start})
+			}
+		case c == '?':
+			toks = append(toks, token{tokParam, "?", i})
+			i++
+		default:
+			// Multi-char operators first.
+			two := ""
+			if i+1 < n {
+				two = sql[i : i+2]
+			}
+			switch two {
+			case "<>", "<=", ">=", "!=", "||":
+				if two == "!=" {
+					two = "<>"
+				}
+				toks = append(toks, token{tokOp, two, i})
+				i += 2
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '=', '<', '>', '(', ')', ',', '.', ';':
+				toks = append(toks, token{tokOp, string(c), i})
+				i++
+			default:
+				return nil, fmt.Errorf("engine: unexpected character %q at %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}

@@ -1,0 +1,184 @@
+package etl
+
+import (
+	"strings"
+	"testing"
+
+	"mip/internal/catalogue"
+	"mip/internal/engine"
+)
+
+// A hospital export with local column names, liters instead of ml, and
+// local diagnosis codes.
+const hospitalCSV = `patient_age,sex,dx,hippo_l_liters,mmse_total
+71,female,alzheimer,0.0031,24
+65,male,control,0.0033,29
+80,female,alzheimer,0.0024,15
+77,male,mci,0.0028,
+69,female,unknown_code,0.0030,28
+`
+
+func hospitalMapping() Mapping {
+	return Mapping{
+		Dataset: "siteX",
+		Rules: []Rule{
+			{Source: "patient_age", Target: "subjectageyears"},
+			{Source: "sex", Target: "gender", Recode: map[string]string{"female": "F", "male": "M"}},
+			{Source: "dx", Target: "alzheimerbroadcategory", Recode: map[string]string{"alzheimer": "AD", "mci": "MCI", "control": "CN"}},
+			{Source: "hippo_l_liters", Target: "lefthippocampus", Scale: 1000}, // l → ml
+			{Source: "mmse_total", Target: "minimentalstate"},
+		},
+	}
+}
+
+func loadHospital(t *testing.T) (*engine.Table, *QualityReport) {
+	t.Helper()
+	schema, err := engine.InferSchema(strings.NewReader(hospitalCSV), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := engine.LoadCSV(strings.NewReader(hospitalCSV), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, report, err := Load(src, hospitalMapping(), catalogue.Dementia())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, report
+}
+
+func TestLoadHarmonizes(t *testing.T) {
+	out, report := loadHospital(t)
+	if report.RowsIn != 5 || report.RowsOut != 5 {
+		t.Fatalf("report %+v", report)
+	}
+	// Unit conversion: 0.0031 l → 3.1 ml.
+	lh := out.ColByName("lefthippocampus").Float64s()
+	if lh[0] != 3.1 {
+		t.Fatalf("lefthippocampus = %v", lh[0])
+	}
+	// Recode applied.
+	g, _ := out.StringColumn("gender")
+	if g[0] != "F" || g[1] != "M" {
+		t.Fatalf("gender = %v", g)
+	}
+	dx, _ := out.StringColumn("alzheimerbroadcategory")
+	if dx[0] != "AD" || dx[1] != "CN" {
+		t.Fatalf("dx = %v", dx)
+	}
+	// Unknown category nulled and reported.
+	if !out.ColByName("alzheimerbroadcategory").IsNull(4) {
+		t.Fatal("unmapped category should be NULL")
+	}
+	if report.RecodeMisses["alzheimerbroadcategory"] != 1 {
+		t.Fatalf("recode misses = %v", report.RecodeMisses)
+	}
+	// Missing cell carried through and counted.
+	if !out.ColByName("minimentalstate").IsNull(3) {
+		t.Fatal("missing MMSE should be NULL")
+	}
+	if report.NullCells["minimentalstate"] != 1 {
+		t.Fatalf("null cells = %v", report.NullCells)
+	}
+	// Dataset stamped; row ids sequential.
+	ds, _ := out.StringColumn("dataset")
+	if ds[0] != "siteX" {
+		t.Fatal("dataset not stamped")
+	}
+	ids := out.ColByName("row_id").Int64s()
+	if ids[4] != 4 {
+		t.Fatalf("row ids = %v", ids)
+	}
+}
+
+func TestRangeViolationNulled(t *testing.T) {
+	csv := "age,mmse\n70,35\n71,20\n"
+	schema, _ := engine.InferSchema(strings.NewReader(csv), 0)
+	src, _ := engine.LoadCSV(strings.NewReader(csv), schema)
+	m := Mapping{Dataset: "d", Rules: []Rule{
+		{Source: "age", Target: "subjectageyears"},
+		{Source: "mmse", Target: "minimentalstate"},
+	}}
+	out, report, err := Load(src, m, catalogue.Dementia())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.ColByName("minimentalstate").IsNull(0) {
+		t.Fatal("MMSE=35 exceeds max 30 and must be NULL")
+	}
+	if report.RangeErrors["minimentalstate"] != 1 {
+		t.Fatalf("range errors = %v", report.RangeErrors)
+	}
+}
+
+func TestRequiredDropsRows(t *testing.T) {
+	csv := "age,dx\n70,AD\n71,\n"
+	schema, _ := engine.InferSchema(strings.NewReader(csv), 0)
+	src, _ := engine.LoadCSV(strings.NewReader(csv), schema)
+	m := Mapping{Dataset: "d", Rules: []Rule{
+		{Source: "age", Target: "subjectageyears"},
+		{Source: "dx", Target: "alzheimerbroadcategory", Required: true},
+	}}
+	out, report, err := Load(src, m, catalogue.Dementia())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 1 || report.RowsDropped != 1 {
+		t.Fatalf("rows=%d dropped=%d", out.NumRows(), report.RowsDropped)
+	}
+}
+
+func TestUnknownSourceReported(t *testing.T) {
+	csv := "a\n1\n"
+	schema, _ := engine.InferSchema(strings.NewReader(csv), 0)
+	src, _ := engine.LoadCSV(strings.NewReader(csv), schema)
+	m := Mapping{Dataset: "d", Rules: []Rule{{Source: "missing_col"}}}
+	_, report, err := Load(src, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.UnknownSource) != 1 || report.UnknownSource[0] != "missing_col" {
+		t.Fatalf("unknown sources = %v", report.UnknownSource)
+	}
+}
+
+func TestMappingRequiresDataset(t *testing.T) {
+	src := engine.NewTable(engine.Schema{{Name: "a", Type: engine.Float64}})
+	if _, _, err := Load(src, Mapping{}, nil); err == nil {
+		t.Fatal("missing dataset must fail")
+	}
+}
+
+func TestLoadCSVIntoDB(t *testing.T) {
+	db := engine.NewDB()
+	report, err := LoadCSV(strings.NewReader(hospitalCSV), hospitalMapping(), catalogue.Dementia(), db, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.RowsOut != 5 {
+		t.Fatalf("rows out = %d", report.RowsOut)
+	}
+	res, err := db.Query("SELECT count(*) AS n FROM data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Col(0).Int64s()[0] != 5 {
+		t.Fatal("load into DB failed")
+	}
+	// Second load appends.
+	if _, err := LoadCSV(strings.NewReader(hospitalCSV), hospitalMapping(), catalogue.Dementia(), db, "data"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = db.Query("SELECT count(*) AS n FROM data")
+	if res.Col(0).Int64s()[0] != 10 {
+		t.Fatal("append load failed")
+	}
+}
+
+func TestIdentityMapping(t *testing.T) {
+	m := IdentityMapping("d", []string{"a", "b"})
+	if len(m.Rules) != 2 || m.Rules[0].Source != "a" || m.Dataset != "d" {
+		t.Fatalf("identity mapping = %+v", m)
+	}
+}

@@ -1,0 +1,170 @@
+package federation
+
+import (
+	"mip/internal/engine"
+
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// The HTTP transport lets a Master drive Workers living in other processes
+// or hosts, mirroring the paper's deployment where nodes talk through REST
+// and message queues. Endpoints:
+//
+//	POST /localrun  — execute a local step (LocalRunRequest → LocalRunResponse)
+//	POST /query     — run SQL against the worker engine (non-sensitive mode)
+//	GET  /datasets  — list hosted datasets
+//	GET  /healthz   — liveness
+//
+// Payloads are JSON; tables travel as WireTable.
+
+// WorkerServer exposes a Worker over HTTP.
+type WorkerServer struct {
+	Worker *Worker
+	// AllowRawQuery enables the /query endpoint (the remote-table path).
+	// Production privacy-sensitive deployments leave it off: "the databases
+	// are not explorable by users".
+	AllowRawQuery bool
+}
+
+// Handler returns the server's HTTP mux.
+func (s *WorkerServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /localrun", s.handleLocalRun)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /datasets", s.handleDatasets)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "worker": s.Worker.ID()})
+	})
+	return mux
+}
+
+func (s *WorkerServer) handleLocalRun(w http.ResponseWriter, r *http.Request) {
+	var req LocalRunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	resp, err := s.Worker.LocalRun(req)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *WorkerServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.AllowRawQuery {
+		writeJSON(w, http.StatusForbidden, map[string]string{"error": "raw queries disabled on this worker"})
+		return
+	}
+	var req struct {
+		SQL string `json:"sql"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	t, err := s.Worker.Query(req.SQL)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, EncodeTable(t))
+}
+
+func (s *WorkerServer) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	ds, err := s.Worker.Datasets()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"datasets": ds})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// HTTPWorkerClient implements WorkerClient against a remote WorkerServer.
+type HTTPWorkerClient struct {
+	WorkerID string
+	BaseURL  string
+	Client   *http.Client
+}
+
+// NewHTTPWorkerClient dials a worker's base URL (e.g. http://host:port).
+func NewHTTPWorkerClient(id, baseURL string) *HTTPWorkerClient {
+	return &HTTPWorkerClient{
+		WorkerID: id,
+		BaseURL:  baseURL,
+		Client:   &http.Client{Timeout: 120 * time.Second},
+	}
+}
+
+// ID implements WorkerClient.
+func (c *HTTPWorkerClient) ID() string { return c.WorkerID }
+
+func (c *HTTPWorkerClient) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Client.Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("federation: worker %s: %w", c.WorkerID, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("federation: worker %s: %s", c.WorkerID, e.Error)
+		}
+		return fmt.Errorf("federation: worker %s: HTTP %d", c.WorkerID, resp.StatusCode)
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Datasets implements WorkerClient.
+func (c *HTTPWorkerClient) Datasets() ([]string, error) {
+	resp, err := c.Client.Get(c.BaseURL + "/datasets")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Datasets []string `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Datasets, nil
+}
+
+// LocalRun implements WorkerClient.
+func (c *HTTPWorkerClient) LocalRun(req LocalRunRequest) (LocalRunResponse, error) {
+	var resp LocalRunResponse
+	err := c.post("/localrun", req, &resp)
+	return resp, err
+}
+
+// Query implements WorkerClient.
+func (c *HTTPWorkerClient) Query(sql string) (*engine.Table, error) {
+	var wt WireTable
+	if err := c.post("/query", map[string]string{"sql": sql}, &wt); err != nil {
+		return nil, err
+	}
+	return DecodeTable(&wt)
+}

@@ -1,0 +1,508 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mip/internal/engine"
+	"mip/internal/smpc"
+)
+
+// WorkerClient is the master's handle to a worker node, implemented
+// directly by *Worker (in-process deployments) and by the HTTP client
+// (multi-process deployments).
+type WorkerClient interface {
+	ID() string
+	Datasets() ([]string, error)
+	LocalRun(req LocalRunRequest) (LocalRunResponse, error)
+	Query(sql string) (*engine.Table, error)
+}
+
+// Master governs the communication with and among the workers, keeps track
+// of dataset availability for algorithm shipping, orchestrates algorithm
+// flows and handles the aggregates coming back from local computations.
+type Master struct {
+	mu       sync.Mutex
+	workers  []WorkerClient
+	byID     map[string]WorkerClient
+	avail    map[string][]string // dataset → worker ids
+	smpc     *smpc.Cluster
+	jobSeq   int
+	security Security
+}
+
+// Security selects the aggregation path for a master.
+type Security struct {
+	// UseSMPC routes aggregation through the SMPC cluster.
+	UseSMPC bool
+	// Noise is applied inside the SMPC protocol (secure aggregation with
+	// central noise) when UseSMPC is set.
+	Noise smpc.Noise
+}
+
+// NewMaster builds a master over the given workers.
+func NewMaster(workers []WorkerClient, cluster *smpc.Cluster, sec Security) (*Master, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("federation: master needs at least one worker")
+	}
+	if sec.UseSMPC && cluster == nil {
+		return nil, fmt.Errorf("federation: SMPC security requested but no cluster provided")
+	}
+	m := &Master{
+		workers:  workers,
+		byID:     make(map[string]WorkerClient, len(workers)),
+		avail:    make(map[string][]string),
+		smpc:     cluster,
+		security: sec,
+	}
+	for _, w := range workers {
+		if _, dup := m.byID[w.ID()]; dup {
+			return nil, fmt.Errorf("federation: duplicate worker id %q", w.ID())
+		}
+		m.byID[w.ID()] = w
+	}
+	if err := m.RefreshAvailability(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// RefreshAvailability re-scans every worker's datasets.
+func (m *Master) RefreshAvailability() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.avail = make(map[string][]string)
+	for _, w := range m.workers {
+		ds, err := w.Datasets()
+		if err != nil {
+			return fmt.Errorf("federation: worker %s availability: %w", w.ID(), err)
+		}
+		for _, d := range ds {
+			m.avail[d] = append(m.avail[d], w.ID())
+		}
+	}
+	return nil
+}
+
+// Availability returns dataset → sorted worker ids.
+func (m *Master) Availability() map[string][]string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string][]string, len(m.avail))
+	for d, ws := range m.avail {
+		cp := append([]string(nil), ws...)
+		sort.Strings(cp)
+		out[d] = cp
+	}
+	return out
+}
+
+// Datasets lists all known datasets, sorted.
+func (m *Master) Datasets() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.avail))
+	for d := range m.avail {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Workers returns all worker handles.
+func (m *Master) Workers() []WorkerClient {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]WorkerClient(nil), m.workers...)
+}
+
+// WorkersFor selects the workers holding any of the requested datasets —
+// the "efficient algorithm shipping" the paper attributes to availability
+// tracking. Empty datasets selects every worker.
+func (m *Master) WorkersFor(datasets []string) []WorkerClient {
+	if len(datasets) == 0 {
+		return m.Workers()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := map[string]bool{}
+	for _, d := range datasets {
+		for _, id := range m.avail[d] {
+			ids[id] = true
+		}
+	}
+	var out []WorkerClient
+	for _, w := range m.workers {
+		if ids[w.ID()] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// NewSession opens an execution session for one experiment, scoped to the
+// workers that hold the requested datasets.
+func (m *Master) NewSession(datasets []string) (*Session, error) {
+	ws := m.WorkersFor(datasets)
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("federation: no worker holds datasets %v", datasets)
+	}
+	m.mu.Lock()
+	m.jobSeq++
+	id := fmt.Sprintf("exp-%d", m.jobSeq)
+	m.mu.Unlock()
+	return &Session{
+		id:       id,
+		master:   m,
+		workers:  ws,
+		datasets: datasets,
+	}, nil
+}
+
+// MergeQuery registers a transient merge table over the workers' data
+// tables and runs an aggregate SQL against it: the paper's non-secure
+// remote/merge-table aggregation path. The query must reference DataTable.
+func (m *Master) MergeQuery(datasets []string, sql string) (*engine.Table, error) {
+	ws := m.WorkersFor(datasets)
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("federation: no worker holds datasets %v", datasets)
+	}
+	mdb := engine.NewDB()
+	mt := &engine.MergeTable{TableName: DataTable}
+	for _, w := range ws {
+		mt.Parts = append(mt.Parts, &workerPart{w})
+	}
+	mdb.RegisterMerge(DataTable, mt)
+	return mdb.Query(sql)
+}
+
+// workerPart adapts a WorkerClient to the engine's merge-table Part.
+type workerPart struct{ w WorkerClient }
+
+func (p *workerPart) PartName() string                        { return p.w.ID() }
+func (p *workerPart) Query(sql string) (*engine.Table, error) { return p.w.Query(sql) }
+
+// Session is one experiment execution: the handle an algorithm flow uses
+// to run local steps, aggregate transfers and iterate — the Go rendering of
+// the paper's Figure 2 programming model.
+type Session struct {
+	id       string
+	master   *Master
+	workers  []WorkerClient
+	datasets []string
+	stepSeq  int
+
+	// GlobalState carries flow state across steps (model parameters in
+	// iterative algorithms).
+	GlobalState any
+}
+
+// ID returns the session's experiment id.
+func (s *Session) ID() string { return s.id }
+
+// NumWorkers returns the worker count in scope.
+func (s *Session) NumWorkers() int { return len(s.workers) }
+
+// Datasets returns the datasets in scope.
+func (s *Session) Datasets() []string { return append([]string(nil), s.datasets...) }
+
+// Secure reports whether aggregation goes through SMPC.
+func (s *Session) Secure() bool { return s.master.security.UseSMPC }
+
+// nextJobID mints the globally unique computation identifier used to
+// retrieve results asynchronously and to key SMPC imports.
+func (s *Session) nextJobID() string {
+	s.stepSeq++
+	return fmt.Sprintf("%s/step-%d", s.id, s.stepSeq)
+}
+
+// DataQuery builds the SQL for a step's relation input: the requested
+// variables from the harmonized data table, filtered to the session
+// datasets and an optional extra predicate, with complete-cases semantics
+// when dropNA is set.
+func (s *Session) DataQuery(vars []string, filter string, dropNA bool) string {
+	cols := "*"
+	if len(vars) > 0 {
+		quoted := make([]string, len(vars))
+		for i, v := range vars {
+			quoted[i] = quoteIdent(v)
+		}
+		cols = strings.Join(quoted, ", ")
+	}
+	var conds []string
+	if len(s.datasets) > 0 {
+		vals := make([]string, len(s.datasets))
+		for i, d := range s.datasets {
+			vals[i] = "'" + strings.ReplaceAll(d, "'", "''") + "'"
+		}
+		conds = append(conds, fmt.Sprintf("dataset IN (%s)", strings.Join(vals, ", ")))
+	}
+	if dropNA {
+		for _, v := range vars {
+			conds = append(conds, quoteIdent(v)+" IS NOT NULL")
+		}
+	}
+	if filter != "" {
+		conds = append(conds, "("+filter+")")
+	}
+	sql := fmt.Sprintf("SELECT %s FROM %s", cols, DataTable)
+	if len(conds) > 0 {
+		sql += " WHERE " + strings.Join(conds, " AND ")
+	}
+	return sql
+}
+
+func quoteIdent(s string) string {
+	// Plain identifiers pass through; anything else is quoted.
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' {
+			continue
+		}
+		return `"` + s + `"`
+	}
+	return s
+}
+
+// LocalRunSpec parameterizes a LocalRun round.
+type LocalRunSpec struct {
+	Func      string
+	Vars      []string // variables the step reads (complete cases)
+	Filter    string   // extra SQL predicate
+	KeepNA    bool     // keep rows with NULLs in Vars
+	Kwargs    Kwargs
+	DataQuery string // overrides the generated query when set
+}
+
+// LocalRun executes a local step on every session worker concurrently and
+// returns the per-worker transfers (plain path). This is the
+// `self.local_run(..., share_to_global=[True])` call of Figure 2.
+func (s *Session) LocalRun(spec LocalRunSpec) ([]Transfer, error) {
+	resps, err := s.localRun(spec, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Transfer, len(resps))
+	for i, r := range resps {
+		out[i] = r.Transfer
+	}
+	return out, nil
+}
+
+func (s *Session) localRun(spec LocalRunSpec, secureKeys []string) ([]LocalRunResponse, error) {
+	jobID := s.nextJobID()
+	dq := spec.DataQuery
+	if dq == "" {
+		dq = s.DataQuery(spec.Vars, spec.Filter, !spec.KeepNA)
+	}
+	req := LocalRunRequest{
+		JobID:         jobID,
+		Func:          spec.Func,
+		DataQuery:     dq,
+		Kwargs:        spec.Kwargs,
+		ShareToGlobal: len(secureKeys) == 0,
+		SecureKeys:    secureKeys,
+	}
+	resps := make([]LocalRunResponse, len(s.workers))
+	errs := make([]error, len(s.workers))
+	var wg sync.WaitGroup
+	for i, w := range s.workers {
+		wg.Add(1)
+		go func(i int, w WorkerClient) {
+			defer wg.Done()
+			r, err := w.LocalRun(req)
+			if err != nil {
+				errs[i] = fmt.Errorf("worker %s: %w", w.ID(), err)
+				return
+			}
+			resps[i] = r
+		}(i, w)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return resps, nil
+}
+
+// SecureSum runs a local step on every worker, secret-shares the named
+// numeric transfer entries into the SMPC cluster, and returns their secure
+// sum (with the master's configured noise applied in-protocol). This is
+// the paper's crown-jewel path: the master only ever sees the aggregate.
+func (s *Session) SecureSum(spec LocalRunSpec, keys ...string) (Transfer, error) {
+	if s.master.smpc == nil || !s.master.security.UseSMPC {
+		return nil, fmt.Errorf("federation: session has no SMPC cluster")
+	}
+	return s.aggregate(spec, smpc.OpSum, keys)
+}
+
+// AggregateSum sums the named numeric entries across plain transfers —
+// the non-secure equivalent of SecureSum, used when the deployment handles
+// non-sensitive data.
+func AggregateSum(transfers []Transfer, keys ...string) (Transfer, error) {
+	if len(transfers) == 0 {
+		return nil, fmt.Errorf("federation: no transfers to aggregate")
+	}
+	var total []float64
+	var shapes map[string][]int
+	for i, t := range transfers {
+		flat, sh, err := flattenNumeric(t, keys)
+		if err != nil {
+			return nil, fmt.Errorf("federation: transfer %d: %w", i, err)
+		}
+		if total == nil {
+			total = flat
+			shapes = sh
+			continue
+		}
+		if !shapesEqual(shapes, sh) || len(flat) != len(total) {
+			return nil, fmt.Errorf("federation: transfer %d has inconsistent shapes", i)
+		}
+		for j := range total {
+			total[j] += flat[j]
+		}
+	}
+	return unflattenNumeric(total, shapes)
+}
+
+// Sum runs a local step and aggregates the named keys through the
+// configured path (SMPC when the master is secure, plain otherwise): the
+// one-call form used by most algorithm flows.
+func (s *Session) Sum(spec LocalRunSpec, keys ...string) (Transfer, error) {
+	return s.aggregate(spec, smpc.OpSum, keys)
+}
+
+// Min runs a local step and takes the element-wise minimum of the named
+// keys across workers.
+func (s *Session) Min(spec LocalRunSpec, keys ...string) (Transfer, error) {
+	return s.aggregate(spec, smpc.OpMin, keys)
+}
+
+// Max runs a local step and takes the element-wise maximum of the named
+// keys across workers.
+func (s *Session) Max(spec LocalRunSpec, keys ...string) (Transfer, error) {
+	return s.aggregate(spec, smpc.OpMax, keys)
+}
+
+func (s *Session) aggregate(spec LocalRunSpec, op smpc.Op, keys []string) (Transfer, error) {
+	if s.master.security.UseSMPC {
+		resps, err := s.localRun(spec, keys)
+		if err != nil {
+			return nil, err
+		}
+		shapes := resps[0].Shapes
+		for _, r := range resps[1:] {
+			if !shapesEqual(shapes, r.Shapes) {
+				return nil, fmt.Errorf("federation: workers reported inconsistent secure shapes")
+			}
+		}
+		stepJob := fmt.Sprintf("%s/step-%d", s.id, s.stepSeq)
+		noise := smpc.Noise{}
+		if op == smpc.OpSum {
+			noise = s.master.security.Noise
+		}
+		flat, err := s.master.smpc.Aggregate(stepJob, op, noise)
+		if err != nil {
+			return nil, err
+		}
+		return unflattenNumeric(flat, shapes)
+	}
+	transfers, err := s.LocalRun(spec)
+	if err != nil {
+		return nil, err
+	}
+	return aggregateFold(transfers, op, keys)
+}
+
+// aggregateFold combines plain transfers element-wise with the given op.
+func aggregateFold(transfers []Transfer, op smpc.Op, keys []string) (Transfer, error) {
+	if len(transfers) == 0 {
+		return nil, fmt.Errorf("federation: no transfers to aggregate")
+	}
+	var total []float64
+	var shapes map[string][]int
+	for i, t := range transfers {
+		flat, sh, err := flattenNumeric(t, keys)
+		if err != nil {
+			return nil, fmt.Errorf("federation: transfer %d: %w", i, err)
+		}
+		if total == nil {
+			total = flat
+			shapes = sh
+			continue
+		}
+		if !shapesEqual(shapes, sh) || len(flat) != len(total) {
+			return nil, fmt.Errorf("federation: transfer %d has inconsistent shapes", i)
+		}
+		for j := range total {
+			switch op {
+			case smpc.OpSum:
+				total[j] += flat[j]
+			case smpc.OpMin:
+				if flat[j] < total[j] {
+					total[j] = flat[j]
+				}
+			case smpc.OpMax:
+				if flat[j] > total[j] {
+					total[j] = flat[j]
+				}
+			default:
+				return nil, fmt.Errorf("federation: unsupported plain aggregation %v", op)
+			}
+		}
+	}
+	return unflattenNumeric(total, shapes)
+}
+
+// SecureUnion runs a local step and takes the secure disjoint union of the
+// named vector entry across workers (e.g. distinct event times for
+// Kaplan-Meier).
+func (s *Session) SecureUnion(spec LocalRunSpec, key string) ([]float64, error) {
+	if !s.master.security.UseSMPC {
+		transfers, err := s.LocalRun(spec)
+		if err != nil {
+			return nil, err
+		}
+		seen := map[float64]struct{}{}
+		for _, t := range transfers {
+			vs, err := t.Floats(key)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range vs {
+				seen[v] = struct{}{}
+			}
+		}
+		out := make([]float64, 0, len(seen))
+		for v := range seen {
+			out = append(out, v)
+		}
+		sort.Float64s(out)
+		return out, nil
+	}
+	// Secure path: workers import the vector under the step job id; union
+	// opens the merged set.
+	if _, err := s.localRun(spec, []string{key}); err != nil {
+		return nil, err
+	}
+	stepJob := fmt.Sprintf("%s/step-%d", s.id, s.stepSeq)
+	return s.master.smpc.Aggregate(stepJob, smpc.OpUnion, smpc.Noise{})
+}
+
+// GlobalRun executes a registered global step on the master (Figure 2's
+// `self.global_run`).
+func (s *Session) GlobalRun(fn string, localTransfers []Transfer, kwargs Kwargs) (Transfer, error) {
+	g := DefaultRegistry.Global(fn)
+	if g == nil {
+		return nil, fmt.Errorf("federation: no global func %q", fn)
+	}
+	out, newState, err := g(s.GlobalState, localTransfers, kwargs)
+	if err != nil {
+		return nil, err
+	}
+	s.GlobalState = newState
+	return out, nil
+}

@@ -1,0 +1,267 @@
+package federation
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"mip/internal/engine"
+	"mip/internal/smpc"
+	"mip/internal/udf"
+)
+
+// DataTable is the canonical name of the harmonized primary-data table each
+// worker hosts (variables as columns plus a "dataset" column).
+const DataTable = "data"
+
+// DefaultMinRows is the disclosure-control threshold: a local step whose
+// input selects fewer than this many rows (but more than zero) may not ship
+// transfers off the worker.
+const DefaultMinRows = 10
+
+// LocalRunRequest asks a worker to execute one local computation step.
+type LocalRunRequest struct {
+	JobID string `json:"job_id"`
+	// Func names the registered local step.
+	Func string `json:"func"`
+	// DataQuery is the SQL producing the step's relation input (generated
+	// by the master from the experiment's variables/datasets/filter).
+	DataQuery string `json:"data_query"`
+	// Kwargs are the step's keyword arguments.
+	Kwargs Kwargs `json:"kwargs"`
+	// ShareToGlobal ships the transfer back to the master (plain path).
+	ShareToGlobal bool `json:"share_to_global"`
+	// SecureKeys, when non-empty, secret-shares the named numeric transfer
+	// entries into the SMPC cluster under JobID instead of returning them;
+	// only shape metadata leaves the worker.
+	SecureKeys []string `json:"secure_keys,omitempty"`
+}
+
+// LocalRunResponse carries the step's outputs (or pointers to them).
+type LocalRunResponse struct {
+	// WorkerID identifies the responding worker.
+	WorkerID string `json:"worker_id"`
+	// Transfer holds the result when ShareToGlobal is set and the secure
+	// path is not in use.
+	Transfer Transfer `json:"transfer,omitempty"`
+	// TransferRef points to the worker-resident result otherwise.
+	TransferRef string `json:"transfer_ref,omitempty"`
+	// Shapes reports the layout of securely shared entries.
+	Shapes map[string][]int `json:"shapes,omitempty"`
+	// Rows is the number of input rows the step consumed (not shipped in
+	// privacy-sensitive deployments; used by tests and the leakage audit).
+	Rows int `json:"rows"`
+}
+
+// Worker is one hospital node: the local data engine, the installed
+// algorithm library, and the enforcement point of the platform's privacy
+// boundary.
+type Worker struct {
+	id       string
+	db       *engine.DB
+	funcs    *FuncRegistry
+	udfReg   *udf.Registry
+	exec     *udf.Exec
+	smpc     *smpc.Cluster // the decoupled SMPC cluster (nil = plain only)
+	minRows  int
+	mu       sync.Mutex
+	results  map[string]Transfer // transfer_ref → kept-local results
+	refSeq   int
+	datasets []string
+}
+
+// WorkerOption configures a Worker.
+type WorkerOption func(*Worker)
+
+// WithSMPC connects the worker to an SMPC cluster for secure importation.
+func WithSMPC(c *smpc.Cluster) WorkerOption {
+	return func(w *Worker) { w.smpc = c }
+}
+
+// WithMinRows overrides the disclosure-control threshold.
+func WithMinRows(n int) WorkerOption {
+	return func(w *Worker) { w.minRows = n }
+}
+
+// WithFuncs overrides the algorithm library (default: DefaultRegistry).
+func WithFuncs(r *FuncRegistry) WorkerOption {
+	return func(w *Worker) { w.funcs = r }
+}
+
+// NewWorker creates a worker over the given engine database. The database
+// should contain the harmonized DataTable.
+func NewWorker(id string, db *engine.DB, opts ...WorkerOption) *Worker {
+	w := &Worker{
+		id:      id,
+		db:      db,
+		funcs:   DefaultRegistry,
+		udfReg:  udf.NewRegistry(),
+		minRows: DefaultMinRows,
+		results: make(map[string]Transfer),
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	w.exec = &udf.Exec{Registry: w.udfReg, DB: db}
+	w.refreshDatasets()
+	return w
+}
+
+// ID implements WorkerClient.
+func (w *Worker) ID() string { return w.id }
+
+// DB exposes the worker's engine (tests, ETL).
+func (w *Worker) DB() *engine.DB { return w.db }
+
+// refreshDatasets scans the data table for the dataset column values.
+func (w *Worker) refreshDatasets() {
+	w.datasets = nil
+	t, err := w.db.Query(fmt.Sprintf(`SELECT dataset, count(*) AS n FROM %s GROUP BY dataset ORDER BY dataset`, DataTable))
+	if err != nil {
+		return
+	}
+	for i := 0; i < t.NumRows(); i++ {
+		w.datasets = append(w.datasets, t.Col(0).StringAt(i))
+	}
+}
+
+// Datasets implements WorkerClient: the dataset availability the master
+// tracks for algorithm shipping.
+func (w *Worker) Datasets() ([]string, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.refreshDatasets()
+	return append([]string(nil), w.datasets...), nil
+}
+
+// Query implements WorkerClient: the remote-table path (non-sensitive
+// deployments only; production MIP disables raw remote queries).
+func (w *Worker) Query(sql string) (*engine.Table, error) { return w.db.Query(sql) }
+
+// LocalRun implements WorkerClient: executes a local step inside the
+// engine via the UDF generator, applies disclosure control, and routes the
+// transfer through the requested path.
+func (w *Worker) LocalRun(req LocalRunRequest) (LocalRunResponse, error) {
+	resp := LocalRunResponse{WorkerID: w.id}
+	fn := w.funcs.Local(req.Func)
+	if fn == nil {
+		return resp, fmt.Errorf("federation: worker %s has no local func %q", w.id, req.Func)
+	}
+
+	// Wrap the step as a SQL UDF (idempotently) and run it in-engine.
+	udfName := "fed_" + req.Func
+	if w.udfReg.Lookup(udfName) == nil {
+		def := &udf.Def{
+			Name:   udfName,
+			Doc:    "federated local step " + req.Func,
+			Inputs: []udf.IOSpec{{Name: "data", Kind: udf.Relation}, {Name: "kwargs", Kind: udf.Transfer}},
+			Outputs: []udf.IOSpec{
+				{Name: "transfer", Kind: udf.Transfer},
+			},
+			Body: func(ctx *udf.Ctx, args []udf.Value) ([]udf.Value, error) {
+				wctx := &WorkerCtx{WorkerID: w.id, UDF: ctx}
+				kw := Kwargs(args[1].Transfer)
+				tr, err := fn(wctx, args[0].Table, kw)
+				if err != nil {
+					return nil, err
+				}
+				return []udf.Value{udf.TransferValue(tr)}, nil
+			},
+		}
+		if err := w.udfReg.Register(def); err != nil && w.udfReg.Lookup(udfName) == nil {
+			return resp, err
+		}
+	}
+
+	args := []udf.Value{{}, udf.TransferValue(req.Kwargs)}
+	outs, err := w.exec.Call(udfName, args, map[string]string{"data": req.DataQuery})
+	if err != nil {
+		return resp, err
+	}
+	transfer := Transfer(outs[0].Transfer)
+
+	// Row count for disclosure control.
+	rows, err := w.countRows(req.DataQuery)
+	if err != nil {
+		return resp, err
+	}
+	resp.Rows = rows
+	leavesWorker := req.ShareToGlobal || len(req.SecureKeys) > 0
+	if leavesWorker && rows > 0 && rows < w.minRows {
+		return resp, fmt.Errorf("federation: worker %s: disclosure control: %d rows < minimum %d", w.id, rows, w.minRows)
+	}
+
+	if len(req.SecureKeys) > 0 {
+		if w.smpc == nil {
+			return resp, fmt.Errorf("federation: worker %s has no SMPC cluster attached", w.id)
+		}
+		flat, shapes, err := flattenNumeric(transfer, req.SecureKeys)
+		if err != nil {
+			return resp, err
+		}
+		if err := w.smpc.ImportSecret(req.JobID, w.id, flat); err != nil {
+			return resp, err
+		}
+		resp.Shapes = shapes
+		return resp, nil
+	}
+
+	if req.ShareToGlobal {
+		resp.Transfer = transfer
+		return resp, nil
+	}
+
+	// Result stays on the worker as a pointer.
+	w.mu.Lock()
+	w.refSeq++
+	ref := fmt.Sprintf("%s/%s#%d", w.id, req.JobID, w.refSeq)
+	w.results[ref] = transfer
+	w.mu.Unlock()
+	resp.TransferRef = ref
+	return resp, nil
+}
+
+// countRows evaluates the data query's row count (with a cheap rewrite for
+// plain SELECT ... FROM shapes; falls back to running the query).
+func (w *Worker) countRows(dataQuery string) (int, error) {
+	if dataQuery == "" {
+		return 0, nil
+	}
+	t, err := w.db.Query(dataQuery)
+	if err != nil {
+		return 0, err
+	}
+	return t.NumRows(), nil
+}
+
+// LocalResult retrieves a kept-local transfer by ref (worker-side only; the
+// master never calls this in privacy mode — it is how subsequent local
+// steps consume prior results).
+func (w *Worker) LocalResult(ref string) (Transfer, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	t, ok := w.results[ref]
+	return t, ok
+}
+
+// GenerateStepSQL exposes the UDF-to-SQL text for a registered step; shown
+// by the CLI's explain mode, mirroring the paper's generated wrappers.
+func (w *Worker) GenerateStepSQL(funcName, dataQuery string) (string, error) {
+	fn := w.funcs.Local(funcName)
+	if fn == nil {
+		return "", fmt.Errorf("federation: no local func %q", funcName)
+	}
+	def := &udf.Def{
+		Name:    "fed_" + funcName,
+		Inputs:  []udf.IOSpec{{Name: "data", Kind: udf.Relation}, {Name: "kwargs", Kind: udf.Transfer}},
+		Outputs: []udf.IOSpec{{Name: "transfer", Kind: udf.Transfer}},
+		Body:    func(*udf.Ctx, []udf.Value) ([]udf.Value, error) { return nil, nil },
+	}
+	src := strings.TrimSpace(dataQuery)
+	if src == "" {
+		src = DataTable
+	} else {
+		src = "(" + src + ")"
+	}
+	return udf.GenerateSQL(def, []string{src, "kwargs"}, ""), nil
+}

@@ -1,0 +1,162 @@
+// Package queue provides the asynchronous task plumbing that Celery-on-
+// RabbitMQ provides in the paper's deployment: a message broker with named
+// queues, acknowledgements and redelivery, plus a task runner with job
+// states and a result backend. Experiments submitted through the REST API
+// execute through this layer, which is why the dashboard can poll "Your
+// experiment is currently running" until completion.
+package queue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrClosed is returned when operating on a closed broker.
+var ErrClosed = errors.New("queue: broker closed")
+
+// Message is one queued payload.
+type Message struct {
+	ID      string
+	Body    []byte
+	Headers map[string]string
+
+	attempts int
+}
+
+// Attempts returns how many times the message has been delivered.
+func (m *Message) Attempts() int { return m.attempts }
+
+// Delivery wraps a consumed message with its acknowledgement handles.
+type Delivery struct {
+	Message *Message
+	broker  *Broker
+	queue   string
+	done    bool
+	mu      sync.Mutex
+}
+
+// Ack marks the message processed.
+func (d *Delivery) Ack() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.done = true
+}
+
+// Nack returns the message to its queue for redelivery unless the retry
+// limit is exhausted, in which case it lands on the dead-letter queue.
+func (d *Delivery) Nack() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.done {
+		return nil
+	}
+	d.done = true
+	if d.Message.attempts >= d.broker.maxRetries {
+		return d.broker.publish(d.queue+deadLetterSuffix, d.Message)
+	}
+	return d.broker.publish(d.queue, d.Message)
+}
+
+const deadLetterSuffix = ".dead"
+
+// Broker is an in-memory AMQP-style broker.
+type Broker struct {
+	mu         sync.Mutex
+	queues     map[string]chan *Message
+	closed     bool
+	maxRetries int
+	capacity   int
+}
+
+// NewBroker creates a broker; maxRetries bounds redelivery (default 3) and
+// capacity bounds each queue (default 1024).
+func NewBroker(maxRetries, capacity int) *Broker {
+	if maxRetries <= 0 {
+		maxRetries = 3
+	}
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Broker{
+		queues:     make(map[string]chan *Message),
+		maxRetries: maxRetries,
+		capacity:   capacity,
+	}
+}
+
+func (b *Broker) queue(name string) chan *Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q, ok := b.queues[name]
+	if !ok {
+		q = make(chan *Message, b.capacity)
+		b.queues[name] = q
+	}
+	return q
+}
+
+// Publish enqueues a message.
+func (b *Broker) Publish(queueName string, m *Message) error {
+	return b.publish(queueName, m)
+}
+
+func (b *Broker) publish(queueName string, m *Message) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	b.mu.Unlock()
+	select {
+	case b.queue(queueName) <- m:
+		return nil
+	default:
+		return fmt.Errorf("queue: %q full", queueName)
+	}
+}
+
+// Consume blocks for the next message on the queue (or context
+// cancellation). The message's delivery count is incremented.
+func (b *Broker) Consume(ctx context.Context, queueName string) (*Delivery, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	b.mu.Unlock()
+	select {
+	case m := <-b.queue(queueName):
+		m.attempts++
+		return &Delivery{Message: m, broker: b, queue: queueName}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// TryConsume returns the next message without blocking, or nil.
+func (b *Broker) TryConsume(queueName string) *Delivery {
+	select {
+	case m := <-b.queue(queueName):
+		m.attempts++
+		return &Delivery{Message: m, broker: b, queue: queueName}
+	default:
+		return nil
+	}
+}
+
+// Len returns the number of queued messages.
+func (b *Broker) Len(queueName string) int { return len(b.queue(queueName)) }
+
+// DeadLetters returns the dead-letter queue depth for a queue.
+func (b *Broker) DeadLetters(queueName string) int {
+	return len(b.queue(queueName + deadLetterSuffix))
+}
+
+// Close shuts the broker; later operations return ErrClosed.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+}

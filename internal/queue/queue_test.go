@@ -1,0 +1,213 @@
+package queue
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBrokerPublishConsume(t *testing.T) {
+	b := NewBroker(0, 0)
+	if err := b.Publish("q", &Message{ID: "1", Body: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := b.Consume(context.Background(), "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d.Message.Body) != "hi" || d.Message.Attempts() != 1 {
+		t.Fatalf("message %+v", d.Message)
+	}
+	d.Ack()
+	if b.Len("q") != 0 {
+		t.Fatal("queue should be empty after ack")
+	}
+}
+
+func TestBrokerNackRedelivers(t *testing.T) {
+	b := NewBroker(3, 0)
+	b.Publish("q", &Message{ID: "1"})
+	for i := 1; i <= 3; i++ {
+		d, err := b.Consume(context.Background(), "q")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Message.Attempts() != i {
+			t.Fatalf("attempt %d reported as %d", i, d.Message.Attempts())
+		}
+		if err := d.Nack(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Third nack hits the retry limit → dead letter.
+	if b.Len("q") != 0 {
+		t.Fatal("message should not be requeued beyond maxRetries")
+	}
+	if b.DeadLetters("q") != 1 {
+		t.Fatalf("dead letters = %d", b.DeadLetters("q"))
+	}
+}
+
+func TestBrokerConsumeContextCancel(t *testing.T) {
+	b := NewBroker(0, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := b.Consume(ctx, "empty"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected deadline, got %v", err)
+	}
+}
+
+func TestBrokerTryConsume(t *testing.T) {
+	b := NewBroker(0, 0)
+	if d := b.TryConsume("q"); d != nil {
+		t.Fatal("empty queue should return nil")
+	}
+	b.Publish("q", &Message{ID: "1"})
+	if d := b.TryConsume("q"); d == nil {
+		t.Fatal("expected message")
+	}
+}
+
+func TestBrokerClose(t *testing.T) {
+	b := NewBroker(0, 0)
+	b.Close()
+	if err := b.Publish("q", &Message{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("expected ErrClosed, got %v", err)
+	}
+	if _, err := b.Consume(context.Background(), "q"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("expected ErrClosed, got %v", err)
+	}
+}
+
+func TestBrokerCapacity(t *testing.T) {
+	b := NewBroker(1, 2)
+	b.Publish("q", &Message{ID: "1"})
+	b.Publish("q", &Message{ID: "2"})
+	if err := b.Publish("q", &Message{ID: "3"}); err == nil {
+		t.Fatal("expected full-queue error")
+	}
+}
+
+func TestRunnerLifecycle(t *testing.T) {
+	b := NewBroker(0, 0)
+	r := NewRunner(b, 2)
+	defer r.Close()
+	r.Register("double", func(ctx context.Context, payload json.RawMessage) (any, error) {
+		var x float64
+		if err := json.Unmarshal(payload, &x); err != nil {
+			return nil, err
+		}
+		return x * 2, nil
+	})
+	id, err := r.Submit("double", 21.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	info, err := r.Wait(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != Success {
+		t.Fatalf("state = %s err=%s", info.State, info.Error)
+	}
+	var out float64
+	json.Unmarshal(info.Result, &out)
+	if out != 42 {
+		t.Fatalf("result = %v", out)
+	}
+	if info.Finished.IsZero() {
+		t.Fatal("finished timestamp missing")
+	}
+}
+
+func TestRunnerFailureAfterRetries(t *testing.T) {
+	b := NewBroker(2, 0)
+	r := NewRunner(b, 1)
+	defer r.Close()
+	var calls atomic.Int32
+	r.Register("boom", func(ctx context.Context, payload json.RawMessage) (any, error) {
+		calls.Add(1)
+		return nil, fmt.Errorf("kaput")
+	})
+	id, _ := r.Submit("boom", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	info, err := r.Wait(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != Failure || info.Error != "kaput" {
+		t.Fatalf("state=%s err=%q", info.State, info.Error)
+	}
+	if c := calls.Load(); c != 2 { // maxRetries=2 → two attempts
+		t.Fatalf("handler called %d times, want 2", c)
+	}
+}
+
+func TestRunnerUnknownHandler(t *testing.T) {
+	b := NewBroker(0, 0)
+	r := NewRunner(b, 1)
+	defer r.Close()
+	id, _ := r.Submit("nope", nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	info, _ := r.Wait(ctx, id)
+	if info.State != Failure {
+		t.Fatalf("state = %s", info.State)
+	}
+}
+
+func TestRunnerInfoUnknown(t *testing.T) {
+	b := NewBroker(0, 0)
+	r := NewRunner(b, 1)
+	defer r.Close()
+	if r.Info("ghost") != nil {
+		t.Fatal("unknown task should be nil")
+	}
+	if _, err := r.Wait(context.Background(), "ghost"); err == nil {
+		t.Fatal("waiting on unknown task should error")
+	}
+}
+
+func TestRunnerConcurrency(t *testing.T) {
+	b := NewBroker(0, 0)
+	r := NewRunner(b, 4)
+	defer r.Close()
+	var running, peak atomic.Int32
+	r.Register("slow", func(ctx context.Context, payload json.RawMessage) (any, error) {
+		cur := running.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		running.Add(-1)
+		return nil, nil
+	})
+	var ids []string
+	for i := 0; i < 8; i++ {
+		id, _ := r.Submit("slow", i)
+		ids = append(ids, id)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		if _, err := r.Wait(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrency = %d, want >= 2", peak.Load())
+	}
+	if len(r.List()) != 8 {
+		t.Fatalf("List len = %d", len(r.List()))
+	}
+}

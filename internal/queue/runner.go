@@ -1,0 +1,212 @@
+package queue
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State mirrors Celery's task states, which the paper's stack exposes to
+// the dashboard.
+type State string
+
+// Task states.
+const (
+	Pending State = "PENDING"
+	Started State = "STARTED"
+	Success State = "SUCCESS"
+	Failure State = "FAILURE"
+	Retried State = "RETRY"
+)
+
+// Handler executes one task type; the returned value is stored as the
+// task's result (JSON-encoded).
+type Handler func(ctx context.Context, payload json.RawMessage) (any, error)
+
+// TaskInfo is the runner's view of one submitted task.
+type TaskInfo struct {
+	ID       string
+	Name     string
+	State    State
+	Result   json.RawMessage
+	Error    string
+	Created  time.Time
+	Finished time.Time
+}
+
+// Runner dispatches submitted tasks to handlers through the broker using a
+// pool of worker goroutines, and keeps results in an in-memory backend.
+type Runner struct {
+	broker  *Broker
+	queueN  string
+	mu      sync.Mutex
+	handler map[string]Handler
+	tasks   map[string]*TaskInfo
+	nextID  int
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	now     func() time.Time
+}
+
+// NewRunner creates a runner over the broker with the given concurrency.
+func NewRunner(b *Broker, concurrency int) *Runner {
+	if concurrency <= 0 {
+		concurrency = 2
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Runner{
+		broker:  b,
+		queueN:  "tasks",
+		handler: make(map[string]Handler),
+		tasks:   make(map[string]*TaskInfo),
+		cancel:  cancel,
+		now:     time.Now,
+	}
+	for i := 0; i < concurrency; i++ {
+		r.wg.Add(1)
+		go r.loop(ctx)
+	}
+	return r
+}
+
+// Register installs a handler for a task name.
+func (r *Runner) Register(name string, h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.handler[name] = h
+}
+
+// Submit enqueues a task and returns its id immediately (the asynchronous
+// experiment-submission flow).
+func (r *Runner) Submit(name string, payload any) (string, error) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return "", fmt.Errorf("queue: encoding payload: %w", err)
+	}
+	r.mu.Lock()
+	r.nextID++
+	id := fmt.Sprintf("task-%d", r.nextID)
+	r.tasks[id] = &TaskInfo{ID: id, Name: name, State: Pending, Created: r.now()}
+	r.mu.Unlock()
+	msg := &Message{ID: id, Body: body, Headers: map[string]string{"task": name}}
+	if err := r.broker.Publish(r.queueN, msg); err != nil {
+		r.mu.Lock()
+		r.tasks[id].State = Failure
+		r.tasks[id].Error = err.Error()
+		r.mu.Unlock()
+		return id, err
+	}
+	return id, nil
+}
+
+// Info returns a snapshot of the task's state, or nil if unknown.
+func (r *Runner) Info(id string) *TaskInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.tasks[id]
+	if !ok {
+		return nil
+	}
+	cp := *t
+	return &cp
+}
+
+// Wait polls until the task reaches a terminal state or the context ends.
+func (r *Runner) Wait(ctx context.Context, id string) (*TaskInfo, error) {
+	for {
+		info := r.Info(id)
+		if info == nil {
+			return nil, fmt.Errorf("queue: unknown task %q", id)
+		}
+		if info.State == Success || info.State == Failure {
+			return info, nil
+		}
+		select {
+		case <-ctx.Done():
+			return info, ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// List returns snapshots of all tasks.
+func (r *Runner) List() []*TaskInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*TaskInfo, 0, len(r.tasks))
+	for _, t := range r.tasks {
+		cp := *t
+		out = append(out, &cp)
+	}
+	return out
+}
+
+// Close stops the worker pool (queued tasks are abandoned).
+func (r *Runner) Close() {
+	r.cancel()
+	r.wg.Wait()
+}
+
+func (r *Runner) loop(ctx context.Context) {
+	defer r.wg.Done()
+	for {
+		d, err := r.broker.Consume(ctx, r.queueN)
+		if err != nil {
+			return
+		}
+		r.execute(ctx, d)
+	}
+}
+
+func (r *Runner) execute(ctx context.Context, d *Delivery) {
+	id := d.Message.ID
+	name := d.Message.Headers["task"]
+	r.mu.Lock()
+	h := r.handler[name]
+	if t := r.tasks[id]; t != nil {
+		t.State = Started
+	}
+	r.mu.Unlock()
+
+	finish := func(state State, result any, errMsg string) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		t := r.tasks[id]
+		if t == nil {
+			return
+		}
+		t.State = state
+		t.Error = errMsg
+		t.Finished = r.now()
+		if result != nil {
+			if enc, err := json.Marshal(result); err == nil {
+				t.Result = enc
+			}
+		}
+	}
+
+	if h == nil {
+		d.Ack()
+		finish(Failure, nil, fmt.Sprintf("no handler for task %q", name))
+		return
+	}
+	res, err := h(ctx, d.Message.Body)
+	if err != nil {
+		if d.Message.Attempts() < r.broker.maxRetries {
+			r.mu.Lock()
+			if t := r.tasks[id]; t != nil {
+				t.State = Retried
+			}
+			r.mu.Unlock()
+			d.Nack() // redeliver
+			return
+		}
+		d.Ack()
+		finish(Failure, nil, err.Error())
+		return
+	}
+	d.Ack()
+	finish(Success, res, "")
+}

@@ -1,0 +1,274 @@
+package smpc
+
+import (
+	"math"
+	"testing"
+)
+
+func newTestCluster(t *testing.T, scheme Scheme, nodes int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(Config{Scheme: scheme, Nodes: nodes, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := NewCluster(Config{Scheme: FullThreshold, Nodes: 1}); err == nil {
+		t.Fatal("1 node must be rejected")
+	}
+	if _, err := NewCluster(Config{Scheme: ShamirScheme, Nodes: 4, Threshold: 2}); err == nil {
+		t.Fatal("2t >= n must be rejected for Shamir")
+	}
+	c, err := NewCluster(Config{Scheme: ShamirScheme, Nodes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Config().Threshold != 2 {
+		t.Fatalf("default threshold = %d, want 2", c.Config().Threshold)
+	}
+}
+
+func TestSecureSumBothSchemes(t *testing.T) {
+	inputs := [][]float64{
+		{1.5, -2.0, 3.25},
+		{0.5, 10.0, -1.25},
+		{2.0, 2.0, 2.0},
+	}
+	want := []float64{4.0, 10.0, 4.0}
+	for _, scheme := range []Scheme{FullThreshold, ShamirScheme} {
+		c := newTestCluster(t, scheme, 3)
+		for i, in := range inputs {
+			if err := c.ImportSecret("job1", workerName(i), in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := c.Aggregate("job1", OpSum, Noise{})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-5 {
+				t.Fatalf("%v: sum[%d] = %v, want %v", scheme, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func workerName(i int) string { return string(rune('a' + i)) }
+
+func TestSecureProductBothSchemes(t *testing.T) {
+	inputs := [][]float64{
+		{2.0, -3.0},
+		{4.0, 0.5},
+		{0.5, 2.0},
+	}
+	want := []float64{4.0, -3.0}
+	for _, scheme := range []Scheme{FullThreshold, ShamirScheme} {
+		c := newTestCluster(t, scheme, 3)
+		for i, in := range inputs {
+			if err := c.ImportSecret("j", workerName(i), in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := c.Aggregate("j", OpProduct, Noise{})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-3 {
+				t.Fatalf("%v: prod[%d] = %v, want %v", scheme, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSecureMinMaxBothSchemes(t *testing.T) {
+	inputs := [][]float64{
+		{5.0, -1.0, 7.5},
+		{3.0, -4.0, 9.0},
+		{4.0, 2.0, 8.0},
+	}
+	wantMin := []float64{3.0, -4.0, 7.5}
+	wantMax := []float64{5.0, 2.0, 9.0}
+	for _, scheme := range []Scheme{FullThreshold, ShamirScheme} {
+		c := newTestCluster(t, scheme, 3)
+		for i, in := range inputs {
+			c.ImportSecret("min", workerName(i), in)
+			c.ImportSecret("max", workerName(i), in)
+		}
+		gotMin, err := c.Aggregate("min", OpMin, Noise{})
+		if err != nil {
+			t.Fatalf("%v min: %v", scheme, err)
+		}
+		gotMax, err := c.Aggregate("max", OpMax, Noise{})
+		if err != nil {
+			t.Fatalf("%v max: %v", scheme, err)
+		}
+		for i := range wantMin {
+			if math.Abs(gotMin[i]-wantMin[i]) > 1e-5 {
+				t.Fatalf("%v: min[%d] = %v, want %v", scheme, i, gotMin[i], wantMin[i])
+			}
+			if math.Abs(gotMax[i]-wantMax[i]) > 1e-5 {
+				t.Fatalf("%v: max[%d] = %v, want %v", scheme, i, gotMax[i], wantMax[i])
+			}
+		}
+	}
+}
+
+func TestSecureUnion(t *testing.T) {
+	for _, scheme := range []Scheme{FullThreshold, ShamirScheme} {
+		c := newTestCluster(t, scheme, 3)
+		c.ImportSecret("u", "a", []float64{1, 3, 5})
+		c.ImportSecret("u", "b", []float64{3, 7, 9})
+		got, err := c.Aggregate("u", OpUnion, Noise{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []float64{1, 3, 5, 7, 9}
+		if len(got) != len(want) {
+			t.Fatalf("%v: union = %v", scheme, got)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-6 {
+				t.Fatalf("%v: union = %v", scheme, got)
+			}
+		}
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	c := newTestCluster(t, ShamirScheme, 3)
+	if _, err := c.Aggregate("missing", OpSum, Noise{}); err == nil {
+		t.Fatal("unknown job must error")
+	}
+	c.ImportSecret("ragged", "a", []float64{1})
+	c.ImportSecret("ragged", "b", []float64{1, 2})
+	if _, err := c.Aggregate("ragged", OpSum, Noise{}); err == nil {
+		t.Fatal("element-wise op over ragged inputs must error")
+	}
+	c.ImportSecret("j", "a", []float64{1})
+	if w := c.Workers("j"); len(w) != 1 || w[0] != "a" {
+		t.Fatalf("workers = %v", w)
+	}
+	if _, err := c.Aggregate("j", OpSum, Noise{}); err != nil {
+		t.Fatal(err)
+	}
+	// Job consumed.
+	if _, err := c.Aggregate("j", OpSum, Noise{}); err == nil {
+		t.Fatal("job must be consumed by aggregation")
+	}
+}
+
+// In-protocol Gaussian noise: the mean over many aggregations must be near
+// the true sum and the spread near σ.
+func TestNoiseInjectionGaussian(t *testing.T) {
+	c := newTestCluster(t, FullThreshold, 3)
+	const sigma = 2.0
+	const trials = 400
+	var sum, sum2 float64
+	for i := 0; i < trials; i++ {
+		c.ImportSecret("g", "a", []float64{10})
+		c.ImportSecret("g", "b", []float64{20})
+		out, err := c.Aggregate("g", OpSum, Noise{Kind: GaussianNoise, Scale: sigma})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += out[0]
+		sum2 += out[0] * out[0]
+	}
+	mean := sum / trials
+	sd := math.Sqrt(sum2/trials - mean*mean)
+	if math.Abs(mean-30) > 0.5 {
+		t.Fatalf("noised mean = %v, want ~30", mean)
+	}
+	if math.Abs(sd-sigma) > 0.5 {
+		t.Fatalf("noise sd = %v, want ~%v", sd, sigma)
+	}
+}
+
+// Distributed Laplace via Gamma differences: E=target, E|X−μ|≈b.
+func TestNoiseInjectionLaplace(t *testing.T) {
+	c := newTestCluster(t, ShamirScheme, 3)
+	const b = 1.5
+	const trials = 600
+	var sum, sumAbs float64
+	for i := 0; i < trials; i++ {
+		c.ImportSecret("l", "a", []float64{5})
+		out, err := c.Aggregate("l", OpSum, Noise{Kind: LaplaceNoise, Scale: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += out[0]
+		sumAbs += math.Abs(out[0] - 5)
+	}
+	if mean := sum / trials; math.Abs(mean-5) > 0.3 {
+		t.Fatalf("noised mean = %v, want ~5", mean)
+	}
+	if mad := sumAbs / trials; math.Abs(mad-b) > 0.3 {
+		t.Fatalf("noise E|X| = %v, want ~%v", mad, b)
+	}
+}
+
+func TestNetStatsAccounting(t *testing.T) {
+	c := newTestCluster(t, FullThreshold, 3)
+	c.ImportSecret("n", "a", []float64{1, 2, 3, 4})
+	after := c.NetStats()
+	if after.Messages == 0 || after.Bytes == 0 {
+		t.Fatal("import must be accounted")
+	}
+	c.ResetNetStats()
+	if s := c.NetStats(); s.Messages != 0 || s.Bytes != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+// FT must cost more traffic than Shamir for the same job — the E5 claim in
+// miniature.
+func TestFTCostsMoreThanShamir(t *testing.T) {
+	dims := 256
+	vec := make([]float64, dims)
+	for i := range vec {
+		vec[i] = float64(i)
+	}
+	ft := newTestCluster(t, FullThreshold, 3)
+	sh := newTestCluster(t, ShamirScheme, 3)
+	for _, c := range []*Cluster{ft, sh} {
+		c.ImportSecret("j", "a", vec)
+		c.ImportSecret("j", "b", vec)
+		if _, err := c.Aggregate("j", OpSum, Noise{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ft.NetStats().Bytes <= sh.NetStats().Bytes {
+		t.Fatalf("FT bytes (%d) should exceed Shamir bytes (%d)",
+			ft.NetStats().Bytes, sh.NetStats().Bytes)
+	}
+}
+
+func TestSchemeAndOpStrings(t *testing.T) {
+	if FullThreshold.String() != "full-threshold" || ShamirScheme.String() != "shamir" {
+		t.Fatal("scheme strings")
+	}
+	names := map[Op]string{OpSum: "sum", OpProduct: "product", OpMin: "min", OpMax: "max", OpUnion: "union"}
+	for op, want := range names {
+		if op.String() != want {
+			t.Fatalf("op %d = %q", op, op.String())
+		}
+	}
+}
+
+func TestSingleWorkerAggregates(t *testing.T) {
+	for _, scheme := range []Scheme{FullThreshold, ShamirScheme} {
+		c := newTestCluster(t, scheme, 3)
+		c.ImportSecret("s", "only", []float64{3.5, -1.5})
+		got, err := c.Aggregate("s", OpProduct, Noise{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got[0]-3.5) > 1e-5 || math.Abs(got[1]+1.5) > 1e-5 {
+			t.Fatalf("%v: single-worker product = %v", scheme, got)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package smpc
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldAddSub(t *testing.T) {
+	if Add(Fe(P-1), 1) != 0 {
+		t.Fatal("wraparound add")
+	}
+	if Sub(0, 1) != Fe(P-1) {
+		t.Fatal("wraparound sub")
+	}
+	if Neg(0) != 0 || Neg(1) != Fe(P-1) {
+		t.Fatal("neg")
+	}
+}
+
+// Property: field arithmetic matches math/big.
+func TestFieldMulMatchesBig(t *testing.T) {
+	p := new(big.Int).SetUint64(P)
+	f := func(a, b uint64) bool {
+		a %= P
+		b %= P
+		got := Mul(Fe(a), Fe(b))
+		want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want.Mod(want, p)
+		return uint64(got) == want.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldInv(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a := Fe(r.Uint64() % P)
+		if a == 0 {
+			continue
+		}
+		if Mul(a, Inv(a)) != 1 {
+			t.Fatalf("a·a⁻¹ != 1 for a=%d", a)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) should panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestPow(t *testing.T) {
+	if Pow(2, 0) != 1 || Pow(2, 1) != 2 || Pow(2, 10) != 1024 {
+		t.Fatal("small powers wrong")
+	}
+	// Fermat: a^(P-1) = 1.
+	if Pow(12345, uint64(P)-1) != 1 {
+		t.Fatal("Fermat violated")
+	}
+}
+
+func TestRandFeInRange(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		if v := RandFe(); uint64(v) >= P {
+			t.Fatalf("RandFe out of range: %d", v)
+		}
+	}
+	if len(RandVec(17)) != 17 {
+		t.Fatal("RandVec length")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := NewCodec(0)
+	for _, x := range []float64{0, 1, -1, 3.14159, -2.71828, 123456.789, -99999.5, 0.0000012} {
+		got := c.Decode(c.Encode(x))
+		if diff := got - x; diff > c.Resolution() || diff < -c.Resolution() {
+			t.Errorf("round trip %v -> %v", x, got)
+		}
+	}
+}
+
+func TestCodecOverflow(t *testing.T) {
+	c := NewCodec(20)
+	if _, err := c.EncodeErr(1e30); err == nil {
+		t.Fatal("expected overflow error")
+	}
+	if _, err := c.EncodeErr(-1e30); err == nil {
+		t.Fatal("expected underflow error")
+	}
+	if _, err := c.EncodeErr(math.NaN()); err == nil {
+		t.Fatal("expected NaN error")
+	}
+	if c.MaxAbs() <= 0 {
+		t.Fatal("MaxAbs must be positive")
+	}
+}
+
+// Property: encode/decode is within resolution for values in range.
+func TestCodecProperty(t *testing.T) {
+	c := NewCodec(0)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := (r.Float64() - 0.5) * 1e6
+		d := c.Decode(c.Encode(x)) - x
+		return d <= c.Resolution() && d >= -c.Resolution()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeProduct(t *testing.T) {
+	c := NewCodec(20)
+	a, b := 3.5, -2.25
+	prod := Mul(c.Encode(a), c.Encode(b))
+	got := c.DecodeProduct(prod)
+	if diff := got - a*b; diff > 1e-4 || diff < -1e-4 {
+		t.Fatalf("product decode = %v, want %v", got, a*b)
+	}
+}
+
+func TestCodecVec(t *testing.T) {
+	c := NewCodec(0)
+	in := []float64{1.5, -2.5, 0}
+	out := c.DecodeVec(c.EncodeVec(in))
+	for i := range in {
+		if d := out[i] - in[i]; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("vec round trip: %v -> %v", in, out)
+		}
+	}
+}

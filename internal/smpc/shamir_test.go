@@ -1,0 +1,140 @@
+package smpc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShamirRoundTrip(t *testing.T) {
+	secret := Fe(123456789)
+	for _, cfg := range []struct{ t, n int }{{1, 3}, {2, 5}, {3, 7}, {1, 2}} {
+		shares := ShamirShareSecret(secret, cfg.t, cfg.n)
+		if len(shares) != cfg.n {
+			t.Fatalf("t=%d n=%d: %d shares", cfg.t, cfg.n, len(shares))
+		}
+		got, err := ShamirReconstruct(shares, cfg.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != secret {
+			t.Fatalf("t=%d n=%d: reconstructed %d, want %d", cfg.t, cfg.n, got, secret)
+		}
+	}
+}
+
+func TestShamirAnySubset(t *testing.T) {
+	secret := Fe(987654321)
+	shares := ShamirShareSecret(secret, 2, 6)
+	// Any 3 of the 6 shares must reconstruct.
+	subsets := [][]int{{0, 1, 2}, {3, 4, 5}, {0, 2, 4}, {1, 3, 5}, {5, 0, 3}}
+	for _, idx := range subsets {
+		sub := []ShamirShare{shares[idx[0]], shares[idx[1]], shares[idx[2]]}
+		got, err := ShamirReconstruct(sub, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != secret {
+			t.Fatalf("subset %v reconstructed %d", idx, got)
+		}
+	}
+}
+
+func TestShamirBelowThresholdFails(t *testing.T) {
+	shares := ShamirShareSecret(42, 2, 5)
+	if _, err := ShamirReconstruct(shares[:2], 2); err == nil {
+		t.Fatal("reconstruction below threshold must error")
+	}
+}
+
+func TestShamirDuplicatePointRejected(t *testing.T) {
+	shares := ShamirShareSecret(42, 1, 3)
+	bad := []ShamirShare{shares[0], shares[0]}
+	if _, err := ShamirReconstruct(bad, 1); err == nil {
+		t.Fatal("duplicate x must be rejected")
+	}
+}
+
+// Property: t shares are uniformly distributed — check the weaker but
+// testable property that different sharings of the same secret give
+// different share values (randomized polynomial).
+func TestShamirRandomized(t *testing.T) {
+	a := ShamirShareSecret(7, 2, 5)
+	b := ShamirShareSecret(7, 2, 5)
+	same := true
+	for i := range a {
+		if a[i].Y != b[i].Y {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two sharings identical — polynomial not randomized")
+	}
+}
+
+// Property: Shamir is linear — shares of x plus shares of y reconstruct
+// to x+y.
+func TestShamirLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := Fe(r.Uint64() % P)
+		y := Fe(r.Uint64() % P)
+		sx := ShamirShareSecret(x, 2, 5)
+		sy := ShamirShareSecret(y, 2, 5)
+		sum, err := ShamirAddShares(sx, sy)
+		if err != nil {
+			return false
+		}
+		got, err := ShamirReconstruct(sum, 2)
+		return err == nil && got == Add(x, y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShamirAddSharesMismatch(t *testing.T) {
+	a := ShamirShareSecret(1, 1, 3)
+	b := ShamirShareSecret(2, 1, 4)
+	if _, err := ShamirAddShares(a, b); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	c := ShamirShareSecret(2, 1, 3)
+	c[0].X = 99
+	if _, err := ShamirAddShares(a, c); err == nil {
+		t.Fatal("point mismatch should error")
+	}
+}
+
+func TestShamirInvalidParams(t *testing.T) {
+	for _, cfg := range []struct{ t, n int }{{0, 0}, {3, 3}, {-1, 3}, {5, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("t=%d n=%d should panic", cfg.t, cfg.n)
+				}
+			}()
+			ShamirShareSecret(1, cfg.t, cfg.n)
+		}()
+	}
+}
+
+// Degree-2t reconstruction of a local share product (the basis of the
+// Shamir multiplication fold).
+func TestShamirLocalProductDegree2t(t *testing.T) {
+	x, y := Fe(1000), Fe(2000)
+	const tt, n = 2, 5
+	sx := ShamirShareSecret(x, tt, n)
+	sy := ShamirShareSecret(y, tt, n)
+	prod := make([]ShamirShare, n)
+	for i := range prod {
+		prod[i] = ShamirShare{X: sx[i].X, Y: Mul(sx[i].Y, sy[i].Y)}
+	}
+	got, err := ShamirReconstruct(prod, 2*tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != Mul(x, y) {
+		t.Fatalf("product reconstruct = %d, want %d", got, Mul(x, y))
+	}
+}

@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Descriptive helpers used across the algorithm suite and the dashboard
+// endpoints (Figure 3 of the paper reports Datapoints, NA, SE, mean, min,
+// Q1, Q2, Q3, max per variable per dataset).
+
+// Mean returns the arithmetic mean of xs (NaN if empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (NaN if n < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// StdErr returns the standard error of the mean.
+func StdErr(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the R/NumPy default the
+// paper's Python stack uses).
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return QuantileSorted(s, q)
+}
+
+// QuantileSorted is Quantile for an already-sorted slice.
+func QuantileSorted(s []float64, q float64) float64 {
+	n := len(s)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return s[0]
+	}
+	h := q * float64(n-1)
+	lo := int(math.Floor(h))
+	if lo >= n-1 {
+		return s[n-1]
+	}
+	if lo < 0 {
+		return s[0]
+	}
+	frac := h - float64(lo)
+	return s[lo] + frac*(s[lo+1]-s[lo])
+}
+
+// Summary holds the univariate descriptive statistics MIP's dashboard shows.
+type Summary struct {
+	N    int     // non-missing datapoints
+	NA   int     // missing values
+	Mean float64 // arithmetic mean
+	SE   float64 // standard error of the mean
+	Min  float64
+	Q1   float64
+	Q2   float64 // median
+	Q3   float64
+	Max  float64
+	Std  float64
+}
+
+// Describe computes Summary over xs; na counts missing values removed before
+// the call (the caller strips NaNs and reports how many it stripped).
+func Describe(xs []float64, na int) Summary {
+	s := Summary{N: len(xs), NA: na}
+	if len(xs) == 0 {
+		s.Mean, s.SE, s.Min, s.Q1, s.Q2, s.Q3, s.Max, s.Std =
+			math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN()
+		return s
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	s.Mean = Mean(xs)
+	s.Std = StdDev(xs)
+	s.SE = s.Std / math.Sqrt(float64(len(xs)))
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Q1 = QuantileSorted(sorted, 0.25)
+	s.Q2 = QuantileSorted(sorted, 0.5)
+	s.Q3 = QuantileSorted(sorted, 0.75)
+	return s
+}
+
+// Moments holds additive sufficient statistics: federating univariate
+// descriptives reduces to summing these across workers.
+type Moments struct {
+	N    float64
+	Sum  float64
+	Sum2 float64
+	Min  float64
+	Max  float64
+}
+
+// NewMoments returns an identity element for Merge.
+func NewMoments() Moments {
+	return Moments{Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// Observe folds one value into the moments.
+func (m *Moments) Observe(x float64) {
+	m.N++
+	m.Sum += x
+	m.Sum2 += x * x
+	if x < m.Min {
+		m.Min = x
+	}
+	if x > m.Max {
+		m.Max = x
+	}
+}
+
+// Merge combines two moment sets; it is associative and commutative, the
+// property that makes the federated descriptive statistics exact.
+func (m Moments) Merge(o Moments) Moments {
+	out := m
+	out.N += o.N
+	out.Sum += o.Sum
+	out.Sum2 += o.Sum2
+	if o.Min < out.Min {
+		out.Min = o.Min
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	return out
+}
+
+// Mean returns the mean implied by the moments.
+func (m Moments) Mean() float64 {
+	if m.N == 0 {
+		return math.NaN()
+	}
+	return m.Sum / m.N
+}
+
+// Variance returns the unbiased variance implied by the moments.
+func (m Moments) Variance() float64 {
+	if m.N < 2 {
+		return math.NaN()
+	}
+	return (m.Sum2 - m.Sum*m.Sum/m.N) / (m.N - 1)
+}
+
+// SE returns the standard error of the mean implied by the moments.
+func (m Moments) SE() float64 {
+	if m.N < 2 {
+		return math.NaN()
+	}
+	return math.Sqrt(m.Variance() / m.N)
+}

@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if v := Variance(xs); !almostEq(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v", v)
+	}
+	if s := StdDev(xs); !almostEq(s, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("StdDev = %v", s)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance([]float64{1})) || !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty/singleton inputs should give NaN where undefined")
+	}
+	if q := Quantile([]float64{42}, 0.99); q != 42 {
+		t.Fatalf("singleton quantile = %v", q)
+	}
+}
+
+func TestQuantileType7(t *testing.T) {
+	// R: quantile(1:4, c(.25,.5,.75)) -> 1.75 2.50 3.25 (type 7).
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{{0.25, 1.75}, {0.5, 2.5}, {0.75, 3.25}, {0, 1}, {1, 4}}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe([]float64{1, 2, 3, 4, 5}, 2)
+	if s.N != 5 || s.NA != 2 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Q2 != 3 {
+		t.Fatalf("stats: %+v", s)
+	}
+	wantSE := math.Sqrt(2.5 / 5)
+	if !almostEq(s.SE, wantSE, 1e-12) {
+		t.Fatalf("SE = %v, want %v", s.SE, wantSE)
+	}
+}
+
+func TestDescribeEmpty(t *testing.T) {
+	s := Describe(nil, 3)
+	if s.N != 0 || s.NA != 3 || !math.IsNaN(s.Mean) || !math.IsNaN(s.Q1) {
+		t.Fatalf("empty describe: %+v", s)
+	}
+}
+
+func TestMomentsMergeExactness(t *testing.T) {
+	// The core federated invariant: merging per-worker moments equals the
+	// pooled moments.
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		n := 2 + g.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = g.Normal(10, 5)
+		}
+		pooled := NewMoments()
+		for _, x := range xs {
+			pooled.Observe(x)
+		}
+		// Split into 1..5 shards.
+		k := 1 + g.Intn(5)
+		merged := NewMoments()
+		for s := 0; s < k; s++ {
+			shard := NewMoments()
+			for i := s; i < n; i += k {
+				shard.Observe(xs[i])
+			}
+			merged = merged.Merge(shard)
+		}
+		return merged.N == pooled.N &&
+			math.Abs(merged.Sum-pooled.Sum) < 1e-9 &&
+			math.Abs(merged.Sum2-pooled.Sum2) < 1e-6 &&
+			merged.Min == pooled.Min && merged.Max == pooled.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMomentsStats(t *testing.T) {
+	m := NewMoments()
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Observe(x)
+	}
+	if m.Mean() != 5 {
+		t.Fatalf("Mean = %v", m.Mean())
+	}
+	if !almostEq(m.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v", m.Variance())
+	}
+	if !almostEq(m.SE(), math.Sqrt(32.0/7.0/8.0), 1e-12) {
+		t.Fatalf("SE = %v", m.SE())
+	}
+	empty := NewMoments()
+	if !math.IsNaN(empty.Mean()) || !math.IsNaN(empty.Variance()) {
+		t.Fatal("empty moments should be NaN")
+	}
+}
+
+func TestRNGLaplace(t *testing.T) {
+	g := NewRNG(99)
+	const n = 200000
+	var sum, sumAbs float64
+	for i := 0; i < n; i++ {
+		x := g.Laplace(0, 2)
+		sum += x
+		sumAbs += math.Abs(x)
+	}
+	// E[X]=0, E[|X|]=b=2.
+	if m := sum / n; math.Abs(m) > 0.05 {
+		t.Errorf("Laplace mean = %v", m)
+	}
+	if m := sumAbs / n; math.Abs(m-2) > 0.05 {
+		t.Errorf("Laplace E|X| = %v, want 2", m)
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	g := NewRNG(123)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := g.Normal(3, 2)
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean-3) > 0.05 || math.Abs(variance-4) > 0.1 {
+		t.Errorf("Normal moments: mean=%v var=%v", mean, variance)
+	}
+}
+
+func TestRNGCategorical(t *testing.T) {
+	g := NewRNG(5)
+	counts := make([]int, 3)
+	for i := 0; i < 90000; i++ {
+		counts[g.Categorical([]float64{1, 2, 6})]++
+	}
+	for i, want := range []float64{10000, 20000, 60000} {
+		if math.Abs(float64(counts[i])-want) > 1500 {
+			t.Errorf("category %d count = %d, want ~%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestMultivariateNormal(t *testing.T) {
+	g := NewRNG(77)
+	cov := NewDenseData(2, 2, []float64{4, 1.2, 1.2, 1})
+	mean := []float64{1, -2}
+	const n = 100000
+	var s0, s1, s00, s11, s01 float64
+	for i := 0; i < n; i++ {
+		x, err := g.MultivariateNormal(mean, cov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s0 += x[0]
+		s1 += x[1]
+		s00 += (x[0] - 1) * (x[0] - 1)
+		s11 += (x[1] + 2) * (x[1] + 2)
+		s01 += (x[0] - 1) * (x[1] + 2)
+	}
+	if math.Abs(s0/n-1) > 0.05 || math.Abs(s1/n+2) > 0.05 {
+		t.Errorf("means: %v %v", s0/n, s1/n)
+	}
+	if math.Abs(s00/n-4) > 0.15 || math.Abs(s11/n-1) > 0.05 || math.Abs(s01/n-1.2) > 0.1 {
+		t.Errorf("cov: %v %v %v", s00/n, s11/n, s01/n)
+	}
+}

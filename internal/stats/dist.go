@@ -1,0 +1,157 @@
+package stats
+
+import "math"
+
+// Distributions used by the hypothesis-testing algorithms (t-tests, ANOVA,
+// Pearson correlation, regression summaries, calibration belt): standard
+// normal, Student's t, F, and chi-squared, each with CDF and quantile.
+
+// NormalCDF returns P(Z ≤ z) for the standard normal distribution.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// NormalQuantile returns the z with NormalCDF(z) = p, using the
+// Acklam/Wichura-style rational approximation refined by one Halley step.
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Rational approximation (Acklam). Max abs error ~1.15e-9 before
+	// refinement.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+	const plow = 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-plow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// StudentTCDF returns P(T ≤ t) for Student's t with df degrees of freedom.
+func StudentTCDF(t, df float64) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if math.IsInf(t, 1) {
+		return 1
+	}
+	if math.IsInf(t, -1) {
+		return 0
+	}
+	x := df / (df + t*t)
+	p := 0.5 * RegIncBeta(x, df/2, 0.5)
+	if t > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// StudentTQuantile returns the t with StudentTCDF(t, df) = p.
+func StudentTQuantile(p, df float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	if p == 0.5 {
+		return 0
+	}
+	neg := p < 0.5
+	pp := p
+	if neg {
+		pp = 1 - p
+	}
+	// StudentTCDF(t) = pp  ⇔  I_x(df/2, 1/2) = 2(1−pp) with x = df/(df+t²).
+	x := InvRegIncBeta(2*(1-pp), df/2, 0.5)
+	t := math.Sqrt(df * (1 - x) / x)
+	if neg {
+		t = -t
+	}
+	return t
+}
+
+// FCDF returns P(F ≤ f) for the F distribution with d1 and d2 degrees of
+// freedom.
+func FCDF(f, d1, d2 float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	x := d1 * f / (d1*f + d2)
+	return RegIncBeta(x, d1/2, d2/2)
+}
+
+// FQuantile returns the f with FCDF(f, d1, d2) = p.
+func FQuantile(p, d1, d2 float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	x := InvRegIncBeta(p, d1/2, d2/2)
+	return d2 * x / (d1 * (1 - x))
+}
+
+// ChiSquaredCDF returns P(X ≤ x) for chi-squared with df degrees of freedom.
+func ChiSquaredCDF(x, df float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return RegIncGammaLower(df/2, x/2)
+}
+
+// ChiSquaredQuantile returns the x with ChiSquaredCDF(x, df) = p, by
+// bracketed bisection with Newton refinement.
+func ChiSquaredQuantile(p, df float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	lo, hi := 0.0, df
+	for ChiSquaredCDF(hi, df) < p {
+		hi *= 2
+		if hi > 1e12 {
+			break
+		}
+	}
+	x := df
+	for i := 0; i < 200; i++ {
+		v := ChiSquaredCDF(x, df)
+		if math.Abs(v-p) < 1e-14 {
+			return x
+		}
+		if v < p {
+			lo = x
+		} else {
+			hi = x
+		}
+		x = (lo + hi) / 2
+	}
+	return x
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFReferenceValues(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145705},
+		{1.959963984540054, 0.975},
+		{-3, 0.0013498980316300933},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.z); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileInverse(t *testing.T) {
+	for _, p := range []float64{1e-10, 1e-5, 0.01, 0.025, 0.1, 0.5, 0.9, 0.975, 0.99, 1 - 1e-6} {
+		z := NormalQuantile(p)
+		if got := NormalCDF(z); !almostEq(got, p, 1e-10) {
+			t.Errorf("NormalCDF(NormalQuantile(%v)) = %v", p, got)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("quantile endpoints should be ±Inf")
+	}
+}
+
+func TestStudentTCDFReference(t *testing.T) {
+	// Reference values from R: pt(q, df).
+	cases := []struct{ q, df, want float64 }{
+		{0, 5, 0.5},
+		{1, 1, 0.75},
+		{2, 10, 0.963306},
+		{-2.5, 3, 0.0438533235},
+		{1.812461, 10, 0.95},
+	}
+	for _, c := range cases {
+		if got := StudentTCDF(c.q, c.df); !almostEq(got, c.want, 1e-5) {
+			t.Errorf("StudentTCDF(%v, %v) = %v, want %v", c.q, c.df, got, c.want)
+		}
+	}
+}
+
+func TestStudentTQuantileInverse(t *testing.T) {
+	for _, df := range []float64{1, 2, 5, 10, 30, 120} {
+		for _, p := range []float64{0.005, 0.025, 0.05, 0.5, 0.95, 0.975, 0.995} {
+			q := StudentTQuantile(p, df)
+			if got := StudentTCDF(q, df); !almostEq(got, p, 1e-8) {
+				t.Errorf("df=%v p=%v: CDF(Q)=%v", df, p, got)
+			}
+		}
+	}
+}
+
+func TestStudentTLargeDFApproachesNormal(t *testing.T) {
+	if d := math.Abs(StudentTCDF(1.5, 1e6) - NormalCDF(1.5)); d > 1e-5 {
+		t.Errorf("t(1e6) vs normal diff = %g", d)
+	}
+}
+
+func TestFCDFReference(t *testing.T) {
+	// Reference values from R: pf(q, d1, d2).
+	cases := []struct{ q, d1, d2, want float64 }{
+		{1, 1, 1, 0.5},
+		{3.888529, 2, 10, 0.9436750839}, // verified by numerical integration
+		{4.964603, 1, 10, 0.95},         // qf(0.95,1,10)=4.964603
+		{2.5, 5, 20, 0.9350729539},      // verified by numerical integration
+	}
+	for _, c := range cases {
+		if got := FCDF(c.q, c.d1, c.d2); !almostEq(got, c.want, 1e-5) {
+			t.Errorf("FCDF(%v,%v,%v) = %v, want %v", c.q, c.d1, c.d2, got, c.want)
+		}
+	}
+}
+
+func TestFQuantileInverse(t *testing.T) {
+	for _, d1 := range []float64{1, 3, 10} {
+		for _, d2 := range []float64{2, 8, 40} {
+			for _, p := range []float64{0.05, 0.5, 0.95, 0.99} {
+				q := FQuantile(p, d1, d2)
+				if got := FCDF(q, d1, d2); !almostEq(got, p, 1e-8) {
+					t.Errorf("d1=%v d2=%v p=%v: CDF(Q)=%v", d1, d2, p, got)
+				}
+			}
+		}
+	}
+}
+
+func TestChiSquaredReference(t *testing.T) {
+	// Reference values from R: pchisq(q, df).
+	cases := []struct{ q, df, want float64 }{
+		{3.841459, 1, 0.95},
+		{5.991465, 2, 0.95},
+		{1, 1, 0.6826895},
+		{10, 5, 0.9247648},
+	}
+	for _, c := range cases {
+		if got := ChiSquaredCDF(c.q, c.df); !almostEq(got, c.want, 1e-6) {
+			t.Errorf("ChiSquaredCDF(%v, %v) = %v, want %v", c.q, c.df, got, c.want)
+		}
+	}
+}
+
+func TestChiSquaredQuantileInverse(t *testing.T) {
+	for _, df := range []float64{1, 2, 7, 25} {
+		for _, p := range []float64{0.01, 0.3, 0.5, 0.95, 0.999} {
+			q := ChiSquaredQuantile(p, df)
+			if got := ChiSquaredCDF(q, df); !almostEq(got, p, 1e-9) {
+				t.Errorf("df=%v p=%v: CDF(Q)=%v", df, p, got)
+			}
+		}
+	}
+}
+
+func TestRegIncBetaSymmetry(t *testing.T) {
+	// I_x(a,b) = 1 − I_{1−x}(b,a)
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		x := g.Float64()
+		a := 0.5 + 5*g.Float64()
+		b := 0.5 + 5*g.Float64()
+		return math.Abs(RegIncBeta(x, a, b)-(1-RegIncBeta(1-x, b, a))) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegIncGammaComplement(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		a := 0.5 + 10*g.Float64()
+		x := 20 * g.Float64()
+		return math.Abs(RegIncGammaLower(a, x)+RegIncGammaUpper(a, x)-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		a := g.Normal(0, 2)
+		b := a + math.Abs(g.Normal(0, 2)) + 1e-9
+		df := 1 + 20*g.Float64()
+		return StudentTCDF(a, df) <= StudentTCDF(b, df)+1e-14 &&
+			NormalCDF(a) <= NormalCDF(b)+1e-14
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

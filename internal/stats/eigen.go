@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi method. It returns eigenvalues in descending order and the
+// corresponding eigenvectors as the columns of the returned matrix.
+//
+// PCA (one of MIP's integrated algorithms) diagonalizes the federated
+// covariance/correlation matrix with this routine.
+func EigenSym(m *Dense) (values []float64, vectors *Dense, err error) {
+	if m.rows != m.cols {
+		return nil, nil, errors.New("stats: EigenSym of non-square matrix")
+	}
+	n := m.rows
+	a := m.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Off-diagonal Frobenius norm.
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += 2 * a.At(i, j) * a.At(i, j)
+			}
+		}
+		if math.Sqrt(off) < 1e-12*(1+frobenius(a)) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := a.At(p, p), a.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(a, v, p, q, c, s)
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := range values {
+		values[i] = a.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return values[idx[x]] > values[idx[y]] })
+	sortedVals := make([]float64, n)
+	vectors = NewDense(n, n)
+	for col, src := range idx {
+		sortedVals[col] = values[src]
+		for row := 0; row < n; row++ {
+			vectors.Set(row, col, v.At(row, src))
+		}
+	}
+	return sortedVals, vectors, nil
+}
+
+func frobenius(m *Dense) float64 {
+	var s float64
+	for _, x := range m.data {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// rotate applies the Jacobi rotation J(p,q,θ) to a (two-sided) and v
+// (one-sided accumulation of eigenvectors).
+func rotate(a, v *Dense, p, q int, c, s float64) {
+	n := a.rows
+	for k := 0; k < n; k++ {
+		akp, akq := a.At(k, p), a.At(k, q)
+		a.Set(k, p, c*akp-s*akq)
+		a.Set(k, q, s*akp+c*akq)
+	}
+	for k := 0; k < n; k++ {
+		apk, aqk := a.At(p, k), a.At(q, k)
+		a.Set(p, k, c*apk-s*aqk)
+		a.Set(q, k, s*apk+c*aqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}

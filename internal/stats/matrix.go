@@ -1,0 +1,240 @@
+// Package stats provides the numerical substrate for MIP's federated
+// algorithms: dense matrices with the factorizations the analytics need
+// (Cholesky, QR, symmetric eigendecomposition), probability distributions
+// (normal, Student's t, F, chi-squared) with CDFs and quantiles, and random
+// variate generation for the differential-privacy mechanisms.
+//
+// The package replaces the NumPy/SciPy layer used by the paper's Python
+// implementation; it is deliberately dependency-free (stdlib only).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Dense is a row-major dense matrix of float64 values.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns an r×c zero matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("stats: negative dimension %dx%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewDenseData wraps data (row-major, length r*c) in a matrix without copying.
+func NewDenseData(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("stats: data length %d does not match %dx%d", len(data), r, c))
+	}
+	return &Dense{rows: r, cols: c, data: data}
+}
+
+// Dims returns the number of rows and columns.
+func (m *Dense) Dims() (r, c int) { return m.rows, m.cols }
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Add accumulates v into the element at row i, column j.
+func (m *Dense) Add(i, j int, v float64) { m.data[i*m.cols+j] += v }
+
+// Data returns the underlying row-major storage. Mutating it mutates the
+// matrix.
+func (m *Dense) Data() []float64 { return m.data }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy of the matrix.
+func (m *Dense) Clone() *Dense {
+	d := make([]float64, len(m.data))
+	copy(d, m.data)
+	return &Dense{rows: m.rows, cols: m.cols, data: d}
+}
+
+// T returns the transpose as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product m·b.
+func (m *Dense) Mul(b *Dense) *Dense {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("stats: dimension mismatch %dx%d · %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	out := NewDense(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		mi := m.Row(i)
+		oi := out.Row(i)
+		for k, mik := range mi {
+			if mik == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			for j, bkj := range bk {
+				oi[j] += mik * bkj
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m·x.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if m.cols != len(x) {
+		panic(fmt.Sprintf("stats: dimension mismatch %dx%d · %d", m.rows, m.cols, len(x)))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		mi := m.Row(i)
+		var s float64
+		for j, v := range mi {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Scale multiplies every element by a, in place, and returns m.
+func (m *Dense) Scale(a float64) *Dense {
+	for i := range m.data {
+		m.data[i] *= a
+	}
+	return m
+}
+
+// AddMat adds b element-wise, in place, and returns m.
+func (m *Dense) AddMat(b *Dense) *Dense {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic("stats: dimension mismatch in AddMat")
+	}
+	for i, v := range b.data {
+		m.data[i] += v
+	}
+	return m
+}
+
+// SubMat subtracts b element-wise, in place, and returns m.
+func (m *Dense) SubMat(b *Dense) *Dense {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic("stats: dimension mismatch in SubMat")
+	}
+	for i, v := range b.data {
+		m.data[i] -= v
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Diag returns a square matrix with v on the diagonal.
+func Diag(v []float64) *Dense {
+	m := NewDense(len(v), len(v))
+	for i, x := range v {
+		m.Set(i, i, x)
+	}
+	return m
+}
+
+// XtX returns Xᵀ·X for a design matrix X, exploiting symmetry.
+func XtX(x *Dense) *Dense {
+	out := NewDense(x.cols, x.cols)
+	for i := 0; i < x.rows; i++ {
+		ri := x.Row(i)
+		for a, va := range ri {
+			if va == 0 {
+				continue
+			}
+			oa := out.Row(a)
+			for b := a; b < len(ri); b++ {
+				oa[b] += va * ri[b]
+			}
+		}
+	}
+	for a := 0; a < out.rows; a++ {
+		for b := 0; b < a; b++ {
+			out.Set(a, b, out.At(b, a))
+		}
+	}
+	return out
+}
+
+// XtY returns Xᵀ·y for a design matrix X and response vector y.
+func XtY(x *Dense, y []float64) []float64 {
+	if x.rows != len(y) {
+		panic("stats: dimension mismatch in XtY")
+	}
+	out := make([]float64, x.cols)
+	for i := 0; i < x.rows; i++ {
+		ri := x.Row(i)
+		yi := y[i]
+		if yi == 0 {
+			continue
+		}
+		for j, v := range ri {
+			out[j] += v * yi
+		}
+	}
+	return out
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.6g", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between a
+// and b. It is used by equivalence tests (federated vs pooled).
+func MaxAbsDiff(a, b *Dense) float64 {
+	if a.rows != b.rows || a.cols != b.cols {
+		return math.Inf(1)
+	}
+	var m float64
+	for i, v := range a.data {
+		d := math.Abs(v - b.data[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

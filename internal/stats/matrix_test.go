@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	if r, c := m.Dims(); r != 2 || c != 3 {
+		t.Fatalf("Dims = %d,%d", r, c)
+	}
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Fatalf("At(1,2) = %v", m.At(1, 2))
+	}
+	m.Add(1, 2, 2)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("Add failed: %v", m.At(1, 2))
+	}
+	cl := m.Clone()
+	cl.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestDenseDataRoundTrip(t *testing.T) {
+	d := []float64{1, 2, 3, 4, 5, 6}
+	m := NewDenseData(2, 3, d)
+	if m.At(0, 1) != 2 || m.At(1, 0) != 4 {
+		t.Fatalf("row-major layout wrong: %v %v", m.At(0, 1), m.At(1, 0))
+	}
+	if &m.Data()[0] != &d[0] {
+		t.Fatal("NewDenseData copied data")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := m.T()
+	if r, c := tr.Dims(); r != 3 || c != 2 {
+		t.Fatalf("T dims = %d,%d", r, c)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if tr.At(j, i) != m.At(i, j) {
+				t.Fatalf("T mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewDenseData(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	p := a.Mul(b)
+	want := [][]float64{{58, 64}, {139, 154}}
+	for i := range want {
+		for j := range want[i] {
+			if p.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %v, want %v", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	v := a.MulVec([]float64{1, 0, -1})
+	if v[0] != -2 || v[1] != -2 {
+		t.Fatalf("MulVec = %v", v)
+	}
+}
+
+func TestXtXMatchesNaive(t *testing.T) {
+	g := NewRNG(1)
+	x := NewDense(17, 4)
+	for i := range x.data {
+		x.data[i] = g.Normal(0, 1)
+	}
+	got := XtX(x)
+	want := x.T().Mul(x)
+	if d := MaxAbsDiff(got, want); d > 1e-12 {
+		t.Fatalf("XtX differs from naive by %g", d)
+	}
+}
+
+func TestXtY(t *testing.T) {
+	x := NewDenseData(3, 2, []float64{1, 2, 3, 4, 5, 6})
+	y := []float64{1, -1, 2}
+	got := XtY(x, y)
+	want := []float64{1*1 - 3 + 10, 2 - 4 + 12}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("XtY = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIdentityAndDiag(t *testing.T) {
+	id := Identity(3)
+	d := Diag([]float64{1, 1, 1})
+	if MaxAbsDiff(id, d) != 0 {
+		t.Fatal("Identity != Diag(ones)")
+	}
+}
+
+func TestScaleAddSub(t *testing.T) {
+	a := NewDenseData(1, 2, []float64{1, 2})
+	b := NewDenseData(1, 2, []float64{3, 4})
+	a.AddMat(b)
+	if a.At(0, 0) != 4 || a.At(0, 1) != 6 {
+		t.Fatalf("AddMat = %v", a.data)
+	}
+	a.SubMat(b).Scale(2)
+	if a.At(0, 0) != 2 || a.At(0, 1) != 4 {
+		t.Fatalf("SubMat/Scale = %v", a.data)
+	}
+}
+
+func TestMulDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	NewDense(2, 3).Mul(NewDense(2, 3))
+}
+
+// Property: (AᵀA) is symmetric for random A.
+func TestXtXSymmetricProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		r, c := 2+g.Intn(20), 1+g.Intn(6)
+		x := NewDense(r, c)
+		for i := range x.data {
+			x.data[i] = g.Normal(0, 3)
+		}
+		m := XtX(x)
+		for i := 0; i < c; i++ {
+			for j := 0; j < c; j++ {
+				if m.At(i, j) != m.At(j, i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxAbsDiffShapes(t *testing.T) {
+	if !math.IsInf(MaxAbsDiff(NewDense(1, 2), NewDense(2, 1)), 1) {
+		t.Fatal("shape mismatch should be +Inf")
+	}
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps a seeded source with the variate generators the platform needs:
+// Gaussian and Laplace noise for differential privacy, plus helpers for the
+// synthetic cohort generators. A nil-safe constructor keeps call sites terse.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform integer in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a uniform 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Uint64 returns a uniform 64-bit integer.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// Normal returns a Gaussian variate with the given mean and standard
+// deviation.
+func (g *RNG) Normal(mean, sd float64) float64 {
+	return mean + sd*g.r.NormFloat64()
+}
+
+// Laplace returns a Laplace variate with the given location and scale b
+// (density (1/2b)·exp(−|x−μ|/b)).
+func (g *RNG) Laplace(mu, b float64) float64 {
+	u := g.r.Float64() - 0.5
+	return mu - b*math.Copysign(math.Log(1-2*math.Abs(u)), u)
+}
+
+// Exponential returns an exponential variate with the given rate λ.
+func (g *RNG) Exponential(rate float64) float64 {
+	return g.r.ExpFloat64() / rate
+}
+
+// Gamma returns a Gamma(shape, scale) variate using the Marsaglia–Tsang
+// method (with the shape<1 boost). The SMPC layer uses it to split Laplace
+// noise into per-node Gamma differences (Laplace is infinitely divisible:
+// Lap(b) = Σᵢ (G1ᵢ − G2ᵢ) with Gᵢ ~ Gamma(1/n, b)).
+func (g *RNG) Gamma(shape, scale float64) float64 {
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) · U^(1/a).
+		u := g.r.Float64()
+		for u == 0 {
+			u = g.r.Float64()
+		}
+		return g.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := g.r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := g.r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (g *RNG) Bernoulli(p float64) bool { return g.r.Float64() < p }
+
+// Categorical draws an index from the (unnormalized) weights.
+func (g *RNG) Categorical(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	u := g.r.Float64() * total
+	for i, w := range weights {
+		u -= w
+		if u < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle permutes the first n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// MultivariateNormal draws from N(mean, cov) via the Cholesky factor of cov.
+// It returns an error only if cov is not positive definite.
+func (g *RNG) MultivariateNormal(mean []float64, cov *Dense) ([]float64, error) {
+	l, err := Cholesky(cov)
+	if err != nil {
+		return nil, err
+	}
+	n := len(mean)
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = g.r.NormFloat64()
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := mean[i]
+		for j := 0; j <= i; j++ {
+			s += l.At(i, j) * z[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}

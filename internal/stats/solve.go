@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a linear system is singular or a matrix is
+// not positive definite to working precision.
+var ErrSingular = errors.New("stats: matrix is singular or not positive definite")
+
+// Cholesky computes the lower-triangular factor L with m = L·Lᵀ.
+// m must be symmetric positive definite.
+func Cholesky(m *Dense) (*Dense, error) {
+	if m.rows != m.cols {
+		return nil, errors.New("stats: Cholesky of non-square matrix")
+	}
+	n := m.rows
+	l := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, ErrSingular
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveSPD solves m·x = b for symmetric positive definite m via Cholesky.
+func SolveSPD(m *Dense, b []float64) ([]float64, error) {
+	l, err := Cholesky(m)
+	if err != nil {
+		return nil, err
+	}
+	return solveCholesky(l, b), nil
+}
+
+func solveCholesky(l *Dense, b []float64) []float64 {
+	n := l.rows
+	// Forward substitution: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// InvSPD returns the inverse of a symmetric positive definite matrix.
+func InvSPD(m *Dense) (*Dense, error) {
+	l, err := Cholesky(m)
+	if err != nil {
+		return nil, err
+	}
+	n := m.rows
+	inv := NewDense(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col := solveCholesky(l, e)
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// SolveRidge solves (m + λI)·x = b; used to regularize near-singular normal
+// equations in the federated regressions.
+func SolveRidge(m *Dense, b []float64, lambda float64) ([]float64, error) {
+	r := m.Clone()
+	for i := 0; i < r.rows; i++ {
+		r.Add(i, i, lambda)
+	}
+	return SolveSPD(r, b)
+}
+
+// Solve solves the general square system m·x = b by Gaussian elimination
+// with partial pivoting.
+func Solve(m *Dense, b []float64) ([]float64, error) {
+	if m.rows != m.cols || m.rows != len(b) {
+		return nil, errors.New("stats: Solve dimension mismatch")
+	}
+	n := m.rows
+	a := m.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv, best := col, math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				piv, best = r, v
+			}
+		}
+		if best < 1e-14 {
+			return nil, ErrSingular
+		}
+		if piv != col {
+			pr, cr := a.Row(piv), a.Row(col)
+			for j := range pr {
+				pr[j], cr[j] = cr[j], pr[j]
+			}
+			x[piv], x[col] = x[col], x[piv]
+		}
+		d := a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) / d
+			if f == 0 {
+				continue
+			}
+			rr, cr := a.Row(r), a.Row(col)
+			for j := col; j < n; j++ {
+				rr[j] -= f * cr[j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= a.At(i, j) * x[j]
+		}
+		x[i] = s / a.At(i, i)
+	}
+	return x, nil
+}
+
+// Det returns the determinant via LU elimination with partial pivoting.
+func Det(m *Dense) float64 {
+	if m.rows != m.cols {
+		panic("stats: Det of non-square matrix")
+	}
+	n := m.rows
+	a := m.Clone()
+	det := 1.0
+	for col := 0; col < n; col++ {
+		piv, best := col, math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				piv, best = r, v
+			}
+		}
+		if best == 0 {
+			return 0
+		}
+		if piv != col {
+			pr, cr := a.Row(piv), a.Row(col)
+			for j := range pr {
+				pr[j], cr[j] = cr[j], pr[j]
+			}
+			det = -det
+		}
+		d := a.At(col, col)
+		det *= d
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) / d
+			if f == 0 {
+				continue
+			}
+			rr, cr := a.Row(r), a.Row(col)
+			for j := col; j < n; j++ {
+				rr[j] -= f * cr[j]
+			}
+		}
+	}
+	return det
+}

@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// randomSPD builds a random symmetric positive definite matrix AᵀA + I.
+func randomSPD(g *RNG, n int) *Dense {
+	a := NewDense(n, n)
+	for i := range a.data {
+		a.data[i] = g.Normal(0, 1)
+	}
+	m := XtX(a)
+	for i := 0; i < n; i++ {
+		m.Add(i, i, 1)
+	}
+	return m
+}
+
+func TestCholeskyReconstruct(t *testing.T) {
+	g := NewRNG(7)
+	for n := 1; n <= 8; n++ {
+		m := randomSPD(g, n)
+		l, err := Cholesky(m)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		rec := l.Mul(l.T())
+		if d := MaxAbsDiff(rec, m); d > 1e-9 {
+			t.Fatalf("n=%d: LLᵀ differs by %g", n, d)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	m := NewDenseData(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := Cholesky(m); err == nil {
+		t.Fatal("expected ErrSingular for indefinite matrix")
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	g := NewRNG(11)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + g.Intn(9)
+		m := randomSPD(g, n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = g.Normal(0, 2)
+		}
+		b := m.MulVec(want)
+		got, err := SolveSPD(m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !almostEq(got[i], want[i], 1e-8) {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInvSPD(t *testing.T) {
+	g := NewRNG(13)
+	m := randomSPD(g, 5)
+	inv, err := InvSPD(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(m.Mul(inv), Identity(5)); d > 1e-9 {
+		t.Fatalf("M·M⁻¹ differs from I by %g", d)
+	}
+}
+
+func TestSolveGeneral(t *testing.T) {
+	// Non-symmetric system with known solution.
+	m := NewDenseData(3, 3, []float64{0, 2, 1, 1, -2, -3, -1, 1, 2})
+	want := []float64{1, 2, 3}
+	b := m.MulVec(want)
+	got, err := Solve(m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-10) {
+			t.Fatalf("x = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	m := NewDenseData(2, 2, []float64{1, 2, 2, 4})
+	if _, err := Solve(m, []float64{1, 2}); err == nil {
+		t.Fatal("expected error on singular system")
+	}
+}
+
+func TestSolveRidgeRegularizes(t *testing.T) {
+	m := NewDenseData(2, 2, []float64{1, 1, 1, 1}) // singular
+	x, err := SolveRidge(m, []float64{2, 2}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (M + 0.5I)x = b has the unique solution x = [0.8, 0.8].
+	if !almostEq(x[0], 0.8, 1e-12) || !almostEq(x[1], 0.8, 1e-12) {
+		t.Fatalf("ridge solution = %v", x)
+	}
+}
+
+func TestDet(t *testing.T) {
+	m := NewDenseData(2, 2, []float64{3, 1, 4, 2})
+	if d := Det(m); !almostEq(d, 2, 1e-12) {
+		t.Fatalf("Det = %v, want 2", d)
+	}
+	if d := Det(NewDenseData(2, 2, []float64{1, 2, 2, 4})); d != 0 {
+		t.Fatalf("Det singular = %v, want 0", d)
+	}
+}
+
+// Property: Solve recovers the vector used to manufacture b, for random
+// well-conditioned SPD systems.
+func TestSolveRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		n := 1 + g.Intn(7)
+		m := randomSPD(g, n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = g.Normal(0, 1)
+		}
+		got, err := Solve(m, m.MulVec(want))
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigenSym(t *testing.T) {
+	// Known decomposition: [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := NewDenseData(2, 2, []float64{2, 1, 1, 2})
+	vals, vecs, err := EigenSym(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(vals[0], 3, 1e-10) || !almostEq(vals[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues = %v", vals)
+	}
+	// Verify M·v = λ·v for each eigenpair.
+	for k := 0; k < 2; k++ {
+		v := []float64{vecs.At(0, k), vecs.At(1, k)}
+		mv := m.MulVec(v)
+		for i := range v {
+			if !almostEq(mv[i], vals[k]*v[i], 1e-10) {
+				t.Fatalf("eigenpair %d violated: Mv=%v λv=%v", k, mv, vals[k]*v[i])
+			}
+		}
+	}
+}
+
+func TestEigenSymRandomReconstruction(t *testing.T) {
+	g := NewRNG(21)
+	for n := 2; n <= 9; n++ {
+		m := randomSPD(g, n)
+		vals, vecs, err := EigenSym(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Eigenvalues sorted descending.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-12 {
+				t.Fatalf("n=%d eigenvalues not sorted: %v", n, vals)
+			}
+		}
+		// Reconstruct: V·diag(λ)·Vᵀ = M.
+		rec := vecs.Mul(Diag(vals)).Mul(vecs.T())
+		if d := MaxAbsDiff(rec, m); d > 1e-8 {
+			t.Fatalf("n=%d reconstruction off by %g", n, d)
+		}
+		// Orthonormal eigenvectors.
+		if d := MaxAbsDiff(vecs.T().Mul(vecs), Identity(n)); d > 1e-8 {
+			t.Fatalf("n=%d eigenvectors not orthonormal (off by %g)", n, d)
+		}
+	}
+}

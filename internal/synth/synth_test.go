@@ -1,0 +1,243 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"mip/internal/engine"
+	"mip/internal/stats"
+)
+
+func colStats(t *testing.T, tab *engine.Table, col, class string) (mean float64, n int) {
+	t.Helper()
+	cls, err := tab.StringColumn("alzheimerbroadcategory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := tab.ColByName(col)
+	if v == nil {
+		t.Fatalf("no column %q", col)
+	}
+	f := v.CastFloat64()
+	var sum float64
+	for i := 0; i < f.Len(); i++ {
+		if f.IsNull(i) || (class != "" && cls[i] != class) {
+			continue
+		}
+		sum += f.Float64s()[i]
+		n++
+	}
+	return sum / float64(n), n
+}
+
+func TestGenerateShape(t *testing.T) {
+	tab, err := Generate(Spec{Dataset: "x", Rows: 500, Seed: 1, MissingRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 500 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	if tab.NumCols() != len(Variables) {
+		t.Fatalf("cols = %d", tab.NumCols())
+	}
+	ds, _ := tab.StringColumn("dataset")
+	if ds[0] != "x" || ds[499] != "x" {
+		t.Fatal("dataset column wrong")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Generate(Spec{Dataset: "x", Rows: 100, Seed: 7})
+	b, _ := Generate(Spec{Dataset: "x", Rows: 100, Seed: 7})
+	for i := 0; i < 100; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("row %d differs with same seed", i)
+			}
+		}
+	}
+	c, _ := Generate(Spec{Dataset: "x", Rows: 100, Seed: 8})
+	same := true
+	for i := 0; i < 100 && same; i++ {
+		if a.Row(i)[5] != c.Row(i)[5] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+// The structure the use case depends on: AD patients have smaller
+// entorhinal/hippocampal volumes, lower Aβ42, higher pTau, lower MMSE.
+func TestClassSeparation(t *testing.T) {
+	tab, err := Generate(Spec{Dataset: "x", Rows: 4000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adH, _ := colStats(t, tab, "lefthippocampus", "AD")
+	cnH, _ := colStats(t, tab, "lefthippocampus", "CN")
+	if adH >= cnH-0.3 {
+		t.Fatalf("AD hippocampus %v should be well below CN %v", adH, cnH)
+	}
+	adAB, _ := colStats(t, tab, "ab42", "AD")
+	cnAB, _ := colStats(t, tab, "ab42", "CN")
+	if adAB >= cnAB-200 {
+		t.Fatalf("AD ab42 %v should be well below CN %v", adAB, cnAB)
+	}
+	adPT, _ := colStats(t, tab, "p_tau", "AD")
+	cnPT, _ := colStats(t, tab, "p_tau", "CN")
+	if adPT <= cnPT+15 {
+		t.Fatalf("AD p_tau %v should be well above CN %v", adPT, cnPT)
+	}
+	adM, _ := colStats(t, tab, "minimentalstate", "AD")
+	cnM, _ := colStats(t, tab, "minimentalstate", "CN")
+	if adM >= cnM-5 {
+		t.Fatalf("AD MMSE %v should be well below CN %v", adM, cnM)
+	}
+}
+
+func TestMissingness(t *testing.T) {
+	tab, err := Generate(Spec{Dataset: "x", Rows: 2000, Seed: 5, MissingRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, missing, err := tab.Float64Column("p_tau")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(missing) / 2000
+	if math.Abs(rate-0.1) > 0.03 {
+		t.Fatalf("missing rate = %v, want ~0.1", rate)
+	}
+	// Demographics are never missing.
+	_, m2, _ := tab.Float64Column("subjectageyears")
+	if m2 != 0 {
+		t.Fatal("age should not be missing")
+	}
+}
+
+func TestNamedCohorts(t *testing.T) {
+	edsd, err := EDSD(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edsd.NumRows() != 474 {
+		t.Fatalf("EDSD rows = %d", edsd.NumRows())
+	}
+	synth, _ := EDSDSynth(1)
+	if synth.NumRows() != 1000 {
+		t.Fatalf("edsd-synthdata rows = %d", synth.NumRows())
+	}
+	ppmi, _ := PPMI(1)
+	if ppmi.NumRows() != 714 {
+		t.Fatalf("PPMI rows = %d", ppmi.NumRows())
+	}
+	// PPMI has no missing p_tau (Figure 3 shows full 714 datapoints).
+	_, missing, _ := ppmi.Float64Column("p_tau")
+	if missing != 0 {
+		t.Fatalf("PPMI missing = %d", missing)
+	}
+}
+
+func TestUseCaseSites(t *testing.T) {
+	sites, err := UseCase(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"brescia": 1960, "lausanne": 1032, "lille": 1103, "adni": 1066}
+	for name, rows := range want {
+		tab := sites[name]
+		if tab == nil || tab.NumRows() != rows {
+			t.Fatalf("site %s: %v rows, want %d", name, tab.NumRows(), rows)
+		}
+	}
+	// Sites must differ in their means (distribution shift).
+	m1, _ := colStats(t, sites["brescia"], "ab42", "")
+	m2, _ := colStats(t, sites["adni"], "ab42", "")
+	if math.Abs(m1-m2) < 1 {
+		t.Fatalf("site shift missing: brescia %v vs adni %v", m1, m2)
+	}
+}
+
+func TestSurvival(t *testing.T) {
+	tab, err := Survival(SurvivalSpec{Dataset: "s", Rows: 2000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 2000 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	// Treated group should survive longer on average (lower hazard).
+	grp, _ := tab.StringColumn("grp")
+	times, _, _ := tab.Float64Column("time")
+	_ = times
+	tv := tab.ColByName("time").Float64s()
+	var sumC, sumT, nC, nT float64
+	for i := range grp {
+		if grp[i] == "control" {
+			sumC += tv[i]
+			nC++
+		} else {
+			sumT += tv[i]
+			nT++
+		}
+	}
+	if sumT/nT <= sumC/nC {
+		t.Fatalf("treated mean time %v should exceed control %v", sumT/nT, sumC/nC)
+	}
+	// Both events and censorings present.
+	ev := tab.ColByName("event").Int64s()
+	var events int
+	for _, e := range ev {
+		events += int(e)
+	}
+	if events == 0 || events == 2000 {
+		t.Fatalf("events = %d, want a mix", events)
+	}
+	// Discretized times should repeat (needed for distinct-times union).
+	seen := map[float64]int{}
+	for _, x := range tv {
+		seen[x]++
+	}
+	if len(seen) >= 1900 {
+		t.Fatalf("times not discretized: %d distinct", len(seen))
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Spec{Rows: -1}); err == nil {
+		t.Fatal("negative rows must fail")
+	}
+	if _, err := Generate(Spec{Rows: 10, MissingRate: 1.5}); err == nil {
+		t.Fatal("bad missing rate must fail")
+	}
+}
+
+// MMSE must correlate positively with hippocampal volume (the regression
+// the use case runs depends on this signal).
+func TestVolumeCognitionCorrelation(t *testing.T) {
+	tab, _ := Generate(Spec{Dataset: "x", Rows: 3000, Seed: 9})
+	lh := tab.ColByName("lefthippocampus").Float64s()
+	mm := tab.ColByName("minimentalstate").Float64s()
+	var xs, ys []float64
+	for i := range lh {
+		if !tab.ColByName("lefthippocampus").IsNull(i) && !tab.ColByName("minimentalstate").IsNull(i) {
+			xs = append(xs, lh[i])
+			ys = append(ys, mm[i])
+		}
+	}
+	mx, my := stats.Mean(xs), stats.Mean(ys)
+	var cov, vx, vy float64
+	for i := range xs {
+		cov += (xs[i] - mx) * (ys[i] - my)
+		vx += (xs[i] - mx) * (xs[i] - mx)
+		vy += (ys[i] - my) * (ys[i] - my)
+	}
+	r := cov / math.Sqrt(vx*vy)
+	if r < 0.3 {
+		t.Fatalf("corr(hippocampus, MMSE) = %v, want > 0.3", r)
+	}
+}

@@ -1,0 +1,152 @@
+package udf
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The paper's roadmap: "integrating this process with recent research
+// advancements to in-engine, performant and stateful Python UDF execution
+// using tracing JIT compilation and UDF fusion". This file implements the
+// two executable halves of that roadmap item:
+//
+//   - UDF fusion (CallFused): several UDFs whose relation input is the
+//     same query are executed over ONE resolved batch — the engine scans
+//     and filters once instead of once per UDF, and every body consumes
+//     the same vectorized columns.
+//
+//   - Stateful execution (StatefulExec): UDFs declaring a State input and
+//     output carry node-local state across invocations (e.g. streaming
+//     aggregation or incremental model state), managed by the runtime and
+//     never shipped off the node.
+
+// FusedResult is one UDF's outputs inside a fused batch.
+type FusedResult struct {
+	Name    string
+	Outputs []Value
+}
+
+// CallFused executes the named UDFs over a single shared relation input.
+// Every definition must take the relation as its first input; extraArgs
+// supplies each UDF's remaining arguments by name (may be nil when a UDF
+// only takes the relation). The relation query runs exactly once.
+func (e *Exec) CallFused(names []string, relationSQL string, extraArgs map[string][]Value) ([]FusedResult, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("udf: CallFused needs at least one UDF")
+	}
+	// Validate signatures before paying for the scan.
+	defs := make([]*Def, len(names))
+	for i, n := range names {
+		d := e.Registry.Lookup(n)
+		if d == nil {
+			return nil, fmt.Errorf("udf: unknown function %q", n)
+		}
+		if len(d.Inputs) == 0 || d.Inputs[0].Kind != Relation {
+			return nil, fmt.Errorf("udf %s: fused execution requires a leading relation input", n)
+		}
+		if want, got := len(d.Inputs)-1, len(extraArgs[n]); want != got {
+			return nil, fmt.Errorf("udf %s: got %d extra arguments, want %d", n, got, want)
+		}
+		defs[i] = d
+	}
+
+	// One scan for the whole batch.
+	ctx := &Ctx{DB: e.DB}
+	rel, err := ctx.Loopback(relationSQL)
+	if err != nil {
+		return nil, fmt.Errorf("udf: resolving fused relation: %w", err)
+	}
+
+	out := make([]FusedResult, len(names))
+	for i, d := range defs {
+		if len(d.Inputs[0].Schema) > 0 && !rel.Schema().Equal(d.Inputs[0].Schema) {
+			return nil, fmt.Errorf("udf %s: fused relation schema mismatch", d.Name)
+		}
+		args := append([]Value{RelationValue(rel)}, extraArgs[d.Name]...)
+		res, err := d.Body(ctx, args)
+		if err != nil {
+			return nil, fmt.Errorf("udf %s: %w", d.Name, err)
+		}
+		if len(res) != len(d.Outputs) {
+			return nil, fmt.Errorf("udf %s: body returned %d values, declared %d", d.Name, len(res), len(d.Outputs))
+		}
+		for oi, spec := range d.Outputs {
+			if spec.Kind == Relation && res[oi].Table != nil {
+				e.DB.RegisterTable(spec.Name, res[oi].Table)
+			}
+		}
+		out[i] = FusedResult{Name: d.Name, Outputs: res}
+	}
+	return out, nil
+}
+
+// LoopbackCountOf reports how many loopback queries a context issued —
+// exposed so the fusion tests/benchmarks can assert the single-scan
+// property.
+func LoopbackCountOf(c *Ctx) int { return c.LoopbackCount }
+
+// StatefulExec wraps Exec with a per-UDF state store: definitions whose
+// LAST input has Kind State receive their previous state (zero Value on
+// first call), and definitions whose FIRST output has Kind State have it
+// captured back into the store. State never leaves the node.
+type StatefulExec struct {
+	Exec *Exec
+
+	mu    sync.Mutex
+	state map[string]any
+}
+
+// NewStatefulExec wraps an executor.
+func NewStatefulExec(e *Exec) *StatefulExec {
+	return &StatefulExec{Exec: e, state: make(map[string]any)}
+}
+
+// Call invokes the UDF, threading stored state through the declared State
+// slots. The state key defaults to the UDF name; use CallKeyed to maintain
+// independent streams.
+func (s *StatefulExec) Call(name string, inputs []Value, relationQueries map[string]string) ([]Value, error) {
+	return s.CallKeyed(name, name, inputs, relationQueries)
+}
+
+// CallKeyed is Call with an explicit state key (one UDF, many streams).
+func (s *StatefulExec) CallKeyed(stateKey, name string, inputs []Value, relationQueries map[string]string) ([]Value, error) {
+	d := s.Exec.Registry.Lookup(name)
+	if d == nil {
+		return nil, fmt.Errorf("udf: unknown function %q", name)
+	}
+	args := append([]Value(nil), inputs...)
+	stateIn := -1
+	if n := len(d.Inputs); n > 0 && d.Inputs[n-1].Kind == State {
+		stateIn = n - 1
+	}
+	if stateIn >= 0 {
+		s.mu.Lock()
+		prior := s.state[stateKey]
+		s.mu.Unlock()
+		for len(args) <= stateIn {
+			args = append(args, Value{})
+		}
+		args[stateIn] = StateValue(prior)
+	}
+	outs, err := s.Exec.Call(name, args, relationQueries)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.Outputs) > 0 && d.Outputs[0].Kind == State {
+		s.mu.Lock()
+		s.state[stateKey] = outs[0].State
+		s.mu.Unlock()
+	}
+	return outs, nil
+}
+
+// Reset clears one state stream (empty key clears everything).
+func (s *StatefulExec) Reset(stateKey string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if stateKey == "" {
+		s.state = make(map[string]any)
+		return
+	}
+	delete(s.state, stateKey)
+}

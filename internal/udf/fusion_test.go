@@ -1,0 +1,198 @@
+package udf
+
+import (
+	"testing"
+
+	"mip/internal/engine"
+)
+
+// fusionRegistry registers three UDFs sharing the relation-first shape.
+func fusionRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	colSum := func(col string) Func {
+		return func(ctx *Ctx, args []Value) ([]Value, error) {
+			tab := args[0].Table
+			var s float64
+			v := tab.ColByName(col).CastFloat64()
+			for i := 0; i < v.Len(); i++ {
+				if !v.IsNull(i) {
+					s += v.Float64s()[i]
+				}
+			}
+			return []Value{ScalarValue(s)}, nil
+		}
+	}
+	for _, col := range []string{"x", "y"} {
+		r.MustRegister(&Def{
+			Name:    "sum_" + col,
+			Inputs:  []IOSpec{{Name: "data", Kind: Relation}},
+			Outputs: []IOSpec{{Name: "s", Kind: Scalar}},
+			Body:    colSum(col),
+		})
+	}
+	r.MustRegister(&Def{
+		Name: "scaled_count",
+		Inputs: []IOSpec{
+			{Name: "data", Kind: Relation},
+			{Name: "factor", Kind: Scalar},
+		},
+		Outputs: []IOSpec{{Name: "n", Kind: Scalar}},
+		Body: func(ctx *Ctx, args []Value) ([]Value, error) {
+			f := args[1].Scalar.(float64)
+			return []Value{ScalarValue(float64(args[0].Table.NumRows()) * f)}, nil
+		},
+	})
+	return r
+}
+
+func TestCallFused(t *testing.T) {
+	db := testDB(t)
+	e := &Exec{Registry: fusionRegistry(t), DB: db}
+	res, err := e.CallFused(
+		[]string{"sum_x", "sum_y", "scaled_count"},
+		`SELECT x, y FROM obs`,
+		map[string][]Value{"scaled_count": {ScalarValue(2.0)}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if res[0].Outputs[0].Scalar != 10.0 { // x: 1+2+3+4
+		t.Fatalf("sum_x = %v", res[0].Outputs[0].Scalar)
+	}
+	if res[1].Outputs[0].Scalar != 24.0 { // y: 3+5+7+9
+		t.Fatalf("sum_y = %v", res[1].Outputs[0].Scalar)
+	}
+	if res[2].Outputs[0].Scalar != 8.0 { // 4 rows × 2
+		t.Fatalf("scaled_count = %v", res[2].Outputs[0].Scalar)
+	}
+}
+
+func TestCallFusedValidation(t *testing.T) {
+	db := testDB(t)
+	e := &Exec{Registry: fusionRegistry(t), DB: db}
+	if _, err := e.CallFused(nil, "SELECT x FROM obs", nil); err == nil {
+		t.Fatal("empty batch must fail")
+	}
+	if _, err := e.CallFused([]string{"ghost"}, "SELECT x FROM obs", nil); err == nil {
+		t.Fatal("unknown UDF must fail")
+	}
+	if _, err := e.CallFused([]string{"scaled_count"}, "SELECT x FROM obs", nil); err == nil {
+		t.Fatal("missing extra args must fail")
+	}
+	if _, err := e.CallFused([]string{"sum_x"}, "SELECT broken FROM", nil); err == nil {
+		t.Fatal("bad relation SQL must fail")
+	}
+	// Non-relation-first UDFs are rejected.
+	r := fusionRegistry(t)
+	r.MustRegister(&Def{
+		Name:    "scalar_only",
+		Inputs:  []IOSpec{{Name: "k", Kind: Scalar}},
+		Outputs: []IOSpec{{Name: "o", Kind: Scalar}},
+		Body: func(ctx *Ctx, args []Value) ([]Value, error) {
+			return []Value{args[0]}, nil
+		},
+	})
+	e2 := &Exec{Registry: r, DB: db}
+	if _, err := e2.CallFused([]string{"scalar_only"}, "SELECT x FROM obs", map[string][]Value{"scalar_only": {ScalarValue(1.0)}}); err == nil {
+		t.Fatal("non-relation-first UDF must fail")
+	}
+}
+
+// The point of fusion: one scan for N UDFs instead of N scans.
+func TestFusionSingleScan(t *testing.T) {
+	db := testDB(t)
+	e := &Exec{Registry: fusionRegistry(t), DB: db}
+
+	before := db.QueryCount()
+	res, err := e.CallFused([]string{"sum_x", "sum_y"}, `SELECT x, y FROM obs`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.QueryCount() - before; got != 1 {
+		t.Fatalf("fused batch issued %d queries, want 1", got)
+	}
+
+	before = db.QueryCount()
+	a, err := e.Call("sum_x", make([]Value, 1), map[string]string{"data": `SELECT x, y FROM obs`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Call("sum_y", make([]Value, 1), map[string]string{"data": `SELECT x, y FROM obs`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.QueryCount() - before; got != 2 {
+		t.Fatalf("unfused calls issued %d queries, want 2", got)
+	}
+	if res[0].Outputs[0].Scalar != a[0].Scalar || res[1].Outputs[0].Scalar != b[0].Scalar {
+		t.Fatal("fused and unfused results differ")
+	}
+}
+
+func TestStatefulExec(t *testing.T) {
+	db := testDB(t)
+	r := NewRegistry()
+	// Streaming counter: state accumulates row counts across calls.
+	r.MustRegister(&Def{
+		Name: "stream_count",
+		Inputs: []IOSpec{
+			{Name: "data", Kind: Relation},
+			{Name: "prior", Kind: State},
+		},
+		Outputs: []IOSpec{
+			{Name: "state", Kind: State},
+			{Name: "total", Kind: Scalar},
+		},
+		Body: func(ctx *Ctx, args []Value) ([]Value, error) {
+			total := 0.0
+			if args[1].State != nil {
+				total = args[1].State.(float64)
+			}
+			total += float64(args[0].Table.NumRows())
+			return []Value{StateValue(total), ScalarValue(total)}, nil
+		},
+	})
+	se := NewStatefulExec(&Exec{Registry: r, DB: db})
+
+	for i, want := range []float64{4, 8, 12} {
+		outs, err := se.Call("stream_count", make([]Value, 2), map[string]string{"data": `SELECT x FROM obs`})
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if outs[1].Scalar != want {
+			t.Fatalf("call %d: total = %v, want %v", i, outs[1].Scalar, want)
+		}
+	}
+
+	// Independent keyed streams.
+	outs, err := se.CallKeyed("other", "stream_count", make([]Value, 2), map[string]string{"data": `SELECT x FROM obs`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[1].Scalar != 4.0 {
+		t.Fatalf("fresh stream total = %v", outs[1].Scalar)
+	}
+
+	// Reset clears state.
+	se.Reset("stream_count")
+	outs, _ = se.Call("stream_count", make([]Value, 2), map[string]string{"data": `SELECT x FROM obs`})
+	if outs[1].Scalar != 4.0 {
+		t.Fatalf("after reset total = %v", outs[1].Scalar)
+	}
+	se.Reset("")
+	outs, _ = se.CallKeyed("other", "stream_count", make([]Value, 2), map[string]string{"data": `SELECT x FROM obs`})
+	if outs[1].Scalar != 4.0 {
+		t.Fatalf("after full reset total = %v", outs[1].Scalar)
+	}
+}
+
+func TestStatefulExecUnknown(t *testing.T) {
+	se := NewStatefulExec(&Exec{Registry: NewRegistry(), DB: engine.NewDB()})
+	if _, err := se.Call("ghost", nil, nil); err == nil {
+		t.Fatal("unknown UDF must fail")
+	}
+}

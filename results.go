@@ -1,0 +1,45 @@
+package mip
+
+import "mip/internal/algorithms"
+
+// Typed result payloads: algorithms return Result maps whose values carry
+// these structures (directly for in-process runs, JSON-shaped through the
+// REST API).
+type (
+	// VariableSummary is one row of the descriptive-statistics table.
+	VariableSummary = algorithms.VariableSummary
+	// LinRegModel is the linear-regression summary.
+	LinRegModel = algorithms.LinRegModel
+	// Coefficient is one linear-model coefficient row.
+	Coefficient = algorithms.Coefficient
+	// LogRegModel is the logistic-regression summary.
+	LogRegModel = algorithms.LogRegModel
+	// LogRegCoef is one logistic coefficient row.
+	LogRegCoef = algorithms.LogRegCoef
+	// KMeansResult is the clustering output.
+	KMeansResult = algorithms.KMeansResult
+	// TTestResult is the shared t-test output.
+	TTestResult = algorithms.TTestResult
+	// Correlation is one Pearson-correlation pair.
+	Correlation = algorithms.Correlation
+	// ANOVATable is one ANOVA effect row.
+	ANOVATable = algorithms.ANOVATable
+	// PCAResult is the principal-components output.
+	PCAResult = algorithms.PCAResult
+	// NBModel is the naive-Bayes model.
+	NBModel = algorithms.NBModel
+	// DecisionTree is the CART/ID3 tree model.
+	DecisionTree = algorithms.Tree
+	// KMCurve is one Kaplan-Meier survival curve.
+	KMCurve = algorithms.KMCurve
+	// KMPoint is one survival-curve step.
+	KMPoint = algorithms.KMPoint
+	// CalBeltResult is the calibration-belt output.
+	CalBeltResult = algorithms.CalBeltResult
+	// BeltPoint is one calibration-belt grid point.
+	BeltPoint = algorithms.BeltPoint
+	// FoldScore is one regression-CV fold result.
+	FoldScore = algorithms.FoldScore
+	// ClassScore is one classification-CV fold result.
+	ClassScore = algorithms.ClassScore
+)
