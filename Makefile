@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race vet fmt check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails if any file needs gofmt (CI-friendly).
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+check: vet fmt race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -12,6 +12,8 @@
 //	mipctl run -algorithm linear_regression -datasets edsd \
 //	       -y minimentalstate -x lefthippocampus,subjectageyears \
 //	       [-param k=3] [-param pos_level=AD] [-filter "age > 60"]
+//	mipctl health
+//	mipctl trace exp-000001   # render the experiment's span tree
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -77,9 +80,96 @@ func main() {
 		get(*server+"/workflows", prettyPrint)
 	case "workflow":
 		runWorkflow(*server, *name, subArgs)
+	case "health":
+		get(*server+"/healthz", printHealth)
+	case "trace":
+		if len(subArgs) == 0 {
+			log.Fatal("trace needs an experiment uuid")
+		}
+		get(*server+"/experiments/"+subArgs[0]+"/trace", printTrace)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: mipctl [flags] algorithms|datasets|variables|experiments|workflows|run|workflow")
+		fmt.Fprintln(os.Stderr, "usage: mipctl [flags] algorithms|datasets|variables|experiments|workflows|run|workflow|health|trace")
 		os.Exit(2)
+	}
+}
+
+// printHealth renders the /healthz document as aligned key: value lines.
+func printHealth(body []byte) {
+	var h map[string]any
+	if json.Unmarshal(body, &h) != nil {
+		fmt.Println(string(body))
+		return
+	}
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		switch v := h[k].(type) {
+		case float64:
+			fmt.Printf("%-16s %s\n", k, strconv.FormatFloat(v, 'f', -1, 64))
+		case map[string]any:
+			enc, _ := json.Marshal(v)
+			fmt.Printf("%-16s %s\n", k, enc)
+		default:
+			fmt.Printf("%-16s %v\n", k, v)
+		}
+	}
+}
+
+// span mirrors the server's SpanNode JSON (obs.SpanNode).
+type span struct {
+	Name     string            `json:"name"`
+	SpanID   string            `json:"span_id"`
+	Attrs    map[string]string `json:"attrs"`
+	Err      string            `json:"error"`
+	DurMS    float64           `json:"duration_ms"`
+	Children []*span           `json:"children"`
+}
+
+// printTrace renders the span tree as an indented timing outline:
+//
+//	experiment linear_regression                      12.4ms
+//	  localrun lr_local                                8.1ms  job_id=...
+//	    worker hospital-0                              7.9ms  rows=300
+//	      exec lr_local                                 7.2ms
+func printTrace(body []byte) {
+	var doc struct {
+		TraceID string  `json:"trace_id"`
+		Tree    []*span `json:"tree"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		log.Fatalf("decoding trace: %v", err)
+	}
+	if len(doc.Tree) == 0 {
+		fmt.Printf("trace %s: no spans recorded\n", doc.TraceID)
+		return
+	}
+	fmt.Printf("trace %s\n", doc.TraceID)
+	for _, root := range doc.Tree {
+		printSpan(root, 0)
+	}
+}
+
+func printSpan(s *span, depth int) {
+	indent := strings.Repeat("  ", depth)
+	label := indent + s.Name
+	fmt.Printf("%-48s %9.3fms", label, s.DurMS)
+	keys := make([]string, 0, len(s.Attrs))
+	for k := range s.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %s=%s", k, s.Attrs[k])
+	}
+	if s.Err != "" {
+		fmt.Printf("  ERROR=%s", s.Err)
+	}
+	fmt.Println()
+	for _, c := range s.Children {
+		printSpan(c, depth+1)
 	}
 }
 

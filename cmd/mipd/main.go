@@ -7,25 +7,40 @@
 //	mipd [-addr :8080] [-workers 3] [-rows 300] [-security off|shamir|ft]
 //	     [-noise none|laplace|gaussian] [-noise-scale 0]
 //	     [-csv dir]   # load <dir>/<worker>.csv instead of synthetic data
+//	     [-debug-addr :6060]  # pprof + metrics on a private listener
 //
 // With -csv, each file must be a harmonized CSV (header row; a "dataset"
 // column). Without it, workers get synthetic EDSD-like shards.
+//
+// The API itself serves GET /metrics (Prometheus text format) and
+// GET /experiments/{uuid}/trace (span tree). -debug-addr additionally
+// exposes net/http/pprof profiles on a separate, typically non-public,
+// listener. SIGINT/SIGTERM trigger a graceful drain: the HTTP server stops
+// accepting connections and running experiments get up to 30s to finish.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"mip"
+	"mip/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "REST API listen address")
+	debugAddr := flag.String("debug-addr", "", "optional pprof/metrics listen address (e.g. :6060)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 	nWorkers := flag.Int("workers", 3, "number of workers (synthetic mode)")
 	rows := flag.Int("rows", 300, "rows per synthetic worker")
 	security := flag.String("security", "off", "aggregation security: off | shamir | ft")
@@ -91,12 +106,53 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer platform.Close()
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: platform.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 
 	log.Printf("MIP master up: %d workers, security=%s", len(cfg.Workers), *security)
 	log.Printf("REST API listening on %s (try GET /algorithms, POST /experiments)", *addr)
-	if err := http.ListenAndServe(*addr, platform.Handler()); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		platform.Close()
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+
+	log.Printf("shutting down: draining for up to %s", *drain)
+	deadline, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(deadline); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := platform.Shutdown(deadline); err != nil {
+		log.Printf("drain incomplete: %v (unfinished experiments marked error)", err)
+	}
+	log.Printf("bye")
+}
+
+// serveDebug exposes pprof profiles and the metrics registry on a separate
+// listener, mounted on an explicit mux so nothing leaks onto the API server.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", obs.MetricsHandler())
+	log.Printf("debug listener (pprof, metrics) on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("debug listener: %v", err)
 	}
 }

@@ -8,6 +8,8 @@ package api
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -19,8 +21,23 @@ import (
 	"mip/internal/algorithms"
 	"mip/internal/catalogue"
 	"mip/internal/federation"
+	"mip/internal/obs"
 	"mip/internal/queue"
 )
+
+// API metrics, registered eagerly for GET /metrics.
+var (
+	apiExperiments = obs.GetCounter("mip_api_experiments_total",
+		"Experiments accepted through POST /experiments.")
+	apiExperimentSeconds = obs.GetHistogram("mip_api_experiment_seconds",
+		"End-to-end experiment wall time (queue wait included).", nil)
+)
+
+func apiExperimentsDone(status string) *obs.Counter {
+	return obs.GetCounter("mip_api_experiments_finished_total",
+		"Experiments finished, by terminal status.",
+		obs.Label{Key: "status", Value: status})
+}
 
 // ExperimentRequest is the POST /experiments payload.
 type ExperimentRequest struct {
@@ -55,6 +72,10 @@ type Server struct {
 	experiments map[string]*Experiment
 	workflows   map[string]*Workflow
 	seq         int
+	start       time.Time
+	// instance disambiguates UUIDs (and hence trace ids, which key the
+	// process-global trace store) across servers sharing a process.
+	instance string
 }
 
 // NewServer builds the API server and registers the experiment task
@@ -65,18 +86,20 @@ func NewServer(master *federation.Master, cat *catalogue.Catalogue, runner *queu
 		Catalogue:   cat,
 		Runner:      runner,
 		experiments: make(map[string]*Experiment),
+		start:       time.Now(),
+		instance:    randHex(4),
 	}
 	runner.Register("experiment", s.runExperimentTask)
 	runner.Register("workflow", s.runWorkflowTask)
 	return s
 }
 
-// Handler returns the REST mux.
+// Handler returns the REST mux, wrapped in the obs middleware so every
+// endpoint reports request count/latency/status metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "workers": len(s.Master.Workers())})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", obs.MetricsHandler())
 	mux.HandleFunc("GET /pathologies", s.handlePathologies)
 	mux.HandleFunc("GET /pathologies/{code}/variables", s.handleVariables)
 	mux.HandleFunc("GET /datasets", s.handleDatasets)
@@ -84,8 +107,85 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /experiments", s.handleCreateExperiment)
 	mux.HandleFunc("GET /experiments", s.handleListExperiments)
 	mux.HandleFunc("GET /experiments/{uuid}", s.handleGetExperiment)
+	mux.HandleFunc("GET /experiments/{uuid}/trace", s.handleExperimentTrace)
 	s.registerWorkflowRoutes(mux)
-	return mux
+	return obs.Middleware("api", mux)
+}
+
+// handleHealthz reports liveness plus a status snapshot the CLI
+// pretty-prints: uptime, federation size, queue load and experiment counts.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	counts := map[string]int{}
+	for _, e := range s.experiments {
+		counts[e.Status]++
+	}
+	total := len(s.experiments)
+	workflows := len(s.workflows)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"workers":        len(s.Master.Workers()),
+		"queue_depth":    s.Runner.Depth(),
+		"queue_running":  s.Runner.Running(),
+		"experiments":    total,
+		"by_status":      counts,
+		"workflows":      workflows,
+	})
+}
+
+// handleExperimentTrace serves the experiment's span tree as JSON. Spans
+// exist only for experiments that actually ran on this process (the trace
+// store is bounded FIFO), so a known experiment can legitimately return an
+// empty tree after eviction.
+func (s *Server) handleExperimentTrace(w http.ResponseWriter, r *http.Request) {
+	uuid := r.PathValue("uuid")
+	s.mu.Lock()
+	_, knownExp := s.experiments[uuid]
+	_, knownWf := s.workflows[uuid]
+	s.mu.Unlock()
+	if !knownExp && !knownWf {
+		writeErr(w, http.StatusNotFound, "unknown experiment %q", uuid)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"trace_id": uuid,
+		"spans":    obs.DefaultTraces.Spans(uuid),
+		"tree":     obs.DefaultTraces.Tree(uuid),
+	})
+}
+
+// AbortPending marks every non-terminal experiment and workflow as errored
+// with the given reason; called on shutdown after the queue drain so
+// clients polling an abandoned run see a terminal state.
+func (s *Server) AbortPending(reason string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	n := 0
+	for _, e := range s.experiments {
+		if e.Status == "pending" || e.Status == "running" {
+			e.Status = "error"
+			e.Error = reason
+			e.Finished = &now
+			n++
+		}
+	}
+	for _, wf := range s.workflows {
+		if wf.Status == "pending" || wf.Status == "running" {
+			wf.Status = "error"
+			wf.Finished = &now
+			n++
+		}
+	}
+	return n
+}
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	rand.Read(b)
+	return hex.EncodeToString(b)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -154,7 +254,7 @@ func (s *Server) handleCreateExperiment(w http.ResponseWriter, r *http.Request) 
 	s.mu.Lock()
 	s.seq++
 	exp := &Experiment{
-		UUID:      fmt.Sprintf("exp-%06d", s.seq),
+		UUID:      fmt.Sprintf("exp-%s-%06d", s.instance, s.seq),
 		Name:      req.Name,
 		Algorithm: req.Algorithm,
 		Request:   req.Request,
@@ -164,6 +264,7 @@ func (s *Server) handleCreateExperiment(w http.ResponseWriter, r *http.Request) 
 	s.experiments[exp.UUID] = exp
 	s.mu.Unlock()
 
+	apiExperiments.Inc()
 	taskID, err := s.Runner.Submit("experiment", map[string]any{"uuid": exp.UUID})
 	if err != nil {
 		s.mu.Lock()
@@ -215,26 +316,37 @@ func (s *Server) runExperimentTask(ctx context.Context, payload json.RawMessage)
 	exp.Status = "running"
 	alg := algorithms.Get(exp.Algorithm)
 	req := exp.Request
+	created := exp.Created
 	s.mu.Unlock()
+
+	// The experiment UUID doubles as the trace id: every span recorded while
+	// the algorithm runs — master fan-outs, per-worker round-trips (local or
+	// over HTTP), SMPC rounds, engine queries — nests under this root.
+	root := obs.DefaultTraces.StartSpan(exp.UUID, "", "experiment "+exp.Algorithm)
+	root.SetAttr("name", exp.Name)
 
 	finish := func(result algorithms.Result, err error) {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		now := time.Now()
 		exp.Finished = &now
+		apiExperimentSeconds.Observe(now.Sub(created).Seconds())
 		if err != nil {
 			exp.Status = "error"
 			exp.Error = err.Error()
-			return
-		}
-		enc, encErr := json.Marshal(result)
-		if encErr != nil {
+		} else if enc, encErr := json.Marshal(result); encErr != nil {
 			exp.Status = "error"
 			exp.Error = encErr.Error()
-			return
+		} else {
+			exp.Status = "success"
+			exp.Result = enc
 		}
-		exp.Status = "success"
-		exp.Result = enc
+		apiExperimentsDone(exp.Status).Inc()
+		root.SetAttr("status", exp.Status)
+		if exp.Status == "error" {
+			root.SetAttr("error", exp.Error)
+		}
+		root.End()
 	}
 
 	sess, err := s.Master.NewSession(req.Datasets)
@@ -242,6 +354,7 @@ func (s *Server) runExperimentTask(ctx context.Context, payload json.RawMessage)
 		finish(nil, err)
 		return nil, nil // failure recorded on the experiment, not retried
 	}
+	sess.SetTrace(obs.TraceRef{TraceID: exp.UUID, SpanID: root.ID()})
 	result, err := alg.Run(sess, req)
 	finish(result, err)
 	return map[string]string{"uuid": p.UUID}, nil

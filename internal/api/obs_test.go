@@ -1,0 +1,122 @@
+package api
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"mip/internal/algorithms"
+	"mip/internal/obs"
+)
+
+func runOneExperiment(t *testing.T, s *Server, ts string) string {
+	t.Helper()
+	var exp Experiment
+	code := postJSON(t, ts+"/experiments", ExperimentRequest{
+		Name:      "obs test",
+		Algorithm: "descriptive_stats",
+		Request:   algorithms.Request{Datasets: []string{"edsd"}, Y: []string{"lefthippocampus"}},
+	}, &exp)
+	if code != 201 {
+		t.Fatalf("create = %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done, err := s.WaitForExperiment(ctx, exp.UUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != "success" {
+		t.Fatalf("experiment status = %s (%s)", done.Status, done.Error)
+	}
+	return exp.UUID
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, ts := testServer(t)
+	runOneExperiment(t, s, ts.URL)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	out := string(body)
+
+	// Every subsystem must expose at least one counter, gauge and histogram.
+	for _, want := range []string{
+		// api
+		"mip_http_requests_total", "mip_http_in_flight_requests", "mip_http_request_seconds_bucket",
+		"mip_api_experiments_total",
+		// federation
+		"mip_federation_localruns_total", "mip_federation_workers", "mip_federation_fanout_seconds_bucket",
+		// engine
+		"mip_engine_queries_total", "mip_engine_tables", "mip_engine_query_seconds_bucket",
+		// queue
+		"mip_queue_tasks_total", "mip_queue_depth", "mip_queue_task_run_seconds_bucket",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+func TestExperimentTraceEndpoint(t *testing.T) {
+	s, ts := testServer(t)
+	uuid := runOneExperiment(t, s, ts.URL)
+
+	var doc struct {
+		TraceID string          `json:"trace_id"`
+		Spans   []obs.SpanData  `json:"spans"`
+		Tree    []*obs.SpanNode `json:"tree"`
+	}
+	if code := getJSON(t, ts.URL+"/experiments/"+uuid+"/trace", &doc); code != 200 {
+		t.Fatalf("trace = %d", code)
+	}
+	if doc.TraceID != uuid {
+		t.Fatalf("trace id = %q, want %q", doc.TraceID, uuid)
+	}
+	if len(doc.Tree) != 1 {
+		t.Fatalf("trace roots = %d, want 1", len(doc.Tree))
+	}
+	root := doc.Tree[0]
+	if !strings.HasPrefix(root.Name, "experiment ") {
+		t.Fatalf("root span = %q", root.Name)
+	}
+	if root.Attrs["status"] != "success" {
+		t.Fatalf("root status attr = %q", root.Attrs["status"])
+	}
+	if root.DurMS <= 0 {
+		t.Fatalf("root duration = %v, want > 0", root.DurMS)
+	}
+	// The algorithm's fan-outs must nest under the root, with per-worker
+	// round-trip spans below them.
+	var workers int
+	var walk func(n *obs.SpanNode)
+	walk = func(n *obs.SpanNode) {
+		if strings.HasPrefix(n.Name, "worker ") {
+			workers++
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	if workers < 2 {
+		t.Fatalf("per-worker spans in tree = %d, want >= 2", workers)
+	}
+
+	if code := getJSON(t, ts.URL+"/experiments/nope/trace", nil); code != 404 {
+		t.Fatalf("unknown experiment trace = %d, want 404", code)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mip/internal/algorithms"
+	"mip/internal/obs"
 )
 
 // Workflows: the dashboard's Workflow tab chains several experiments into
@@ -90,7 +91,7 @@ func (s *Server) handleCreateWorkflow(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.seq++
 	wf := &Workflow{
-		UUID:    fmt.Sprintf("wf-%06d", s.seq),
+		UUID:    fmt.Sprintf("wf-%s-%06d", s.instance, s.seq),
 		Name:    req.Name,
 		Status:  "pending",
 		Created: time.Now(),
@@ -136,6 +137,10 @@ func (s *Server) runWorkflowTask(ctx context.Context, payload json.RawMessage) (
 	steps := append([]WorkflowStep(nil), wf.spec...)
 	s.mu.Unlock()
 
+	// The workflow UUID is the trace id; each step's spans nest under a
+	// per-step child of this root (the trace endpoint accepts wf- uuids too).
+	root := obs.DefaultTraces.StartSpan(wf.UUID, "", "workflow "+wf.Name)
+
 	failed := false
 	for i, st := range steps {
 		if failed {
@@ -144,7 +149,7 @@ func (s *Server) runWorkflowTask(ctx context.Context, payload json.RawMessage) (
 			s.mu.Unlock()
 			continue
 		}
-		result, err := s.runStep(st)
+		result, err := s.runStep(st, root)
 		s.mu.Lock()
 		if err != nil {
 			wf.Steps[i].Status = "error"
@@ -164,21 +169,29 @@ func (s *Server) runWorkflowTask(ctx context.Context, payload json.RawMessage) (
 	} else {
 		wf.Status = "success"
 	}
+	root.SetAttr("status", wf.Status)
 	s.mu.Unlock()
+	root.End()
 	return map[string]string{"uuid": p.UUID}, nil
 }
 
-func (s *Server) runStep(st WorkflowStep) (json.RawMessage, error) {
+func (s *Server) runStep(st WorkflowStep, parent *obs.Span) (json.RawMessage, error) {
+	span := parent.StartChild("step " + st.Algorithm)
+	span.SetAttr("name", st.Name)
+	defer span.End()
 	alg := algorithms.Get(st.Algorithm)
 	if alg == nil {
 		return nil, fmt.Errorf("unknown algorithm %q", st.Algorithm)
 	}
 	sess, err := s.Master.NewSession(st.Request.Datasets)
 	if err != nil {
+		span.SetError(err)
 		return nil, err
 	}
+	sess.SetTrace(obs.TraceRef{TraceID: parent.Data().TraceID, SpanID: span.ID()})
 	res, err := alg.Run(sess, st.Request)
 	if err != nil {
+		span.SetError(err)
 		return nil, err
 	}
 	return json.Marshal(res)

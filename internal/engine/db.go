@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DB is the engine's catalog: named base tables plus registered merge
@@ -43,6 +44,7 @@ func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 	}
 	t := NewTable(schema)
 	db.tables[key] = t
+	engTables.Inc()
 	return t, nil
 }
 
@@ -51,7 +53,11 @@ func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 func (db *DB) RegisterTable(name string, t *Table) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.tables[strings.ToLower(name)] = t
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; !ok {
+		engTables.Inc()
+	}
+	db.tables[key] = t
 }
 
 // Table returns the named base table, or nil.
@@ -68,6 +74,7 @@ func (db *DB) DropTable(name string) bool {
 	key := strings.ToLower(name)
 	if _, ok := db.tables[key]; ok {
 		delete(db.tables, key)
+		engTables.Dec()
 		return true
 	}
 	if _, ok := db.merges[key]; ok {
@@ -108,16 +115,37 @@ func (db *DB) TableNames() []string {
 // Query parses and executes a single SQL statement and returns its result
 // table (nil for DDL/DML statements).
 func (db *DB) Query(sql string) (*Table, error) {
+	t, _, err := db.QueryWithStats(sql)
+	return t, err
+}
+
+// QueryWithStats executes a statement and additionally returns its
+// execution statistics (rows scanned, vectors, per-operator nanos). The
+// statement is always folded into the engine metrics; callers that want
+// the stats on a trace span use this form.
+func (db *DB) QueryWithStats(sql string) (*Table, QueryStats, error) {
 	db.queries.Add(1)
+	var qs QueryStats
+	start := time.Now()
 	st, err := Parse(sql)
 	if err != nil {
-		return nil, err
+		engQueryErrors.Inc()
+		return nil, qs, err
 	}
-	return db.Run(st)
+	t, err := db.run(st, &qs)
+	qs.publish(time.Since(start).Seconds())
+	if err != nil {
+		engQueryErrors.Inc()
+	}
+	return t, qs, err
 }
 
 // Run executes a parsed statement.
 func (db *DB) Run(st Statement) (*Table, error) {
+	return db.run(st, nil)
+}
+
+func (db *DB) run(st Statement, qs *QueryStats) (*Table, error) {
 	switch s := st.(type) {
 	case *SelectStmt:
 		if m := db.Merge(s.From); m != nil {
@@ -131,7 +159,7 @@ func (db *DB) Run(st Statement) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			return execSelect(s, joined)
+			return execSelect(s, joined, qs)
 		}
 		t := db.Table(s.From)
 		if t == nil {
@@ -139,7 +167,7 @@ func (db *DB) Run(st Statement) (*Table, error) {
 		}
 		db.mu.RLock()
 		defer db.mu.RUnlock()
-		return execSelect(s, t)
+		return execSelect(s, t, qs)
 	case *CreateTableStmt:
 		_, err := db.CreateTable(s.Name, s.Schema)
 		return nil, err

@@ -5,21 +5,31 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 )
 
 // execSelect runs a parsed SELECT over an input table. It implements the
 // pipeline scan → filter → (group-by aggregate | project) → having →
-// order by → limit, all column-at-a-time.
-func execSelect(st *SelectStmt, input *Table) (*Table, error) {
+// order by → limit, all column-at-a-time. qs (optional, may be nil)
+// accumulates rows/vectors touched and per-operator nanos.
+func execSelect(st *SelectStmt, input *Table, qs *QueryStats) (*Table, error) {
 	t := input
+	if qs != nil {
+		qs.RowsScanned += input.NumRows()
+		qs.Vectors += len(input.Schema())
+	}
 
 	// WHERE: compute a selection vector and gather once.
 	if st.Where != nil {
+		t0 := time.Now()
 		sel, err := FilterSel(st.Where, t)
 		if err != nil {
 			return nil, err
 		}
 		t = t.Gather(sel)
+		if qs != nil {
+			qs.FilterNanos += time.Since(t0).Nanoseconds()
+		}
 	}
 
 	hasAgg := len(st.GroupBy) > 0 || st.Having != nil
@@ -32,14 +42,22 @@ func execSelect(st *SelectStmt, input *Table) (*Table, error) {
 	var out *Table
 	var err error
 	if hasAgg {
+		t0 := time.Now()
 		out, err = execAggregate(st, t)
 		if err != nil {
 			return nil, err
 		}
+		if qs != nil {
+			qs.AggregateNanos += time.Since(t0).Nanoseconds()
+		}
 		if len(st.OrderBy) > 0 {
+			t1 := time.Now()
 			out, err = execOrderBy(st.OrderBy, out)
 			if err != nil {
 				return nil, err
+			}
+			if qs != nil {
+				qs.SortNanos += time.Since(t1).Nanoseconds()
 			}
 		}
 	} else {
@@ -47,26 +65,46 @@ func execSelect(st *SelectStmt, input *Table) (*Table, error) {
 		// (SELECT id ... ORDER BY age), as well as projection aliases. Build
 		// an extended table carrying both, sort it, then project.
 		if len(st.OrderBy) > 0 {
+			t0 := time.Now()
 			ext, outNames, err := extendWithProjection(st, t)
 			if err != nil {
 				return nil, err
+			}
+			t1 := time.Now()
+			if qs != nil {
+				qs.ProjectNanos += t1.Sub(t0).Nanoseconds()
 			}
 			ext, err = execOrderBy(st.OrderBy, ext)
 			if err != nil {
 				return nil, err
 			}
+			t2 := time.Now()
+			if qs != nil {
+				qs.SortNanos += t2.Sub(t1).Nanoseconds()
+			}
 			out, err = projectNames(ext, outNames)
 			if err != nil {
 				return nil, err
 			}
+			if qs != nil {
+				qs.ProjectNanos += time.Since(t2).Nanoseconds()
+			}
 		} else {
+			t0 := time.Now()
 			out, err = execProject(st, t)
 			if err != nil {
 				return nil, err
 			}
+			if qs != nil {
+				qs.ProjectNanos += time.Since(t0).Nanoseconds()
+			}
 		}
 	}
 	out = execLimit(st, out)
+	if qs != nil {
+		qs.RowsOut += out.NumRows()
+		qs.Vectors += len(out.Schema())
+	}
 	return out, nil
 }
 

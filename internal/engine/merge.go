@@ -100,7 +100,7 @@ func (m *MergeTable) execMaterialize(st *SelectStmt) (*Table, error) {
 	m.setStats(MergeStats{Pushdown: false, RowsShipped: shipped, PartsQueried: len(m.Parts)})
 	local := *st
 	local.Where = nil // already applied at the parts
-	return execSelect(&local, union)
+	return execSelect(&local, union, nil)
 }
 
 // queryAll fans the SQL out to every part concurrently.
@@ -400,7 +400,7 @@ func (m *MergeTable) execPushdown(st *SelectStmt, specs []partialSpec) (*Table, 
 			pcol++
 		}
 	}
-	merged, err := execSelect(mergeStmt, unionAll)
+	merged, err := execSelect(mergeStmt, unionAll, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"strconv"
+
+	"mip/internal/obs"
+)
+
+// QueryStats collects per-statement execution statistics: rows and vectors
+// touched plus per-operator nanoseconds, threaded through execSelect. The
+// federation worker attaches them to its trace spans; DB.Query folds them
+// into the engine metrics.
+type QueryStats struct {
+	RowsScanned    int   // input rows consumed by SELECT pipelines
+	RowsOut        int   // result rows
+	Vectors        int   // column vectors materialized (input + output)
+	FilterNanos    int64 // WHERE selection + gather
+	AggregateNanos int64 // group-by/aggregate stage
+	SortNanos      int64 // ORDER BY stage
+	ProjectNanos   int64 // projection stage
+}
+
+// AttrMap renders the stats as span attributes.
+func (qs *QueryStats) AttrMap() map[string]string {
+	return map[string]string{
+		"rows_scanned": strconv.Itoa(qs.RowsScanned),
+		"rows_out":     strconv.Itoa(qs.RowsOut),
+		"vectors":      strconv.Itoa(qs.Vectors),
+	}
+}
+
+var (
+	engQueries = obs.GetCounter("mip_engine_queries_total",
+		"SQL statements executed by engine databases.")
+	engQueryErrors = obs.GetCounter("mip_engine_query_errors_total",
+		"SQL statements that returned an error.")
+	engQuerySeconds = obs.GetHistogram("mip_engine_query_seconds",
+		"Wall time of one SQL statement in seconds.", nil)
+	engRowsScanned = obs.GetCounter("mip_engine_rows_scanned_total",
+		"Input rows consumed by SELECT pipelines.")
+	engVectors = obs.GetCounter("mip_engine_vectors_processed_total",
+		"Column vectors materialized by SELECT pipelines.")
+	engTables = obs.GetGauge("mip_engine_tables",
+		"Base tables currently registered across engine databases.")
+
+	engFilterNanos = obs.GetCounter("mip_engine_operator_nanos_total",
+		"Nanoseconds spent per SELECT operator.", obs.Label{Key: "op", Value: "filter"})
+	engAggNanos = obs.GetCounter("mip_engine_operator_nanos_total",
+		"Nanoseconds spent per SELECT operator.", obs.Label{Key: "op", Value: "aggregate"})
+	engSortNanos = obs.GetCounter("mip_engine_operator_nanos_total",
+		"Nanoseconds spent per SELECT operator.", obs.Label{Key: "op", Value: "sort"})
+	engProjectNanos = obs.GetCounter("mip_engine_operator_nanos_total",
+		"Nanoseconds spent per SELECT operator.", obs.Label{Key: "op", Value: "project"})
+)
+
+// publish folds one statement's stats into the engine metrics.
+func (qs *QueryStats) publish(seconds float64) {
+	engQueries.Inc()
+	engQuerySeconds.Observe(seconds)
+	engRowsScanned.Add(int64(qs.RowsScanned))
+	engVectors.Add(int64(qs.Vectors))
+	engFilterNanos.Add(qs.FilterNanos)
+	engAggNanos.Add(qs.AggregateNanos)
+	engSortNanos.Add(qs.SortNanos)
+	engProjectNanos.Add(qs.ProjectNanos)
+}

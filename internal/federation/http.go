@@ -2,8 +2,10 @@ package federation
 
 import (
 	"mip/internal/engine"
+	"mip/internal/obs"
 
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -18,9 +20,11 @@ import (
 //	POST /localrun  — execute a local step (LocalRunRequest → LocalRunResponse)
 //	POST /query     — run SQL against the worker engine (non-sensitive mode)
 //	GET  /datasets  — list hosted datasets
-//	GET  /healthz   — liveness
+//	GET  /healthz   — liveness + worker status JSON
+//	GET  /metrics   — Prometheus text exposition
 //
-// Payloads are JSON; tables travel as WireTable.
+// Payloads are JSON; tables travel as WireTable. Trace context rides the
+// X-MIP-Trace header (and the LocalRunRequest envelope).
 
 // WorkerServer exposes a Worker over HTTP.
 type WorkerServer struct {
@@ -29,18 +33,34 @@ type WorkerServer struct {
 	// Production privacy-sensitive deployments leave it off: "the databases
 	// are not explorable by users".
 	AllowRawQuery bool
+	// Start stamps the process start for /healthz uptime; Handler defaults
+	// it to the first Handler call.
+	Start time.Time
 }
 
-// Handler returns the server's HTTP mux.
+// Handler returns the server's HTTP mux, wrapped in the obs middleware so
+// every endpoint reports request count/latency/status metrics.
 func (s *WorkerServer) Handler() http.Handler {
+	if s.Start.IsZero() {
+		s.Start = time.Now()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /localrun", s.handleLocalRun)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /datasets", s.handleDatasets)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "worker": s.Worker.ID()})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", obs.MetricsHandler())
+	return obs.Middleware("worker", mux)
+}
+
+func (s *WorkerServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	ds, _ := s.Worker.Datasets()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"worker":         s.Worker.ID(),
+		"uptime_seconds": time.Since(s.Start).Seconds(),
+		"datasets":       len(ds),
 	})
-	return mux
 }
 
 func (s *WorkerServer) handleLocalRun(w http.ResponseWriter, r *http.Request) {
@@ -48,6 +68,13 @@ func (s *WorkerServer) handleLocalRun(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
+	}
+	// The envelope's trace field wins; the header covers clients that only
+	// speak the wire protocol.
+	if req.Trace == nil {
+		if ref, ok := obs.ParseTraceRef(r.Header.Get(obs.TraceHeader)); ok {
+			req.Trace = &ref
+		}
 	}
 	resp, err := s.Worker.LocalRun(req)
 	if err != nil {
@@ -92,78 +119,152 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// Default per-request timeouts for the HTTP worker client. Metadata calls
+// (datasets, health) fail fast; run calls get room for heavy local steps.
+const (
+	DefaultMetaTimeout = 10 * time.Second
+	DefaultRunTimeout  = 2 * time.Minute
+)
+
 // HTTPWorkerClient implements WorkerClient against a remote WorkerServer.
 type HTTPWorkerClient struct {
 	WorkerID string
 	BaseURL  string
 	Client   *http.Client
+	// MetaTimeout bounds metadata requests (/datasets); RunTimeout bounds
+	// /localrun and /query. Zero values fall back to the defaults.
+	MetaTimeout time.Duration
+	RunTimeout  time.Duration
 }
 
 // NewHTTPWorkerClient dials a worker's base URL (e.g. http://host:port).
 func NewHTTPWorkerClient(id, baseURL string) *HTTPWorkerClient {
 	return &HTTPWorkerClient{
-		WorkerID: id,
-		BaseURL:  baseURL,
-		Client:   &http.Client{Timeout: 120 * time.Second},
+		WorkerID:    id,
+		BaseURL:     baseURL,
+		Client:      &http.Client{},
+		MetaTimeout: DefaultMetaTimeout,
+		RunTimeout:  DefaultRunTimeout,
 	}
 }
 
 // ID implements WorkerClient.
 func (c *HTTPWorkerClient) ID() string { return c.WorkerID }
 
-func (c *HTTPWorkerClient) post(path string, in, out any) error {
-	body, err := json.Marshal(in)
+func (c *HTTPWorkerClient) metaTimeout() time.Duration {
+	if c.MetaTimeout > 0 {
+		return c.MetaTimeout
+	}
+	return DefaultMetaTimeout
+}
+
+func (c *HTTPWorkerClient) runTimeout() time.Duration {
+	if c.RunTimeout > 0 {
+		return c.RunTimeout
+	}
+	return DefaultRunTimeout
+}
+
+func (c *HTTPWorkerClient) httpClient() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+// do issues one request with a deadline and decodes the JSON response,
+// surfacing worker-side error bodies as `worker <id>: HTTP <code>: <msg>`
+// instead of opaque transport errors.
+func (c *HTTPWorkerClient) do(method, path string, timeout time.Duration, trace *obs.TraceRef, in, out any) error {
+	var body io.Reader
+	var sent int
+	if in != nil {
+		enc, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		sent = len(enc)
+		body = bytes.NewReader(enc)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return err
 	}
-	resp, err := c.Client.Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if trace != nil {
+		req.Header.Set(obs.TraceHeader, trace.String())
+	}
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
+		if ctx.Err() == context.DeadlineExceeded {
+			return fmt.Errorf("federation: worker %s: %s timed out after %s", c.WorkerID, path, timeout)
+		}
 		return fmt.Errorf("federation: worker %s: %w", c.WorkerID, err)
 	}
 	defer resp.Body.Close()
+	fedBytesSent.Add(int64(sent))
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return fmt.Errorf("federation: worker %s: reading response: %w", c.WorkerID, err)
 	}
+	fedBytesRecv.Add(int64(len(data)))
 	if resp.StatusCode != http.StatusOK {
 		var e struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("federation: worker %s: %s", c.WorkerID, e.Error)
+			return fmt.Errorf("federation: worker %s: HTTP %d: %s", c.WorkerID, resp.StatusCode, e.Error)
 		}
-		return fmt.Errorf("federation: worker %s: HTTP %d", c.WorkerID, resp.StatusCode)
+		return fmt.Errorf("federation: worker %s: HTTP %d: %s", c.WorkerID, resp.StatusCode, truncate(string(data), 200))
+	}
+	if out == nil {
+		return nil
 	}
 	return json.Unmarshal(data, out)
 }
 
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
 // Datasets implements WorkerClient.
 func (c *HTTPWorkerClient) Datasets() ([]string, error) {
-	resp, err := c.Client.Get(c.BaseURL + "/datasets")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
 	var out struct {
 		Datasets []string `json:"datasets"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := c.do(http.MethodGet, "/datasets", c.metaTimeout(), nil, nil, &out); err != nil {
 		return nil, err
 	}
 	return out.Datasets, nil
 }
 
+// Health fetches the worker's /healthz document.
+func (c *HTTPWorkerClient) Health() (map[string]any, error) {
+	var out map[string]any
+	if err := c.do(http.MethodGet, "/healthz", c.metaTimeout(), nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // LocalRun implements WorkerClient.
 func (c *HTTPWorkerClient) LocalRun(req LocalRunRequest) (LocalRunResponse, error) {
 	var resp LocalRunResponse
-	err := c.post("/localrun", req, &resp)
+	err := c.do(http.MethodPost, "/localrun", c.runTimeout(), req.Trace, req, &resp)
 	return resp, err
 }
 
 // Query implements WorkerClient.
 func (c *HTTPWorkerClient) Query(sql string) (*engine.Table, error) {
 	var wt WireTable
-	if err := c.post("/query", map[string]string{"sql": sql}, &wt); err != nil {
+	if err := c.do(http.MethodPost, "/query", c.runTimeout(), nil, map[string]string{"sql": sql}, &wt); err != nil {
 		return nil, err
 	}
 	return DecodeTable(&wt)

@@ -3,10 +3,13 @@ package federation
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"mip/internal/engine"
+	"mip/internal/obs"
 	"mip/internal/smpc"
 )
 
@@ -66,6 +69,7 @@ func NewMaster(workers []WorkerClient, cluster *smpc.Cluster, sec Security) (*Ma
 	if err := m.RefreshAvailability(); err != nil {
 		return nil, err
 	}
+	fedWorkers.Add(float64(len(workers)))
 	return m, nil
 }
 
@@ -193,6 +197,7 @@ type Session struct {
 	workers  []WorkerClient
 	datasets []string
 	stepSeq  int
+	trace    obs.TraceRef // zero value disables tracing
 
 	// GlobalState carries flow state across steps (model parameters in
 	// iterative algorithms).
@@ -201,6 +206,14 @@ type Session struct {
 
 // ID returns the session's experiment id.
 func (s *Session) ID() string { return s.id }
+
+// SetTrace attaches a trace context (typically the experiment root span)
+// so every subsequent step records spans under it. The zero TraceRef
+// disables tracing.
+func (s *Session) SetTrace(ref obs.TraceRef) { s.trace = ref }
+
+// Trace returns the session's trace context.
+func (s *Session) Trace() obs.TraceRef { return s.trace }
 
 // NumWorkers returns the worker count in scope.
 func (s *Session) NumWorkers() int { return len(s.workers) }
@@ -279,7 +292,7 @@ type LocalRunSpec struct {
 // returns the per-worker transfers (plain path). This is the
 // `self.local_run(..., share_to_global=[True])` call of Figure 2.
 func (s *Session) LocalRun(spec LocalRunSpec) ([]Transfer, error) {
-	resps, err := s.localRun(spec, nil)
+	resps, err := s.localRun(spec, nil, s.trace.SpanID)
 	if err != nil {
 		return nil, err
 	}
@@ -290,7 +303,11 @@ func (s *Session) LocalRun(spec LocalRunSpec) ([]Transfer, error) {
 	return out, nil
 }
 
-func (s *Session) localRun(spec LocalRunSpec, secureKeys []string) ([]LocalRunResponse, error) {
+// localRun fans one local step out to every session worker concurrently.
+// parentSpan is the trace span the step nests under ("" parents the step
+// at the trace root). Each worker round-trip gets its own span; spans the
+// worker ships back in the response envelope are grafted into the store.
+func (s *Session) localRun(spec LocalRunSpec, secureKeys []string, parentSpan string) ([]LocalRunResponse, error) {
 	jobID := s.nextJobID()
 	dq := spec.DataQuery
 	if dq == "" {
@@ -304,6 +321,12 @@ func (s *Session) localRun(spec LocalRunSpec, secureKeys []string) ([]LocalRunRe
 		ShareToGlobal: len(secureKeys) == 0,
 		SecureKeys:    secureKeys,
 	}
+	step := obs.DefaultTraces.StartSpan(s.trace.TraceID, parentSpan, "localrun "+spec.Func)
+	step.SetAttr("job_id", jobID)
+	step.SetAttr("workers", strconv.Itoa(len(s.workers)))
+	defer step.End()
+	fedLocalRuns.Inc()
+	start := time.Now()
 	resps := make([]LocalRunResponse, len(s.workers))
 	errs := make([]error, len(s.workers))
 	var wg sync.WaitGroup
@@ -311,17 +334,30 @@ func (s *Session) localRun(spec LocalRunSpec, secureKeys []string) ([]LocalRunRe
 		wg.Add(1)
 		go func(i int, w WorkerClient) {
 			defer wg.Done()
-			r, err := w.LocalRun(req)
+			ws := step.StartChild("worker " + w.ID())
+			wreq := req
+			wreq.Trace = ws.Ref()
+			t0 := time.Now()
+			r, err := w.LocalRun(wreq)
+			workerRoundtrip(w.ID()).Observe(time.Since(t0).Seconds())
+			obs.DefaultTraces.Import(r.Spans)
 			if err != nil {
 				errs[i] = fmt.Errorf("worker %s: %w", w.ID(), err)
+				ws.SetError(err)
+				ws.End()
 				return
 			}
+			ws.SetAttr("rows", strconv.Itoa(r.Rows))
+			ws.End()
 			resps[i] = r
 		}(i, w)
 	}
 	wg.Wait()
+	fedFanoutSeconds.Observe(time.Since(start).Seconds())
 	for _, e := range errs {
 		if e != nil {
+			fedLocalRunErrors.Inc()
+			step.SetError(e)
 			return nil, e
 		}
 	}
@@ -389,8 +425,11 @@ func (s *Session) Max(spec LocalRunSpec, keys ...string) (Transfer, error) {
 
 func (s *Session) aggregate(spec LocalRunSpec, op smpc.Op, keys []string) (Transfer, error) {
 	if s.master.security.UseSMPC {
-		resps, err := s.localRun(spec, keys)
+		iter := obs.DefaultTraces.StartSpan(s.trace.TraceID, s.trace.SpanID, "aggregate "+op.String()+" "+spec.Func)
+		defer iter.End()
+		resps, err := s.localRun(spec, keys, iter.ID())
 		if err != nil {
+			iter.SetError(err)
 			return nil, err
 		}
 		shapes := resps[0].Shapes
@@ -404,8 +443,13 @@ func (s *Session) aggregate(spec LocalRunSpec, op smpc.Op, keys []string) (Trans
 		if op == smpc.OpSum {
 			noise = s.master.security.Noise
 		}
+		round := iter.StartChild("smpc " + op.String())
+		round.SetAttr("workers", strconv.Itoa(len(resps)))
 		flat, err := s.master.smpc.Aggregate(stepJob, op, noise)
+		round.SetError(err)
+		round.End()
 		if err != nil {
+			iter.SetError(err)
 			return nil, err
 		}
 		return unflattenNumeric(flat, shapes)
@@ -485,10 +529,12 @@ func (s *Session) SecureUnion(spec LocalRunSpec, key string) ([]float64, error) 
 	}
 	// Secure path: workers import the vector under the step job id; union
 	// opens the merged set.
-	if _, err := s.localRun(spec, []string{key}); err != nil {
+	if _, err := s.localRun(spec, []string{key}, s.trace.SpanID); err != nil {
 		return nil, err
 	}
 	stepJob := fmt.Sprintf("%s/step-%d", s.id, s.stepSeq)
+	round := obs.DefaultTraces.StartSpan(s.trace.TraceID, s.trace.SpanID, "smpc union")
+	defer round.End()
 	return s.master.smpc.Aggregate(stepJob, smpc.OpUnion, smpc.Noise{})
 }
 

@@ -1,0 +1,36 @@
+package federation
+
+import (
+	"mip/internal/obs"
+)
+
+// Federation metrics, registered eagerly so a fresh daemon exposes the
+// families on GET /metrics before any experiment runs.
+var (
+	fedWorkers = obs.GetGauge("mip_federation_workers",
+		"Workers currently registered with federation masters.")
+	fedLocalRuns = obs.GetCounter("mip_federation_localruns_total",
+		"Local steps fanned out by masters (one per step, not per worker).")
+	fedLocalRunErrors = obs.GetCounter("mip_federation_localrun_errors_total",
+		"Local-step fan-outs that failed on at least one worker.")
+	fedFanoutSeconds = obs.GetHistogram("mip_federation_fanout_seconds",
+		"Wall time of one local-step fan-out across all session workers.", nil)
+	fedWorkerRuns = obs.GetCounter("mip_federation_worker_localruns_total",
+		"Local steps executed on this process's workers.")
+	fedDisclosureBlocks = obs.GetCounter("mip_federation_disclosure_blocks_total",
+		"Local steps blocked by the minimum-row disclosure control.")
+	fedBytesSent = obs.GetCounter("mip_federation_http_bytes_total",
+		"Bytes moved by the federation HTTP transport.",
+		obs.Label{Key: "direction", Value: "sent"})
+	fedBytesRecv = obs.GetCounter("mip_federation_http_bytes_total",
+		"Bytes moved by the federation HTTP transport.",
+		obs.Label{Key: "direction", Value: "received"})
+)
+
+// workerRoundtrip is the per-worker round-trip latency histogram (bounded
+// cardinality: one series per worker id).
+func workerRoundtrip(workerID string) *obs.Histogram {
+	return obs.GetHistogram("mip_federation_worker_roundtrip_seconds",
+		"Round-trip latency of one worker's LocalRun.", nil,
+		obs.Label{Key: "worker", Value: workerID})
+}

@@ -2,10 +2,12 @@ package federation
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 
 	"mip/internal/engine"
+	"mip/internal/obs"
 	"mip/internal/smpc"
 	"mip/internal/udf"
 )
@@ -35,6 +37,10 @@ type LocalRunRequest struct {
 	// entries into the SMPC cluster under JobID instead of returning them;
 	// only shape metadata leaves the worker.
 	SecureKeys []string `json:"secure_keys,omitempty"`
+	// Trace carries the master's trace context so worker-side spans nest
+	// under the per-worker round-trip span. On the HTTP hop it also rides
+	// the X-MIP-Trace header; nil disables tracing for the step.
+	Trace *obs.TraceRef `json:"trace,omitempty"`
 }
 
 // LocalRunResponse carries the step's outputs (or pointers to them).
@@ -51,6 +57,10 @@ type LocalRunResponse struct {
 	// Rows is the number of input rows the step consumed (not shipped in
 	// privacy-sensitive deployments; used by tests and the leakage audit).
 	Rows int `json:"rows"`
+	// Spans are the worker-side trace spans of this step, shipped back in
+	// the envelope so the master grafts them into the experiment tree.
+	// Spans carry timings and row counts only — never data values.
+	Spans []obs.SpanData `json:"spans,omitempty"`
 }
 
 // Worker is one hospital node: the local data engine, the installed
@@ -140,8 +150,23 @@ func (w *Worker) Query(sql string) (*engine.Table, error) { return w.db.Query(sq
 
 // LocalRun implements WorkerClient: executes a local step inside the
 // engine via the UDF generator, applies disclosure control, and routes the
-// transfer through the requested path.
+// transfer through the requested path. When the request carries a trace
+// context the worker records an execution span (with engine query stats)
+// and ships it back in the response envelope.
 func (w *Worker) LocalRun(req LocalRunRequest) (LocalRunResponse, error) {
+	fedWorkerRuns.Inc()
+	span := obs.DefaultTraces.StartSpanRef(req.Trace, "exec "+req.Func)
+	span.SetAttr("worker", w.id)
+	resp, err := w.doLocalRun(req, span)
+	span.SetError(err)
+	span.End()
+	if span != nil {
+		resp.Spans = append(resp.Spans, span.Data())
+	}
+	return resp, err
+}
+
+func (w *Worker) doLocalRun(req LocalRunRequest, span *obs.Span) (LocalRunResponse, error) {
 	resp := LocalRunResponse{WorkerID: w.id}
 	fn := w.funcs.Local(req.Func)
 	if fn == nil {
@@ -174,20 +199,27 @@ func (w *Worker) LocalRun(req LocalRunRequest) (LocalRunResponse, error) {
 	}
 
 	args := []udf.Value{{}, udf.TransferValue(req.Kwargs)}
+	udfSpan := span.StartChild("udf " + udfName)
 	outs, err := w.exec.Call(udfName, args, map[string]string{"data": req.DataQuery})
+	udfSpan.SetError(err)
+	udfSpan.End()
+	if udfSpan != nil {
+		resp.Spans = append(resp.Spans, udfSpan.Data())
+	}
 	if err != nil {
 		return resp, err
 	}
 	transfer := Transfer(outs[0].Transfer)
 
 	// Row count for disclosure control.
-	rows, err := w.countRows(req.DataQuery)
+	rows, err := w.countRows(req.DataQuery, span, &resp)
 	if err != nil {
 		return resp, err
 	}
 	resp.Rows = rows
 	leavesWorker := req.ShareToGlobal || len(req.SecureKeys) > 0
 	if leavesWorker && rows > 0 && rows < w.minRows {
+		fedDisclosureBlocks.Inc()
 		return resp, fmt.Errorf("federation: worker %s: disclosure control: %d rows < minimum %d", w.id, rows, w.minRows)
 	}
 
@@ -222,14 +254,30 @@ func (w *Worker) LocalRun(req LocalRunRequest) (LocalRunResponse, error) {
 }
 
 // countRows evaluates the data query's row count (with a cheap rewrite for
-// plain SELECT ... FROM shapes; falls back to running the query).
-func (w *Worker) countRows(dataQuery string) (int, error) {
+// plain SELECT ... FROM shapes; falls back to running the query). The
+// engine's per-query stats land on a child trace span when tracing is on.
+func (w *Worker) countRows(dataQuery string, parent *obs.Span, resp *LocalRunResponse) (int, error) {
 	if dataQuery == "" {
 		return 0, nil
 	}
-	t, err := w.db.Query(dataQuery)
+	qspan := parent.StartChild("engine query")
+	t, qs, err := w.db.QueryWithStats(dataQuery)
 	if err != nil {
+		qspan.SetError(err)
+		qspan.End()
+		if qspan != nil {
+			resp.Spans = append(resp.Spans, qspan.Data())
+		}
 		return 0, err
+	}
+	for k, v := range qs.AttrMap() {
+		qspan.SetAttr(k, v)
+	}
+	qspan.SetAttr("op_nanos", strconv.FormatInt(
+		qs.FilterNanos+qs.AggregateNanos+qs.SortNanos+qs.ProjectNanos, 10))
+	qspan.End()
+	if qspan != nil {
+		resp.Spans = append(resp.Spans, qspan.Data())
 	}
 	return t.NumRows(), nil
 }

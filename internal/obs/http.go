@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+var (
+	httpInFlight = GetGauge("mip_http_in_flight_requests",
+		"HTTP requests currently being served.")
+)
+
+// MetricsHandler serves the Default registry in Prometheus text format —
+// mount it at GET /metrics.
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		Default.WritePrometheus(w)
+	})
+}
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Middleware instruments an HTTP handler with request count, latency and
+// status metrics under the given component label ("api", "worker", …).
+// Routes are labeled by their first path segment to keep cardinality
+// bounded (/experiments/{uuid}/trace → "/experiments").
+func Middleware(component string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		httpInFlight.Inc()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		httpInFlight.Dec()
+		elapsed := time.Since(start).Seconds()
+		route := routeLabel(r.URL.Path)
+		GetCounter("mip_http_requests_total", "HTTP requests served.",
+			Label{"component", component},
+			Label{"method", r.Method},
+			Label{"route", route},
+			Label{"code", strconv.Itoa(rec.status)},
+		).Inc()
+		GetHistogram("mip_http_request_seconds", "HTTP request latency in seconds.", nil,
+			Label{"component", component},
+			Label{"route", route},
+		).Observe(elapsed)
+	})
+}
+
+func routeLabel(path string) string {
+	path = strings.TrimPrefix(path, "/")
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		path = path[:i]
+	}
+	if path == "" {
+		return "/"
+	}
+	return "/" + path
+}

@@ -1,0 +1,338 @@
+// Package obs is the platform's observability substrate: a dependency-free
+// metrics registry (counters, gauges, fixed-bucket histograms with atomic
+// hot paths, Prometheus text exposition) and a per-experiment trace store
+// whose spans form the experiment → step → per-worker → engine tree that
+// GET /experiments/{uuid}/trace and `mipctl trace` render.
+//
+// Every instrumented package registers its metrics eagerly in a package
+// var block against the Default registry, so a freshly started daemon
+// already exposes zero-valued families on GET /metrics.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension (e.g. {Key: "worker", Value: "hospital-0"}).
+// Keep value cardinality bounded: worker ids, operators, status codes.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored to keep the counter monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add applies a delta with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefBuckets are the default latency buckets in seconds (100µs … 10s).
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram. Observations hit exactly one
+// atomic bucket counter; cumulative counts are computed at exposition.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds; a final implicit +Inf bucket
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// series is one labeled instance of a metric family.
+type series struct {
+	labels  string // canonical `k="v",...` suffix, "" for unlabeled
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the process-wide registry all instrumented packages use.
+var Default = NewRegistry()
+
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabel(l.Value))
+	}
+	return b.String()
+}
+
+// escapeLabel applies the Prometheus text-format label escapes.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func (r *Registry) family(name, help string, kind metricKind) *family {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f != nil {
+		return f
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f = r.families[name]; f != nil {
+		return f
+	}
+	f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+	r.families[name] = f
+	return f
+}
+
+func (f *family) get(labels []Label) *series {
+	ls := labelString(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.series[ls]
+	if s == nil {
+		s = &series{labels: ls}
+		f.series[ls] = s
+	}
+	return s
+}
+
+// Counter returns (creating on first use) the counter series for the given
+// name and labels. Registering the same series twice returns the same
+// counter, so hot paths may cache the result in a package var.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.family(name, help, kindCounter).get(labels)
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge series for the given name and labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.family(name, help, kindGauge).get(labels)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a callback gauge evaluated at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.family(name, help, kindGaugeFunc).get(labels)
+	s.fn = fn
+}
+
+// Histogram returns the histogram series for the given name and labels.
+// Buckets are upper bounds in ascending order; nil uses DefBuckets. All
+// series of one family must share the bucket layout.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	s := r.family(name, help, kindHistogram).get(labels)
+	if s.hist == nil {
+		if buckets == nil {
+			buckets = DefBuckets
+		}
+		upper := append([]float64(nil), buckets...)
+		sort.Float64s(upper)
+		s.hist = &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+	}
+	return s.hist
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format, sorted by family then series for stable output.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.RUnlock()
+
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		typ := "counter"
+		switch f.kind {
+		case kindGauge, kindGaugeFunc:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "histogram"
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, typ)
+		for _, k := range keys {
+			s := f.series[k]
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, braced(s.labels), s.counter.Value())
+			case kindGauge:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, braced(s.labels), fmtFloat(s.gauge.Value()))
+			case kindGaugeFunc:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, braced(s.labels), fmtFloat(s.fn()))
+			case kindHistogram:
+				writeHistogram(w, f.name, s)
+			}
+		}
+		f.mu.Unlock()
+	}
+}
+
+func writeHistogram(w io.Writer, name string, s *series) {
+	var cum uint64
+	for i, ub := range s.hist.upper {
+		cum += s.hist.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, bracedWith(s.labels, `le="`+fmtFloat(ub)+`"`), cum)
+	}
+	cum += s.hist.counts[len(s.hist.upper)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, bracedWith(s.labels, `le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, braced(s.labels), fmtFloat(s.hist.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, braced(s.labels), s.hist.Count())
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func bracedWith(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Package-level helpers against the Default registry.
+
+// GetCounter returns a counter from the Default registry.
+func GetCounter(name, help string, labels ...Label) *Counter {
+	return Default.Counter(name, help, labels...)
+}
+
+// GetGauge returns a gauge from the Default registry.
+func GetGauge(name, help string, labels ...Label) *Gauge {
+	return Default.Gauge(name, help, labels...)
+}
+
+// GetHistogram returns a histogram from the Default registry.
+func GetHistogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	return Default.Histogram(name, help, buckets, labels...)
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	c.Add(-5) // counters must not go backwards
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter after negative Add = %d, want 8000", got)
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "help")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				g.Inc()
+			}
+			for j := 0; j < 200; j++ {
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 1200 {
+		t.Fatalf("gauge = %v, want 1200", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "help", []float64{0.1, 1, 10})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 250; j++ {
+				h.Observe(0.05) // bucket le=0.1
+				h.Observe(0.5)  // bucket le=1
+				h.Observe(5)    // bucket le=10
+				h.Observe(50)   // +Inf only
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 4000 {
+		t.Fatalf("count = %d, want 4000", got)
+	}
+	wantSum := 1000 * (0.05 + 0.5 + 5 + 50)
+	if got := h.Sum(); got < wantSum-0.001 || got > wantSum+0.001 {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+}
+
+func TestSameSeriesSharedAcrossGets(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("shared_total", "help", Label{Key: "k", Value: "v"})
+	b := r.Counter("shared_total", "help", Label{Key: "k", Value: "v"})
+	if a != b {
+		t.Fatal("same name+labels should return the same series")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("increments must be visible through both handles")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mip_test_requests_total", "Requests.", Label{Key: "code", Value: "200"})
+	c.Add(3)
+	g := r.Gauge("mip_test_depth", "Depth.")
+	g.Set(7)
+	h := r.Histogram("mip_test_seconds", "Latency.", []float64{0.5, 1})
+	h.Observe(0.3)
+	h.Observe(0.7)
+	h.Observe(2)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP mip_test_requests_total Requests.",
+		"# TYPE mip_test_requests_total counter",
+		`mip_test_requests_total{code="200"} 3`,
+		"# TYPE mip_test_depth gauge",
+		"mip_test_depth 7",
+		"# TYPE mip_test_seconds histogram",
+		`mip_test_seconds_bucket{le="0.5"} 1`,
+		`mip_test_seconds_bucket{le="1"} 2`,
+		`mip_test_seconds_bucket{le="+Inf"} 3`,
+		"mip_test_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 41.0
+	r.GaugeFunc("mip_test_dynamic", "Dynamic.", func() float64 { v++; return v })
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "mip_test_dynamic 42") {
+		t.Fatalf("gauge func not evaluated at write time:\n%s", sb.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mip_test_esc_total", "h", Label{Key: "q", Value: `a"b\c` + "\n"})
+	c.Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `q="a\"b\\c\n"`) {
+		t.Fatalf("label value not escaped:\n%s", sb.String())
+	}
+}

@@ -5,8 +5,39 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"mip/internal/obs"
 )
+
+// Queue metrics, registered eagerly for GET /metrics. Depth counts
+// submitted-but-not-started tasks (a retried task re-enters the queue);
+// running counts tasks inside a handler.
+var (
+	queueDepth = obs.GetGauge("mip_queue_depth",
+		"Tasks submitted and waiting for a worker goroutine.")
+	queueRunning = obs.GetGauge("mip_queue_running",
+		"Tasks currently executing in a handler.")
+	queueWaitSeconds = obs.GetHistogram("mip_queue_task_wait_seconds",
+		"Time tasks spend queued before a worker picks them up.", nil)
+	queueRunSeconds = obs.GetHistogram("mip_queue_task_run_seconds",
+		"Time tasks spend executing in their handler.", nil)
+)
+
+func queueTasks(state State) *obs.Counter {
+	return obs.GetCounter("mip_queue_tasks_total",
+		"Task state transitions by resulting state.",
+		obs.Label{Key: "state", Value: string(state)})
+}
+
+func init() {
+	// Pre-create the per-state series so a fresh process exposes the family
+	// (at zero) before any task runs.
+	for _, s := range []State{Pending, Started, Success, Failure, Retried} {
+		queueTasks(s)
+	}
+}
 
 // State mirrors Celery's task states, which the paper's stack exposes to
 // the dashboard.
@@ -33,6 +64,7 @@ type TaskInfo struct {
 	Result   json.RawMessage
 	Error    string
 	Created  time.Time
+	Started  time.Time
 	Finished time.Time
 }
 
@@ -45,9 +77,16 @@ type Runner struct {
 	handler map[string]Handler
 	tasks   map[string]*TaskInfo
 	nextID  int
-	cancel  context.CancelFunc
-	wg      sync.WaitGroup
-	now     func() time.Time
+	// consumeCancel stops the pull loop; handlerCancel additionally aborts
+	// in-flight handlers. Graceful shutdown cancels only the former so
+	// running experiments can finish.
+	consumeCancel context.CancelFunc
+	handlerCancel context.CancelFunc
+	wg            sync.WaitGroup
+	now           func() time.Time
+	// Per-runner mirrors of the process-wide depth/running gauges.
+	depth   atomic.Int64
+	running atomic.Int64
 }
 
 // NewRunner creates a runner over the broker with the given concurrency.
@@ -55,18 +94,20 @@ func NewRunner(b *Broker, concurrency int) *Runner {
 	if concurrency <= 0 {
 		concurrency = 2
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	consumeCtx, consumeCancel := context.WithCancel(context.Background())
+	handlerCtx, handlerCancel := context.WithCancel(context.Background())
 	r := &Runner{
-		broker:  b,
-		queueN:  "tasks",
-		handler: make(map[string]Handler),
-		tasks:   make(map[string]*TaskInfo),
-		cancel:  cancel,
-		now:     time.Now,
+		broker:        b,
+		queueN:        "tasks",
+		handler:       make(map[string]Handler),
+		tasks:         make(map[string]*TaskInfo),
+		consumeCancel: consumeCancel,
+		handlerCancel: handlerCancel,
+		now:           time.Now,
 	}
 	for i := 0; i < concurrency; i++ {
 		r.wg.Add(1)
-		go r.loop(ctx)
+		go r.loop(consumeCtx, handlerCtx)
 	}
 	return r
 }
@@ -96,10 +137,21 @@ func (r *Runner) Submit(name string, payload any) (string, error) {
 		r.tasks[id].State = Failure
 		r.tasks[id].Error = err.Error()
 		r.mu.Unlock()
+		queueTasks(Failure).Inc()
 		return id, err
 	}
+	queueDepth.Inc()
+	r.depth.Add(1)
+	queueTasks(Pending).Inc()
 	return id, nil
 }
+
+// Depth reports this runner's submitted tasks not yet picked up by a
+// worker goroutine.
+func (r *Runner) Depth() int { return int(r.depth.Load()) }
+
+// Running reports this runner's tasks currently executing in a handler.
+func (r *Runner) Running() int { return int(r.running.Load()) }
 
 // Info returns a snapshot of the task's state, or nil if unknown.
 func (r *Runner) Info(id string) *TaskInfo {
@@ -143,30 +195,85 @@ func (r *Runner) List() []*TaskInfo {
 	return out
 }
 
-// Close stops the worker pool (queued tasks are abandoned).
+// Close stops the worker pool immediately (queued tasks are abandoned and
+// in-flight handlers see a cancelled context). For a graceful drain use
+// Shutdown.
 func (r *Runner) Close() {
-	r.cancel()
+	r.consumeCancel()
+	r.handlerCancel()
 	r.wg.Wait()
+	r.sweep("runner closed")
 }
 
-func (r *Runner) loop(ctx context.Context) {
+// Shutdown drains the runner: it stops pulling new work, lets in-flight
+// handlers finish, and waits until the pool is idle or ctx expires. On
+// deadline the in-flight handlers are cancelled and their tasks marked
+// failed. Tasks still queued when the pool stops are swept to Failure so
+// callers never wait forever on an abandoned task.
+func (r *Runner) Shutdown(ctx context.Context) error {
+	r.consumeCancel()
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		r.handlerCancel()
+		<-done
+	}
+	r.handlerCancel()
+	r.sweep("runner shut down")
+	return err
+}
+
+// sweep fails every task that will never reach a terminal state because the
+// pool has stopped.
+func (r *Runner) sweep(reason string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range r.tasks {
+		if t.State == Pending || t.State == Started || t.State == Retried {
+			t.State = Failure
+			t.Error = reason
+			t.Finished = r.now()
+			queueTasks(Failure).Inc()
+		}
+	}
+}
+
+func (r *Runner) loop(consumeCtx, handlerCtx context.Context) {
 	defer r.wg.Done()
 	for {
-		d, err := r.broker.Consume(ctx, r.queueN)
+		d, err := r.broker.Consume(consumeCtx, r.queueN)
 		if err != nil {
 			return
 		}
-		r.execute(ctx, d)
+		r.execute(handlerCtx, d)
 	}
 }
 
 func (r *Runner) execute(ctx context.Context, d *Delivery) {
 	id := d.Message.ID
 	name := d.Message.Headers["task"]
+	started := r.now()
+	queueDepth.Dec()
+	r.depth.Add(-1)
+	queueRunning.Inc()
+	r.running.Add(1)
+	defer func() {
+		queueRunning.Dec()
+		r.running.Add(-1)
+	}()
 	r.mu.Lock()
 	h := r.handler[name]
 	if t := r.tasks[id]; t != nil {
 		t.State = Started
+		t.Started = started
+		queueWaitSeconds.Observe(started.Sub(t.Created).Seconds())
 	}
 	r.mu.Unlock()
 
@@ -180,6 +287,8 @@ func (r *Runner) execute(ctx context.Context, d *Delivery) {
 		t.State = state
 		t.Error = errMsg
 		t.Finished = r.now()
+		queueTasks(state).Inc()
+		queueRunSeconds.Observe(t.Finished.Sub(started).Seconds())
 		if result != nil {
 			if enc, err := json.Marshal(result); err == nil {
 				t.Result = enc
@@ -200,6 +309,9 @@ func (r *Runner) execute(ctx context.Context, d *Delivery) {
 				t.State = Retried
 			}
 			r.mu.Unlock()
+			queueTasks(Retried).Inc()
+			queueDepth.Inc()
+			r.depth.Add(1)
 			d.Nack() // redeliver
 			return
 		}

@@ -5,9 +5,31 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
+	"mip/internal/obs"
 	"mip/internal/stats"
 )
+
+// SMPC metrics, registered eagerly for GET /metrics.
+var (
+	smpcImports = obs.GetCounter("mip_smpc_imports_total",
+		"Secret vectors imported into SMPC clusters.")
+	smpcShares = obs.GetCounter("mip_smpc_shares_exchanged_total",
+		"Individual secret shares created across SMPC nodes.")
+	smpcMessages = obs.GetCounter("mip_smpc_messages_total",
+		"Simulated messages between workers, SMPC nodes and the master.")
+	smpcBytes = obs.GetCounter("mip_smpc_bytes_total",
+		"Simulated bytes between workers, SMPC nodes and the master.")
+	smpcJobs = obs.GetGauge("mip_smpc_pending_jobs",
+		"SMPC jobs holding imported shares not yet aggregated.")
+)
+
+func smpcRoundSeconds(op Op) *obs.Histogram {
+	return obs.GetHistogram("mip_smpc_round_seconds",
+		"Latency of one SMPC aggregation round.", nil,
+		obs.Label{Key: "op", Value: op.String()})
+}
 
 // Scheme selects the secret-sharing scheme, the paper's security/efficiency
 // trade-off knob.
@@ -96,6 +118,8 @@ type NetStats struct {
 func (n *NetStats) add(msgs int, bytes int64) {
 	n.Messages += msgs
 	n.Bytes += bytes
+	smpcMessages.Add(int64(msgs))
+	smpcBytes.Add(bytes)
 }
 
 // Cluster is the SMPC engine: a set of computing nodes plus (in FT mode)
@@ -197,7 +221,10 @@ func (c *Cluster) ImportSecret(jobID, workerID string, vals []float64) error {
 	if j == nil {
 		j = &job{}
 		c.jobs[jobID] = j
+		smpcJobs.Inc()
 	}
+	smpcImports.Inc()
+	smpcShares.Add(int64(c.cfg.Nodes * len(vals)))
 	j.dims = append(j.dims, len(vals))
 	enc := c.codec.EncodeVec(vals)
 	switch c.cfg.Scheme {
@@ -240,6 +267,9 @@ func (c *Cluster) Workers(jobID string) []string {
 func (c *Cluster) Aggregate(jobID string, op Op, noise Noise) ([]float64, error) {
 	c.mu.Lock()
 	j := c.jobs[jobID]
+	if j != nil {
+		smpcJobs.Dec()
+	}
 	delete(c.jobs, jobID)
 	c.mu.Unlock()
 	if j == nil {
@@ -248,6 +278,8 @@ func (c *Cluster) Aggregate(jobID string, op Op, noise Noise) ([]float64, error)
 	if len(j.workers) == 0 {
 		return nil, fmt.Errorf("smpc: job %q has no inputs", jobID)
 	}
+	start := time.Now()
+	defer func() { smpcRoundSeconds(op).Observe(time.Since(start).Seconds()) }()
 	switch op {
 	case OpSum:
 		return c.aggregateSum(j, noise)

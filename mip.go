@@ -25,6 +25,7 @@
 package mip
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 
@@ -222,11 +223,30 @@ func (p *Platform) PrivacySpent() (eps, delta float64) {
 	return p.accountant.Spent()
 }
 
-// Close stops the platform's background workers.
+// Close stops the platform's background workers immediately. In-flight
+// experiments are abandoned; use Shutdown for a graceful drain.
 func (p *Platform) Close() {
 	if p.runner != nil {
 		p.runner.Close()
 	}
+	if p.api != nil {
+		p.api.AbortPending("platform closed")
+	}
+}
+
+// Shutdown drains the platform gracefully: the queue runner stops
+// accepting work and waits (up to ctx's deadline) for in-flight
+// experiments to finish, then anything still non-terminal is marked
+// errored so pollers see a final state.
+func (p *Platform) Shutdown(ctx context.Context) error {
+	var err error
+	if p.runner != nil {
+		err = p.runner.Shutdown(ctx)
+	}
+	if p.api != nil {
+		p.api.AbortPending("platform shut down")
+	}
+	return err
 }
 
 // Algorithms lists the installed algorithm specifications.
