@@ -69,8 +69,15 @@ func NewMaster(workers []WorkerClient, cluster *smpc.Cluster, sec Security) (*Ma
 	if err := m.RefreshAvailability(); err != nil {
 		return nil, err
 	}
-	fedWorkers.Add(float64(len(workers)))
+	registerMaster(m)
 	return m, nil
+}
+
+// Close releases the master's observability registration so the worker
+// gauge stops counting its workers. Safe to call more than once; the
+// master itself holds no other resources.
+func (m *Master) Close() {
+	unregisterMaster(m)
 }
 
 // RefreshAvailability re-scans every worker's datasets.

@@ -1,14 +1,45 @@
 package federation
 
 import (
+	"sync"
+
 	"mip/internal/obs"
 )
+
+// liveMasters tracks masters between NewMaster and Close so the worker
+// gauge reflects reality across master lifecycles (tests, embedded use).
+var (
+	liveMastersMu sync.Mutex
+	liveMasters   = make(map[*Master]struct{})
+)
+
+func registerMaster(m *Master) {
+	liveMastersMu.Lock()
+	defer liveMastersMu.Unlock()
+	liveMasters[m] = struct{}{}
+}
+
+func unregisterMaster(m *Master) {
+	liveMastersMu.Lock()
+	defer liveMastersMu.Unlock()
+	delete(liveMasters, m)
+}
+
+// liveWorkerCount sums worker counts over live masters (the worker slice is
+// immutable after NewMaster, so no per-master lock is needed).
+func liveWorkerCount() float64 {
+	liveMastersMu.Lock()
+	defer liveMastersMu.Unlock()
+	n := 0
+	for m := range liveMasters {
+		n += len(m.workers)
+	}
+	return float64(n)
+}
 
 // Federation metrics, registered eagerly so a fresh daemon exposes the
 // families on GET /metrics before any experiment runs.
 var (
-	fedWorkers = obs.GetGauge("mip_federation_workers",
-		"Workers currently registered with federation masters.")
 	fedLocalRuns = obs.GetCounter("mip_federation_localruns_total",
 		"Local steps fanned out by masters (one per step, not per worker).")
 	fedLocalRunErrors = obs.GetCounter("mip_federation_localrun_errors_total",
@@ -26,6 +57,12 @@ var (
 		"Bytes moved by the federation HTTP transport.",
 		obs.Label{Key: "direction", Value: "received"})
 )
+
+func init() {
+	obs.Default.GaugeFunc("mip_federation_workers",
+		"Workers currently registered with live federation masters.",
+		liveWorkerCount)
+}
 
 // workerRoundtrip is the per-worker round-trip latency histogram (bounded
 // cardinality: one series per worker id).

@@ -41,20 +41,24 @@ func Middleware(component string, next http.Handler) http.Handler {
 		start := time.Now()
 		httpInFlight.Inc()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		// Deferred so a panicking handler (recovered per-connection by
+		// net/http) still decrements the gauge and counts the request.
+		defer func() {
+			httpInFlight.Dec()
+			elapsed := time.Since(start).Seconds()
+			route := routeLabel(r.URL.Path)
+			GetCounter("mip_http_requests_total", "HTTP requests served.",
+				Label{"component", component},
+				Label{"method", r.Method},
+				Label{"route", route},
+				Label{"code", strconv.Itoa(rec.status)},
+			).Inc()
+			GetHistogram("mip_http_request_seconds", "HTTP request latency in seconds.", nil,
+				Label{"component", component},
+				Label{"route", route},
+			).Observe(elapsed)
+		}()
 		next.ServeHTTP(rec, r)
-		httpInFlight.Dec()
-		elapsed := time.Since(start).Seconds()
-		route := routeLabel(r.URL.Path)
-		GetCounter("mip_http_requests_total", "HTTP requests served.",
-			Label{"component", component},
-			Label{"method", r.Method},
-			Label{"route", route},
-			Label{"code", strconv.Itoa(rec.status)},
-		).Inc()
-		GetHistogram("mip_http_request_seconds", "HTTP request latency in seconds.", nil,
-			Label{"component", component},
-			Label{"route", route},
-		).Observe(elapsed)
 	})
 }
 

@@ -117,6 +117,20 @@ const (
 	kindHistogram
 )
 
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindGaugeFunc:
+		return "gaugefunc"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
 // series is one labeled instance of a metric family.
 type series struct {
 	labels  string // canonical `k="v",...` suffix, "" for unlabeled
@@ -176,27 +190,48 @@ func (r *Registry) family(name, help string, kind metricKind) *family {
 	r.mu.RLock()
 	f := r.families[name]
 	r.mu.RUnlock()
-	if f != nil {
-		return f
+	if f == nil {
+		r.mu.Lock()
+		if f = r.families[name]; f == nil {
+			f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if f = r.families[name]; f != nil {
-		return f
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric family %q already registered as %s, re-registered as %s",
+			name, f.kind, kind))
 	}
-	f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
-	r.families[name] = f
 	return f
 }
 
-func (f *family) get(labels []Label) *series {
+// get returns (creating under f.mu on first use) the series for the given
+// labels, so concurrent first accesses observe one fully built instance.
+// buckets is only used for histogram families; fn only for gaugefunc ones.
+func (f *family) get(labels []Label, buckets []float64, fn func() float64) *series {
 	ls := labelString(labels)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	s := f.series[ls]
 	if s == nil {
 		s = &series{labels: ls}
+		switch f.kind {
+		case kindCounter:
+			s.counter = &Counter{}
+		case kindGauge:
+			s.gauge = &Gauge{}
+		case kindHistogram:
+			if buckets == nil {
+				buckets = DefBuckets
+			}
+			upper := append([]float64(nil), buckets...)
+			sort.Float64s(upper)
+			s.hist = &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+		}
 		f.series[ls] = s
+	}
+	if f.kind == kindGaugeFunc && fn != nil {
+		s.fn = fn
 	}
 	return s
 }
@@ -205,42 +240,24 @@ func (f *family) get(labels []Label) *series {
 // name and labels. Registering the same series twice returns the same
 // counter, so hot paths may cache the result in a package var.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
-	s := r.family(name, help, kindCounter).get(labels)
-	if s.counter == nil {
-		s.counter = &Counter{}
-	}
-	return s.counter
+	return r.family(name, help, kindCounter).get(labels, nil, nil).counter
 }
 
 // Gauge returns the gauge series for the given name and labels.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
-	s := r.family(name, help, kindGauge).get(labels)
-	if s.gauge == nil {
-		s.gauge = &Gauge{}
-	}
-	return s.gauge
+	return r.family(name, help, kindGauge).get(labels, nil, nil).gauge
 }
 
 // GaugeFunc registers a callback gauge evaluated at exposition time.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
-	s := r.family(name, help, kindGaugeFunc).get(labels)
-	s.fn = fn
+	r.family(name, help, kindGaugeFunc).get(labels, nil, fn)
 }
 
 // Histogram returns the histogram series for the given name and labels.
 // Buckets are upper bounds in ascending order; nil uses DefBuckets. All
 // series of one family must share the bucket layout.
 func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
-	s := r.family(name, help, kindHistogram).get(labels)
-	if s.hist == nil {
-		if buckets == nil {
-			buckets = DefBuckets
-		}
-		upper := append([]float64(nil), buckets...)
-		sort.Float64s(upper)
-		s.hist = &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
-	}
-	return s.hist
+	return r.family(name, help, kindHistogram).get(labels, buckets, nil).hist
 }
 
 // WritePrometheus renders every family in Prometheus text exposition
@@ -281,7 +298,9 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			case kindGauge:
 				fmt.Fprintf(w, "%s%s %s\n", f.name, braced(s.labels), fmtFloat(s.gauge.Value()))
 			case kindGaugeFunc:
-				fmt.Fprintf(w, "%s%s %s\n", f.name, braced(s.labels), fmtFloat(s.fn()))
+				if s.fn != nil {
+					fmt.Fprintf(w, "%s%s %s\n", f.name, braced(s.labels), fmtFloat(s.fn()))
+				}
 			case kindHistogram:
 				writeHistogram(w, f.name, s)
 			}

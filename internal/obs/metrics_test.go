@@ -133,6 +133,55 @@ func TestGaugeFunc(t *testing.T) {
 	}
 }
 
+// TestConcurrentFirstAccessSameSeries races many goroutines to create the
+// same series; all of them must observe one instance so no observation is
+// lost (regression: series values used to be assigned outside family.mu).
+func TestConcurrentFirstAccessSameSeries(t *testing.T) {
+	r := NewRegistry()
+	const n = 16
+	counters := make([]*Counter, n)
+	hists := make([]*Histogram, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			counters[i] = r.Counter("race_total", "h", Label{Key: "k", Value: "v"})
+			counters[i].Inc()
+			hists[i] = r.Histogram("race_seconds", "h", nil, Label{Key: "k", Value: "v"})
+			hists[i].Observe(0.1)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if counters[i] != counters[0] {
+			t.Fatal("concurrent first access returned distinct counters")
+		}
+		if hists[i] != hists[0] {
+			t.Fatal("concurrent first access returned distinct histograms")
+		}
+	}
+	if got := counters[0].Value(); got != n {
+		t.Fatalf("counter = %d, want %d (observations lost)", got, n)
+	}
+	if got := hists[0].Count(); got != n {
+		t.Fatalf("histogram count = %d, want %d (observations lost)", got, n)
+	}
+}
+
+// TestKindMismatchPanics: re-registering a family under a different kind
+// must fail loudly at registration, not nil-deref at exposition.
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mixed_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge over a counter family did not panic")
+		}
+	}()
+	r.Gauge("mixed_total", "h")
+}
+
 func TestLabelEscaping(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("mip_test_esc_total", "h", Label{Key: "q", Value: `a"b\c` + "\n"})

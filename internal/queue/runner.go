@@ -237,6 +237,12 @@ func (r *Runner) sweep(reason string) {
 	defer r.mu.Unlock()
 	for _, t := range r.tasks {
 		if t.State == Pending || t.State == Started || t.State == Retried {
+			// Pending/Retried tasks still sit in the queue and were counted
+			// in the depth gauges; failing them here dequeues them.
+			if t.State == Pending || t.State == Retried {
+				queueDepth.Dec()
+				r.depth.Add(-1)
+			}
 			t.State = Failure
 			t.Error = reason
 			t.Finished = r.now()

@@ -232,6 +232,9 @@ func (p *Platform) Close() {
 	if p.api != nil {
 		p.api.AbortPending("platform closed")
 	}
+	if p.master != nil {
+		p.master.Close()
+	}
 }
 
 // Shutdown drains the platform gracefully: the queue runner stops
@@ -245,6 +248,9 @@ func (p *Platform) Shutdown(ctx context.Context) error {
 	}
 	if p.api != nil {
 		p.api.AbortPending("platform shut down")
+	}
+	if p.master != nil {
+		p.master.Close()
 	}
 	return err
 }
