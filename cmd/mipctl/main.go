@@ -13,6 +13,7 @@
 //	       -y minimentalstate -x lefthippocampus,subjectageyears \
 //	       [-param k=3] [-param pos_level=AD] [-filter "age > 60"]
 //	mipctl health
+//	mipctl workers            # per-worker circuit state and datasets
 //	mipctl trace exp-000001   # render the experiment's span tree
 package main
 
@@ -82,13 +83,15 @@ func main() {
 		runWorkflow(*server, *name, subArgs)
 	case "health":
 		get(*server+"/healthz", printHealth)
+	case "workers":
+		get(*server+"/workers", printWorkers)
 	case "trace":
 		if len(subArgs) == 0 {
 			log.Fatal("trace needs an experiment uuid")
 		}
 		get(*server+"/experiments/"+subArgs[0]+"/trace", printTrace)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: mipctl [flags] algorithms|datasets|variables|experiments|workflows|run|workflow|health|trace")
+		fmt.Fprintln(os.Stderr, "usage: mipctl [flags] algorithms|datasets|variables|experiments|workflows|run|workflow|health|workers|trace")
 		os.Exit(2)
 	}
 }
@@ -115,6 +118,32 @@ func printHealth(body []byte) {
 		default:
 			fmt.Printf("%-16s %v\n", k, v)
 		}
+	}
+}
+
+// printWorkers renders GET /workers as one line per worker: id, circuit
+// state, hosted datasets, and the last error for unhealthy workers.
+func printWorkers(body []byte) {
+	var ws []struct {
+		ID                  string   `json:"id"`
+		State               string   `json:"state"`
+		ConsecutiveFailures int      `json:"consecutive_failures"`
+		LastError           string   `json:"last_error"`
+		Datasets            []string `json:"datasets"`
+	}
+	if json.Unmarshal(body, &ws) != nil {
+		fmt.Println(string(body))
+		return
+	}
+	for _, w := range ws {
+		fmt.Printf("%-16s %-9s datasets=%s", w.ID, w.State, strings.Join(w.Datasets, ","))
+		if w.ConsecutiveFailures > 0 {
+			fmt.Printf("  failures=%d", w.ConsecutiveFailures)
+		}
+		if w.LastError != "" {
+			fmt.Printf("  last_error=%q", w.LastError)
+		}
+		fmt.Println()
 	}
 }
 

@@ -8,6 +8,12 @@
 //	     [-noise none|laplace|gaussian] [-noise-scale 0]
 //	     [-csv dir]   # load <dir>/<worker>.csv instead of synthetic data
 //	     [-debug-addr :6060]  # pprof + metrics on a private listener
+//	     [-min-workers 0] [-quorum 0] [-step-deadline 0]  # fault tolerance
+//
+// The fault-tolerance flags let plain-path experiments degrade to a partial
+// aggregate instead of failing when workers die mid-step: -min-workers and
+// -quorum (a 0-1 fraction) set the quorum, -step-deadline bounds how long a
+// step waits for stragglers. All zero (the default) keeps strict semantics.
 //
 // With -csv, each file must be a harmonized CSV (header row; a "dataset"
 // column). Without it, workers get synthetic EDSD-like shards.
@@ -48,9 +54,13 @@ func main() {
 	noiseScale := flag.Float64("noise-scale", 0, "noise scale (Laplace b or Gaussian sigma)")
 	csvDir := flag.String("csv", "", "directory of per-worker harmonized CSV files")
 	seed := flag.Int64("seed", 1, "synthetic data seed")
+	minWorkers := flag.Int("min-workers", 0, "minimum workers for a degraded plain-path result (0 = all required)")
+	quorum := flag.Float64("quorum", 0, "quorum fraction of session workers for degraded results (0 = all required)")
+	stepDeadline := flag.Duration("step-deadline", 0, "per-step straggler deadline before dropping slow workers (0 = wait forever)")
 	flag.Parse()
 
 	cfg := mip.Config{Seed: *seed}
+	cfg.Tolerance = mip.Tolerance{MinWorkers: *minWorkers, Quorum: *quorum, StepDeadline: *stepDeadline}
 	switch strings.ToLower(*security) {
 	case "off":
 		cfg.Security = mip.SecurityOff

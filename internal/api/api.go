@@ -55,8 +55,13 @@ type Experiment struct {
 	Status    string             `json:"status"` // pending | running | success | error
 	Result    json.RawMessage    `json:"result,omitempty"`
 	Error     string             `json:"error,omitempty"`
-	Created   time.Time          `json:"created"`
-	Finished  *time.Time         `json:"finished,omitempty"`
+	// Degraded marks a result computed from a partial quorum: DroppedWorkers
+	// lists the workers whose contributions are missing (see the master's
+	// Tolerance policy).
+	Degraded       bool       `json:"degraded,omitempty"`
+	DroppedWorkers []string   `json:"dropped_workers,omitempty"`
+	Created        time.Time  `json:"created"`
+	Finished       *time.Time `json:"finished,omitempty"`
 
 	taskID string
 }
@@ -103,6 +108,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /pathologies", s.handlePathologies)
 	mux.HandleFunc("GET /pathologies/{code}/variables", s.handleVariables)
 	mux.HandleFunc("GET /datasets", s.handleDatasets)
+	mux.HandleFunc("GET /workers", s.handleWorkers)
 	mux.HandleFunc("GET /algorithms", s.handleAlgorithms)
 	mux.HandleFunc("POST /experiments", s.handleCreateExperiment)
 	mux.HandleFunc("GET /experiments", s.handleListExperiments)
@@ -127,6 +133,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"workers":        len(s.Master.Workers()),
+		"worker_states":  s.Master.WorkerStates(),
 		"queue_depth":    s.Runner.Depth(),
 		"queue_running":  s.Runner.Running(),
 		"experiments":    total,
@@ -237,6 +244,39 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, algorithms.Specs())
 }
 
+// handleWorkers reports each worker's circuit-breaker health and the
+// datasets it hosts — the operator's view of federation fault tolerance.
+func (s *Server) handleWorkers(w http.ResponseWriter, _ *http.Request) {
+	states := s.Master.WorkerStates()
+	avail := s.Master.Availability()
+	hosts := map[string][]string{}
+	for ds, ids := range avail {
+		for _, id := range ids {
+			hosts[id] = append(hosts[id], ds)
+		}
+	}
+	type workerView struct {
+		ID                  string   `json:"id"`
+		State               string   `json:"state"`
+		ConsecutiveFailures int      `json:"consecutive_failures"`
+		LastError           string   `json:"last_error,omitempty"`
+		Datasets            []string `json:"datasets"`
+	}
+	var out []workerView
+	for _, wc := range s.Master.Workers() {
+		id := wc.ID()
+		st := states[id]
+		ds := hosts[id]
+		sort.Strings(ds)
+		out = append(out, workerView{
+			ID: id, State: st.State, ConsecutiveFailures: st.ConsecutiveFailures,
+			LastError: st.LastError, Datasets: ds,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
 func (s *Server) handleCreateExperiment(w http.ResponseWriter, r *http.Request) {
 	var req ExperimentRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -325,6 +365,7 @@ func (s *Server) runExperimentTask(ctx context.Context, payload json.RawMessage)
 	root := obs.DefaultTraces.StartSpan(exp.UUID, "", "experiment "+exp.Algorithm)
 	root.SetAttr("name", exp.Name)
 
+	var sess *federation.Session
 	finish := func(result algorithms.Result, err error) {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -340,6 +381,13 @@ func (s *Server) runExperimentTask(ctx context.Context, payload json.RawMessage)
 		} else {
 			exp.Status = "success"
 			exp.Result = enc
+		}
+		if sess != nil {
+			if dropped := sess.Dropped(); len(dropped) > 0 {
+				exp.Degraded = true
+				exp.DroppedWorkers = dropped
+				root.SetAttr("dropped_workers", strings.Join(dropped, ","))
+			}
 		}
 		apiExperimentsDone(exp.Status).Inc()
 		root.SetAttr("status", exp.Status)

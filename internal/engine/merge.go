@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -40,6 +41,11 @@ type MergeTable struct {
 	Schema    Schema
 	TableName string // table name on each part
 	Parts     []Part
+	// MinParts, when positive, tolerates failing parts: a query succeeds
+	// over the surviving parts as long as at least MinParts answered, and
+	// LastStats().FailedParts names the dropped ones. Zero (the default)
+	// keeps strict semantics — any part failure fails the query.
+	MinParts int
 
 	lastStats MergeStats // protected by mergeStatsMu
 }
@@ -49,10 +55,16 @@ type MergeStats struct {
 	Pushdown     bool // true if only partial aggregates travelled
 	RowsShipped  int  // rows received from parts
 	PartsQueried int
+	// FailedParts names parts dropped from a degraded (MinParts) query.
+	FailedParts []string
 }
 
 // LastStats returns statistics of the most recent execSelect call.
-func (m *MergeTable) LastStats() MergeStats { return m.lastStats }
+func (m *MergeTable) LastStats() MergeStats {
+	mergeStatsMu.Lock()
+	defer mergeStatsMu.Unlock()
+	return m.lastStats
+}
 
 var mergeStatsMu sync.Mutex
 
@@ -81,7 +93,7 @@ func (m *MergeTable) execMaterialize(st *SelectStmt) (*Table, error) {
 	if st.Where != nil {
 		sql += " WHERE " + st.Where.String()
 	}
-	parts, err := m.queryAll(sql)
+	parts, failed, err := m.queryAll(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -97,14 +109,17 @@ func (m *MergeTable) execMaterialize(st *SelectStmt) (*Table, error) {
 			return nil, err
 		}
 	}
-	m.setStats(MergeStats{Pushdown: false, RowsShipped: shipped, PartsQueried: len(m.Parts)})
+	m.setStats(MergeStats{Pushdown: false, RowsShipped: shipped, PartsQueried: len(parts), FailedParts: failed})
 	local := *st
 	local.Where = nil // already applied at the parts
 	return execSelect(&local, union, nil)
 }
 
-// queryAll fans the SQL out to every part concurrently.
-func (m *MergeTable) queryAll(sql string) ([]*Table, error) {
+// queryAll fans the SQL out to every part concurrently. It returns the
+// surviving tables plus the names of failed parts; with MinParts unset any
+// failure is fatal, otherwise failures are tolerated down to MinParts
+// survivors.
+func (m *MergeTable) queryAll(sql string) ([]*Table, []string, error) {
 	out := make([]*Table, len(m.Parts))
 	errs := make([]error, len(m.Parts))
 	var wg sync.WaitGroup
@@ -121,12 +136,24 @@ func (m *MergeTable) queryAll(sql string) ([]*Table, error) {
 		}(i, p)
 	}
 	wg.Wait()
-	for _, e := range errs {
+	var ok []*Table
+	var failed []string
+	var failErrs []error
+	for i, e := range errs {
 		if e != nil {
-			return nil, e
+			failed = append(failed, m.Parts[i].PartName())
+			failErrs = append(failErrs, e)
+			continue
 		}
+		ok = append(ok, out[i])
 	}
-	return out, nil
+	if len(failed) == 0 {
+		return ok, nil, nil
+	}
+	if m.MinParts <= 0 || len(ok) < m.MinParts {
+		return nil, nil, errors.Join(failErrs...)
+	}
+	return ok, failed, nil
 }
 
 // partialSpec describes how one original aggregate is computed from
@@ -367,9 +394,12 @@ func (m *MergeTable) execPushdown(st *SelectStmt, specs []partialSpec) (*Table, 
 	}
 
 	// 2. Fan out.
-	partTables, err := m.queryAll(sql)
+	partTables, failed, err := m.queryAll(sql)
 	if err != nil {
 		return nil, err
+	}
+	if len(partTables) == 0 {
+		return nil, fmt.Errorf("merge table %s: no parts answered", m.TableName)
 	}
 	shipped := 0
 	unionAll := NewTable(partTables[0].Schema())
@@ -379,7 +409,7 @@ func (m *MergeTable) execPushdown(st *SelectStmt, specs []partialSpec) (*Table, 
 			return nil, err
 		}
 	}
-	m.setStats(MergeStats{Pushdown: true, RowsShipped: shipped, PartsQueried: len(m.Parts)})
+	m.setStats(MergeStats{Pushdown: true, RowsShipped: shipped, PartsQueried: len(partTables), FailedParts: failed})
 
 	// 3. Merge partials: group by the gk* columns, combining each partial
 	// with its merge op.

@@ -192,3 +192,87 @@ func TestMergePartError(t *testing.T) {
 		t.Fatal("expected error from failing part")
 	}
 }
+
+// failingPart always errors — a dead worker as the merge table sees it.
+type failingPart struct{ name string }
+
+func (p *failingPart) PartName() string { return p.name }
+func (p *failingPart) Query(string) (*Table, error) {
+	return nil, fmt.Errorf("connection refused")
+}
+
+// partTable builds a one-part DB with n rows of x = 1..n.
+func partDB(t *testing.T, n int) *DB {
+	t.Helper()
+	db := NewDB()
+	tab := NewTable(Schema{{"x", Float64}})
+	for i := 1; i <= n; i++ {
+		if err := tab.AppendRow(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.RegisterTable("data", tab)
+	return db
+}
+
+// TestMergeMinPartsDegraded: with MinParts set, a failing part is dropped
+// from both the pushdown and the materialize path, the partial result
+// covers the survivors, and LastStats names the failed part. Below
+// MinParts the query errors.
+func TestMergeMinPartsDegraded(t *testing.T) {
+	newMT := func(minParts int) (*DB, *MergeTable) {
+		mt := &MergeTable{
+			Schema:    Schema{{"x", Float64}},
+			TableName: "data",
+			MinParts:  minParts,
+			Parts: []Part{
+				&LocalPart{Name: "p0", DB: partDB(t, 3)}, // x: 1,2,3
+				&failingPart{name: "p1"},
+				&LocalPart{Name: "p2", DB: partDB(t, 2)}, // x: 1,2
+			},
+		}
+		db := NewDB()
+		db.RegisterMerge("data", mt)
+		return db, mt
+	}
+
+	// Pushdown path (decomposable aggregate).
+	db, mt := newMT(2)
+	got, err := db.Query(`SELECT sum(x) AS s FROM data`)
+	if err != nil {
+		t.Fatalf("degraded pushdown: %v", err)
+	}
+	if s := got.Col(0).Float64s()[0]; s != 9 { // 6 + 3
+		t.Fatalf("partial sum = %v, want 9", s)
+	}
+	st := mt.LastStats()
+	if !st.Pushdown || st.PartsQueried != 2 || len(st.FailedParts) != 1 || st.FailedParts[0] != "p1" {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Materialize path (non-decomposable aggregate).
+	db, mt = newMT(2)
+	got, err = db.Query(`SELECT median(x) AS m FROM data`)
+	if err != nil {
+		t.Fatalf("degraded materialize: %v", err)
+	}
+	if m := got.Col(0).Float64s()[0]; m != 2 { // union 1,2,3,1,2
+		t.Fatalf("partial median = %v, want 2", m)
+	}
+	st = mt.LastStats()
+	if st.Pushdown || len(st.FailedParts) != 1 || st.FailedParts[0] != "p1" {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Survivors below MinParts: fail, naming the broken part.
+	db, _ = newMT(3)
+	if _, err := db.Query(`SELECT sum(x) FROM data`); err == nil {
+		t.Fatal("2 survivors under MinParts=3 must fail")
+	}
+
+	// MinParts unset keeps strict semantics.
+	db, _ = newMT(0)
+	if _, err := db.Query(`SELECT sum(x) FROM data`); err == nil {
+		t.Fatal("strict merge with failing part must fail")
+	}
+}

@@ -95,15 +95,29 @@ func lex(sql string) ([]token, error) {
 				return nil, fmt.Errorf("engine: unterminated string literal at %d", start)
 			}
 			toks = append(toks, token{tokString, b.String(), start})
-		case c == '"': // quoted identifier
+		case c == '"': // quoted identifier; "" is an escaped quote
 			start := i
 			i++
-			j := strings.IndexByte(sql[i:], '"')
-			if j < 0 {
+			var b strings.Builder
+			closed := false
+			for i < n {
+				if sql[i] == '"' {
+					if i+1 < n && sql[i+1] == '"' { // escaped quote
+						b.WriteByte('"')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				b.WriteByte(sql[i])
+				i++
+			}
+			if !closed {
 				return nil, fmt.Errorf("engine: unterminated quoted identifier at %d", start)
 			}
-			toks = append(toks, token{tokIdent, sql[i : i+j], start})
-			i += j + 1
+			toks = append(toks, token{tokIdent, b.String(), start})
 		case unicode.IsLetter(rune(c)) || c == '_':
 			start := i
 			for i < n && (unicode.IsLetter(rune(sql[i])) || unicode.IsDigit(rune(sql[i])) || sql[i] == '_') {

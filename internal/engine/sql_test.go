@@ -635,3 +635,24 @@ func TestThreeWayJoin(t *testing.T) {
 		t.Fatalf("labels = %v", labs)
 	}
 }
+
+// TestQuotedIdentifierEscapes: "" inside a quoted identifier is an escaped
+// double quote (the convention quoteIdent on the federation side emits).
+func TestQuotedIdentifierEscapes(t *testing.T) {
+	db := NewDB()
+	tab := NewTable(Schema{{`he said "hi"`, Float64}, {"plain", Float64}})
+	if err := tab.AppendRow(1.5, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	db.RegisterTable("t", tab)
+	res := q(t, db, `SELECT "he said ""hi""" AS v, "plain" AS p FROM t`)
+	if res.NumRows() != 1 || res.Col(0).Float64s()[0] != 1.5 || res.Col(1).Float64s()[0] != 2.5 {
+		t.Fatalf("escaped quoted identifier misread: %v", res.Col(0).Value(0))
+	}
+	if _, err := db.Query(`SELECT "oops FROM t`); err == nil {
+		t.Fatal("unterminated quoted identifier must error")
+	}
+	if _, err := db.Query(`SELECT "trailing"" FROM t`); err == nil {
+		t.Fatal("identifier ending in an escaped quote with no closer must error")
+	}
+}

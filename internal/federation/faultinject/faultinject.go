@@ -1,0 +1,146 @@
+// Package faultinject wraps a federation.WorkerClient with scripted
+// failures for chaos testing the fault-tolerance layer: per-method error
+// schedules (fail N times then recover), injected latency, and up/down
+// flapping. All state is mutex-protected so schedules can be mutated while
+// a master hammers the client from many goroutines (the -race chaos tests
+// depend on this).
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mip/internal/engine"
+	"mip/internal/federation"
+)
+
+// TransientError is a retryable injected failure: it implements the
+// Temporary() marker the federation retry layer classifies on.
+type TransientError struct{ Reason string }
+
+func (e *TransientError) Error() string {
+	if e.Reason == "" {
+		return "faultinject: transient failure"
+	}
+	return "faultinject: " + e.Reason
+}
+
+// Temporary marks the error retryable (net.Error convention).
+func (e *TransientError) Temporary() bool { return true }
+
+// Step is one scripted outcome for a method call: an error to return
+// and/or a delay to impose before the call proceeds.
+type Step struct {
+	Err   error
+	Delay time.Duration
+}
+
+// Client wraps an inner worker client with scripted fault schedules.
+type Client struct {
+	inner federation.WorkerClient
+
+	mu    sync.Mutex
+	steps map[string][]Step // method → FIFO schedule
+	down  bool              // hard down: every call fails
+	calls map[string]int    // method → observed call count
+}
+
+// Wrap builds a fault-injecting client around inner.
+func Wrap(inner federation.WorkerClient) *Client {
+	return &Client{
+		inner: inner,
+		steps: make(map[string][]Step),
+		calls: make(map[string]int),
+	}
+}
+
+// Script appends outcomes to a method's schedule ("Datasets", "LocalRun"
+// or "Query"). Each call consumes one step; an exhausted schedule passes
+// calls through untouched.
+func (c *Client) Script(method string, steps ...Step) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.steps[method] = append(c.steps[method], steps...)
+}
+
+// FailN schedules n transient failures on a method, after which calls
+// succeed again — the "flaky worker" shape.
+func (c *Client) FailN(method string, n int) {
+	steps := make([]Step, n)
+	for i := range steps {
+		steps[i] = Step{Err: &TransientError{Reason: fmt.Sprintf("scripted failure %d/%d", i+1, n)}}
+	}
+	c.Script(method, steps...)
+}
+
+// SetDown marks the worker hard-down: every call on every method fails
+// until SetUp. Use for permanently dead workers and flapping chaos.
+func (c *Client) SetDown() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.down = true
+}
+
+// SetUp brings the worker back.
+func (c *Client) SetUp() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.down = false
+}
+
+// Calls reports how many times a method has been invoked (including
+// calls that were failed by the schedule or down state).
+func (c *Client) Calls(method string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls[method]
+}
+
+// gate records the call and pops the method's next scripted step. It
+// returns the injected error, if any; delays are served outside the lock.
+func (c *Client) gate(method string) error {
+	c.mu.Lock()
+	c.calls[method]++
+	var step Step
+	if q := c.steps[method]; len(q) > 0 {
+		step = q[0]
+		c.steps[method] = q[1:]
+	}
+	down := c.down
+	c.mu.Unlock()
+	if step.Delay > 0 {
+		time.Sleep(step.Delay)
+	}
+	if down {
+		return &TransientError{Reason: "worker down"}
+	}
+	return step.Err
+}
+
+// ID implements federation.WorkerClient.
+func (c *Client) ID() string { return c.inner.ID() }
+
+// Datasets implements federation.WorkerClient.
+func (c *Client) Datasets() ([]string, error) {
+	if err := c.gate("Datasets"); err != nil {
+		return nil, err
+	}
+	return c.inner.Datasets()
+}
+
+// LocalRun implements federation.WorkerClient.
+func (c *Client) LocalRun(req federation.LocalRunRequest) (federation.LocalRunResponse, error) {
+	if err := c.gate("LocalRun"); err != nil {
+		return federation.LocalRunResponse{}, err
+	}
+	return c.inner.LocalRun(req)
+}
+
+// Query implements federation.WorkerClient.
+func (c *Client) Query(sql string) (*engine.Table, error) {
+	if err := c.gate("Query"); err != nil {
+		return nil, err
+	}
+	return c.inner.Query(sql)
+}

@@ -11,6 +11,7 @@ import (
 	"io"
 	"net/http"
 	"time"
+	"unicode/utf8"
 )
 
 // The HTTP transport lets a Master drive Workers living in other processes
@@ -127,6 +128,8 @@ const (
 )
 
 // HTTPWorkerClient implements WorkerClient against a remote WorkerServer.
+// Idempotent calls (/datasets, /healthz, and /localrun — replay-safe
+// because workers dedupe by JobID) retry transient failures under Retry.
 type HTTPWorkerClient struct {
 	WorkerID string
 	BaseURL  string
@@ -135,6 +138,9 @@ type HTTPWorkerClient struct {
 	// /localrun and /query. Zero values fall back to the defaults.
 	MetaTimeout time.Duration
 	RunTimeout  time.Duration
+	// Retry is the backoff policy for idempotent calls. The zero value
+	// disables retries; NewHTTPWorkerClient installs DefaultRetryPolicy.
+	Retry RetryPolicy
 }
 
 // NewHTTPWorkerClient dials a worker's base URL (e.g. http://host:port).
@@ -145,7 +151,39 @@ func NewHTTPWorkerClient(id, baseURL string) *HTTPWorkerClient {
 		Client:      &http.Client{},
 		MetaTimeout: DefaultMetaTimeout,
 		RunTimeout:  DefaultRunTimeout,
+		Retry:       DefaultRetryPolicy,
 	}
+}
+
+// CallError is a failed worker call with enough structure for the retry
+// layer to classify it. Status 0 means the request never produced an HTTP
+// response (transport failure or timeout).
+type CallError struct {
+	Worker  string
+	Status  int
+	Timeout bool
+	Msg     string // worker-supplied error body, when present
+	Err     error
+}
+
+func (e *CallError) Error() string {
+	switch {
+	case e.Timeout:
+		return fmt.Sprintf("federation: worker %s: %s", e.Worker, e.Msg)
+	case e.Status != 0:
+		return fmt.Sprintf("federation: worker %s: HTTP %d: %s", e.Worker, e.Status, e.Msg)
+	default:
+		return fmt.Sprintf("federation: worker %s: %v", e.Worker, e.Err)
+	}
+}
+
+func (e *CallError) Unwrap() error { return e.Err }
+
+// Temporary reports whether the call is worth replaying: transport
+// failures, timeouts, 429s and 5xx responses are; 4xx worker verdicts
+// (bad request, disclosure control, unknown step) are final.
+func (e *CallError) Temporary() bool {
+	return e.Status == 0 || e.Timeout || e.Status == http.StatusTooManyRequests || e.Status >= 500
 }
 
 // ID implements WorkerClient.
@@ -201,25 +239,27 @@ func (c *HTTPWorkerClient) do(method, path string, timeout time.Duration, trace 
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		if ctx.Err() == context.DeadlineExceeded {
-			return fmt.Errorf("federation: worker %s: %s timed out after %s", c.WorkerID, path, timeout)
+			return &CallError{Worker: c.WorkerID, Timeout: true,
+				Msg: fmt.Sprintf("%s timed out after %s", path, timeout), Err: err}
 		}
-		return fmt.Errorf("federation: worker %s: %w", c.WorkerID, err)
+		return &CallError{Worker: c.WorkerID, Err: err}
 	}
 	defer resp.Body.Close()
 	fedBytesSent.Add(int64(sent))
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return fmt.Errorf("federation: worker %s: reading response: %w", c.WorkerID, err)
+		return &CallError{Worker: c.WorkerID, Err: fmt.Errorf("reading response: %w", err)}
 	}
 	fedBytesRecv.Add(int64(len(data)))
 	if resp.StatusCode != http.StatusOK {
+		msg := truncate(string(data), 200)
 		var e struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("federation: worker %s: HTTP %d: %s", c.WorkerID, resp.StatusCode, e.Error)
+			msg = e.Error
 		}
-		return fmt.Errorf("federation: worker %s: HTTP %d: %s", c.WorkerID, resp.StatusCode, truncate(string(data), 200))
+		return &CallError{Worker: c.WorkerID, Status: resp.StatusCode, Msg: msg}
 	}
 	if out == nil {
 		return nil
@@ -227,37 +267,51 @@ func (c *HTTPWorkerClient) do(method, path string, timeout time.Duration, trace 
 	return json.Unmarshal(data, out)
 }
 
+// truncate caps s at n bytes without splitting a multi-byte UTF-8 rune
+// (worker error bodies may carry non-ASCII dataset or column names).
 func truncate(s string, n int) string {
 	if len(s) <= n {
 		return s
 	}
+	for n > 0 && !utf8.RuneStart(s[n]) {
+		n--
+	}
 	return s[:n] + "…"
 }
 
-// Datasets implements WorkerClient.
+// Datasets implements WorkerClient. Idempotent: retried under Retry.
 func (c *HTTPWorkerClient) Datasets() ([]string, error) {
 	var out struct {
 		Datasets []string `json:"datasets"`
 	}
-	if err := c.do(http.MethodGet, "/datasets", c.metaTimeout(), nil, nil, &out); err != nil {
+	err := c.Retry.run(c.WorkerID, func() error {
+		return c.do(http.MethodGet, "/datasets", c.metaTimeout(), nil, nil, &out)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out.Datasets, nil
 }
 
-// Health fetches the worker's /healthz document.
+// Health fetches the worker's /healthz document. Idempotent: retried.
 func (c *HTTPWorkerClient) Health() (map[string]any, error) {
 	var out map[string]any
-	if err := c.do(http.MethodGet, "/healthz", c.metaTimeout(), nil, nil, &out); err != nil {
+	err := c.Retry.run(c.WorkerID, func() error {
+		return c.do(http.MethodGet, "/healthz", c.metaTimeout(), nil, nil, &out)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// LocalRun implements WorkerClient.
+// LocalRun implements WorkerClient. Replays are safe because workers
+// dedupe /localrun by JobID, so transient failures are retried.
 func (c *HTTPWorkerClient) LocalRun(req LocalRunRequest) (LocalRunResponse, error) {
 	var resp LocalRunResponse
-	err := c.do(http.MethodPost, "/localrun", c.runTimeout(), req.Trace, req, &resp)
+	err := c.Retry.run(c.WorkerID, func() error {
+		return c.do(http.MethodPost, "/localrun", c.runTimeout(), req.Trace, req, &resp)
+	})
 	return resp, err
 }
 

@@ -1,7 +1,9 @@
 package federation
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -30,10 +32,35 @@ type Master struct {
 	mu       sync.Mutex
 	workers  []WorkerClient
 	byID     map[string]WorkerClient
-	avail    map[string][]string // dataset → worker ids
+	workerDS map[string][]string // worker id → last-known datasets
+	avail    map[string][]string // dataset → worker ids (derived from workerDS)
 	smpc     *smpc.Cluster
 	jobSeq   int
 	security Security
+
+	// Fault tolerance: per-worker circuit breakers plus the default
+	// degraded-aggregation policy new sessions inherit.
+	healthMu  sync.Mutex
+	health    map[string]*workerHealth
+	breaker   BreakerConfig
+	tolerance Tolerance
+	stopProbe chan struct{}
+	closeOnce sync.Once
+	now       func() time.Time
+}
+
+// MasterOption configures a Master.
+type MasterOption func(*Master)
+
+// WithBreaker overrides the per-worker circuit-breaker configuration.
+func WithBreaker(b BreakerConfig) MasterOption {
+	return func(m *Master) { m.breaker = b }
+}
+
+// WithTolerance sets the default degraded-aggregation policy inherited by
+// new sessions and by MergeQuery.
+func WithTolerance(t Tolerance) MasterOption {
+	return func(m *Master) { m.tolerance = t }
 }
 
 // Security selects the aggregation path for a master.
@@ -45,8 +72,11 @@ type Security struct {
 	Noise smpc.Noise
 }
 
-// NewMaster builds a master over the given workers.
-func NewMaster(workers []WorkerClient, cluster *smpc.Cluster, sec Security) (*Master, error) {
+// NewMaster builds a master over the given workers. Workers whose initial
+// availability scan fails are not fatal: they are skipped (their circuit
+// breaker records the failure) and re-probed in the background until they
+// come back — the flaky-site survival the clinical deployments demand.
+func NewMaster(workers []WorkerClient, cluster *smpc.Cluster, sec Security, opts ...MasterOption) (*Master, error) {
 	if len(workers) == 0 {
 		return nil, fmt.Errorf("federation: master needs at least one worker")
 	}
@@ -54,47 +84,112 @@ func NewMaster(workers []WorkerClient, cluster *smpc.Cluster, sec Security) (*Ma
 		return nil, fmt.Errorf("federation: SMPC security requested but no cluster provided")
 	}
 	m := &Master{
-		workers:  workers,
-		byID:     make(map[string]WorkerClient, len(workers)),
-		avail:    make(map[string][]string),
-		smpc:     cluster,
-		security: sec,
+		workers:   workers,
+		byID:      make(map[string]WorkerClient, len(workers)),
+		workerDS:  make(map[string][]string),
+		avail:     make(map[string][]string),
+		smpc:      cluster,
+		security:  sec,
+		health:    make(map[string]*workerHealth, len(workers)),
+		stopProbe: make(chan struct{}),
+		now:       time.Now,
 	}
 	for _, w := range workers {
 		if _, dup := m.byID[w.ID()]; dup {
 			return nil, fmt.Errorf("federation: duplicate worker id %q", w.ID())
 		}
 		m.byID[w.ID()] = w
+		m.health[w.ID()] = &workerHealth{}
+		workerStateGauge(w.ID()).Set(0)
 	}
-	if err := m.RefreshAvailability(); err != nil {
-		return nil, err
+	for _, o := range opts {
+		o(m)
+	}
+	// Best-effort initial scan: unreachable workers are degraded, not fatal.
+	_ = m.RefreshAvailability()
+	if iv := m.breaker.probeInterval(); iv > 0 {
+		go m.probeLoop(iv)
 	}
 	registerMaster(m)
 	return m, nil
 }
 
-// Close releases the master's observability registration so the worker
-// gauge stops counting its workers. Safe to call more than once; the
-// master itself holds no other resources.
+// Close stops the background re-probe loop and releases the master's
+// observability registration so the worker gauge stops counting its
+// workers. Safe to call more than once.
 func (m *Master) Close() {
+	m.closeOnce.Do(func() { close(m.stopProbe) })
 	unregisterMaster(m)
 }
 
-// RefreshAvailability re-scans every worker's datasets.
+// RefreshAvailability re-scans every worker's datasets concurrently,
+// degrading gracefully: broken workers are skipped (and drop out of the
+// availability map until the background probe readmits them) instead of
+// failing the whole scan. It returns an error only when no worker could be
+// scanned at all.
 func (m *Master) RefreshAvailability() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.avail = make(map[string][]string)
-	for _, w := range m.workers {
-		ds, err := w.Datasets()
-		if err != nil {
-			return fmt.Errorf("federation: worker %s availability: %w", w.ID(), err)
+	workers := m.Workers()
+	type scan struct {
+		id      string
+		ds      []string
+		err     error
+		skipped bool
+	}
+	results := make([]scan, len(workers))
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		id := w.ID()
+		if !m.allowCall(id) {
+			results[i] = scan{id: id, skipped: true}
+			continue
 		}
-		for _, d := range ds {
+		wg.Add(1)
+		go func(i int, w WorkerClient) {
+			defer wg.Done()
+			ds, err := w.Datasets()
+			m.reportResult(w.ID(), err)
+			results[i] = scan{id: w.ID(), ds: ds, err: err}
+		}(i, w)
+	}
+	wg.Wait()
+	ok := 0
+	var firstErr error
+	m.mu.Lock()
+	for _, r := range results {
+		switch {
+		case r.skipped:
+			// Circuit open: keep nothing stale around.
+			delete(m.workerDS, r.id)
+		case r.err != nil:
+			delete(m.workerDS, r.id)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("federation: worker %s availability: %w", r.id, r.err)
+			}
+		default:
+			m.workerDS[r.id] = r.ds
+			ok++
+		}
+	}
+	m.rebuildAvailLocked()
+	m.mu.Unlock()
+	if ok == 0 {
+		if firstErr != nil {
+			return firstErr
+		}
+		return fmt.Errorf("federation: no worker reachable (all circuits open)")
+	}
+	return nil
+}
+
+// rebuildAvailLocked derives the dataset → worker-ids map from the
+// per-worker dataset records. Caller holds m.mu.
+func (m *Master) rebuildAvailLocked() {
+	m.avail = make(map[string][]string, len(m.avail))
+	for _, w := range m.workers {
+		for _, d := range m.workerDS[w.ID()] {
 			m.avail[d] = append(m.avail[d], w.ID())
 		}
 	}
-	return nil
 }
 
 // Availability returns dataset → sorted worker ids.
@@ -153,8 +248,46 @@ func (m *Master) WorkersFor(datasets []string) []WorkerClient {
 	return out
 }
 
+// Tolerance is a session's degraded-aggregation policy: how many workers
+// may drop out of a step before the step fails, and how long to wait for
+// stragglers. The zero value requires every worker (no degradation) — the
+// safe default for result fidelity.
+type Tolerance struct {
+	// MinWorkers is the absolute quorum: a step succeeds (degraded) as long
+	// as at least this many workers respond.
+	MinWorkers int
+	// Quorum is a fractional quorum over the session's workers (e.g. 0.5).
+	// The effective quorum is max(MinWorkers, ceil(Quorum·N)).
+	Quorum float64
+	// StepDeadline bounds one fan-out: workers that have not replied when
+	// it expires are dropped (counting against the quorum). Zero waits
+	// indefinitely.
+	StepDeadline time.Duration
+}
+
+// Required returns the effective quorum for n workers.
+func (t Tolerance) Required(n int) int {
+	if t.MinWorkers <= 0 && t.Quorum <= 0 {
+		return n
+	}
+	req := t.MinWorkers
+	if t.Quorum > 0 {
+		if q := int(math.Ceil(t.Quorum * float64(n))); q > req {
+			req = q
+		}
+	}
+	if req < 1 {
+		req = 1
+	}
+	if req > n {
+		req = n
+	}
+	return req
+}
+
 // NewSession opens an execution session for one experiment, scoped to the
-// workers that hold the requested datasets.
+// workers that hold the requested datasets. The session inherits the
+// master's default Tolerance; override per experiment with SetTolerance.
 func (m *Master) NewSession(datasets []string) (*Session, error) {
 	ws := m.WorkersFor(datasets)
 	if len(ws) == 0 {
@@ -163,48 +296,91 @@ func (m *Master) NewSession(datasets []string) (*Session, error) {
 	m.mu.Lock()
 	m.jobSeq++
 	id := fmt.Sprintf("exp-%d", m.jobSeq)
+	tol := m.tolerance
 	m.mu.Unlock()
 	return &Session{
-		id:       id,
-		master:   m,
-		workers:  ws,
-		datasets: datasets,
+		id:        id,
+		master:    m,
+		workers:   ws,
+		datasets:  datasets,
+		tolerance: tol,
 	}, nil
 }
 
 // MergeQuery registers a transient merge table over the workers' data
 // tables and runs an aggregate SQL against it: the paper's non-secure
 // remote/merge-table aggregation path. The query must reference DataTable.
+// Under a Tolerance that admits partial results, failing parts are dropped
+// as long as the quorum holds; MergeQueryDegraded reports which.
 func (m *Master) MergeQuery(datasets []string, sql string) (*engine.Table, error) {
+	t, _, err := m.MergeQueryDegraded(datasets, sql)
+	return t, err
+}
+
+// MergeQueryDegraded is MergeQuery plus the ids of worker parts that
+// failed and were dropped from the aggregate (empty on a full result).
+func (m *Master) MergeQueryDegraded(datasets []string, sql string) (*engine.Table, []string, error) {
 	ws := m.WorkersFor(datasets)
 	if len(ws) == 0 {
-		return nil, fmt.Errorf("federation: no worker holds datasets %v", datasets)
+		return nil, nil, fmt.Errorf("federation: no worker holds datasets %v", datasets)
 	}
 	mdb := engine.NewDB()
 	mt := &engine.MergeTable{TableName: DataTable}
 	for _, w := range ws {
-		mt.Parts = append(mt.Parts, &workerPart{w})
+		mt.Parts = append(mt.Parts, &workerPart{w: w, m: m})
+	}
+	if req := m.tolerance.Required(len(ws)); req < len(ws) {
+		mt.MinParts = req
 	}
 	mdb.RegisterMerge(DataTable, mt)
-	return mdb.Query(sql)
+	t, err := mdb.Query(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	dropped := mt.LastStats().FailedParts
+	if len(dropped) > 0 {
+		fedDegradedSteps.Inc()
+		fedDroppedWorkers.Add(int64(len(dropped)))
+	}
+	return t, dropped, nil
 }
 
-// workerPart adapts a WorkerClient to the engine's merge-table Part.
-type workerPart struct{ w WorkerClient }
+// workerPart adapts a WorkerClient to the engine's merge-table Part,
+// feeding call outcomes into the master's circuit breakers.
+type workerPart struct {
+	w WorkerClient
+	m *Master
+}
 
-func (p *workerPart) PartName() string                        { return p.w.ID() }
-func (p *workerPart) Query(sql string) (*engine.Table, error) { return p.w.Query(sql) }
+func (p *workerPart) PartName() string { return p.w.ID() }
+
+func (p *workerPart) Query(sql string) (*engine.Table, error) {
+	if p.m != nil && !p.m.allowCall(p.w.ID()) {
+		return nil, fmt.Errorf("worker %s: %w", p.w.ID(), ErrCircuitOpen)
+	}
+	t, err := p.w.Query(sql)
+	if p.m != nil {
+		p.m.reportResult(p.w.ID(), err)
+	}
+	return t, err
+}
 
 // Session is one experiment execution: the handle an algorithm flow uses
 // to run local steps, aggregate transfers and iterate — the Go rendering of
 // the paper's Figure 2 programming model.
 type Session struct {
-	id       string
-	master   *Master
-	workers  []WorkerClient
-	datasets []string
-	stepSeq  int
-	trace    obs.TraceRef // zero value disables tracing
+	id        string
+	master    *Master
+	workers   []WorkerClient
+	datasets  []string
+	stepSeq   int
+	trace     obs.TraceRef // zero value disables tracing
+	tolerance Tolerance
+
+	// dropped accumulates the ids of workers excluded from degraded steps
+	// (partial-aggregate metadata surfaced by the API).
+	dropMu  sync.Mutex
+	dropped map[string]bool
 
 	// GlobalState carries flow state across steps (model parameters in
 	// iterative algorithms).
@@ -230,6 +406,38 @@ func (s *Session) Datasets() []string { return append([]string(nil), s.datasets.
 
 // Secure reports whether aggregation goes through SMPC.
 func (s *Session) Secure() bool { return s.master.security.UseSMPC }
+
+// SetTolerance overrides the session's degraded-aggregation policy
+// (inherited from the master by default). Call before running steps.
+func (s *Session) SetTolerance(t Tolerance) { s.tolerance = t }
+
+// Tolerance returns the session's degraded-aggregation policy.
+func (s *Session) Tolerance() Tolerance { return s.tolerance }
+
+// Dropped returns the sorted ids of workers dropped from any degraded
+// step of this session — the partial-aggregate metadata recorded in
+// experiment results and trace spans.
+func (s *Session) Dropped() []string {
+	s.dropMu.Lock()
+	defer s.dropMu.Unlock()
+	out := make([]string, 0, len(s.dropped))
+	for id := range s.dropped {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Session) recordDropped(ids []string) {
+	s.dropMu.Lock()
+	defer s.dropMu.Unlock()
+	if s.dropped == nil {
+		s.dropped = make(map[string]bool)
+	}
+	for _, id := range ids {
+		s.dropped[id] = true
+	}
+}
 
 // nextJobID mints the globally unique computation identifier used to
 // retrieve results asynchronously and to key SMPC imports.
@@ -275,14 +483,20 @@ func (s *Session) DataQuery(vars []string, filter string, dropNA bool) string {
 }
 
 func quoteIdent(s string) string {
-	// Plain identifiers pass through; anything else is quoted.
+	// Plain identifiers pass through; anything else is quoted, with
+	// embedded double quotes escaped as "" so the SQL lexer can undo them.
+	plain := s != ""
 	for _, r := range s {
 		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' {
 			continue
 		}
-		return `"` + s + `"`
+		plain = false
+		break
 	}
-	return s
+	if plain && !(s[0] >= '0' && s[0] <= '9') {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }
 
 // LocalRunSpec parameterizes a LocalRun round.
@@ -314,6 +528,12 @@ func (s *Session) LocalRun(spec LocalRunSpec) ([]Transfer, error) {
 // parentSpan is the trace span the step nests under ("" parents the step
 // at the trace root). Each worker round-trip gets its own span; spans the
 // worker ships back in the response envelope are grafted into the store.
+//
+// Failure handling: workers whose circuit breaker is open are skipped
+// without a call; failed and straggling workers are dropped when the
+// session's Tolerance quorum still holds (plain path only — SMPC needs
+// every worker's shares), and the survivors' responses are returned with
+// the dropped ids recorded on the session and the step span.
 func (s *Session) localRun(spec LocalRunSpec, secureKeys []string, parentSpan string) ([]LocalRunResponse, error) {
 	jobID := s.nextJobID()
 	dq := spec.DataQuery
@@ -328,47 +548,123 @@ func (s *Session) localRun(spec LocalRunSpec, secureKeys []string, parentSpan st
 		ShareToGlobal: len(secureKeys) == 0,
 		SecureKeys:    secureKeys,
 	}
+	secure := len(secureKeys) > 0
 	step := obs.DefaultTraces.StartSpan(s.trace.TraceID, parentSpan, "localrun "+spec.Func)
 	step.SetAttr("job_id", jobID)
 	step.SetAttr("workers", strconv.Itoa(len(s.workers)))
 	defer step.End()
 	fedLocalRuns.Inc()
 	start := time.Now()
+
+	type result struct {
+		i    int
+		resp LocalRunResponse
+		err  error
+	}
+	ch := make(chan result, len(s.workers))
 	resps := make([]LocalRunResponse, len(s.workers))
-	errs := make([]error, len(s.workers))
-	var wg sync.WaitGroup
+	failed := make([]error, len(s.workers))
+	settled := make([]bool, len(s.workers))
+	launched := 0
 	for i, w := range s.workers {
-		wg.Add(1)
+		if !s.master.allowCall(w.ID()) {
+			failed[i] = fmt.Errorf("worker %s: %w", w.ID(), ErrCircuitOpen)
+			settled[i] = true
+			continue
+		}
+		launched++
 		go func(i int, w WorkerClient) {
-			defer wg.Done()
 			ws := step.StartChild("worker " + w.ID())
 			wreq := req
 			wreq.Trace = ws.Ref()
 			t0 := time.Now()
 			r, err := w.LocalRun(wreq)
 			workerRoundtrip(w.ID()).Observe(time.Since(t0).Seconds())
+			s.master.reportResult(w.ID(), err)
 			obs.DefaultTraces.Import(r.Spans)
 			if err != nil {
-				errs[i] = fmt.Errorf("worker %s: %w", w.ID(), err)
 				ws.SetError(err)
 				ws.End()
+				ch <- result{i: i, err: fmt.Errorf("worker %s: %w", w.ID(), err)}
 				return
 			}
 			ws.SetAttr("rows", strconv.Itoa(r.Rows))
 			ws.End()
-			resps[i] = r
+			ch <- result{i: i, resp: r}
 		}(i, w)
 	}
-	wg.Wait()
-	fedFanoutSeconds.Observe(time.Since(start).Seconds())
-	for _, e := range errs {
-		if e != nil {
-			fedLocalRunErrors.Inc()
-			step.SetError(e)
-			return nil, e
+
+	// Collect until every launched worker replied or the straggler deadline
+	// fires. Late repliers write to the buffered channel, so their
+	// goroutines never leak; their breaker reports still land.
+	var deadline <-chan time.Time
+	if s.tolerance.StepDeadline > 0 {
+		timer := time.NewTimer(s.tolerance.StepDeadline)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	timedOut := false
+	for received := 0; received < launched && !timedOut; {
+		select {
+		case r := <-ch:
+			received++
+			settled[r.i] = true
+			if r.err != nil {
+				failed[r.i] = r.err
+			} else {
+				resps[r.i] = r.resp
+			}
+		case <-deadline:
+			timedOut = true
 		}
 	}
-	return resps, nil
+	if timedOut {
+		for i, w := range s.workers {
+			if !settled[i] {
+				failed[i] = fmt.Errorf("worker %s: straggler: no reply within %s", w.ID(), s.tolerance.StepDeadline)
+				settled[i] = true
+			}
+		}
+	}
+	fedFanoutSeconds.Observe(time.Since(start).Seconds())
+
+	var ok []LocalRunResponse
+	var droppedIDs []string
+	var errs []error
+	for i := range s.workers {
+		if failed[i] != nil {
+			droppedIDs = append(droppedIDs, s.workers[i].ID())
+			errs = append(errs, failed[i])
+		} else {
+			ok = append(ok, resps[i])
+		}
+	}
+	if len(errs) == 0 {
+		return ok, nil
+	}
+	fedLocalRunErrors.Inc()
+	if secure {
+		// Full-threshold secure aggregation opens the sum from every
+		// worker's shares; a missing worker makes the aggregate
+		// unrecoverable, so the secure path never degrades.
+		err := fmt.Errorf("federation: secure aggregation requires shares from all %d workers and cannot degrade to a partial result: %w",
+			len(s.workers), errors.Join(errs...))
+		step.SetError(err)
+		return nil, err
+	}
+	required := s.tolerance.Required(len(s.workers))
+	if len(ok) < required {
+		err := fmt.Errorf("federation: quorum not met: %d of %d workers responded, need %d: %w",
+			len(ok), len(s.workers), required, errors.Join(errs...))
+		step.SetError(err)
+		return nil, err
+	}
+	// Degraded success: the surviving quorum's partial aggregate.
+	s.recordDropped(droppedIDs)
+	fedDegradedSteps.Inc()
+	fedDroppedWorkers.Add(int64(len(droppedIDs)))
+	step.SetAttr("dropped_workers", strings.Join(droppedIDs, ","))
+	return ok, nil
 }
 
 // SecureSum runs a local step on every worker, secret-shares the named

@@ -56,6 +56,16 @@ var (
 	fedBytesRecv = obs.GetCounter("mip_federation_http_bytes_total",
 		"Bytes moved by the federation HTTP transport.",
 		obs.Label{Key: "direction", Value: "received"})
+	fedDegradedSteps = obs.GetCounter("mip_federation_degraded_steps_total",
+		"Steps that returned a partial aggregate after dropping workers.")
+	fedDroppedWorkers = obs.GetCounter("mip_federation_dropped_workers_total",
+		"Workers dropped from degraded steps by the tolerance policy.")
+	fedReplaysDeduped = obs.GetCounter("mip_federation_replays_deduped_total",
+		"Replayed localrun requests served from the worker's JobID dedupe cache.")
+	fedCircuitOpens = obs.GetCounter("mip_federation_circuit_opens_total",
+		"Worker circuit breakers tripped open by consecutive failures.")
+	fedProbes = obs.GetCounter("mip_federation_probes_total",
+		"Health probes sent to unhealthy workers by the master.")
 )
 
 func init() {
@@ -69,5 +79,20 @@ func init() {
 func workerRoundtrip(workerID string) *obs.Histogram {
 	return obs.GetHistogram("mip_federation_worker_roundtrip_seconds",
 		"Round-trip latency of one worker's LocalRun.", nil,
+		obs.Label{Key: "worker", Value: workerID})
+}
+
+// workerStateGauge exposes each worker's circuit state as seen by the
+// master: 0=closed (healthy), 1=half-open (probing), 2=open (broken).
+func workerStateGauge(workerID string) *obs.Gauge {
+	return obs.GetGauge("mip_federation_worker_state",
+		"Worker circuit-breaker state (0=closed, 1=half-open, 2=open).",
+		obs.Label{Key: "worker", Value: workerID})
+}
+
+// fedRetries counts replays of idempotent worker calls, per worker.
+func fedRetries(workerID string) *obs.Counter {
+	return obs.GetCounter("mip_federation_retries_total",
+		"Retries of idempotent worker calls after transient failures.",
 		obs.Label{Key: "worker", Value: workerID})
 }

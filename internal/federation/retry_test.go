@@ -1,0 +1,227 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mip/internal/engine"
+)
+
+func TestQuoteIdent(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"age", "age"},
+		{"left_hippocampus", "left_hippocampus"},
+		{"Age2", "Age2"},
+		{"", `""`},
+		{"3d_volume", `"3d_volume"`},   // leading digit needs quoting
+		{"with space", `"with space"`}, // space needs quoting
+		{"semi;colon", `"semi;colon"`}, // punctuation needs quoting
+		{`he said "hi"`, `"he said ""hi"""`},
+		{`"`, `""""`},
+		{`a""b`, `"a""""b"`},
+	}
+	for _, c := range cases {
+		if got := quoteIdent(c.in); got != c.want {
+			t.Errorf("quoteIdent(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+// TestQuoteIdentRoundTrip proves quoted identifiers survive the full trip
+// through the SQL parser: a column whose name embeds double quotes, spaces
+// and punctuation is selectable via quoteIdent output.
+func TestQuoteIdentRoundTrip(t *testing.T) {
+	weird := []string{`he said "hi"`, "with space", "3d_volume", `tricky""name`}
+	for _, name := range weird {
+		db := engine.NewDB()
+		tab := engine.NewTable(engine.Schema{{Name: name, Type: engine.Float64}})
+		if err := tab.AppendRow(41.0); err != nil {
+			t.Fatal(err)
+		}
+		db.RegisterTable("t", tab)
+		sql := fmt.Sprintf("SELECT %s FROM t", quoteIdent(name))
+		out, err := db.Query(sql)
+		if err != nil {
+			t.Fatalf("column %q: query %s: %v", name, sql, err)
+		}
+		if out.NumRows() != 1 || out.Col(0).Float64s()[0] != 41.0 {
+			t.Fatalf("column %q: wrong result", name)
+		}
+	}
+}
+
+func TestTruncateRuneBoundary(t *testing.T) {
+	cases := []struct {
+		in   string
+		n    int
+		want string
+	}{
+		{"short", 10, "short"},
+		{"abcdef", 3, "abc…"},
+		// "héllo" = h(1) é(2) l l o — cutting at 2 lands mid-é.
+		{"héllo", 2, "h…"},
+		{"héllo", 3, "hé…"},
+		// 3-byte runes: cutting anywhere inside backs up to the boundary.
+		{"日本語", 4, "日…"},
+		{"日本語", 5, "日…"},
+		{"日本語", 6, "日本…"},
+	}
+	for _, c := range cases {
+		got := truncate(c.in, c.n)
+		if got != c.want {
+			t.Errorf("truncate(%q, %d) = %q, want %q", c.in, c.n, got, c.want)
+		}
+	}
+}
+
+func TestRetryPolicyBackoff(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: 400 * time.Millisecond, Jitter: 0.2}
+	for n, base := range map[int]time.Duration{
+		1: 100 * time.Millisecond,
+		2: 200 * time.Millisecond,
+		3: 400 * time.Millisecond,
+		4: 400 * time.Millisecond, // capped
+	} {
+		d := p.backoff(n)
+		lo := time.Duration(float64(base) * 0.8)
+		hi := time.Duration(float64(base) * 1.2)
+		if d < lo || d > hi {
+			t.Errorf("backoff(%d) = %v, want within [%v, %v]", n, d, lo, hi)
+		}
+	}
+}
+
+type tempErr struct{ temp bool }
+
+func (e *tempErr) Error() string   { return "tempErr" }
+func (e *tempErr) Temporary() bool { return e.temp }
+
+func TestIsRetryable(t *testing.T) {
+	if IsRetryable(errors.New("plain")) {
+		t.Error("plain errors must not be retryable")
+	}
+	if !IsRetryable(&tempErr{temp: true}) {
+		t.Error("Temporary()==true must be retryable")
+	}
+	if IsRetryable(&tempErr{temp: false}) {
+		t.Error("Temporary()==false must not be retryable")
+	}
+	if !IsRetryable(fmt.Errorf("wrapped: %w", &tempErr{temp: true})) {
+		t.Error("wrapped temporary must be retryable")
+	}
+	if !IsRetryable(&CallError{Status: 503}) || !IsRetryable(&CallError{Timeout: true}) || !IsRetryable(&CallError{}) {
+		t.Error("5xx/timeout/transport CallErrors must be retryable")
+	}
+	if IsRetryable(&CallError{Status: 422}) || IsRetryable(&CallError{Status: 400}) {
+		t.Error("4xx CallErrors must not be retryable")
+	}
+}
+
+func TestRetryPolicyRun(t *testing.T) {
+	var slept []time.Duration
+	p := RetryPolicy{MaxAttempts: 3, Sleep: func(d time.Duration) { slept = append(slept, d) }}
+
+	// Fail twice with a retryable error, then succeed.
+	n := 0
+	err := p.run("w1", func() error {
+		n++
+		if n < 3 {
+			return &tempErr{temp: true}
+		}
+		return nil
+	})
+	if err != nil || n != 3 || len(slept) != 2 {
+		t.Fatalf("retryable path: err=%v attempts=%d sleeps=%d", err, n, len(slept))
+	}
+
+	// A permanent error aborts on the first attempt.
+	n = 0
+	err = p.run("w1", func() error { n++; return errors.New("disclosure control") })
+	if err == nil || n != 1 {
+		t.Fatalf("permanent path: err=%v attempts=%d", err, n)
+	}
+
+	// Exhausted attempts wrap the final error.
+	n = 0
+	err = p.run("w1", func() error { n++; return &tempErr{temp: true} })
+	if n != 3 || err == nil || !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Fatalf("exhausted path: err=%v attempts=%d", err, n)
+	}
+	var te *tempErr
+	if !errors.As(err, &te) {
+		t.Fatal("exhausted error must wrap the last failure")
+	}
+}
+
+// TestHTTPClientRetries: a worker server that answers 500 twice then OK is
+// transparent to the caller; a 422 (worker logic error) is never retried.
+func TestHTTPClientRetries(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, `{"error":"transient"}`, http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"datasets":["edsd"]}`)
+	}))
+	defer srv.Close()
+
+	c := NewHTTPWorkerClient("w1", srv.URL)
+	c.Retry.Sleep = func(time.Duration) {}
+	ds, err := c.Datasets()
+	if err != nil {
+		t.Fatalf("Datasets after 2 transient failures: %v", err)
+	}
+	if len(ds) != 1 || ds[0] != "edsd" {
+		t.Fatalf("datasets = %v", ds)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3", hits.Load())
+	}
+
+	// Permanent worker verdicts are not replayed.
+	var permHits atomic.Int64
+	perm := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		permHits.Add(1)
+		http.Error(w, `{"error":"no local func"}`, http.StatusUnprocessableEntity)
+	}))
+	defer perm.Close()
+	pc := NewHTTPWorkerClient("w2", perm.URL)
+	pc.Retry.Sleep = func(time.Duration) {}
+	_, err = pc.Datasets()
+	if err == nil || !strings.Contains(err.Error(), "HTTP 422") {
+		t.Fatalf("err = %v, want HTTP 422", err)
+	}
+	if permHits.Load() != 1 {
+		t.Fatalf("server saw %d requests for a 422, want 1 (no retry)", permHits.Load())
+	}
+}
+
+// TestCallErrorMessages pins the wire-compatible error strings.
+func TestCallErrorMessages(t *testing.T) {
+	e := &CallError{Worker: "w1", Status: 503, Msg: "overloaded"}
+	if got := e.Error(); got != "federation: worker w1: HTTP 503: overloaded" {
+		t.Fatalf("status message = %q", got)
+	}
+	e = &CallError{Worker: "w1", Timeout: true, Msg: "/localrun timed out after 2s"}
+	if got := e.Error(); got != "federation: worker w1: /localrun timed out after 2s" {
+		t.Fatalf("timeout message = %q", got)
+	}
+	inner := errors.New("connection refused")
+	e = &CallError{Worker: "w1", Err: inner}
+	if got := e.Error(); got != "federation: worker w1: connection refused" {
+		t.Fatalf("transport message = %q", got)
+	}
+	if !errors.Is(e, inner) {
+		t.Fatal("CallError must unwrap to the transport error")
+	}
+}

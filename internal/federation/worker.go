@@ -78,6 +78,21 @@ type Worker struct {
 	results  map[string]Transfer // transfer_ref → kept-local results
 	refSeq   int
 	datasets []string
+	jobs     map[string]*jobEntry // JobID → dedupe record (replayed /localrun)
+	jobOrder []string             // FIFO eviction order for jobs
+}
+
+// jobDedupeCap bounds the replay-dedupe cache; the oldest job records are
+// evicted first. 256 comfortably covers the retry window of live steps.
+const jobDedupeCap = 256
+
+// jobEntry records one step execution so replays of the same JobID (from
+// the master's retry layer) return the original result instead of running
+// the step — and, on the secure path, re-importing shares — twice.
+type jobEntry struct {
+	done chan struct{} // closed when resp/err are final
+	resp LocalRunResponse
+	err  error
 }
 
 // WorkerOption configures a Worker.
@@ -108,6 +123,7 @@ func NewWorker(id string, db *engine.DB, opts ...WorkerOption) *Worker {
 		udfReg:  udf.NewRegistry(),
 		minRows: DefaultMinRows,
 		results: make(map[string]Transfer),
+		jobs:    make(map[string]*jobEntry),
 	}
 	for _, o := range opts {
 		o(w)
@@ -153,7 +169,51 @@ func (w *Worker) Query(sql string) (*engine.Table, error) { return w.db.Query(sq
 // transfer through the requested path. When the request carries a trace
 // context the worker records an execution span (with engine query stats)
 // and ships it back in the response envelope.
+//
+// Calls are deduplicated by JobID: a replay of an already-completed step
+// (the master retries transient transport failures) returns the cached
+// response, and a replay racing the still-running original waits for it
+// instead of executing twice. This is what makes /localrun idempotent —
+// critical on the secure path, where re-running a step would import its
+// secret shares into the SMPC cluster a second time.
 func (w *Worker) LocalRun(req LocalRunRequest) (LocalRunResponse, error) {
+	if req.JobID == "" {
+		return w.runStep(req)
+	}
+	for {
+		w.mu.Lock()
+		e, ok := w.jobs[req.JobID]
+		if !ok {
+			e = &jobEntry{done: make(chan struct{})}
+			w.jobs[req.JobID] = e
+			w.jobOrder = append(w.jobOrder, req.JobID)
+			for len(w.jobOrder) > jobDedupeCap {
+				delete(w.jobs, w.jobOrder[0])
+				w.jobOrder = w.jobOrder[1:]
+			}
+			w.mu.Unlock()
+			e.resp, e.err = w.runStep(req)
+			close(e.done)
+			return e.resp, e.err
+		}
+		w.mu.Unlock()
+		<-e.done
+		if e.err == nil {
+			fedReplaysDeduped.Inc()
+			return e.resp, nil
+		}
+		// The recorded attempt failed; clear it (unless a concurrent replay
+		// already did) and re-execute.
+		w.mu.Lock()
+		if w.jobs[req.JobID] == e {
+			delete(w.jobs, req.JobID)
+		}
+		w.mu.Unlock()
+	}
+}
+
+// runStep executes one local step unconditionally (no dedupe).
+func (w *Worker) runStep(req LocalRunRequest) (LocalRunResponse, error) {
 	fedWorkerRuns.Inc()
 	span := obs.DefaultTraces.StartSpanRef(req.Trace, "exec "+req.Func)
 	span.SetAttr("worker", w.id)

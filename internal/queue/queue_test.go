@@ -211,3 +211,98 @@ func TestRunnerConcurrency(t *testing.T) {
 		t.Fatalf("List len = %d", len(r.List()))
 	}
 }
+
+// TestDepthGaugeNeverNegative: the depth gauge is incremented before
+// Publish, so a fast worker can never decrement it below its pre-submit
+// value (the regression was inc-after-publish racing the pickup's dec).
+func TestDepthGaugeNeverNegative(t *testing.T) {
+	b := NewBroker(0, 0)
+	r := NewRunner(b, 4)
+	defer r.Close()
+	r.Register("noop", func(context.Context, json.RawMessage) (any, error) { return nil, nil })
+
+	baseline := queueDepth.Value()
+	stop := make(chan struct{})
+	violations := make(chan float64, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if v := queueDepth.Value(); v < baseline {
+				select {
+				case violations <- v:
+				default:
+				}
+				return
+			}
+		}
+	}()
+
+	var ids []string
+	for i := 0; i < 200; i++ {
+		id, err := r.Submit("noop", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		if _, err := r.Wait(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	select {
+	case v := <-violations:
+		t.Fatalf("depth gauge dropped to %v below baseline %v", v, baseline)
+	default:
+	}
+	if got := queueDepth.Value(); got != baseline {
+		t.Fatalf("depth gauge = %v after drain, want baseline %v", got, baseline)
+	}
+}
+
+// TestWaitObservedOncePerTask: a task redelivered through the retry path
+// contributes exactly one queue-wait observation (first pickup), not one
+// per delivery.
+func TestWaitObservedOncePerTask(t *testing.T) {
+	b := NewBroker(3, 0)
+	r := NewRunner(b, 1)
+	defer r.Close()
+	var attempts atomic.Int64
+	r.Register("flaky", func(context.Context, json.RawMessage) (any, error) {
+		if attempts.Add(1) < 3 {
+			return nil, errors.New("transient")
+		}
+		return "ok", nil
+	})
+
+	baseline := queueWaitSeconds.Count()
+	id, err := r.Submit("flaky", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	info, err := r.Wait(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != Success {
+		t.Fatalf("state = %s, want SUCCESS (err %q)", info.State, info.Error)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Fatalf("handler ran %d times, want 3", got)
+	}
+	if got := queueWaitSeconds.Count() - baseline; got != 1 {
+		t.Fatalf("wait observed %d times across redeliveries, want 1", got)
+	}
+	if info.Started.IsZero() {
+		t.Fatal("Started must be stamped on first pickup")
+	}
+}

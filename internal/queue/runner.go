@@ -132,7 +132,14 @@ func (r *Runner) Submit(name string, payload any) (string, error) {
 	r.tasks[id] = &TaskInfo{ID: id, Name: name, State: Pending, Created: r.now()}
 	r.mu.Unlock()
 	msg := &Message{ID: id, Body: body, Headers: map[string]string{"task": name}}
+	// Count the task before publishing: once Publish returns, a worker may
+	// already have picked it up and decremented the gauge — incrementing
+	// after the fact would race it below zero. Roll back if publish fails.
+	queueDepth.Inc()
+	r.depth.Add(1)
 	if err := r.broker.Publish(r.queueN, msg); err != nil {
+		queueDepth.Dec()
+		r.depth.Add(-1)
 		r.mu.Lock()
 		r.tasks[id].State = Failure
 		r.tasks[id].Error = err.Error()
@@ -140,8 +147,6 @@ func (r *Runner) Submit(name string, payload any) (string, error) {
 		queueTasks(Failure).Inc()
 		return id, err
 	}
-	queueDepth.Inc()
-	r.depth.Add(1)
 	queueTasks(Pending).Inc()
 	return id, nil
 }
@@ -278,8 +283,12 @@ func (r *Runner) execute(ctx context.Context, d *Delivery) {
 	h := r.handler[name]
 	if t := r.tasks[id]; t != nil {
 		t.State = Started
-		t.Started = started
-		queueWaitSeconds.Observe(started.Sub(t.Created).Seconds())
+		// Queue wait is submission→first pickup; a redelivered (retried)
+		// task keeps its original Started stamp and is not re-observed.
+		if t.Started.IsZero() {
+			t.Started = started
+			queueWaitSeconds.Observe(started.Sub(t.Created).Seconds())
+		}
 	}
 	r.mu.Unlock()
 

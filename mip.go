@@ -55,6 +55,12 @@ type (
 	Schema = engine.Schema
 	// Variable is a common-data-element descriptor.
 	Variable = catalogue.Variable
+	// Tolerance is the quorum policy for degraded (partial) aggregation.
+	Tolerance = federation.Tolerance
+	// BreakerConfig tunes the master's per-worker circuit breakers.
+	BreakerConfig = federation.BreakerConfig
+	// RetryPolicy configures worker-call retries with backoff and jitter.
+	RetryPolicy = federation.RetryPolicy
 )
 
 // SecurityMode selects the aggregation path.
@@ -114,6 +120,13 @@ type Config struct {
 	Seed int64
 	// QueueWorkers is the experiment-runner concurrency (default 2).
 	QueueWorkers int
+	// Tolerance lets plain-path experiments succeed on a partial quorum
+	// when workers fail mid-step. The zero value keeps strict semantics
+	// (every session worker must answer). SMPC aggregation never degrades.
+	Tolerance Tolerance
+	// Breaker tunes the per-worker circuit breakers (zero value = defaults:
+	// open after 3 consecutive failures, 5s cooldown, 15s re-probe).
+	Breaker BreakerConfig
 }
 
 // Platform is a running MIP deployment (in-process topology).
@@ -182,7 +195,9 @@ func New(cfg Config) (*Platform, error) {
 	case NoiseGaussian:
 		sec.Noise = smpc.Noise{Kind: smpc.GaussianNoise, Scale: cfg.NoiseScale}
 	}
-	master, err := federation.NewMaster(clients, cluster, sec)
+	master, err := federation.NewMaster(clients, cluster, sec,
+		federation.WithTolerance(cfg.Tolerance),
+		federation.WithBreaker(cfg.Breaker))
 	if err != nil {
 		return nil, err
 	}
