@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench
+.PHONY: build test race vet fmt check bench benchfull
 
 build:
 	$(GO) build ./...
@@ -20,5 +20,11 @@ fmt:
 
 check: vet fmt race
 
+# bench runs the engine perf suite and writes BENCH_engine.json (the CI
+# bench job uploads it as an artifact). Use benchfull for the testing.B
+# companions across every package.
 bench:
+	$(GO) run ./cmd/mipbench -bench-out BENCH_engine.json
+
+benchfull:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	mipbench               # run everything
-//	mipbench -exp e5       # one experiment
-//	mipbench -list         # list experiments
+//	mipbench                              # run everything
+//	mipbench -exp e5                      # one experiment
+//	mipbench -list                        # list experiments
+//	mipbench -bench-out BENCH_engine.json # perf suite → JSON report
 package main
 
 import (
@@ -32,9 +33,15 @@ func register(id, title string, run func()) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (e1..e12) or all")
+	exp := flag.String("exp", "all", "experiment id (e1..e14) or all")
 	list := flag.Bool("list", false, "list experiments")
+	benchOut := flag.String("bench-out", "", "run the perf benchmark suite and write the JSON report to this file")
 	flag.Parse()
+
+	if *benchOut != "" {
+		runPerfSuite(*benchOut)
+		return
+	}
 
 	sort.Slice(experiments, func(i, j int) bool {
 		a, b := experiments[i].id, experiments[j].id

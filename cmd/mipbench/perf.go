@@ -1,0 +1,210 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"mip"
+	"mip/internal/engine"
+	"mip/internal/stats"
+	"mip/internal/synth"
+)
+
+// The perf suite (-bench-out FILE) measures the engine's core operators and
+// one end-to-end federated experiment with testing.Benchmark, and writes the
+// results as machine-readable JSON for CI artifacts ("make bench" →
+// BENCH_engine.json). Unlike the experiment tables above, these are
+// steady-state timings, not reproduction output.
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type benchReport struct {
+	Suite   string        `json:"suite"`
+	Go      string        `json:"go"`
+	Arch    string        `json:"arch"`
+	Results []benchResult `json:"results"`
+}
+
+// runPerfSuite executes the engine benchmark suite and writes the JSON
+// report to path. Any benchmark failure aborts the run with a non-zero exit.
+func runPerfSuite(path string) {
+	report := benchReport{Suite: "engine", Go: runtime.Version(), Arch: runtime.GOARCH}
+	for _, bench := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"scan_filter_100k", benchScanFilter},
+		{"group_aggregate_synth", benchGroupAggregate},
+		{"aggregate_over_join", benchAggregateOverJoin},
+		{"merge_pushdown_4x2000", benchMergePushdown},
+		{"explain_analyze_overhead", benchExplainAnalyze},
+		{"federated_descriptive_stats", benchFederatedDescriptive},
+	} {
+		fmt.Printf("bench %-28s ", bench.name)
+		r := testing.Benchmark(bench.fn)
+		if r.N == 0 {
+			fmt.Fprintf(os.Stderr, "bench %s produced no iterations (failed)\n", bench.name)
+			os.Exit(1)
+		}
+		fmt.Printf("%12d ns/op %10d B/op %8d allocs/op\n",
+			r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		report.Results = append(report.Results, benchResult{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	fatalIf(err)
+	buf = append(buf, '\n')
+	fatalIf(os.WriteFile(path, buf, 0o644))
+	fmt.Printf("\nwrote %s (%d benchmarks)\n", path, len(report.Results))
+}
+
+func benchFloatTable(b *testing.B, rows int) *engine.DB {
+	b.Helper()
+	tab := engine.NewTable(engine.Schema{{Name: "x", Type: engine.Float64}})
+	rng := stats.NewRNG(1)
+	for i := 0; i < rows; i++ {
+		if err := tab.AppendRow(rng.Float64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	db := engine.NewDB()
+	db.RegisterTable("t", tab)
+	return db
+}
+
+func benchScanFilter(b *testing.B) {
+	db := benchFloatTable(b, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT avg(x) AS m, count(*) AS n FROM t WHERE x > 0.2`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchGroupAggregate(b *testing.B) {
+	tab, err := synth.Generate(synth.Spec{Dataset: "edsd", Rows: 5000, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := engine.NewDB()
+	db.RegisterTable("data", tab)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT alzheimerbroadcategory AS dx, avg(lefthippocampus) AS m, count(*) AS n FROM data GROUP BY alzheimerbroadcategory`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchJoinDB(b *testing.B) *engine.DB {
+	b.Helper()
+	patients := engine.NewTable(engine.Schema{
+		{Name: "id", Type: engine.Int64},
+		{Name: "age", Type: engine.Float64},
+	})
+	scores := engine.NewTable(engine.Schema{
+		{Name: "id", Type: engine.Int64},
+		{Name: "mmse", Type: engine.Float64},
+	})
+	rng := stats.NewRNG(2)
+	for i := 0; i < 20000; i++ {
+		if err := patients.AppendRow(int64(i), 60+rng.Float64()*30); err != nil {
+			b.Fatal(err)
+		}
+		if err := scores.AppendRow(int64(i), rng.Float64()*30); err != nil {
+			b.Fatal(err)
+		}
+	}
+	db := engine.NewDB()
+	db.RegisterTable("patients", patients)
+	db.RegisterTable("scores", scores)
+	return db
+}
+
+func benchAggregateOverJoin(b *testing.B) {
+	db := benchJoinDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT avg(s.mmse) AS m, count(*) AS n FROM patients p JOIN scores s ON p.id = s.id WHERE p.age > 70`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchMergeDB(b *testing.B) *engine.DB {
+	b.Helper()
+	mt := &engine.MergeTable{TableName: "data"}
+	for i := 0; i < 4; i++ {
+		tab, err := synth.Generate(synth.Spec{Dataset: "edsd", Rows: 2000, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		db := engine.NewDB()
+		db.RegisterTable("data", tab)
+		mt.Parts = append(mt.Parts, &engine.LocalPart{Name: fmt.Sprintf("w%d", i), DB: db})
+	}
+	master := engine.NewDB()
+	master.RegisterMerge("data", mt)
+	return master
+}
+
+func benchMergePushdown(b *testing.B) {
+	master := benchMergeDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := master.Query(`SELECT alzheimerbroadcategory AS dx, avg(ab42) AS m FROM data GROUP BY alzheimerbroadcategory`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The cost of running the same federated aggregate with full operator
+// profiling and plan rendering (EXPLAIN ANALYZE) versus benchMergePushdown
+// bounds the observability overhead.
+func benchExplainAnalyze(b *testing.B) {
+	master := benchMergeDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := master.Query(`EXPLAIN ANALYZE SELECT alzheimerbroadcategory AS dx, avg(ab42) AS m FROM data GROUP BY alzheimerbroadcategory`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFederatedDescriptive(b *testing.B) {
+	var workers []mip.WorkerConfig
+	for i := 0; i < 3; i++ {
+		tab, err := synth.Generate(synth.Spec{Dataset: "edsd", Rows: 500, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		workers = append(workers, mip.WorkerConfig{ID: fmt.Sprintf("w%d", i), Data: tab})
+	}
+	p, err := mip.New(mip.Config{Workers: workers, Security: mip.SecurityOff, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	req := mip.Request{Datasets: []string{"edsd"}, Y: []string{"p_tau", "lefthippocampus"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunExperiment("descriptive_stats", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -15,6 +15,8 @@
 //	mipctl health
 //	mipctl workers            # per-worker circuit state and datasets
 //	mipctl trace exp-000001   # render the experiment's span tree
+//	mipctl explain [-analyze] [-datasets edsd] "SELECT avg(age) FROM data"
+//	mipctl slow               # the server's slow-query log
 package main
 
 import (
@@ -47,6 +49,7 @@ func main() {
 	pathology := flag.String("pathology", "dementia", "pathology (variables)")
 	search := flag.String("search", "", "variable search query (variables)")
 	name := flag.String("name", "", "experiment name (run)")
+	analyze := flag.Bool("analyze", false, "execute the query and report measured stats (explain)")
 	var params multiFlag
 	flag.Var(&params, "param", "algorithm parameter key=value (repeatable)")
 	flag.Parse()
@@ -90,9 +93,77 @@ func main() {
 			log.Fatal("trace needs an experiment uuid")
 		}
 		get(*server+"/experiments/"+subArgs[0]+"/trace", printTrace)
+	case "explain":
+		if len(subArgs) == 0 {
+			log.Fatal(`explain needs a SQL query (against the federated "data" view)`)
+		}
+		explainQuery(*server, strings.Join(subArgs, " "), *datasets, *analyze)
+	case "slow":
+		get(*server+"/queries/slow", printSlow)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: mipctl [flags] algorithms|datasets|variables|experiments|workflows|run|workflow|health|workers|trace")
+		fmt.Fprintln(os.Stderr, "usage: mipctl [flags] algorithms|datasets|variables|experiments|workflows|run|workflow|health|workers|trace|explain|slow")
 		os.Exit(2)
+	}
+}
+
+// explainQuery asks the master to plan (or profile, with -analyze) a
+// federated query over the workers' merge view and prints the plan tree.
+func explainQuery(server, sql, datasets string, analyze bool) {
+	req := map[string]any{"sql": sql, "analyze": analyze}
+	if ds := splitList(datasets); len(ds) > 0 {
+		req["datasets"] = ds
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(server+"/queries/explain", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		log.Fatalf("HTTP %d: %s", resp.StatusCode, out)
+	}
+	var doc struct {
+		Datasets []string `json:"datasets"`
+		Plan     []string `json:"plan"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("datasets: %s\n", strings.Join(doc.Datasets, ","))
+	for _, line := range doc.Plan {
+		fmt.Println(line)
+	}
+}
+
+// printSlow renders GET /queries/slow: one header line per retained query
+// followed by its captured plan.
+func printSlow(body []byte) {
+	var doc struct {
+		ThresholdSeconds float64 `json:"threshold_seconds"`
+		Queries          []struct {
+			SQL         string   `json:"sql"`
+			Seconds     float64  `json:"seconds"`
+			RowsScanned int      `json:"rows_scanned"`
+			RowsOut     int      `json:"rows_out"`
+			Error       string   `json:"error"`
+			When        string   `json:"when"`
+			Plan        []string `json:"plan"`
+		} `json:"queries"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		fmt.Println(string(body))
+		return
+	}
+	fmt.Printf("slow-query threshold: %.3fs, %d retained\n", doc.ThresholdSeconds, len(doc.Queries))
+	for _, q := range doc.Queries {
+		fmt.Printf("\n%s  %.3fs  rows %d->%d  %s\n", q.When, q.Seconds, q.RowsScanned, q.RowsOut, q.SQL)
+		if q.Error != "" {
+			fmt.Printf("  ERROR: %s\n", q.Error)
+		}
+		for _, line := range q.Plan {
+			fmt.Printf("  %s\n", line)
+		}
 	}
 }
 

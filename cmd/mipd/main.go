@@ -9,6 +9,7 @@
 //	     [-csv dir]   # load <dir>/<worker>.csv instead of synthetic data
 //	     [-debug-addr :6060]  # pprof + metrics on a private listener
 //	     [-min-workers 0] [-quorum 0] [-step-deadline 0]  # fault tolerance
+//	     [-slow-query 250ms]  # slow-query log threshold (GET /queries/slow)
 //
 // The fault-tolerance flags let plain-path experiments degrade to a partial
 // aggregate instead of failing when workers die mid-step: -min-workers and
@@ -29,7 +30,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -40,8 +40,18 @@ import (
 	"time"
 
 	"mip"
+	"mip/internal/engine"
 	"mip/internal/obs"
 )
+
+// logger emits mipd's structured JSON records (stderr, like every MIP
+// process); fatal logs and exits for startup errors.
+var logger = obs.Logger("mipd")
+
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "REST API listen address")
@@ -57,7 +67,10 @@ func main() {
 	minWorkers := flag.Int("min-workers", 0, "minimum workers for a degraded plain-path result (0 = all required)")
 	quorum := flag.Float64("quorum", 0, "quorum fraction of session workers for degraded results (0 = all required)")
 	stepDeadline := flag.Duration("step-deadline", 0, "per-step straggler deadline before dropping slow workers (0 = wait forever)")
+	slowQuery := flag.Duration("slow-query", engine.DefaultSlowLog.Threshold(), "engine slow-query log threshold (see GET /queries/slow)")
 	flag.Parse()
+
+	engine.DefaultSlowLog.SetThreshold(*slowQuery)
 
 	cfg := mip.Config{Seed: *seed}
 	cfg.Tolerance = mip.Tolerance{MinWorkers: *minWorkers, Quorum: *quorum, StepDeadline: *stepDeadline}
@@ -69,7 +82,7 @@ func main() {
 	case "ft":
 		cfg.Security = mip.SecuritySMPCFullThreshold
 	default:
-		log.Fatalf("unknown -security %q", *security)
+		fatal("unknown -security value", "security", *security)
 	}
 	switch strings.ToLower(*noise) {
 	case "none":
@@ -80,22 +93,22 @@ func main() {
 		cfg.NoiseKind = mip.NoiseGaussian
 		cfg.NoiseScale = *noiseScale
 	default:
-		log.Fatalf("unknown -noise %q", *noise)
+		fatal("unknown -noise value", "noise", *noise)
 	}
 
 	if *csvDir != "" {
 		files, err := filepath.Glob(filepath.Join(*csvDir, "*.csv"))
 		if err != nil || len(files) == 0 {
-			log.Fatalf("no CSV files in %q", *csvDir)
+			fatal("no CSV files found", "dir", *csvDir)
 		}
 		for _, f := range files {
 			tab, err := mip.LoadCSVTable(f)
 			if err != nil {
-				log.Fatalf("loading %s: %v", f, err)
+				fatal("loading CSV failed", "file", f, "err", err.Error())
 			}
 			id := strings.TrimSuffix(filepath.Base(f), ".csv")
 			cfg.Workers = append(cfg.Workers, mip.WorkerConfig{ID: id, Data: tab})
-			log.Printf("worker %s: %d rows from %s", id, tab.NumRows(), f)
+			logger.Info("worker loaded", "worker", id, "rows", tab.NumRows(), "file", f)
 		}
 	} else {
 		for i := 0; i < *nWorkers; i++ {
@@ -104,17 +117,17 @@ func main() {
 				MissingRate: 0.05, Shift: float64(i) * 0.3,
 			})
 			if err != nil {
-				log.Fatal(err)
+				fatal("generating synthetic cohort failed", "err", err.Error())
 			}
 			id := fmt.Sprintf("hospital-%d", i)
 			cfg.Workers = append(cfg.Workers, mip.WorkerConfig{ID: id, Data: tab})
-			log.Printf("worker %s: %d synthetic rows", id, tab.NumRows())
+			logger.Info("worker loaded", "worker", id, "rows", tab.NumRows(), "synthetic", true)
 		}
 	}
 
 	platform, err := mip.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal("platform startup failed", "err", err.Error())
 	}
 
 	if *debugAddr != "" {
@@ -125,8 +138,9 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
-	log.Printf("MIP master up: %d workers, security=%s", len(cfg.Workers), *security)
-	log.Printf("REST API listening on %s (try GET /algorithms, POST /experiments)", *addr)
+	logger.Info("MIP master up", "workers", len(cfg.Workers), "security", *security,
+		"slow_query_threshold", slowQuery.String())
+	logger.Info("REST API listening", "addr", *addr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -139,16 +153,16 @@ func main() {
 	}
 	stop() // restore default signal handling: a second ^C kills immediately
 
-	log.Printf("shutting down: draining for up to %s", *drain)
+	logger.Info("shutting down", "drain", drain.String())
 	deadline, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(deadline); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err.Error())
 	}
 	if err := platform.Shutdown(deadline); err != nil {
-		log.Printf("drain incomplete: %v (unfinished experiments marked error)", err)
+		logger.Warn("drain incomplete: unfinished experiments marked error", "err", err.Error())
 	}
-	log.Printf("bye")
+	logger.Info("bye")
 }
 
 // serveDebug exposes pprof profiles and the metrics registry on a separate
@@ -161,8 +175,8 @@ func serveDebug(addr string) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/metrics", obs.MetricsHandler())
-	log.Printf("debug listener (pprof, metrics) on %s", addr)
+	logger.Info("debug listener up (pprof, metrics)", "addr", addr)
 	if err := http.ListenAndServe(addr, mux); err != nil {
-		log.Printf("debug listener: %v", err)
+		logger.Warn("debug listener", "err", err.Error())
 	}
 }

@@ -21,9 +21,12 @@ package algorithms
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"mip/internal/federation"
+	"mip/internal/obs"
 )
 
 // Request is an experiment request: which datasets, which variables play
@@ -151,6 +154,30 @@ func Get(name string) Algorithm {
 	regMu.RLock()
 	defer regMu.RUnlock()
 	return registry[name]
+}
+
+var algLog = obs.Logger("algorithms")
+
+// Run executes a on sess with structured, trace-correlated logging: one
+// record per run carrying the algorithm name, datasets, duration and
+// outcome, joined to the experiment trace when the session carries one.
+// Platform entry points (the embedded platform and the API runner) route
+// through it instead of calling a.Run directly.
+func Run(a Algorithm, sess *federation.Session, req Request) (Result, error) {
+	l := algLog.With("algorithm", a.Spec().Name,
+		"datasets", strings.Join(req.Datasets, ","))
+	if tr := sess.Trace(); tr.TraceID != "" {
+		l = obs.WithTrace(l, &tr)
+	}
+	start := time.Now()
+	res, err := a.Run(sess, req)
+	if err != nil {
+		l.Error("algorithm failed", "seconds", time.Since(start).Seconds(), "err", err.Error())
+		return res, err
+	}
+	l.Info("algorithm done", "seconds", time.Since(start).Seconds(),
+		"dropped_workers", strings.Join(sess.Dropped(), ","))
+	return res, nil
 }
 
 // Names lists registered algorithms, sorted.

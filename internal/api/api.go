@@ -114,6 +114,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /experiments", s.handleListExperiments)
 	mux.HandleFunc("GET /experiments/{uuid}", s.handleGetExperiment)
 	mux.HandleFunc("GET /experiments/{uuid}/trace", s.handleExperimentTrace)
+	mux.HandleFunc("GET /queries/slow", s.handleSlowQueries)
+	mux.HandleFunc("POST /queries/explain", s.handleExplain)
 	s.registerWorkflowRoutes(mux)
 	return obs.Middleware("api", mux)
 }
@@ -403,7 +405,7 @@ func (s *Server) runExperimentTask(ctx context.Context, payload json.RawMessage)
 		return nil, nil // failure recorded on the experiment, not retried
 	}
 	sess.SetTrace(obs.TraceRef{TraceID: exp.UUID, SpanID: root.ID()})
-	result, err := alg.Run(sess, req)
+	result, err := algorithms.Run(alg, sess, req)
 	finish(result, err)
 	return map[string]string{"uuid": p.UUID}, nil
 }

@@ -1,0 +1,57 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"mip/internal/engine"
+)
+
+// Query-observability endpoints: the process-wide slow-query log and
+// federated EXPLAIN over the workers' merge view.
+
+// handleSlowQueries serves the retained slow-query records, newest first.
+func (s *Server) handleSlowQueries(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"threshold_seconds": engine.DefaultSlowLog.Threshold().Seconds(),
+		"queries":           engine.DefaultSlowLog.Entries(),
+	})
+}
+
+type explainRequest struct {
+	SQL      string   `json:"sql"`
+	Analyze  bool     `json:"analyze"`
+	Datasets []string `json:"datasets"`
+}
+
+// handleExplain plans (or, with analyze, executes and profiles) a federated
+// query over the merge view of the workers holding the requested datasets.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.SQL == "" {
+		writeErr(w, http.StatusBadRequest, "missing sql")
+		return
+	}
+	if len(req.Datasets) == 0 {
+		req.Datasets = s.Master.Datasets()
+	}
+	if err := s.validateDatasets(req.Datasets); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	lines, err := s.Master.Explain(req.Datasets, req.SQL, req.Analyze)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sql":      req.SQL,
+		"analyzed": req.Analyze,
+		"datasets": req.Datasets,
+		"plan":     lines,
+	})
+}

@@ -1,0 +1,76 @@
+package api
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"mip/internal/engine"
+)
+
+func TestExplainEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+
+	var doc struct {
+		Datasets []string `json:"datasets"`
+		Plan     []string `json:"plan"`
+	}
+	code := postJSON(t, ts.URL+"/queries/explain",
+		map[string]any{"sql": "SELECT avg(subjectageyears) AS m FROM data", "analyze": true}, &doc)
+	if code != http.StatusOK {
+		t.Fatalf("explain status = %d", code)
+	}
+	joined := strings.Join(doc.Plan, "\n")
+	if !strings.Contains(joined, "merge pushdown data") || !strings.Contains(joined, "rows_out=") {
+		t.Errorf("unexpected analyzed plan:\n%s", joined)
+	}
+	if len(doc.Datasets) == 0 {
+		t.Error("explain did not report the datasets it planned over")
+	}
+
+	if code := postJSON(t, ts.URL+"/queries/explain", map[string]any{"analyze": true}, nil); code != http.StatusBadRequest {
+		t.Errorf("missing sql status = %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/queries/explain",
+		map[string]any{"sql": "SELECT subjectageyears FROM data", "datasets": []string{"nope"}}, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown dataset status = %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/queries/explain",
+		map[string]any{"sql": "SELECT bogus syntax"}, nil); code != http.StatusUnprocessableEntity {
+		t.Errorf("bad sql status = %d, want 422", code)
+	}
+}
+
+func TestSlowQueriesEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	old := engine.DefaultSlowLog
+	engine.DefaultSlowLog = engine.NewSlowLog(8, time.Nanosecond)
+	defer func() { engine.DefaultSlowLog = old }()
+
+	// Run something through the engine so the log has an entry.
+	if code := postJSON(t, ts.URL+"/queries/explain",
+		map[string]any{"sql": "SELECT count(*) AS n FROM data", "analyze": true}, nil); code != http.StatusOK {
+		t.Fatalf("explain status = %d", code)
+	}
+
+	var doc struct {
+		ThresholdSeconds float64            `json:"threshold_seconds"`
+		Queries          []engine.SlowQuery `json:"queries"`
+	}
+	if code := getJSON(t, ts.URL+"/queries/slow", &doc); code != http.StatusOK {
+		t.Fatalf("slow status = %d", code)
+	}
+	if len(doc.Queries) == 0 {
+		t.Fatal("slow log is empty after a traced query")
+	}
+	found := false
+	for _, q := range doc.Queries {
+		if strings.Contains(q.SQL, "count(*)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("slow log does not contain the executed query: %+v", doc.Queries)
+	}
+}

@@ -189,7 +189,7 @@ func (s *Server) runStep(st WorkflowStep, parent *obs.Span) (json.RawMessage, er
 		return nil, err
 	}
 	sess.SetTrace(obs.TraceRef{TraceID: parent.Data().TraceID, SpanID: span.ID()})
-	res, err := alg.Run(sess, st.Request)
+	res, err := algorithms.Run(alg, sess, st.Request)
 	if err != nil {
 		span.SetError(err)
 		return nil, err

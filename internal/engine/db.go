@@ -133,29 +133,44 @@ func (db *DB) QueryWithStats(sql string) (*Table, QueryStats, error) {
 		return nil, qs, err
 	}
 	t, err := db.run(st, &qs)
+	elapsed := time.Since(start)
+	qs.publish(elapsed.Seconds())
+	if err != nil {
+		engQueryErrors.Inc()
+	}
+	DefaultSlowLog.observe(sql, elapsed, &qs, err)
+	return t, qs, err
+}
+
+// Run executes a parsed statement. Like Query it counts the statement and
+// folds its stats into the engine metrics (it used to bypass both, leaving
+// pre-parsed statements unmetered); it cannot feed the slow-query log
+// because there is no SQL text to record.
+func (db *DB) Run(st Statement) (*Table, error) {
+	db.queries.Add(1)
+	var qs QueryStats
+	start := time.Now()
+	t, err := db.run(st, &qs)
 	qs.publish(time.Since(start).Seconds())
 	if err != nil {
 		engQueryErrors.Inc()
 	}
-	return t, qs, err
-}
-
-// Run executes a parsed statement.
-func (db *DB) Run(st Statement) (*Table, error) {
-	return db.run(st, nil)
+	return t, err
 }
 
 func (db *DB) run(st Statement, qs *QueryStats) (*Table, error) {
 	switch s := st.(type) {
+	case *ExplainStmt:
+		return db.runExplain(s, qs)
 	case *SelectStmt:
 		if m := db.Merge(s.From); m != nil {
 			if len(s.Joins) > 0 {
 				return nil, fmt.Errorf("engine: JOIN over merge tables is not supported")
 			}
-			return m.execSelect(s)
+			return m.execSelect(s, qs)
 		}
 		if len(s.Joins) > 0 || s.FromAlias != "" {
-			joined, err := db.buildJoined(s)
+			joined, err := db.buildJoined(s, qs)
 			if err != nil {
 				return nil, err
 			}
@@ -164,6 +179,9 @@ func (db *DB) run(st Statement, qs *QueryStats) (*Table, error) {
 		t := db.Table(s.From)
 		if t == nil {
 			return nil, fmt.Errorf("engine: unknown table %q", s.From)
+		}
+		if qs != nil {
+			qs.Root = scanPlanNode(s.From, t)
 		}
 		db.mu.RLock()
 		defer db.mu.RUnlock()
@@ -182,6 +200,32 @@ func (db *DB) run(st Statement, qs *QueryStats) (*Table, error) {
 		return nil, db.runDelete(s)
 	}
 	return nil, fmt.Errorf("engine: unsupported statement %T", st)
+}
+
+// runExplain serves EXPLAIN and EXPLAIN ANALYZE. Plain EXPLAIN predicts
+// the plan shape from the catalog without executing; ANALYZE executes the
+// inner statement (sharing the caller's QueryStats, so the statement still
+// publishes exactly once) and renders the measured tree. Either way the
+// result is a one-column table of plan lines.
+func (db *DB) runExplain(s *ExplainStmt, qs *QueryStats) (*Table, error) {
+	if s.Analyze {
+		var local QueryStats
+		if qs == nil {
+			qs = &local
+		}
+		if _, err := db.run(s.Stmt, qs); err != nil {
+			return nil, err
+		}
+		return planTable(qs.Root, true)
+	}
+	plan, err := db.explainPlan(s.Stmt)
+	if err != nil {
+		return nil, err
+	}
+	if qs != nil {
+		qs.Root = plan
+	}
+	return planTable(plan, false)
 }
 
 func (db *DB) runInsert(s *InsertStmt) error {

@@ -5,13 +5,14 @@ import (
 	"math"
 	"sort"
 	"strings"
-	"time"
 )
 
 // execSelect runs a parsed SELECT over an input table. It implements the
 // pipeline scan → filter → (group-by aggregate | project) → having →
 // order by → limit, all column-at-a-time. qs (optional, may be nil)
-// accumulates rows/vectors touched and per-operator nanos.
+// accumulates rows/vectors touched and grows the plan tree one node per
+// executed stage (the scan/join/merge nodes below the first stage are
+// planted by db.run and the merge table before this runs).
 func execSelect(st *SelectStmt, input *Table, qs *QueryStats) (*Table, error) {
 	t := input
 	if qs != nil {
@@ -21,86 +22,71 @@ func execSelect(st *SelectStmt, input *Table, qs *QueryStats) (*Table, error) {
 
 	// WHERE: compute a selection vector and gather once.
 	if st.Where != nil {
-		t0 := time.Now()
+		sg := qs.beginStage("filter", st.Where.String(), t.NumRows())
 		sel, err := FilterSel(st.Where, t)
 		if err != nil {
 			return nil, err
 		}
 		t = t.Gather(sel)
-		if qs != nil {
-			qs.FilterNanos += time.Since(t0).Nanoseconds()
-		}
-	}
-
-	hasAgg := len(st.GroupBy) > 0 || st.Having != nil
-	for _, it := range st.Items {
-		if HasAgg(it.Expr) {
-			hasAgg = true
-		}
+		sg.end(t)
 	}
 
 	var out *Table
 	var err error
-	if hasAgg {
-		t0 := time.Now()
+	if selHasAgg(st) {
+		sg := qs.beginStage("aggregate", aggDetail(st), t.NumRows())
 		out, err = execAggregate(st, t)
 		if err != nil {
 			return nil, err
 		}
-		if qs != nil {
-			qs.AggregateNanos += time.Since(t0).Nanoseconds()
-		}
+		sg.end(out)
 		if len(st.OrderBy) > 0 {
-			t1 := time.Now()
+			so := qs.beginStage("order", orderDetail(st.OrderBy), out.NumRows())
 			out, err = execOrderBy(st.OrderBy, out)
 			if err != nil {
 				return nil, err
 			}
-			if qs != nil {
-				qs.SortNanos += time.Since(t1).Nanoseconds()
-			}
+			so.end(out)
 		}
 	} else {
 		// ORDER BY may reference source columns that the projection drops
 		// (SELECT id ... ORDER BY age), as well as projection aliases. Build
 		// an extended table carrying both, sort it, then project.
 		if len(st.OrderBy) > 0 {
-			t0 := time.Now()
+			sp := qs.beginStage("project", "extend", t.NumRows())
 			ext, outNames, err := extendWithProjection(st, t)
 			if err != nil {
 				return nil, err
 			}
-			t1 := time.Now()
-			if qs != nil {
-				qs.ProjectNanos += t1.Sub(t0).Nanoseconds()
-			}
+			sp.end(ext)
+			so := qs.beginStage("order", orderDetail(st.OrderBy), ext.NumRows())
 			ext, err = execOrderBy(st.OrderBy, ext)
 			if err != nil {
 				return nil, err
 			}
-			t2 := time.Now()
-			if qs != nil {
-				qs.SortNanos += t2.Sub(t1).Nanoseconds()
-			}
+			so.end(ext)
+			sf := qs.beginStage("project", projectDetail(st), ext.NumRows())
 			out, err = projectNames(ext, outNames)
 			if err != nil {
 				return nil, err
 			}
-			if qs != nil {
-				qs.ProjectNanos += time.Since(t2).Nanoseconds()
-			}
+			sf.end(out)
 		} else {
-			t0 := time.Now()
+			sp := qs.beginStage("project", projectDetail(st), t.NumRows())
 			out, err = execProject(st, t)
 			if err != nil {
 				return nil, err
 			}
-			if qs != nil {
-				qs.ProjectNanos += time.Since(t0).Nanoseconds()
-			}
+			sp.end(out)
 		}
 	}
-	out = execLimit(st, out)
+	if st.Limit >= 0 || st.Offset > 0 {
+		sl := qs.beginStage("limit", limitDetail(st), out.NumRows())
+		out = execLimit(st, out)
+		sl.end(out)
+	} else {
+		out = execLimit(st, out)
+	}
 	if qs != nil {
 		qs.RowsOut += out.NumRows()
 		qs.Vectors += len(out.Schema())

@@ -1,0 +1,250 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func explainDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	stmts := []string{
+		`CREATE TABLE patients (id INT, hospital TEXT, age DOUBLE)`,
+		`INSERT INTO patients VALUES (1, 'h1', 70), (2, 'h1', 75), (3, 'h2', 80), (4, 'h2', 65), (5, 'h3', 72)`,
+		`CREATE TABLE scores (id INT, mmse DOUBLE)`,
+		`INSERT INTO scores VALUES (1, 28), (2, 21), (3, 14), (4, 27), (6, 30)`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Query(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	return db
+}
+
+// planLines runs an EXPLAIN-family statement and returns the plan column.
+func planLines(t *testing.T, db *DB, sql string) []string {
+	t.Helper()
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	if res.NumCols() != 1 || res.Schema()[0].Name != "plan" {
+		t.Fatalf("EXPLAIN result schema = %v, want one [plan] column", res.Schema())
+	}
+	lines := make([]string, res.NumRows())
+	for i := range lines {
+		lines[i] = res.Col(0).StringAt(i)
+	}
+	return lines
+}
+
+func TestExplainShapeWithoutExecution(t *testing.T) {
+	db := explainDB(t)
+	before := db.QueryCount()
+	lines := planLines(t, db, `EXPLAIN SELECT hospital, avg(age) AS m FROM patients WHERE age > 60 GROUP BY hospital ORDER BY m LIMIT 2`)
+	// One statement only: the plan must come from the catalog, not a run.
+	if got := db.QueryCount() - before; got != 1 {
+		t.Fatalf("EXPLAIN executed %d statements, want 1", got)
+	}
+	want := []string{"limit", "order", "aggregate", "filter", "scan patients"}
+	if len(lines) != len(want) {
+		t.Fatalf("plan has %d lines, want %d:\n%s", len(lines), len(want), strings.Join(lines, "\n"))
+	}
+	for i, w := range want {
+		if !strings.Contains(lines[i], w) {
+			t.Errorf("line %d = %q, want it to mention %q", i, lines[i], w)
+		}
+	}
+	if !strings.Contains(lines[len(lines)-1], "(rows=5)") {
+		t.Errorf("scan line %q should carry the catalog row count", lines[len(lines)-1])
+	}
+	if strings.Contains(lines[0], "rows_in=") {
+		t.Errorf("plain EXPLAIN should not carry measured stats: %q", lines[0])
+	}
+}
+
+// TestExplainAnalyzeAggregateOverJoin is the acceptance check: the measured
+// tree of an aggregate-over-join query must carry populated per-operator
+// rows, and each node's rows-out must match what executing the query
+// produces at that stage.
+func TestExplainAnalyzeAggregateOverJoin(t *testing.T) {
+	db := explainDB(t)
+	sql := `SELECT p.hospital, avg(s.mmse) AS m, count(*) AS n FROM patients p JOIN scores s ON p.id = s.id WHERE p.age > 60 GROUP BY p.hospital ORDER BY m DESC`
+
+	// Ground truth from executing the query directly.
+	direct, err := db.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, qs, err := db.QueryWithStats("EXPLAIN ANALYZE " + sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() == 0 {
+		t.Fatal("empty EXPLAIN ANALYZE result")
+	}
+	root := qs.Root
+	if root == nil {
+		t.Fatal("EXPLAIN ANALYZE left no plan tree on QueryStats")
+	}
+
+	byOp := map[string][]*PlanNode{}
+	root.Walk(func(n *PlanNode) { byOp[n.Op] = append(byOp[n.Op], n) })
+	for _, op := range []string{"scan", "join", "filter", "aggregate", "order"} {
+		if len(byOp[op]) == 0 {
+			t.Fatalf("plan tree is missing a %s node:\n%s", op, root)
+		}
+	}
+
+	// rows-out of the root must equal the executed result.
+	if root.RowsOut != direct.NumRows() {
+		t.Errorf("root rows_out = %d, executed query returned %d rows", root.RowsOut, direct.NumRows())
+	}
+	// order preserves aggregate's row count.
+	if agg := byOp["aggregate"][0]; agg.RowsOut != direct.NumRows() {
+		t.Errorf("aggregate rows_out = %d, want %d", agg.RowsOut, direct.NumRows())
+	}
+	// The join of 5x5 rows on id matches 4 pairs; filter keeps ages > 60.
+	if j := byOp["join"][0]; j.RowsOut != 4 {
+		t.Errorf("join rows_out = %d, want 4", j.RowsOut)
+	}
+	if f := byOp["filter"][0]; f.RowsIn != 4 || f.RowsOut != 4 {
+		t.Errorf("filter rows in/out = %d/%d, want 4/4", f.RowsIn, f.RowsOut)
+	}
+	for _, sc := range byOp["scan"] {
+		if sc.RowsOut != 5 {
+			t.Errorf("scan %s rows_out = %d, want 5", sc.Detail, sc.RowsOut)
+		}
+		if sc.Bytes == 0 {
+			t.Errorf("scan %s bytes = 0, want > 0", sc.Detail)
+		}
+	}
+	// Timings populated: the sum over nodes must be positive, and the
+	// stats bracket must be rendered.
+	var nanos int64
+	root.Walk(func(n *PlanNode) { nanos += n.Nanos })
+	if nanos <= 0 {
+		t.Error("no node recorded wall time")
+	}
+	if line := res.Col(0).StringAt(0); !strings.Contains(line, "rows_out=") || !strings.Contains(line, "time=") {
+		t.Errorf("rendered plan line missing measured stats: %q", line)
+	}
+}
+
+func TestExplainAnalyzeMergePushdown(t *testing.T) {
+	mdb := NewDB()
+	schema := Schema{{Name: "hospital", Type: String}, {Name: "age", Type: Float64}}
+	for _, part := range []string{"h1", "h2"} {
+		pdb := NewDB()
+		pt := NewTable(schema)
+		_ = pt.AppendRow(part, 70.0)
+		_ = pt.AppendRow(part, 80.0)
+		pdb.RegisterTable("cohort", pt)
+		m := mdb.Merge("cohort")
+		if m == nil {
+			m = &MergeTable{Schema: schema, TableName: "cohort"}
+			mdb.RegisterMerge("cohort", m)
+		}
+		m.Parts = append(m.Parts, &LocalPart{Name: part, DB: pdb})
+	}
+
+	_, qs, err := mdb.QueryWithStats(`EXPLAIN ANALYZE SELECT avg(age) AS m FROM cohort`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOp := map[string][]*PlanNode{}
+	qs.Root.Walk(func(n *PlanNode) { byOp[n.Op] = append(byOp[n.Op], n) })
+	if len(byOp["merge"]) != 1 || !strings.Contains(byOp["merge"][0].Detail, "pushdown") {
+		t.Fatalf("want one pushdown merge node, got:\n%s", qs.Root)
+	}
+	if len(byOp["part"]) != 2 {
+		t.Fatalf("want 2 part nodes, got %d", len(byOp["part"]))
+	}
+	for _, p := range byOp["part"] {
+		// Partial aggregates: exactly one partial row ships per part.
+		if p.RowsOut != 1 {
+			t.Errorf("part %s shipped %d rows, want 1 partial row", p.Detail, p.RowsOut)
+		}
+	}
+	if qs.RowsOut != 1 {
+		t.Errorf("statement rows_out = %d, want 1", qs.RowsOut)
+	}
+	if qs.MergeNanos <= 0 {
+		t.Error("MergeNanos not recorded")
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	db := explainDB(t)
+	if _, err := db.Query(`EXPLAIN EXPLAIN SELECT * FROM patients`); err == nil {
+		t.Error("nested EXPLAIN should fail")
+	}
+	if _, err := db.Query(`EXPLAIN INSERT INTO patients VALUES (9, 'h9', 50)`); err == nil {
+		t.Error("EXPLAIN over DML should fail")
+	}
+	if _, err := db.Query(`EXPLAIN SELECT * FROM nope`); err == nil {
+		t.Error("EXPLAIN over unknown table should fail")
+	}
+}
+
+func TestSlowLogCapturesOverThreshold(t *testing.T) {
+	db := explainDB(t)
+	log := NewSlowLog(2, 0)
+	log.SetThreshold(1) // 1ns: everything is slow
+	old := DefaultSlowLog
+	DefaultSlowLog = log
+	defer func() { DefaultSlowLog = old }()
+
+	for _, sql := range []string{
+		`SELECT count(*) AS n FROM patients`,
+		`SELECT avg(age) AS m FROM patients`,
+		`SELECT max(age) AS x FROM patients`,
+	} {
+		if _, err := db.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries := log.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("ring kept %d entries, want capacity 2", len(entries))
+	}
+	// Newest first.
+	if !strings.Contains(entries[0].SQL, "max(age)") {
+		t.Errorf("newest entry = %q, want the max(age) query", entries[0].SQL)
+	}
+	if entries[0].RowsScanned != 5 || entries[0].RowsOut != 1 {
+		t.Errorf("entry rows = %d/%d, want 5/1", entries[0].RowsScanned, entries[0].RowsOut)
+	}
+	if len(entries[0].Plan) == 0 {
+		t.Error("slow entry has no captured plan")
+	}
+
+	// Above-threshold only: with a huge threshold nothing is captured.
+	log.SetThreshold(time.Hour)
+	if _, err := db.Query(`SELECT count(*) AS n FROM patients`); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(log.Entries()); got != 2 {
+		t.Errorf("fast query was captured (now %d entries)", got)
+	}
+}
+
+// TestRunIsMetered pins the audit fix: statements through DB.Run count
+// toward QueryCount like Query does.
+func TestRunIsMetered(t *testing.T) {
+	db := explainDB(t)
+	st, err := Parse(`SELECT count(*) AS n FROM patients`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := db.QueryCount()
+	if _, err := db.Run(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.QueryCount() - before; got != 1 {
+		t.Errorf("Run added %d to QueryCount, want 1", got)
+	}
+}

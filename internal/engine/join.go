@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Hash equi-joins. A SELECT with JOIN clauses first materializes the joined
@@ -11,8 +12,9 @@ import (
 // hash join; any residual ON conditions are applied as a post-join filter.
 
 // buildJoined resolves the FROM table and folds every JOIN clause into one
-// joined table.
-func (db *DB) buildJoined(st *SelectStmt) (*Table, error) {
+// joined table. With qs attached it plants the scan/join subtree that
+// execSelect's stages then chain on top of.
+func (db *DB) buildJoined(st *SelectStmt, qs *QueryStats) (*Table, error) {
 	if db.Merge(st.From) != nil {
 		return nil, fmt.Errorf("engine: JOIN over merge tables is not supported")
 	}
@@ -25,6 +27,10 @@ func (db *DB) buildJoined(st *SelectStmt) (*Table, error) {
 		alias = st.From
 	}
 	cur := qualifyTable(base, alias)
+	var curNode *PlanNode
+	if qs != nil {
+		curNode = scanPlanNode(st.From, base)
+	}
 	for _, jc := range st.Joins {
 		if db.Merge(jc.Table) != nil {
 			return nil, fmt.Errorf("engine: JOIN over merge tables is not supported")
@@ -37,11 +43,29 @@ func (db *DB) buildJoined(st *SelectStmt) (*Table, error) {
 		if ra == "" {
 			ra = jc.Table
 		}
+		t0 := time.Now()
 		joined, err := hashJoin(cur, qualifyTable(right, ra), jc)
 		if err != nil {
 			return nil, err
 		}
+		if qs != nil {
+			nanos := time.Since(t0).Nanoseconds()
+			qs.JoinNanos += nanos
+			curNode = &PlanNode{
+				Op:       "join",
+				Detail:   joinDetail(jc),
+				RowsIn:   cur.NumRows() + right.NumRows(),
+				RowsOut:  joined.NumRows(),
+				Batches:  joined.NumCols(),
+				Nanos:    nanos,
+				Bytes:    joined.ByteSize(),
+				Children: []*PlanNode{curNode, scanPlanNode(jc.Table, right)},
+			}
+		}
 		cur = joined
+	}
+	if qs != nil {
+		qs.Root = curNode
 	}
 	return cur, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Part is one member of a merge table: typically a remote table on another
@@ -78,56 +79,98 @@ func (m *MergeTable) setStats(s MergeStats) {
 // (kept simple: merge tables are read-mostly and stats are advisory)
 
 // execSelect serves a SELECT against the merge view.
-func (m *MergeTable) execSelect(st *SelectStmt) (*Table, error) {
+func (m *MergeTable) execSelect(st *SelectStmt, qs *QueryStats) (*Table, error) {
 	if plan, ok := m.decompose(st); ok {
-		return m.execPushdown(st, plan)
+		return m.execPushdown(st, plan, qs)
 	}
-	return m.execMaterialize(st)
+	return m.execMaterialize(st, qs)
 }
 
 // execMaterialize unions all part rows locally (with WHERE pushed down)
 // and runs the query over the union. Fallback path for non-decomposable
 // aggregates (median/quantile) and plain row queries.
-func (m *MergeTable) execMaterialize(st *SelectStmt) (*Table, error) {
+func (m *MergeTable) execMaterialize(st *SelectStmt, qs *QueryStats) (*Table, error) {
 	sql := fmt.Sprintf("SELECT * FROM %s", m.TableName)
 	if st.Where != nil {
 		sql += " WHERE " + st.Where.String()
 	}
+	t0 := time.Now()
 	parts, failed, err := m.queryAll(sql)
 	if err != nil {
 		return nil, err
 	}
 	schema := m.Schema
 	if len(schema) == 0 && len(parts) > 0 {
-		schema = parts[0].Schema()
+		schema = parts[0].table.Schema()
 	}
 	union := NewTable(schema)
 	shipped := 0
-	for _, pt := range parts {
-		shipped += pt.NumRows()
-		if err := union.Append(pt); err != nil {
+	for _, pr := range parts {
+		shipped += pr.table.NumRows()
+		if err := union.Append(pr.table); err != nil {
 			return nil, err
 		}
 	}
 	m.setStats(MergeStats{Pushdown: false, RowsShipped: shipped, PartsQueried: len(parts), FailedParts: failed})
+	m.plantPlan(qs, "materialize", parts, union, time.Since(t0))
 	local := *st
 	local.Where = nil // already applied at the parts
-	return execSelect(&local, union, nil)
+	return execSelect(&local, union, qs)
+}
+
+// partResult is one part's answer plus how long the round trip took.
+type partResult struct {
+	name  string
+	table *Table
+	nanos int64
+}
+
+// plantPlan roots qs at the merge fan-in node: one child per surviving
+// part, carrying that part's shipped rows and round-trip time.
+func (m *MergeTable) plantPlan(qs *QueryStats, mode string, parts []partResult, union *Table, elapsed time.Duration) {
+	if qs == nil {
+		return
+	}
+	n := &PlanNode{
+		Op:      "merge",
+		Detail:  mode + " " + m.TableName,
+		RowsIn:  union.NumRows(),
+		RowsOut: union.NumRows(),
+		Batches: union.NumCols(),
+		Nanos:   elapsed.Nanoseconds(),
+		Bytes:   union.ByteSize(),
+	}
+	for _, pr := range parts {
+		n.Children = append(n.Children, &PlanNode{
+			Op:      "part",
+			Detail:  pr.name,
+			RowsIn:  pr.table.NumRows(),
+			RowsOut: pr.table.NumRows(),
+			Batches: pr.table.NumCols(),
+			Nanos:   pr.nanos,
+			Bytes:   pr.table.ByteSize(),
+		})
+	}
+	qs.MergeNanos += elapsed.Nanoseconds()
+	qs.Root = n
 }
 
 // queryAll fans the SQL out to every part concurrently. It returns the
-// surviving tables plus the names of failed parts; with MinParts unset any
-// failure is fatal, otherwise failures are tolerated down to MinParts
+// surviving results plus the names of failed parts; with MinParts unset
+// any failure is fatal, otherwise failures are tolerated down to MinParts
 // survivors.
-func (m *MergeTable) queryAll(sql string) ([]*Table, []string, error) {
+func (m *MergeTable) queryAll(sql string) ([]partResult, []string, error) {
 	out := make([]*Table, len(m.Parts))
+	nanos := make([]int64, len(m.Parts))
 	errs := make([]error, len(m.Parts))
 	var wg sync.WaitGroup
 	for i, p := range m.Parts {
 		wg.Add(1)
 		go func(i int, p Part) {
 			defer wg.Done()
+			t0 := time.Now()
 			t, err := p.Query(sql)
+			nanos[i] = time.Since(t0).Nanoseconds()
 			if err != nil {
 				errs[i] = fmt.Errorf("part %s: %w", p.PartName(), err)
 				return
@@ -136,7 +179,7 @@ func (m *MergeTable) queryAll(sql string) ([]*Table, []string, error) {
 		}(i, p)
 	}
 	wg.Wait()
-	var ok []*Table
+	var ok []partResult
 	var failed []string
 	var failErrs []error
 	for i, e := range errs {
@@ -145,7 +188,7 @@ func (m *MergeTable) queryAll(sql string) ([]*Table, []string, error) {
 			failErrs = append(failErrs, e)
 			continue
 		}
-		ok = append(ok, out[i])
+		ok = append(ok, partResult{name: m.Parts[i].PartName(), table: out[i], nanos: nanos[i]})
 	}
 	if len(failed) == 0 {
 		return ok, nil, nil
@@ -365,7 +408,7 @@ func decomposeAgg(a *AggCall) (partialSpec, bool) {
 
 // execPushdown runs the decomposed plan: per-part partial aggregates,
 // merged locally, then the final projection.
-func (m *MergeTable) execPushdown(st *SelectStmt, specs []partialSpec) (*Table, error) {
+func (m *MergeTable) execPushdown(st *SelectStmt, specs []partialSpec, qs *QueryStats) (*Table, error) {
 	// 1. Build the partial query.
 	var sel []string
 	for i, g := range st.GroupBy {
@@ -394,6 +437,7 @@ func (m *MergeTable) execPushdown(st *SelectStmt, specs []partialSpec) (*Table, 
 	}
 
 	// 2. Fan out.
+	t0 := time.Now()
 	partTables, failed, err := m.queryAll(sql)
 	if err != nil {
 		return nil, err
@@ -402,14 +446,15 @@ func (m *MergeTable) execPushdown(st *SelectStmt, specs []partialSpec) (*Table, 
 		return nil, fmt.Errorf("merge table %s: no parts answered", m.TableName)
 	}
 	shipped := 0
-	unionAll := NewTable(partTables[0].Schema())
-	for _, pt := range partTables {
-		shipped += pt.NumRows()
-		if err := unionAll.Append(pt); err != nil {
+	unionAll := NewTable(partTables[0].table.Schema())
+	for _, pr := range partTables {
+		shipped += pr.table.NumRows()
+		if err := unionAll.Append(pr.table); err != nil {
 			return nil, err
 		}
 	}
 	m.setStats(MergeStats{Pushdown: true, RowsShipped: shipped, PartsQueried: len(partTables), FailedParts: failed})
+	m.plantPlan(qs, "pushdown", partTables, unionAll, time.Since(t0))
 
 	// 3. Merge partials: group by the gk* columns, combining each partial
 	// with its merge op.
@@ -430,7 +475,7 @@ func (m *MergeTable) execPushdown(st *SelectStmt, specs []partialSpec) (*Table, 
 			pcol++
 		}
 	}
-	merged, err := execSelect(mergeStmt, unionAll, nil)
+	merged, err := execSelect(mergeStmt, unionAll, qs)
 	if err != nil {
 		return nil, err
 	}
@@ -479,13 +524,16 @@ func (m *MergeTable) execPushdown(st *SelectStmt, specs []partialSpec) (*Table, 
 	}
 
 	if st.Having != nil {
+		sh := qs.beginStage("filter", "having "+st.Having.String(), merged.NumRows())
 		selv, err := FilterSel(rewrite(st.Having), merged)
 		if err != nil {
 			return nil, err
 		}
 		merged = merged.Gather(selv)
+		sh.end(merged)
 	}
 
+	sp := qs.beginStage("project", projectDetail(st), merged.NumRows())
 	outSchema := make(Schema, len(st.Items))
 	outCols := make([]*Vector, len(st.Items))
 	for i, it := range st.Items {
@@ -504,11 +552,26 @@ func (m *MergeTable) execPushdown(st *SelectStmt, specs []partialSpec) (*Table, 
 	if err != nil {
 		return nil, err
 	}
+	sp.end(out)
 	if len(st.OrderBy) > 0 {
+		so := qs.beginStage("order", orderDetail(st.OrderBy), out.NumRows())
 		out, err = execOrderBy(st.OrderBy, out)
 		if err != nil {
 			return nil, err
 		}
+		so.end(out)
 	}
-	return execLimit(st, out), nil
+	if st.Limit >= 0 || st.Offset > 0 {
+		sl := qs.beginStage("limit", limitDetail(st), out.NumRows())
+		out = execLimit(st, out)
+		sl.end(out)
+	} else {
+		out = execLimit(st, out)
+	}
+	if qs != nil {
+		// The combine-stage execSelect counted its intermediate rows; the
+		// statement's result is this final projection.
+		qs.RowsOut = out.NumRows()
+	}
+	return out, nil
 }

@@ -18,6 +18,11 @@ type QueryStats struct {
 	AggregateNanos int64 // group-by/aggregate stage
 	SortNanos      int64 // ORDER BY stage
 	ProjectNanos   int64 // projection stage
+	JoinNanos      int64 // hash-join build+probe
+	MergeNanos     int64 // merge-table part fan-out
+	// Root is the executed operator tree (profiled plan). Nil for DDL/DML
+	// statements and for callers that executed with a nil QueryStats.
+	Root *PlanNode
 }
 
 // AttrMap renders the stats as span attributes.
@@ -51,6 +56,12 @@ var (
 		"Nanoseconds spent per SELECT operator.", obs.Label{Key: "op", Value: "sort"})
 	engProjectNanos = obs.GetCounter("mip_engine_operator_nanos_total",
 		"Nanoseconds spent per SELECT operator.", obs.Label{Key: "op", Value: "project"})
+	engJoinNanos = obs.GetCounter("mip_engine_operator_nanos_total",
+		"Nanoseconds spent per SELECT operator.", obs.Label{Key: "op", Value: "join"})
+	engMergeNanos = obs.GetCounter("mip_engine_operator_nanos_total",
+		"Nanoseconds spent per SELECT operator.", obs.Label{Key: "op", Value: "merge"})
+	engSlowQueries = obs.GetCounter("mip_engine_slow_queries_total",
+		"Statements whose wall time exceeded the slow-query threshold.")
 )
 
 // publish folds one statement's stats into the engine metrics.
@@ -63,4 +74,6 @@ func (qs *QueryStats) publish(seconds float64) {
 	engAggNanos.Add(qs.AggregateNanos)
 	engSortNanos.Add(qs.SortNanos)
 	engProjectNanos.Add(qs.ProjectNanos)
+	engJoinNanos.Add(qs.JoinNanos)
+	engMergeNanos.Add(qs.MergeNanos)
 }

@@ -1,0 +1,311 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// PlanNode is one operator of a query's execution plan. Children are the
+// operator's inputs (a scan feeds a filter feeds an aggregate, Postgres
+// style), so rendering the root top-down reads in reverse pipeline order.
+// When a statement runs with a *QueryStats attached, every node carries
+// measured rows in/out, wall time, and the byte size of its materialized
+// output; a plain EXPLAIN builds the same shape from catalog metadata
+// without executing.
+type PlanNode struct {
+	Op       string      `json:"op"`               // scan, filter, project, join, aggregate, order, limit, merge, part
+	Detail   string      `json:"detail,omitempty"` // operator-specific: table name, predicate, group keys...
+	RowsIn   int         `json:"rows_in"`
+	RowsOut  int         `json:"rows_out"`
+	Batches  int         `json:"batches"` // column vectors materialized in the output
+	Nanos    int64       `json:"nanos"`
+	Bytes    int64       `json:"bytes"` // payload bytes of the materialized output
+	Children []*PlanNode `json:"children,omitempty"`
+}
+
+// Attrs renders the node's measurements as span attributes; the federation
+// worker uses it to graft per-operator spans into experiment traces.
+func (n *PlanNode) Attrs() map[string]string {
+	a := map[string]string{
+		"op":       n.Op,
+		"rows_in":  strconv.Itoa(n.RowsIn),
+		"rows_out": strconv.Itoa(n.RowsOut),
+		"batches":  strconv.Itoa(n.Batches),
+		"bytes":    strconv.FormatInt(n.Bytes, 10),
+	}
+	if n.Detail != "" {
+		a["detail"] = n.Detail
+	}
+	return a
+}
+
+// Walk visits the node and every descendant, parents before children.
+func (n *PlanNode) Walk(fn func(*PlanNode)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Render renders the tree as indented text lines, root first. With analyzed
+// set, each line carries the measured stats bracket; without it only the
+// plan shape (plus catalog row counts on scans) is shown.
+func (n *PlanNode) Render(analyzed bool) []string {
+	var lines []string
+	var walk func(n *PlanNode, depth int)
+	walk = func(n *PlanNode, depth int) {
+		var b strings.Builder
+		if depth > 0 {
+			b.WriteString(strings.Repeat("  ", depth-1))
+			b.WriteString("-> ")
+		}
+		b.WriteString(n.Op)
+		if n.Detail != "" {
+			b.WriteString(" ")
+			b.WriteString(n.Detail)
+		}
+		if analyzed {
+			fmt.Fprintf(&b, "  (rows_in=%d rows_out=%d batches=%d time=%s bytes=%d)",
+				n.RowsIn, n.RowsOut, n.Batches, time.Duration(n.Nanos), n.Bytes)
+		} else if n.Op == "scan" || n.Op == "part" {
+			fmt.Fprintf(&b, "  (rows=%d)", n.RowsOut)
+		}
+		lines = append(lines, b.String())
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return lines
+}
+
+// String renders the tree as one newline-joined block.
+func (n *PlanNode) String() string { return strings.Join(n.Render(true), "\n") }
+
+// planTable wraps a rendered plan into the one-column result table that
+// EXPLAIN statements return.
+func planTable(n *PlanNode, analyzed bool) (*Table, error) {
+	t := NewTable(Schema{{Name: "plan", Type: String}})
+	if n == nil {
+		if err := t.AppendRow("(no plan)"); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	for _, line := range n.Render(analyzed) {
+		if err := t.AppendRow(line); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// scanPlanNode describes reading one base table.
+func scanPlanNode(name string, t *Table) *PlanNode {
+	return &PlanNode{
+		Op:      "scan",
+		Detail:  name,
+		RowsIn:  t.NumRows(),
+		RowsOut: t.NumRows(),
+		Batches: t.NumCols(),
+		Bytes:   t.ByteSize(),
+	}
+}
+
+// stage profiles one pipeline operator. A nil *stage (from a nil
+// *QueryStats) is inert, so executor code calls begin/end unconditionally.
+type stage struct {
+	qs    *QueryStats
+	node  *PlanNode
+	start time.Time
+}
+
+// beginStage opens a profiling stage: a new plan node whose input is the
+// current plan root (the pipeline is linear; joins and merge fan-ins build
+// their multi-child nodes by hand).
+func (qs *QueryStats) beginStage(op, detail string, rowsIn int) *stage {
+	if qs == nil {
+		return nil
+	}
+	n := &PlanNode{Op: op, Detail: detail, RowsIn: rowsIn}
+	if qs.Root != nil {
+		n.Children = append(n.Children, qs.Root)
+	}
+	qs.Root = n
+	return &stage{qs: qs, node: n, start: time.Now()}
+}
+
+// end closes the stage, recording output shape and folding the elapsed time
+// into the legacy per-operator counters.
+func (s *stage) end(out *Table) {
+	if s == nil {
+		return
+	}
+	s.node.Nanos = time.Since(s.start).Nanoseconds()
+	if out != nil {
+		s.node.RowsOut = out.NumRows()
+		s.node.Batches = out.NumCols()
+		s.node.Bytes = out.ByteSize()
+	}
+	switch s.node.Op {
+	case "filter":
+		s.qs.FilterNanos += s.node.Nanos
+	case "aggregate":
+		s.qs.AggregateNanos += s.node.Nanos
+	case "order":
+		s.qs.SortNanos += s.node.Nanos
+	case "project", "limit":
+		s.qs.ProjectNanos += s.node.Nanos
+	}
+}
+
+// explainPlan predicts the plan shape for a statement without executing it.
+// It mirrors db.run's dispatch (merge view vs join vs plain scan) and
+// execSelect's stage order so that EXPLAIN and EXPLAIN ANALYZE agree.
+func (db *DB) explainPlan(st Statement) (*PlanNode, error) {
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("engine: EXPLAIN supports only SELECT statements, got %T", st)
+	}
+	var cur *PlanNode
+	if m := db.Merge(sel.From); m != nil {
+		if len(sel.Joins) > 0 {
+			return nil, fmt.Errorf("engine: JOIN over merge tables is not supported")
+		}
+		mode := "materialize"
+		if _, ok := m.decompose(sel); ok {
+			mode = "pushdown"
+		}
+		cur = &PlanNode{Op: "merge", Detail: mode + " " + m.TableName}
+		for _, p := range m.Parts {
+			cur.Children = append(cur.Children, &PlanNode{Op: "part", Detail: p.PartName()})
+		}
+	} else {
+		base := db.Table(sel.From)
+		if base == nil {
+			return nil, fmt.Errorf("engine: unknown table %q", sel.From)
+		}
+		cur = scanPlanNode(sel.From, base)
+		for _, jc := range sel.Joins {
+			right := db.Table(jc.Table)
+			if right == nil {
+				if db.Merge(jc.Table) != nil {
+					return nil, fmt.Errorf("engine: JOIN over merge tables is not supported")
+				}
+				return nil, fmt.Errorf("engine: unknown table %q", jc.Table)
+			}
+			cur = &PlanNode{
+				Op:       "join",
+				Detail:   joinDetail(jc),
+				Children: []*PlanNode{cur, scanPlanNode(jc.Table, right)},
+			}
+		}
+	}
+	wrap := func(op, detail string) {
+		cur = &PlanNode{Op: op, Detail: detail, Children: []*PlanNode{cur}}
+	}
+	if sel.Where != nil {
+		wrap("filter", sel.Where.String())
+	}
+	if selHasAgg(sel) {
+		wrap("aggregate", aggDetail(sel))
+		if len(sel.OrderBy) > 0 {
+			wrap("order", orderDetail(sel.OrderBy))
+		}
+	} else if len(sel.OrderBy) > 0 {
+		wrap("project", "extend")
+		wrap("order", orderDetail(sel.OrderBy))
+		wrap("project", projectDetail(sel))
+	} else {
+		wrap("project", projectDetail(sel))
+	}
+	if sel.Limit >= 0 || sel.Offset > 0 {
+		wrap("limit", limitDetail(sel))
+	}
+	return cur, nil
+}
+
+// selHasAgg reports whether the SELECT runs through the aggregate stage.
+func selHasAgg(st *SelectStmt) bool {
+	if len(st.GroupBy) > 0 || st.Having != nil {
+		return true
+	}
+	for _, it := range st.Items {
+		if HasAgg(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func aggDetail(st *SelectStmt) string {
+	if len(st.GroupBy) == 0 {
+		return "global"
+	}
+	keys := make([]string, len(st.GroupBy))
+	for i, g := range st.GroupBy {
+		keys[i] = g.String()
+	}
+	return "group by " + strings.Join(keys, ", ")
+}
+
+func orderDetail(keys []OrderItem) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k.Expr.String()
+		if k.Desc {
+			parts[i] += " DESC"
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+func projectDetail(st *SelectStmt) string {
+	if st.Star {
+		return "*"
+	}
+	parts := make([]string, len(st.Items))
+	for i, it := range st.Items {
+		if it.Alias != "" {
+			parts[i] = it.Alias
+		} else {
+			parts[i] = exprName(it.Expr)
+		}
+	}
+	s := strings.Join(parts, ", ")
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}
+
+func limitDetail(st *SelectStmt) string {
+	s := ""
+	if st.Limit >= 0 {
+		s = fmt.Sprintf("limit %d", st.Limit)
+	}
+	if st.Offset > 0 {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("offset %d", st.Offset)
+	}
+	return s
+}
+
+func joinDetail(jc JoinClause) string {
+	kind := "inner"
+	if jc.Left {
+		kind = "left"
+	}
+	name := jc.Table
+	if jc.Alias != "" {
+		name += " " + jc.Alias
+	}
+	return fmt.Sprintf("%s %s on %s", kind, name, jc.On.String())
+}

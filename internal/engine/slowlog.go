@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowQuery is one retained slow-query record: the statement text, its
+// wall time and row counts, and the analyzed plan rendered at capture time.
+type SlowQuery struct {
+	SQL         string    `json:"sql"`
+	Seconds     float64   `json:"seconds"`
+	RowsScanned int       `json:"rows_scanned"`
+	RowsOut     int       `json:"rows_out"`
+	Error       string    `json:"error,omitempty"`
+	When        time.Time `json:"when"`
+	Plan        []string  `json:"plan,omitempty"`
+}
+
+// SlowLog is a fixed-capacity ring buffer of statements that ran longer
+// than a configurable threshold. DB.QueryWithStats feeds DefaultSlowLog;
+// the API exposes it at GET /queries/slow. Safe for concurrent use.
+type SlowLog struct {
+	threshold atomic.Int64 // nanoseconds; <= 0 disables capture
+
+	mu   sync.Mutex
+	buf  []SlowQuery
+	next int // ring write cursor
+	n    int // live entries, <= len(buf)
+}
+
+// DefaultSlowLog captures slow statements from every DB in the process.
+var DefaultSlowLog = NewSlowLog(128, 250*time.Millisecond)
+
+// NewSlowLog returns a ring of the given capacity and threshold.
+func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	l := &SlowLog{buf: make([]SlowQuery, capacity)}
+	l.threshold.Store(threshold.Nanoseconds())
+	return l
+}
+
+// Threshold returns the current capture threshold.
+func (l *SlowLog) Threshold() time.Duration {
+	return time.Duration(l.threshold.Load())
+}
+
+// SetThreshold replaces the capture threshold; zero or negative disables
+// capture entirely.
+func (l *SlowLog) SetThreshold(d time.Duration) {
+	l.threshold.Store(d.Nanoseconds())
+}
+
+// observe records one finished statement if it crossed the threshold.
+func (l *SlowLog) observe(sql string, elapsed time.Duration, qs *QueryStats, err error) {
+	th := l.threshold.Load()
+	if th <= 0 || elapsed.Nanoseconds() < th {
+		return
+	}
+	engSlowQueries.Inc()
+	rec := SlowQuery{
+		SQL:     sql,
+		Seconds: elapsed.Seconds(),
+		When:    time.Now().UTC(),
+	}
+	if qs != nil {
+		rec.RowsScanned = qs.RowsScanned
+		rec.RowsOut = qs.RowsOut
+		if qs.Root != nil {
+			rec.Plan = qs.Root.Render(true)
+		}
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	l.mu.Lock()
+	l.buf[l.next] = rec
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// Entries returns the retained records, newest first.
+func (l *SlowLog) Entries() []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQuery, 0, l.n)
+	for i := 1; i <= l.n; i++ {
+		out = append(out, l.buf[(l.next-i+len(l.buf))%len(l.buf)])
+	}
+	return out
+}

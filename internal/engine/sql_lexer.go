@@ -35,6 +35,7 @@ var sqlKeywords = map[string]bool{
 	"ASC": true, "DESC": true, "DISTINCT": true, "CAST": true, "OFFSET": true,
 	"REMOTE": true, "MERGE": true, "DELETE": true, "BETWEEN": true,
 	"JOIN": true, "INNER": true, "LEFT": true, "ON": true,
+	"EXPLAIN": true, "ANALYZE": true,
 }
 
 // lex tokenizes a SQL string.

@@ -69,7 +69,16 @@ type DeleteStmt struct {
 	Where Expr
 }
 
+// ExplainStmt is EXPLAIN [ANALYZE] <statement>. Plain EXPLAIN returns the
+// predicted plan shape without executing; ANALYZE executes the inner
+// statement and returns the measured operator tree.
+type ExplainStmt struct {
+	Analyze bool
+	Stmt    Statement
+}
+
 func (*SelectStmt) stmt()      {}
+func (*ExplainStmt) stmt()     {}
 func (*CreateTableStmt) stmt() {}
 func (*InsertStmt) stmt()      {}
 func (*DropTableStmt) stmt()   {}
@@ -169,6 +178,21 @@ func (p *parser) parseStatement() (Statement, error) {
 		return nil, fmt.Errorf("engine: expected statement, got %q", t.text)
 	}
 	switch t.text {
+	case "EXPLAIN":
+		p.next()
+		st := &ExplainStmt{}
+		if p.acceptKeyword("ANALYZE") {
+			st.Analyze = true
+		}
+		if p.peek().text == "EXPLAIN" {
+			return nil, fmt.Errorf("engine: EXPLAIN cannot be nested")
+		}
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		st.Stmt = inner
+		return st, nil
 	case "SELECT":
 		return p.parseSelect()
 	case "CREATE":

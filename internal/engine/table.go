@@ -256,3 +256,14 @@ func (t *Table) String() string {
 	}
 	return b.String()
 }
+
+// ByteSize estimates the payload bytes across all columns (see
+// Vector.ByteSize); the profiling tree uses it to approximate how much an
+// operator materialized.
+func (t *Table) ByteSize() int64 {
+	var b int64
+	for _, c := range t.cols {
+		b += c.ByteSize()
+	}
+	return b
+}

@@ -479,3 +479,15 @@ func (v *Vector) Clone() *Vector {
 	out.b = append([]bool(nil), v.b...)
 	return out
 }
+
+// ByteSize estimates the heap bytes backing the vector's payload: typed
+// slices plus the validity bitmap. String vectors count the code slice
+// only — the dictionary is shared across gathered copies, so charging it
+// to every vector would double-count.
+func (v *Vector) ByteSize() int64 {
+	b := int64(len(v.f64))*8 + int64(len(v.i64))*8 + int64(len(v.codes))*4 + int64(len(v.b))
+	if v.valid != nil {
+		b += int64(len(v.valid.words)) * 8
+	}
+	return b
+}

@@ -116,6 +116,7 @@ func (m *Master) reportResult(id string, err error) {
 		if h.state != stateClosed {
 			h.state = stateClosed
 			workerStateGauge(id).Set(0)
+			masterLog.Info("circuit closed", "worker", id)
 		}
 		h.lastErr = ""
 		return
@@ -125,6 +126,8 @@ func (m *Master) reportResult(id string, err error) {
 	if h.state == stateHalfOpen || h.fails >= m.breaker.threshold() {
 		if h.state != stateOpen {
 			fedCircuitOpens.Inc()
+			masterLog.Warn("circuit opened", "worker", id,
+				"fails", h.fails, "err", err.Error())
 		}
 		h.state = stateOpen
 		h.openedAt = m.now()

@@ -27,6 +27,8 @@ type WorkerClient interface {
 
 // Master governs the communication with and among the workers, keeps track
 // of dataset availability for algorithm shipping, orchestrates algorithm
+var masterLog = obs.Logger("master")
+
 // flows and handles the aggregates coming back from local computations.
 type Master struct {
 	mu       sync.Mutex
@@ -345,6 +347,40 @@ func (m *Master) MergeQueryDegraded(datasets []string, sql string) (*engine.Tabl
 	return t, dropped, nil
 }
 
+// Explain plans a federated query over the merge view of the workers
+// holding the given datasets, returning the rendered plan lines. With
+// analyze set the query executes (shipping partial aggregates or rows
+// exactly like MergeQuery) and the lines carry measured per-part rows and
+// timings; without it only the predicted plan shape is returned.
+func (m *Master) Explain(datasets []string, sql string, analyze bool) ([]string, error) {
+	ws := m.WorkersFor(datasets)
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("federation: no worker holds datasets %v", datasets)
+	}
+	mdb := engine.NewDB()
+	mt := &engine.MergeTable{TableName: DataTable}
+	for _, w := range ws {
+		mt.Parts = append(mt.Parts, &workerPart{w: w, m: m})
+	}
+	if req := m.tolerance.Required(len(ws)); req < len(ws) {
+		mt.MinParts = req
+	}
+	mdb.RegisterMerge(DataTable, mt)
+	keyword := "EXPLAIN "
+	if analyze {
+		keyword = "EXPLAIN ANALYZE "
+	}
+	t, err := mdb.Query(keyword + sql)
+	if err != nil {
+		return nil, err
+	}
+	lines := make([]string, t.NumRows())
+	for i := range lines {
+		lines[i] = t.Col(0).StringAt(i)
+	}
+	return lines, nil
+}
+
 // workerPart adapts a WorkerClient to the engine's merge-table Part,
 // feeding call outcomes into the master's circuit breakers.
 type workerPart struct {
@@ -653,10 +689,14 @@ func (s *Session) localRun(spec LocalRunSpec, secureKeys []string, parentSpan st
 		return nil, err
 	}
 	required := s.tolerance.Required(len(s.workers))
+	stepLog := obs.WithTrace(masterLog, &obs.TraceRef{TraceID: s.trace.TraceID, SpanID: step.ID()}).With(
+		"func", spec.Func, "job_id", jobID)
 	if len(ok) < required {
 		err := fmt.Errorf("federation: quorum not met: %d of %d workers responded, need %d: %w",
 			len(ok), len(s.workers), required, errors.Join(errs...))
 		step.SetError(err)
+		stepLog.Error("quorum not met",
+			"responded", len(ok), "workers", len(s.workers), "required", required)
 		return nil, err
 	}
 	// Degraded success: the surviving quorum's partial aggregate.
@@ -664,6 +704,8 @@ func (s *Session) localRun(spec LocalRunSpec, secureKeys []string, parentSpan st
 	fedDegradedSteps.Inc()
 	fedDroppedWorkers.Add(int64(len(droppedIDs)))
 	step.SetAttr("dropped_workers", strings.Join(droppedIDs, ","))
+	stepLog.Warn("degraded step: workers dropped",
+		"dropped", strings.Join(droppedIDs, ","), "responded", len(ok))
 	return ok, nil
 }
 

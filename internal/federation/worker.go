@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"mip/internal/engine"
 	"mip/internal/obs"
@@ -212,16 +213,26 @@ func (w *Worker) LocalRun(req LocalRunRequest) (LocalRunResponse, error) {
 	}
 }
 
+var workerLog = obs.Logger("worker")
+
 // runStep executes one local step unconditionally (no dedupe).
 func (w *Worker) runStep(req LocalRunRequest) (LocalRunResponse, error) {
 	fedWorkerRuns.Inc()
 	span := obs.DefaultTraces.StartSpanRef(req.Trace, "exec "+req.Func)
 	span.SetAttr("worker", w.id)
+	start := time.Now()
 	resp, err := w.doLocalRun(req, span)
 	span.SetError(err)
 	span.End()
 	if span != nil {
 		resp.Spans = append(resp.Spans, span.Data())
+	}
+	l := obs.WithTrace(workerLog, req.Trace).With(
+		"worker", w.id, "func", req.Func, "job_id", req.JobID)
+	if err != nil {
+		l.Warn("local step failed", "seconds", time.Since(start).Seconds(), "err", err.Error())
+	} else {
+		l.Debug("local step done", "seconds", time.Since(start).Seconds(), "rows", resp.Rows)
 	}
 	return resp, err
 }
@@ -334,12 +345,47 @@ func (w *Worker) countRows(dataQuery string, parent *obs.Span, resp *LocalRunRes
 		qspan.SetAttr(k, v)
 	}
 	qspan.SetAttr("op_nanos", strconv.FormatInt(
-		qs.FilterNanos+qs.AggregateNanos+qs.SortNanos+qs.ProjectNanos, 10))
+		qs.FilterNanos+qs.AggregateNanos+qs.SortNanos+qs.ProjectNanos+qs.JoinNanos+qs.MergeNanos, 10))
 	qspan.End()
 	if qspan != nil {
-		resp.Spans = append(resp.Spans, qspan.Data())
+		d := qspan.Data()
+		resp.Spans = append(resp.Spans, d)
+		// Graft the measured operator tree under the query span, so the
+		// master's experiment trace shows this worker's per-operator
+		// breakdown. Spans carry shapes and timings only — never values.
+		planSpans(d.TraceID, d.SpanID, d.Start, qs.Root, &resp.Spans)
 	}
 	return t.NumRows(), nil
+}
+
+// planSpans synthesizes one trace span per plan operator, nesting like the
+// plan tree (an operator's inputs become its child spans). Absolute operator
+// start times are not tracked, so every span starts at the query start and
+// its duration carries the operator's measured wall time.
+func planSpans(traceID, parentID string, start time.Time, n *engine.PlanNode, out *[]obs.SpanData) {
+	if n == nil {
+		return
+	}
+	name := "op " + n.Op
+	if n.Detail != "" {
+		name += " " + n.Detail
+	}
+	if len(name) > 80 {
+		name = name[:77] + "..."
+	}
+	id := obs.NewSpanID()
+	*out = append(*out, obs.SpanData{
+		TraceID: traceID,
+		SpanID:  id,
+		Parent:  parentID,
+		Name:    name,
+		Start:   start,
+		End:     start.Add(time.Duration(n.Nanos)),
+		Attrs:   n.Attrs(),
+	})
+	for _, c := range n.Children {
+		planSpans(traceID, id, start, c, out)
+	}
 }
 
 // LocalResult retrieves a kept-local transfer by ref (worker-side only; the

@@ -15,6 +15,7 @@ var (
 // MetricsHandler serves the Default registry in Prometheus text format —
 // mount it at GET /metrics.
 func MetricsHandler() http.Handler {
+	RegisterRuntimeMetrics()
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		Default.WritePrometheus(w)
@@ -25,25 +26,30 @@ func MetricsHandler() http.Handler {
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
 }
 
 // Middleware instruments an HTTP handler with request count, latency and
 // status metrics under the given component label ("api", "worker", …).
-// Routes are labeled by their first path segment to keep cardinality
-// bounded (/experiments/{uuid}/trace → "/experiments").
+// A handler that panics before writing a response is recorded as a 500
+// (then re-panicked so net/http keeps its per-connection recovery).
 func Middleware(component string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		httpInFlight.Inc()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		// Deferred so a panicking handler (recovered per-connection by
-		// net/http) still decrements the gauge and counts the request.
-		defer func() {
+		record := func() {
 			httpInFlight.Dec()
 			elapsed := time.Since(start).Seconds()
 			route := routeLabel(r.URL.Path)
@@ -57,18 +63,57 @@ func Middleware(component string, next http.Handler) http.Handler {
 				Label{"component", component},
 				Label{"route", route},
 			).Observe(elapsed)
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				if !rec.wrote {
+					rec.status = http.StatusInternalServerError
+				}
+				record()
+				panic(p)
+			}
+			record()
 		}()
 		next.ServeHTTP(rec, r)
 	})
 }
 
+// knownRoutes is the allowlist of first path segments that may become route
+// labels. Anything else — scanner probes, typos, future endpoints not yet
+// added here — collapses to "/other" so metric cardinality stays bounded.
+var knownRoutes = map[string]bool{
+	"healthz":     true,
+	"metrics":     true,
+	"pathologies": true,
+	"datasets":    true,
+	"workers":     true,
+	"algorithms":  true,
+	"experiments": true,
+	"workflows":   true,
+	"localrun":    true,
+	"query":       true,
+	"debug":       true,
+}
+
 func routeLabel(path string) string {
-	path = strings.TrimPrefix(path, "/")
-	if i := strings.IndexByte(path, '/'); i >= 0 {
-		path = path[:i]
-	}
-	if path == "" {
+	trimmed := strings.TrimPrefix(path, "/")
+	if trimmed == "" {
 		return "/"
 	}
-	return "/" + path
+	// The two /queries endpoints have distinct cost profiles, so they get
+	// separate labels; any other /queries path is unknown → "/other".
+	switch trimmed {
+	case "queries/slow":
+		return "/queries/slow"
+	case "queries/explain":
+		return "/queries/explain"
+	}
+	first := trimmed
+	if i := strings.IndexByte(first, '/'); i >= 0 {
+		first = first[:i]
+	}
+	if !knownRoutes[first] {
+		return "/other"
+	}
+	return "/" + first
 }

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+// Pin the full route→label table: known endpoints keep their own label,
+// everything else is bounded to "/other".
+func TestRouteLabelTable(t *testing.T) {
+	cases := map[string]string{
+		"/":                      "/",
+		"":                       "/",
+		"/healthz":               "/healthz",
+		"/metrics":               "/metrics",
+		"/pathologies":           "/pathologies",
+		"/datasets":              "/datasets",
+		"/workers":               "/workers",
+		"/algorithms":            "/algorithms",
+		"/algorithms/anova":      "/algorithms",
+		"/experiments":           "/experiments",
+		"/experiments/abc-123":   "/experiments",
+		"/experiments/abc/trace": "/experiments",
+		"/workflows":             "/workflows",
+		"/workflows/w1/run":      "/workflows",
+		"/localrun":              "/localrun",
+		"/query":                 "/query",
+		"/queries/slow":          "/queries/slow",
+		"/queries/explain":       "/queries/explain",
+		"/queries":               "/other",
+		"/queries/unknown":       "/other",
+		"/debug":                 "/debug",
+		"/debug/pprof/heap":      "/debug",
+		"/favicon.ico":           "/other",
+		"/wp-admin":              "/other",
+		"/.env":                  "/other",
+		"/experimentsX":          "/other",
+		"/QUERIES/slow":          "/other",
+	}
+	for path, want := range cases {
+		if got := routeLabel(path); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// A handler panic must still decrement the in-flight gauge and count the
+// request as a 500, then propagate so net/http's recovery applies.
+func TestMiddlewarePanicRecordsServerError(t *testing.T) {
+	h := Middleware("paniccomp", http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	before := GetCounter("mip_http_requests_total", "HTTP requests served.",
+		Label{"component", "paniccomp"},
+		Label{"method", "GET"},
+		Label{"route", "/healthz"},
+		Label{"code", "500"},
+	).Value()
+	inFlightBefore := httpInFlight.Value()
+
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("middleware swallowed the handler panic")
+			}
+		}()
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+
+	after := GetCounter("mip_http_requests_total", "HTTP requests served.",
+		Label{"component", "paniccomp"},
+		Label{"method", "GET"},
+		Label{"route", "/healthz"},
+		Label{"code", "500"},
+	).Value()
+	if after != before+1 {
+		t.Errorf("500 counter = %d, want %d", after, before+1)
+	}
+	if got := httpInFlight.Value(); got != inFlightBefore {
+		t.Errorf("in-flight gauge = %v after panic, want %v", got, inFlightBefore)
+	}
+}
+
+// A handler that already wrote a status keeps it even if it panics later.
+func TestMiddlewarePanicAfterWriteKeepsStatus(t *testing.T) {
+	h := Middleware("paniccomp2", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		panic("after write")
+	}))
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	func() {
+		defer func() { recover() }()
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	got := GetCounter("mip_http_requests_total", "HTTP requests served.",
+		Label{"component", "paniccomp2"},
+		Label{"method", "GET"},
+		Label{"route", "/metrics"},
+		Label{"code", "418"},
+	).Value()
+	if got != 1 {
+		t.Errorf("418 counter = %d, want 1", got)
+	}
+}
+
+func TestMetricsHandlerExportsRuntimeGauges(t *testing.T) {
+	rec := httptest.NewRecorder()
+	MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, name := range []string{
+		"mip_runtime_goroutines",
+		"mip_runtime_heap_alloc_bytes",
+		"mip_runtime_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+}
+
+// Logger output is JSON carrying component and, via WithTrace, the
+// trace/span correlation ids; SetLogOutput redirects already-built loggers.
+func TestLoggerTraceCorrelation(t *testing.T) {
+	l := Logger("testcomp")
+
+	var buf bytes.Buffer
+	SetLogOutput(&buf, slog.LevelDebug)
+	defer SetLogOutput(os.Stderr, slog.LevelInfo)
+
+	WithTrace(l, &TraceRef{TraceID: "tr-1", SpanID: "sp-1"}).Info("hello", "k", "v")
+	line := buf.String()
+	for _, want := range []string{
+		`"component":"testcomp"`,
+		`"trace_id":"tr-1"`,
+		`"span_id":"sp-1"`,
+		`"msg":"hello"`,
+		`"k":"v"`,
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line missing %s: %s", want, line)
+		}
+	}
+
+	// nil ref is a no-op.
+	buf.Reset()
+	WithTrace(l, nil).Info("plain")
+	if strings.Contains(buf.String(), "trace_id") {
+		t.Errorf("nil-ref log line should not carry trace_id: %s", buf.String())
+	}
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+	"sync"
+)
+
+// Structured logging for every MIP process. Loggers are slog.Loggers whose
+// records flow through a process-wide swappable sink (JSON to stderr by
+// default), so tests and embedders can redirect or silence all components
+// at once without re-plumbing logger instances.
+
+var logSink struct {
+	mu sync.RWMutex
+	h  slog.Handler
+}
+
+func init() {
+	logSink.h = slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo})
+}
+
+// SetLogOutput points every obs logger at w with the given minimum level.
+// Pass io.Discard to silence logs (e.g. in benchmarks).
+func SetLogOutput(w io.Writer, level slog.Level) {
+	logSink.mu.Lock()
+	defer logSink.mu.Unlock()
+	logSink.h = slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})
+}
+
+func currentHandler() slog.Handler {
+	logSink.mu.RLock()
+	defer logSink.mu.RUnlock()
+	return logSink.h
+}
+
+// dynamicHandler defers to the sink's handler at Handle time, so loggers
+// created before SetLogOutput still honor the swap. Accumulated attrs are
+// replayed onto the current handler per record; groups are not used by MIP
+// loggers and are folded in before attrs, which is exact for our usage.
+type dynamicHandler struct {
+	attrs  []slog.Attr
+	groups []string
+}
+
+func (d *dynamicHandler) resolved() slog.Handler {
+	h := currentHandler()
+	for _, g := range d.groups {
+		h = h.WithGroup(g)
+	}
+	if len(d.attrs) > 0 {
+		h = h.WithAttrs(d.attrs)
+	}
+	return h
+}
+
+func (d *dynamicHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return currentHandler().Enabled(ctx, level)
+}
+
+func (d *dynamicHandler) Handle(ctx context.Context, r slog.Record) error {
+	return d.resolved().Handle(ctx, r)
+}
+
+func (d *dynamicHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nd := &dynamicHandler{groups: d.groups}
+	nd.attrs = append(append(nd.attrs, d.attrs...), attrs...)
+	return nd
+}
+
+func (d *dynamicHandler) WithGroup(name string) slog.Handler {
+	nd := &dynamicHandler{attrs: d.attrs}
+	nd.groups = append(append(nd.groups, d.groups...), name)
+	return nd
+}
+
+// Logger returns a structured logger tagged with the component emitting the
+// records ("master", "worker", "api", "engine", …).
+func Logger(component string) *slog.Logger {
+	return slog.New(&dynamicHandler{}).With("component", component)
+}
+
+// WithTrace returns l carrying the trace correlation ids, so log lines can
+// be joined against the experiment trace they were emitted under. A nil ref
+// returns l unchanged.
+func WithTrace(l *slog.Logger, ref *TraceRef) *slog.Logger {
+	if ref == nil {
+		return l
+	}
+	return l.With("trace_id", ref.TraceID, "span_id", ref.SpanID)
+}

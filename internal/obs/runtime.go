@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Process runtime gauges: goroutine count, heap usage, and GC activity.
+// ReadMemStats stops the world, so readings are cached for a short TTL —
+// scrapes hitting several gauges in one exposition pay for one read.
+
+var registerRuntimeOnce sync.Once
+
+// RegisterRuntimeMetrics installs the runtime gauges into the Default
+// registry. Safe to call from multiple places; only the first call
+// registers. MetricsHandler calls it, so any process serving /metrics
+// exports these automatically.
+func RegisterRuntimeMetrics() {
+	registerRuntimeOnce.Do(func() {
+		var mu sync.Mutex
+		var ms runtime.MemStats
+		var last time.Time
+		read := func(f func(*runtime.MemStats) float64) float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			if time.Since(last) > time.Second {
+				runtime.ReadMemStats(&ms)
+				last = time.Now()
+			}
+			return f(&ms)
+		}
+		Default.GaugeFunc("mip_runtime_goroutines",
+			"Number of live goroutines.",
+			func() float64 { return float64(runtime.NumGoroutine()) })
+		Default.GaugeFunc("mip_runtime_heap_alloc_bytes",
+			"Bytes of allocated heap objects.",
+			func() float64 {
+				return read(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) })
+			})
+		Default.GaugeFunc("mip_runtime_heap_sys_bytes",
+			"Bytes of heap memory obtained from the OS.",
+			func() float64 {
+				return read(func(m *runtime.MemStats) float64 { return float64(m.HeapSys) })
+			})
+		Default.GaugeFunc("mip_runtime_gc_pause_seconds_total",
+			"Cumulative stop-the-world GC pause time in seconds.",
+			func() float64 {
+				return read(func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 })
+			})
+		Default.GaugeFunc("mip_runtime_gc_runs_total",
+			"Completed GC cycles.",
+			func() float64 {
+				return read(func(m *runtime.MemStats) float64 { return float64(m.NumGC) })
+			})
+	})
+}

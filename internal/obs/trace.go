@@ -170,6 +170,11 @@ func newSpanID() string {
 	return fmt.Sprintf("%s-%06d", procID, spanSeq.Add(1))
 }
 
+// NewSpanID mints a process-unique span id. Exposed for components that
+// synthesize SpanData directly rather than through StartSpan — the
+// federation worker uses it to turn engine plan nodes into operator spans.
+func NewSpanID() string { return newSpanID() }
+
 type traceRec struct {
 	spans []SpanData
 	ids   map[string]bool

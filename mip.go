@@ -293,7 +293,7 @@ func (p *Platform) RunExperiment(algorithm string, req Request) (Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	return alg.Run(sess, req)
+	return algorithms.Run(alg, sess, req)
 }
 
 func spentEps(a *dp.Accountant) float64 {
