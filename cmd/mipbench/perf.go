@@ -31,13 +31,15 @@ type benchReport struct {
 	Suite   string        `json:"suite"`
 	Go      string        `json:"go"`
 	Arch    string        `json:"arch"`
+	CPUs    int           `json:"cpus"`
 	Results []benchResult `json:"results"`
 }
 
 // runPerfSuite executes the engine benchmark suite and writes the JSON
 // report to path. Any benchmark failure aborts the run with a non-zero exit.
 func runPerfSuite(path string) {
-	report := benchReport{Suite: "engine", Go: runtime.Version(), Arch: runtime.GOARCH}
+	report := benchReport{Suite: "engine", Go: runtime.Version(), Arch: runtime.GOARCH, CPUs: runtime.NumCPU()}
+	ncpu := runtime.NumCPU()
 	for _, bench := range []struct {
 		name string
 		fn   func(*testing.B)
@@ -48,7 +50,19 @@ func runPerfSuite(path string) {
 		{"merge_pushdown_4x2000", benchMergePushdown},
 		{"explain_analyze_overhead", benchExplainAnalyze},
 		{"federated_descriptive_stats", benchFederatedDescriptive},
+		// Morsel-parallelism pairs: the same workload at parallelism 1 (the
+		// serial oracle) and at NumCPU. On a multi-core box the parN rows
+		// should come out well under the par1 rows; on one CPU they tie.
+		{"parallel_scan_filter_1m_par1", parBench(1, benchParScanFilter)},
+		{parName("parallel_scan_filter_1m", ncpu), parBench(ncpu, benchParScanFilter)},
+		{"parallel_group_aggregate_500k_par1", parBench(1, benchParGroupAggregate)},
+		{parName("parallel_group_aggregate_500k", ncpu), parBench(ncpu, benchParGroupAggregate)},
+		{"parallel_hash_join_200k_par1", parBench(1, benchParHashJoin)},
+		{parName("parallel_hash_join_200k", ncpu), parBench(ncpu, benchParHashJoin)},
 	} {
+		if bench.name == "" {
+			continue // NumCPU==1 collapses a parallel pair into one case
+		}
 		fmt.Printf("bench %-28s ", bench.name)
 		r := testing.Benchmark(bench.fn)
 		if r.N == 0 {
@@ -70,6 +84,91 @@ func runPerfSuite(path string) {
 	buf = append(buf, '\n')
 	fatalIf(os.WriteFile(path, buf, 0o644))
 	fmt.Printf("\nwrote %s (%d benchmarks)\n", path, len(report.Results))
+}
+
+// parBench adapts a parallelism-parameterized benchmark into a plain one.
+func parBench(par int, fn func(*testing.B, int)) func(*testing.B) {
+	return func(b *testing.B) { fn(b, par) }
+}
+
+// parName names the NumCPU half of a parallel pair; on a 1-CPU machine it
+// would duplicate the par1 case, so the empty name drops it from the suite.
+func parName(base string, ncpu int) string {
+	if ncpu <= 1 {
+		return ""
+	}
+	return fmt.Sprintf("%s_par%d", base, ncpu)
+}
+
+// benchParScanFilter: 1M-row filter + global aggregate, morsel-parallel.
+func benchParScanFilter(b *testing.B, par int) {
+	tab := engine.NewTable(engine.Schema{{Name: "x", Type: engine.Float64}})
+	rng := stats.NewRNG(3)
+	for i := 0; i < 1_000_000; i++ {
+		if err := tab.AppendRow(rng.Float64()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	db := engine.NewDB(engine.WithParallelism(par))
+	db.RegisterTable("t", tab)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT avg(x) AS m, count(*) AS n FROM t WHERE x > 0.2`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchParGroupAggregate: 500k rows, 8 groups, partitioned hash aggregation.
+func benchParGroupAggregate(b *testing.B, par int) {
+	tab := engine.NewTable(engine.Schema{
+		{Name: "site", Type: engine.String},
+		{Name: "x", Type: engine.Float64},
+	})
+	rng := stats.NewRNG(4)
+	for i := 0; i < 500_000; i++ {
+		if err := tab.AppendRow(fmt.Sprintf("site-%d", i%8), rng.Float64()*30); err != nil {
+			b.Fatal(err)
+		}
+	}
+	db := engine.NewDB(engine.WithParallelism(par))
+	db.RegisterTable("t", tab)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT site, avg(x) AS m, stddev(x) AS sd, count(*) AS n FROM t GROUP BY site`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchParHashJoin: 200k x 200k equi-join with parallel probe/materialize.
+func benchParHashJoin(b *testing.B, par int) {
+	patients := engine.NewTable(engine.Schema{
+		{Name: "id", Type: engine.Int64},
+		{Name: "age", Type: engine.Float64},
+	})
+	scores := engine.NewTable(engine.Schema{
+		{Name: "id", Type: engine.Int64},
+		{Name: "mmse", Type: engine.Float64},
+	})
+	rng := stats.NewRNG(5)
+	for i := 0; i < 200_000; i++ {
+		if err := patients.AppendRow(int64(i), 60+rng.Float64()*30); err != nil {
+			b.Fatal(err)
+		}
+		if err := scores.AppendRow(int64(i), rng.Float64()*30); err != nil {
+			b.Fatal(err)
+		}
+	}
+	db := engine.NewDB(engine.WithParallelism(par))
+	db.RegisterTable("patients", patients)
+	db.RegisterTable("scores", scores)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT avg(s.mmse) AS m, count(*) AS n FROM patients p JOIN scores s ON p.id = s.id WHERE p.age > 70`); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func benchFloatTable(b *testing.B, rows int) *engine.DB {

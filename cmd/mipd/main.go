@@ -10,6 +10,7 @@
 //	     [-debug-addr :6060]  # pprof + metrics on a private listener
 //	     [-min-workers 0] [-quorum 0] [-step-deadline 0]  # fault tolerance
 //	     [-slow-query 250ms]  # slow-query log threshold (GET /queries/slow)
+//	     [-engine-parallelism 0]  # intra-query parallelism per worker (0 = NumCPU)
 //
 // The fault-tolerance flags let plain-path experiments degrade to a partial
 // aggregate instead of failing when workers die mid-step: -min-workers and
@@ -68,11 +69,15 @@ func main() {
 	quorum := flag.Float64("quorum", 0, "quorum fraction of session workers for degraded results (0 = all required)")
 	stepDeadline := flag.Duration("step-deadline", 0, "per-step straggler deadline before dropping slow workers (0 = wait forever)")
 	slowQuery := flag.Duration("slow-query", engine.DefaultSlowLog.Threshold(), "engine slow-query log threshold (see GET /queries/slow)")
+	enginePar := flag.Int("engine-parallelism", 0, "intra-query parallelism per worker engine (0 = NumCPU); results are identical at any value")
 	flag.Parse()
 
 	engine.DefaultSlowLog.SetThreshold(*slowQuery)
+	if *enginePar > 0 {
+		engine.SetDefaultParallelism(*enginePar)
+	}
 
-	cfg := mip.Config{Seed: *seed}
+	cfg := mip.Config{Seed: *seed, EngineParallelism: *enginePar}
 	cfg.Tolerance = mip.Tolerance{MinWorkers: *minWorkers, Quorum: *quorum, StepDeadline: *stepDeadline}
 	switch strings.ToLower(*security) {
 	case "off":

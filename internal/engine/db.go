@@ -16,6 +16,7 @@ type DB struct {
 	tables  map[string]*Table
 	merges  map[string]*MergeTable
 	queries atomic.Int64
+	ec      atomic.Pointer[ExecContext]
 }
 
 // QueryCount returns the number of statements executed so far (scans,
@@ -23,13 +24,70 @@ type DB struct {
 // the single-scan property.
 func (db *DB) QueryCount() int64 { return db.queries.Load() }
 
+// Option configures a DB at construction.
+type Option func(*DB)
+
+// WithParallelism sets the DB's execution parallelism degree: how many
+// morsels its queries process concurrently (1 = serial). Values < 1 keep
+// the process default (runtime.NumCPU, or SetDefaultParallelism).
+func WithParallelism(n int) Option {
+	return func(db *DB) {
+		if n >= 1 {
+			db.SetParallelism(n)
+		}
+	}
+}
+
+// WithMorselSize sets the row-range size queries are split into. The size
+// is clamped to ≥ 64 and rounded up to a multiple of 64 so morsel-sliced
+// validity bitmaps stay word-aligned. Mostly a testing knob: results are
+// bit-identical across parallelism degrees at a FIXED morsel size, but a
+// different morsel size changes float summation order.
+func WithMorselSize(n int) Option {
+	return func(db *DB) {
+		cur := *db.ec.Load()
+		cur.MorselSize = roundMorselSize(n)
+		db.ec.Store(&cur)
+	}
+}
+
+func roundMorselSize(n int) int {
+	if n < 64 {
+		n = 64
+	}
+	return (n + 63) / 64 * 64
+}
+
 // NewDB returns an empty database.
-func NewDB() *DB {
-	return &DB{
+func NewDB(opts ...Option) *DB {
+	db := &DB{
 		tables: make(map[string]*Table),
 		merges: make(map[string]*MergeTable),
 	}
+	db.ec.Store(&ExecContext{Parallelism: DefaultParallelism(), MorselSize: DefaultMorselSize})
+	for _, o := range opts {
+		o(db)
+	}
+	return db
 }
+
+// SetParallelism changes the DB's parallelism degree at runtime (n < 1 is
+// ignored). It also grows the shared worker pool to serve the new degree.
+func (db *DB) SetParallelism(n int) {
+	if n < 1 {
+		return
+	}
+	cur := *db.ec.Load()
+	cur.Parallelism = n
+	db.ec.Store(&cur)
+	enginePool.grow(n - 1)
+}
+
+// Parallelism returns the DB's configured parallelism degree.
+func (db *DB) Parallelism() int { return db.ec.Load().Parallelism }
+
+// execCtx returns the DB's execution context (immutable snapshot).
+func (db *DB) execCtx() *ExecContext { return db.ec.Load() }
 
 // CreateTable registers an empty table with the given schema.
 func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
@@ -163,18 +221,19 @@ func (db *DB) run(st Statement, qs *QueryStats) (*Table, error) {
 	case *ExplainStmt:
 		return db.runExplain(s, qs)
 	case *SelectStmt:
+		ec := db.execCtx()
 		if m := db.Merge(s.From); m != nil {
 			if len(s.Joins) > 0 {
 				return nil, fmt.Errorf("engine: JOIN over merge tables is not supported")
 			}
-			return m.execSelect(s, qs)
+			return m.execSelect(ec, s, qs)
 		}
 		if len(s.Joins) > 0 || s.FromAlias != "" {
-			joined, err := db.buildJoined(s, qs)
+			joined, err := db.buildJoined(ec, s, qs)
 			if err != nil {
 				return nil, err
 			}
-			return execSelect(s, joined, qs)
+			return execSelect(ec, s, joined, qs)
 		}
 		t := db.Table(s.From)
 		if t == nil {
@@ -185,7 +244,7 @@ func (db *DB) run(st Statement, qs *QueryStats) (*Table, error) {
 		}
 		db.mu.RLock()
 		defer db.mu.RUnlock()
-		return execSelect(s, t, qs)
+		return execSelect(ec, s, t, qs)
 	case *CreateTableStmt:
 		_, err := db.CreateTable(s.Name, s.Schema)
 		return nil, err

@@ -9,25 +9,28 @@ import (
 
 // execSelect runs a parsed SELECT over an input table. It implements the
 // pipeline scan → filter → (group-by aggregate | project) → having →
-// order by → limit, all column-at-a-time. qs (optional, may be nil)
+// order by → limit, column-at-a-time over morsels: the filter and
+// aggregate stages fan row ranges out across ec's worker pool, while
+// ORDER BY and LIMIT stay a serial tail. qs (optional, may be nil)
 // accumulates rows/vectors touched and grows the plan tree one node per
 // executed stage (the scan/join/merge nodes below the first stage are
 // planted by db.run and the merge table before this runs).
-func execSelect(st *SelectStmt, input *Table, qs *QueryStats) (*Table, error) {
+func execSelect(ec *ExecContext, st *SelectStmt, input *Table, qs *QueryStats) (*Table, error) {
 	t := input
 	if qs != nil {
 		qs.RowsScanned += input.NumRows()
 		qs.Vectors += len(input.Schema())
 	}
 
-	// WHERE: compute a selection vector and gather once.
+	// WHERE: compute a selection vector morsel-wise and gather once.
 	if st.Where != nil {
 		sg := qs.beginStage("filter", st.Where.String(), t.NumRows())
-		sel, err := FilterSel(st.Where, t)
+		sg.setParallelism(ec.degreeFor(len(ec.morselsOf(t.NumRows()))))
+		sel, err := ec.filterSel(st.Where, t, sg.planNode())
 		if err != nil {
 			return nil, err
 		}
-		t = t.Gather(sel)
+		t = ec.gather(t, sel)
 		sg.end(t)
 	}
 
@@ -35,7 +38,8 @@ func execSelect(st *SelectStmt, input *Table, qs *QueryStats) (*Table, error) {
 	var err error
 	if selHasAgg(st) {
 		sg := qs.beginStage("aggregate", aggDetail(st), t.NumRows())
-		out, err = execAggregate(st, t)
+		sg.setParallelism(ec.degreeFor(len(ec.morselsOf(t.NumRows()))))
+		out, err = execAggregate(ec, st, t, sg.planNode())
 		if err != nil {
 			return nil, err
 		}
@@ -693,46 +697,27 @@ func rewriteAgg(e Expr, keys map[string]string, aggs *[]*AggCall, aggCols map[st
 	return e
 }
 
-func execAggregate(st *SelectStmt, t *Table) (*Table, error) {
-	// 1. Evaluate group keys and assign group ids.
-	keyVecs := make([]*Vector, len(st.GroupBy))
-	for i, g := range st.GroupBy {
-		v, err := Eval(g, t)
-		if err != nil {
-			return nil, err
-		}
-		keyVecs[i] = v
-	}
-	n := t.NumRows()
-	var groupOf []int
-	var groupRows []int // representative row per group
-	groups := 1
-	if len(st.GroupBy) > 0 {
-		groupOf = make([]int, n)
-		groupIdx := make(map[string]int)
-		var keyBuf strings.Builder
-		for i := 0; i < n; i++ {
-			keyBuf.Reset()
-			for _, kv := range keyVecs {
-				if kv.IsNull(i) {
-					keyBuf.WriteString("\x00N|")
-					continue
-				}
-				fmt.Fprintf(&keyBuf, "%v|", kv.Value(i))
-			}
-			k := keyBuf.String()
-			g, ok := groupIdx[k]
-			if !ok {
-				g = len(groupRows)
-				groupIdx[k] = g
-				groupRows = append(groupRows, i)
-			}
-			groupOf[i] = g
-		}
-		groups = len(groupRows)
-	}
+// morselAgg is one morsel's partial aggregation: its thread-local group
+// table (keys in first-appearance order, which is row order within the
+// morsel) and one partial accumulator per aggregate call.
+type morselAgg struct {
+	keys    []string    // local group keys, first-appearance order (grouped only)
+	rows    []int32     // representative local row per local group
+	keyVecs []*Vector   // group-key vectors evaluated over the morsel
+	states  []*aggState // one per aggregate call, sized to local groups
+}
 
-	// 2. Rewrite select items and HAVING; collect aggregate calls.
+// execAggregate runs partitioned hash aggregation: every morsel groups and
+// accumulates into thread-local state, then a serial combine step assigns
+// global group ids and folds the partials in morsel order. Because morsels
+// are row ranges in order and local first-appearance order is row order,
+// global group ids equal first-appearance-in-row-order ids — exactly what
+// the single-threaded implementation produced — and the fixed fold order
+// makes float results bit-identical at every parallelism degree.
+func execAggregate(ec *ExecContext, st *SelectStmt, t *Table, node *PlanNode) (*Table, error) {
+	grouped := len(st.GroupBy) > 0
+
+	// 1. Rewrite select items and HAVING; collect aggregate calls.
 	keyNames := map[string]string{}
 	for i, g := range st.GroupBy {
 		keyNames[g.String()] = fmt.Sprintf("$key%d", i)
@@ -751,30 +736,136 @@ func execAggregate(st *SelectStmt, t *Table) (*Table, error) {
 		having = rewriteAgg(st.Having, keyNames, &aggCalls, aggCols)
 	}
 
-	// 3. Run accumulators.
-	states := make([]*aggState, len(aggCalls))
-	argVecs := make([][]*Vector, len(aggCalls))
-	for i, c := range aggCalls {
-		s, av, err := newAggState(c, groups, t)
+	// 2. Validate and type group keys and aggregate args over an empty
+	// row range, so errors (unknown columns, bad quantile fractions, corr
+	// arity) surface deterministically even when the input has no rows.
+	empty := t.Slice(0, 0)
+	emptyKeys := make([]*Vector, len(st.GroupBy))
+	for i, g := range st.GroupBy {
+		v, err := Eval(g, empty)
 		if err != nil {
 			return nil, err
 		}
-		states[i], argVecs[i] = s, av
+		emptyKeys[i] = v
 	}
-	for i, s := range states {
-		s.observeAll(groupOf, argVecs[i], n)
+	for _, c := range aggCalls {
+		if _, _, err := newAggState(c, 0, empty); err != nil {
+			return nil, err
+		}
 	}
 
-	// 4. Build the intermediate table: $key* columns + $agg* columns.
+	// 3. Per-morsel partial aggregation (parallel).
+	ms := ec.morselsOf(t.NumRows())
+	partials := make([]*morselAgg, len(ms))
+	err := ec.parallelFor(len(ms), func(i int) error {
+		m := ms[i]
+		part := t.Slice(m.lo, m.hi)
+		n := part.NumRows()
+		ma := &morselAgg{}
+		var groupOf []int
+		localGroups := 1
+		if grouped {
+			ma.keyVecs = make([]*Vector, len(st.GroupBy))
+			for k, g := range st.GroupBy {
+				v, err := Eval(g, part)
+				if err != nil {
+					return err
+				}
+				ma.keyVecs[k] = v
+			}
+			groupOf = make([]int, n)
+			idx := make(map[string]int)
+			var keyBuf strings.Builder
+			for r := 0; r < n; r++ {
+				keyBuf.Reset()
+				for _, kv := range ma.keyVecs {
+					if kv.IsNull(r) {
+						keyBuf.WriteString("\x00N|")
+						continue
+					}
+					fmt.Fprintf(&keyBuf, "%v|", kv.Value(r))
+				}
+				k := keyBuf.String()
+				g, ok := idx[k]
+				if !ok {
+					g = len(ma.keys)
+					idx[k] = g
+					ma.keys = append(ma.keys, k)
+					ma.rows = append(ma.rows, int32(r))
+				}
+				groupOf[r] = g
+			}
+			localGroups = len(ma.keys)
+		}
+		ma.states = make([]*aggState, len(aggCalls))
+		for k, c := range aggCalls {
+			s, av, err := newAggState(c, localGroups, part)
+			if err != nil {
+				return err
+			}
+			s.observeAll(groupOf, av, n)
+			ma.states[k] = s
+		}
+		partials[i] = ma
+		node.AddMorsels(1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// 4. Combine: assign global group ids in morsel order (= first
+	// appearance in row order) and fold every morsel's partials.
+	groups := 1
+	var repMorsel []int // morsel holding each group's representative row
+	var repRow []int32  // representative row within that morsel
+	gmaps := make([][]int, len(partials))
+	if grouped {
+		groups = 0
+		globalIdx := map[string]int{}
+		for mi, ma := range partials {
+			gmaps[mi] = make([]int, len(ma.keys))
+			for lg, k := range ma.keys {
+				g, ok := globalIdx[k]
+				if !ok {
+					g = groups
+					groups++
+					globalIdx[k] = g
+					repMorsel = append(repMorsel, mi)
+					repRow = append(repRow, ma.rows[lg])
+				}
+				gmaps[mi][lg] = g
+			}
+		}
+	}
+	states := make([]*aggState, len(aggCalls))
+	for k, c := range aggCalls {
+		s, _, err := newAggState(c, groups, empty)
+		if err != nil {
+			return nil, err
+		}
+		for mi, ma := range partials {
+			s.mergeFrom(ma.states[k], gmaps[mi])
+		}
+		states[k] = s
+	}
+
+	// 5. Build the intermediate table: $key* columns + $agg* columns.
 	var schema Schema
 	var cols []*Vector
-	for i, kv := range keyVecs {
-		sel := make([]int32, groups)
-		for g, r := range groupRows {
-			sel[g] = int32(r)
+	for i := range st.GroupBy {
+		out := NewVector(emptyKeys[i].Type())
+		for g := 0; g < groups; g++ {
+			kv := partials[repMorsel[g]].keyVecs[i]
+			r := int(repRow[g])
+			if kv.IsNull(r) {
+				out.AppendNull()
+			} else if err := out.AppendValue(kv.Value(r)); err != nil {
+				return nil, err
+			}
 		}
-		schema = append(schema, ColumnDef{Name: fmt.Sprintf("$key%d", i), Type: kv.Type()})
-		cols = append(cols, kv.Gather(sel))
+		schema = append(schema, ColumnDef{Name: fmt.Sprintf("$key%d", i), Type: out.Type()})
+		cols = append(cols, out)
 	}
 	for i, s := range states {
 		v := s.result(groups)
@@ -786,7 +877,7 @@ func execAggregate(st *SelectStmt, t *Table) (*Table, error) {
 		return nil, err
 	}
 
-	// 5. HAVING filter.
+	// 6. HAVING filter (group counts are small: serial).
 	if having != nil {
 		sel, err := FilterSel(having, mid)
 		if err != nil {
@@ -795,7 +886,7 @@ func execAggregate(st *SelectStmt, t *Table) (*Table, error) {
 		mid = mid.Gather(sel)
 	}
 
-	// 6. Final projection over the intermediate table.
+	// 7. Final projection over the intermediate table.
 	outSchema := make(Schema, len(items))
 	outCols := make([]*Vector, len(items))
 	for i, it := range items {
@@ -807,4 +898,88 @@ func execAggregate(st *SelectStmt, t *Table) (*Table, error) {
 		outCols[i] = v
 	}
 	return NewTableFromVectors(outSchema, outCols)
+}
+
+// mergeFrom folds src (one morsel's partial state) into dst. gmap maps
+// src's local group ids to dst's global ids; nil means identity (the
+// single global group). Callers fold morsels in morsel-index order, which
+// fixes the float reduction order across parallelism degrees.
+func (dst *aggState) mergeFrom(src *aggState, gmap []int) {
+	gOf := func(lg int) int {
+		if gmap == nil {
+			return lg
+		}
+		return gmap[lg]
+	}
+	switch dst.call.Name {
+	case "count":
+		if dst.call.Distinct {
+			for lg := range src.seen {
+				g := gOf(lg)
+				for k := range src.seen[lg] {
+					dst.seen[g][k] = struct{}{}
+				}
+				dst.count[g] = int64(len(dst.seen[g]))
+			}
+			return
+		}
+		for lg, c := range src.count {
+			dst.count[gOf(lg)] += c
+		}
+	case "sum", "avg", "stddev_samp", "stddev", "var_samp", "variance":
+		for lg := range src.count {
+			g := gOf(lg)
+			dst.count[g] += src.count[lg]
+			dst.sum[g] += src.sum[lg]
+			dst.sum2[g] += src.sum2[lg]
+		}
+	case "min", "max":
+		for lg := range src.count {
+			g := gOf(lg)
+			dst.count[g] += src.count[lg]
+			if !src.seenMM[lg] {
+				continue
+			}
+			if !dst.seenMM[g] {
+				dst.seenMM[g] = true
+				if dst.strMM {
+					dst.minS[g], dst.maxS[g] = src.minS[lg], src.maxS[lg]
+				} else {
+					dst.minF[g], dst.maxF[g] = src.minF[lg], src.maxF[lg]
+				}
+				continue
+			}
+			if dst.strMM {
+				if src.minS[lg] < dst.minS[g] {
+					dst.minS[g] = src.minS[lg]
+				}
+				if src.maxS[lg] > dst.maxS[g] {
+					dst.maxS[g] = src.maxS[lg]
+				}
+			} else {
+				if src.minF[lg] < dst.minF[g] {
+					dst.minF[g] = src.minF[lg]
+				}
+				if src.maxF[lg] > dst.maxF[g] {
+					dst.maxF[g] = src.maxF[lg]
+				}
+			}
+		}
+	case "corr":
+		for lg := range src.count {
+			g := gOf(lg)
+			dst.count[g] += src.count[lg]
+			dst.sum[g] += src.sum[lg]
+			dst.sumY[g] += src.sumY[lg]
+			dst.sum2[g] += src.sum2[lg]
+			dst.sumY2[g] += src.sumY2[lg]
+			dst.sumXY[g] += src.sumXY[lg]
+		}
+	case "median", "quantile":
+		for lg := range src.count {
+			g := gOf(lg)
+			dst.count[g] += src.count[lg]
+			dst.vals[g] = append(dst.vals[g], src.vals[lg]...)
+		}
+	}
 }

@@ -100,11 +100,11 @@ func TestExplainAnalyzeAggregateOverJoin(t *testing.T) {
 	}
 
 	// rows-out of the root must equal the executed result.
-	if root.RowsOut != direct.NumRows() {
+	if int(root.RowsOut) != direct.NumRows() {
 		t.Errorf("root rows_out = %d, executed query returned %d rows", root.RowsOut, direct.NumRows())
 	}
 	// order preserves aggregate's row count.
-	if agg := byOp["aggregate"][0]; agg.RowsOut != direct.NumRows() {
+	if agg := byOp["aggregate"][0]; int(agg.RowsOut) != direct.NumRows() {
 		t.Errorf("aggregate rows_out = %d, want %d", agg.RowsOut, direct.NumRows())
 	}
 	// The join of 5x5 rows on id matches 4 pairs; filter keeps ages > 60.

@@ -330,6 +330,10 @@ func evalIn(x *InExpr, t *Table) (*Vector, error) {
 			lits = append(lits, litval{f: f})
 		}
 	}
+	var innerF []float64 // cast once, not per row
+	if inner.Type() != String {
+		innerF = inner.CastFloat64().Float64s()
+	}
 	for i := 0; i < n; i++ {
 		if inner.IsNull(i) {
 			valid.Set(i, false)
@@ -346,7 +350,7 @@ func evalIn(x *InExpr, t *Table) (*Vector, error) {
 				}
 			}
 		default:
-			f := inner.CastFloat64().Float64s()[i]
+			f := innerF[i]
 			for _, l := range lits {
 				if !l.str && l.f == f {
 					hit = true

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,7 +15,7 @@ import (
 // buildJoined resolves the FROM table and folds every JOIN clause into one
 // joined table. With qs attached it plants the scan/join subtree that
 // execSelect's stages then chain on top of.
-func (db *DB) buildJoined(st *SelectStmt, qs *QueryStats) (*Table, error) {
+func (db *DB) buildJoined(ec *ExecContext, st *SelectStmt, qs *QueryStats) (*Table, error) {
 	if db.Merge(st.From) != nil {
 		return nil, fmt.Errorf("engine: JOIN over merge tables is not supported")
 	}
@@ -44,23 +45,21 @@ func (db *DB) buildJoined(st *SelectStmt, qs *QueryStats) (*Table, error) {
 			ra = jc.Table
 		}
 		t0 := time.Now()
-		joined, err := hashJoin(cur, qualifyTable(right, ra), jc)
+		node := &PlanNode{Op: "join", Detail: joinDetail(jc)}
+		joined, err := hashJoin(ec, cur, qualifyTable(right, ra), jc, node)
 		if err != nil {
 			return nil, err
 		}
 		if qs != nil {
 			nanos := time.Since(t0).Nanoseconds()
-			qs.JoinNanos += nanos
-			curNode = &PlanNode{
-				Op:       "join",
-				Detail:   joinDetail(jc),
-				RowsIn:   cur.NumRows() + right.NumRows(),
-				RowsOut:  joined.NumRows(),
-				Batches:  joined.NumCols(),
-				Nanos:    nanos,
-				Bytes:    joined.ByteSize(),
-				Children: []*PlanNode{curNode, scanPlanNode(jc.Table, right)},
-			}
+			atomic.AddInt64(&qs.JoinNanos, nanos)
+			node.RowsIn = int64(cur.NumRows() + right.NumRows())
+			node.RowsOut = int64(joined.NumRows())
+			node.Batches = int64(joined.NumCols())
+			node.Nanos = nanos
+			node.Bytes = joined.ByteSize()
+			node.Children = []*PlanNode{curNode, scanPlanNode(jc.Table, right)}
+			curNode = node
 		}
 		cur = joined
 	}
@@ -145,13 +144,47 @@ func resolveSide(name string, left, right *Table) int {
 	return 0
 }
 
-// hashJoin performs the (inner or left-outer) equi-join.
-func hashJoin(left, right *Table, jc JoinClause) (*Table, error) {
+// joinKeys renders each row's key tuple as a string, morsel-parallel.
+// A row with any NULL key component gets "" (SQL: NULL keys never match);
+// real keys always end in "|", so "" is unambiguous.
+func (ec *ExecContext) joinKeys(cols []*Vector, n int, node *PlanNode) []string {
+	keys := make([]string, n)
+	ms := ec.morselsOf(n)
+	_ = ec.parallelFor(len(ms), func(i int) error {
+		m := ms[i]
+		var keyBuf strings.Builder
+		for r := m.lo; r < m.hi; r++ {
+			keyBuf.Reset()
+			null := false
+			for _, c := range cols {
+				if c.IsNull(r) {
+					null = true
+					break
+				}
+				fmt.Fprintf(&keyBuf, "%v|", c.Value(r))
+			}
+			if !null {
+				keys[r] = keyBuf.String()
+			}
+		}
+		node.AddMorsels(1)
+		return nil
+	})
+	return keys
+}
+
+// hashJoin performs the (inner or left-outer) equi-join, morsel-parallel:
+// key strings for both sides are computed across the pool, the build-side
+// index is inserted serially in row order (it is immutable from then on and
+// shared by all probe workers), and the probe fans out over left-side
+// morsels, each emitting local selection vectors that are stitched in
+// morsel order. Output rows therefore appear in exactly the order the
+// serial nested probe produced: left row order, matches in right row order.
+func hashJoin(ec *ExecContext, left, right *Table, jc JoinClause, node *PlanNode) (*Table, error) {
 	lk, rk, residual, err := splitOn(jc.On, left, right)
 	if err != nil {
 		return nil, err
 	}
-	// Build side: hash the right table's key tuples.
 	rKeyCols := make([]*Vector, len(rk))
 	for i, n := range rk {
 		rKeyCols[i] = right.ColByName(n)
@@ -160,69 +193,79 @@ func hashJoin(left, right *Table, jc JoinClause) (*Table, error) {
 	for i, n := range lk {
 		lKeyCols[i] = left.ColByName(n)
 	}
+	rKeys := ec.joinKeys(rKeyCols, right.NumRows(), node)
+	lKeys := ec.joinKeys(lKeyCols, left.NumRows(), node)
+
+	// Build side: hash the right table's key tuples (serial, row order).
 	index := make(map[string][]int32, right.NumRows())
-	var keyBuf strings.Builder
-	keyOf := func(cols []*Vector, row int) (string, bool) {
-		keyBuf.Reset()
-		for _, c := range cols {
-			if c.IsNull(row) {
-				return "", false // SQL: NULL keys never match
-			}
-			fmt.Fprintf(&keyBuf, "%v|", c.Value(row))
-		}
-		return keyBuf.String(), true
-	}
-	for r := 0; r < right.NumRows(); r++ {
-		if k, ok := keyOf(rKeyCols, r); ok {
+	for r, k := range rKeys {
+		if k != "" {
 			index[k] = append(index[k], int32(r))
 		}
 	}
 
-	// Output schema: left columns then right columns (all qualified).
+	// Probe side: per-morsel selection vectors into the immutable index.
+	ms := ec.morselsOf(left.NumRows())
+	if node != nil {
+		node.Parallelism = ec.degreeFor(len(ms))
+	}
+	type probeOut struct{ lsel, rsel []int32 }
+	parts := make([]probeOut, len(ms))
+	_ = ec.parallelFor(len(ms), func(i int) error {
+		m := ms[i]
+		var lsel, rsel []int32
+		for lr := m.lo; lr < m.hi; lr++ {
+			matched := false
+			if k := lKeys[lr]; k != "" {
+				for _, rr := range index[k] {
+					lsel = append(lsel, int32(lr))
+					rsel = append(rsel, rr)
+					matched = true
+				}
+			}
+			if !matched && jc.Left {
+				lsel = append(lsel, int32(lr))
+				rsel = append(rsel, -1)
+			}
+		}
+		parts[i] = probeOut{lsel, rsel}
+		node.AddMorsels(1)
+		return nil
+	})
+	total := 0
+	for _, p := range parts {
+		total += len(p.lsel)
+	}
+	lsel := make([]int32, 0, total)
+	rsel := make([]int32, 0, total)
+	for _, p := range parts {
+		lsel = append(lsel, p.lsel...)
+		rsel = append(rsel, p.rsel...)
+	}
+
+	// Materialize: left columns by plain gather, right columns by outer
+	// gather (-1 ⇒ NULL row); columns fan out across the pool.
 	schema := append(Schema{}, left.Schema()...)
 	schema = append(schema, right.Schema()...)
-	out := NewTable(schema)
 	lw, rw := left.NumCols(), right.NumCols()
-	row := make([]any, lw+rw)
-	emit := func(lr int, rr int32) error {
-		for j := 0; j < lw; j++ {
-			row[j] = left.Col(j).Value(lr)
-		}
-		if rr < 0 {
-			for j := 0; j < rw; j++ {
-				row[lw+j] = nil
-			}
+	cols := make([]*Vector, lw+rw)
+	_ = ec.parallelFor(lw+rw, func(j int) error {
+		if j < lw {
+			cols[j] = left.Col(j).Gather(lsel)
 		} else {
-			for j := 0; j < rw; j++ {
-				row[lw+j] = right.Col(j).Value(int(rr))
-			}
+			cols[j] = right.Col(j - lw).GatherOuter(rsel)
 		}
-		return out.AppendRow(row...)
-	}
-	for lr := 0; lr < left.NumRows(); lr++ {
-		matched := false
-		if k, ok := keyOf(lKeyCols, lr); ok {
-			for _, rr := range index[k] {
-				if err := emit(lr, rr); err != nil {
-					return nil, err
-				}
-				matched = true
-			}
-		}
-		if !matched && jc.Left {
-			if err := emit(lr, -1); err != nil {
-				return nil, err
-			}
-		}
-	}
+		return nil
+	})
+	out := &Table{schema: schema, cols: cols}
 	if residual != nil {
-		sel, err := FilterSel(residual, out)
+		sel, err := ec.filterSel(residual, out, node)
 		if err != nil {
 			return nil, err
 		}
 		// LEFT JOIN residual semantics simplified: residual filters the
 		// joined rows (matching most practical uses of ON ... AND extra).
-		out = out.Gather(sel)
+		out = ec.gather(out, sel)
 	}
 	return out, nil
 }

@@ -41,9 +41,19 @@ func mergeValid(a, b *Bitmap, n int) *Bitmap {
 	if a == nil && b == nil {
 		return nil
 	}
+	// Word-wise AND. NewBitmap's tail word is already masked to n bits, so
+	// ANDing against it also strips any stray bits a sliced (morsel-view)
+	// bitmap may carry past its logical length.
 	out := NewBitmap(n)
-	for i := 0; i < n; i++ {
-		out.Set(i, a.Get(i) && b.Get(i))
+	for w := range out.words {
+		m := out.words[w]
+		if a != nil {
+			m &= a.words[w]
+		}
+		if b != nil {
+			m &= b.words[w]
+		}
+		out.words[w] = m
 	}
 	return out
 }

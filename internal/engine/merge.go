@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -79,17 +80,19 @@ func (m *MergeTable) setStats(s MergeStats) {
 // (kept simple: merge tables are read-mostly and stats are advisory)
 
 // execSelect serves a SELECT against the merge view.
-func (m *MergeTable) execSelect(st *SelectStmt, qs *QueryStats) (*Table, error) {
+func (m *MergeTable) execSelect(ec *ExecContext, st *SelectStmt, qs *QueryStats) (*Table, error) {
 	if plan, ok := m.decompose(st); ok {
-		return m.execPushdown(st, plan, qs)
+		return m.execPushdown(ec, st, plan, qs)
 	}
-	return m.execMaterialize(st, qs)
+	return m.execMaterialize(ec, st, qs)
 }
 
 // execMaterialize unions all part rows locally (with WHERE pushed down)
 // and runs the query over the union. Fallback path for non-decomposable
-// aggregates (median/quantile) and plain row queries.
-func (m *MergeTable) execMaterialize(st *SelectStmt, qs *QueryStats) (*Table, error) {
+// aggregates (median/quantile) and plain row queries. The union is a
+// vectorized concatenation with columns fanned out across the worker pool
+// (parts arrive in part order, so the result is deterministic).
+func (m *MergeTable) execMaterialize(ec *ExecContext, st *SelectStmt, qs *QueryStats) (*Table, error) {
 	sql := fmt.Sprintf("SELECT * FROM %s", m.TableName)
 	if st.Where != nil {
 		sql += " WHERE " + st.Where.String()
@@ -103,19 +106,21 @@ func (m *MergeTable) execMaterialize(st *SelectStmt, qs *QueryStats) (*Table, er
 	if len(schema) == 0 && len(parts) > 0 {
 		schema = parts[0].table.Schema()
 	}
-	union := NewTable(schema)
 	shipped := 0
-	for _, pr := range parts {
+	partTabs := make([]*Table, len(parts))
+	for i, pr := range parts {
 		shipped += pr.table.NumRows()
-		if err := union.Append(pr.table); err != nil {
-			return nil, err
-		}
+		partTabs[i] = pr.table
+	}
+	union, err := ec.concatTables(schema, partTabs)
+	if err != nil {
+		return nil, err
 	}
 	m.setStats(MergeStats{Pushdown: false, RowsShipped: shipped, PartsQueried: len(parts), FailedParts: failed})
 	m.plantPlan(qs, "materialize", parts, union, time.Since(t0))
 	local := *st
 	local.Where = nil // already applied at the parts
-	return execSelect(&local, union, qs)
+	return execSelect(ec, &local, union, qs)
 }
 
 // partResult is one part's answer plus how long the round trip took.
@@ -134,24 +139,27 @@ func (m *MergeTable) plantPlan(qs *QueryStats, mode string, parts []partResult, 
 	n := &PlanNode{
 		Op:      "merge",
 		Detail:  mode + " " + m.TableName,
-		RowsIn:  union.NumRows(),
-		RowsOut: union.NumRows(),
-		Batches: union.NumCols(),
+		RowsIn:  int64(union.NumRows()),
+		RowsOut: int64(union.NumRows()),
+		Batches: int64(union.NumCols()),
 		Nanos:   elapsed.Nanoseconds(),
 		Bytes:   union.ByteSize(),
+	}
+	if len(parts) > 1 {
+		n.Parallelism = len(parts) // part fan-out runs one goroutine per part
 	}
 	for _, pr := range parts {
 		n.Children = append(n.Children, &PlanNode{
 			Op:      "part",
 			Detail:  pr.name,
-			RowsIn:  pr.table.NumRows(),
-			RowsOut: pr.table.NumRows(),
-			Batches: pr.table.NumCols(),
+			RowsIn:  int64(pr.table.NumRows()),
+			RowsOut: int64(pr.table.NumRows()),
+			Batches: int64(pr.table.NumCols()),
 			Nanos:   pr.nanos,
 			Bytes:   pr.table.ByteSize(),
 		})
 	}
-	qs.MergeNanos += elapsed.Nanoseconds()
+	atomic.AddInt64(&qs.MergeNanos, elapsed.Nanoseconds())
 	qs.Root = n
 }
 
@@ -408,7 +416,7 @@ func decomposeAgg(a *AggCall) (partialSpec, bool) {
 
 // execPushdown runs the decomposed plan: per-part partial aggregates,
 // merged locally, then the final projection.
-func (m *MergeTable) execPushdown(st *SelectStmt, specs []partialSpec, qs *QueryStats) (*Table, error) {
+func (m *MergeTable) execPushdown(ec *ExecContext, st *SelectStmt, specs []partialSpec, qs *QueryStats) (*Table, error) {
 	// 1. Build the partial query.
 	var sel []string
 	for i, g := range st.GroupBy {
@@ -446,12 +454,14 @@ func (m *MergeTable) execPushdown(st *SelectStmt, specs []partialSpec, qs *Query
 		return nil, fmt.Errorf("merge table %s: no parts answered", m.TableName)
 	}
 	shipped := 0
-	unionAll := NewTable(partTables[0].table.Schema())
-	for _, pr := range partTables {
+	partTabs := make([]*Table, len(partTables))
+	for i, pr := range partTables {
 		shipped += pr.table.NumRows()
-		if err := unionAll.Append(pr.table); err != nil {
-			return nil, err
-		}
+		partTabs[i] = pr.table
+	}
+	unionAll, err := ec.concatTables(partTables[0].table.Schema(), partTabs)
+	if err != nil {
+		return nil, err
 	}
 	m.setStats(MergeStats{Pushdown: true, RowsShipped: shipped, PartsQueried: len(partTables), FailedParts: failed})
 	m.plantPlan(qs, "pushdown", partTables, unionAll, time.Since(t0))
@@ -475,7 +485,7 @@ func (m *MergeTable) execPushdown(st *SelectStmt, specs []partialSpec, qs *Query
 			pcol++
 		}
 	}
-	merged, err := execSelect(mergeStmt, unionAll, qs)
+	merged, err := execSelect(ec, mergeStmt, unionAll, qs)
 	if err != nil {
 		return nil, err
 	}

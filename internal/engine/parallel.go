@@ -1,0 +1,387 @@
+package engine
+
+// Morsel-driven parallel execution. The engine follows MonetDB's
+// column-at-a-time model but, like HyPer's morsel-driven scheme, splits
+// every column into fixed-size row ranges ("morsels") and fans the hot
+// operators — filter+gather, partitioned hash aggregation, hash-join
+// build/probe, and merge-table part materialization — across a shared
+// worker pool. Two invariants make the parallel path safe to ship:
+//
+//  1. Determinism: morsel decomposition depends only on the table size and
+//     the DB's morsel size, and every combine step (selection-vector
+//     stitching, partial-aggregate merging, join-output concatenation)
+//     folds morsel results in morsel-index order. Results are therefore
+//     bit-identical at parallelism 1, 2, and NumCPU — the parallelism
+//     degree only changes how many morsels are in flight, never the
+//     reduction order. The equivalence property test pins this.
+//  2. Work conservation: the issuing goroutine always executes morsels
+//     itself; pool workers are opportunistic helpers. A saturated (or
+//     size-1) pool degrades to plain serial execution instead of
+//     deadlocking or queueing unboundedly.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMorselSize is the number of rows per morsel. It is a multiple of
+// 64 so that sliced validity bitmaps stay word-aligned (zero-copy views).
+const DefaultMorselSize = 4096
+
+// defaultParallelism is the degree new DBs inherit (NumCPU unless
+// overridden via SetDefaultParallelism, e.g. by mipd -engine-parallelism).
+var defaultParallelism atomic.Int32
+
+func init() {
+	defaultParallelism.Store(int32(runtime.NumCPU()))
+}
+
+// DefaultParallelism returns the process-wide default degree for new DBs.
+func DefaultParallelism() int { return int(defaultParallelism.Load()) }
+
+// SetDefaultParallelism sets the process-wide default degree for DBs
+// created afterwards (n < 1 resets to NumCPU). It also grows the shared
+// worker pool so the requested degree can actually be served.
+func SetDefaultParallelism(n int) {
+	if n < 1 {
+		n = runtime.NumCPU()
+	}
+	defaultParallelism.Store(int32(n))
+	enginePool.grow(n - 1)
+}
+
+// workerPool is the shared, process-wide pool that executes morsel tasks
+// for every DB. Workers block on the task channel when idle; submission is
+// non-blocking, so a busy pool simply means the issuing goroutine runs
+// more morsels itself.
+type workerPool struct {
+	mu      sync.Mutex
+	tasks   chan func()
+	started int
+}
+
+var enginePool = &workerPool{tasks: make(chan func())}
+
+// grow ensures at least n workers are running (capped only by demand; the
+// default is NumCPU-1 helpers, the issuing goroutine being the Nth).
+func (p *workerPool) grow(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.started < n {
+		p.started++
+		go func() {
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+}
+
+// trySubmit hands f to an idle worker; it reports false (without blocking)
+// when every worker is busy.
+func (p *workerPool) trySubmit(f func()) bool {
+	select {
+	case p.tasks <- f:
+		return true
+	default:
+		return false
+	}
+}
+
+// PoolWorkers reports how many shared pool workers are running (testing
+// and observability hook).
+func PoolWorkers() int {
+	enginePool.mu.Lock()
+	defer enginePool.mu.Unlock()
+	return enginePool.started
+}
+
+// ExecContext carries one statement's execution configuration: the
+// parallelism degree (max morsels in flight) and the morsel size. Operators
+// receive it alongside the statement. A nil ExecContext means serial
+// execution with the default morsel size.
+type ExecContext struct {
+	// Parallelism is the maximum number of morsels processed concurrently
+	// (the issuing goroutine plus pool helpers). 1 = serial.
+	Parallelism int
+	// MorselSize is the row-range length tables are split into. It must be
+	// a multiple of 64 (bitmap word alignment); NewDB enforces this.
+	MorselSize int
+}
+
+func (ec *ExecContext) parallelism() int {
+	if ec == nil || ec.Parallelism < 1 {
+		return 1
+	}
+	return ec.Parallelism
+}
+
+func (ec *ExecContext) morselSize() int {
+	if ec == nil || ec.MorselSize < 64 {
+		return DefaultMorselSize
+	}
+	return ec.MorselSize
+}
+
+// morsel is one contiguous row range [lo, hi).
+type morsel struct{ lo, hi int }
+
+// morselsOf splits n rows into fixed-size ranges. The decomposition
+// depends only on n and the morsel size — never on the parallelism degree
+// — which is what makes parallel results bit-identical to serial ones.
+func (ec *ExecContext) morselsOf(n int) []morsel {
+	size := ec.morselSize()
+	if n <= 0 {
+		return nil
+	}
+	out := make([]morsel, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, morsel{lo, hi})
+	}
+	return out
+}
+
+// degreeFor reports the degree actually used over n tasks: the configured
+// parallelism capped by the task count.
+func (ec *ExecContext) degreeFor(tasks int) int {
+	d := ec.parallelism()
+	if tasks < d {
+		d = tasks
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// parallelFor runs fn(i) for every i in [0, n), using up to
+// ec.Parallelism-1 shared pool workers plus the calling goroutine. Tasks
+// are claimed from an atomic counter (morsel-driven work stealing), so
+// scheduling order is nondeterministic but callers must only write to
+// task-indexed slots; combining happens after return, in index order.
+// The first error cancels remaining tasks; a worker panic is re-raised on
+// the calling goroutine so it propagates like serial execution.
+func (ec *ExecContext) parallelFor(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	degree := ec.degreeFor(n)
+	if degree == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	enginePool.grow(ec.parallelism() - 1)
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		panicMu  sync.Mutex
+		panicked any
+	)
+	body := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicked == nil {
+					panicked = r
+				}
+				panicMu.Unlock()
+				failed.Store(true)
+			}
+		}()
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= n || failed.Load() {
+				return
+			}
+			if err := fn(i); err != nil {
+				errOnce.Do(func() { firstErr = err })
+				failed.Store(true)
+				return
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for h := 0; h < degree-1; h++ {
+		wg.Add(1)
+		if !enginePool.trySubmit(func() {
+			defer wg.Done()
+			body()
+		}) {
+			wg.Done()
+			break // pool saturated: the caller picks up the slack
+		}
+	}
+	body()
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return firstErr
+}
+
+// --- parallel operator helpers ---
+
+// filterSel evaluates pred over t morsel-wise and returns the global
+// selection vector of matching rows, in row order. Each morsel computes a
+// local selection vector over a zero-copy slice; stitching concatenates
+// them in morsel order. node (optional) accrues per-morsel stats.
+func (ec *ExecContext) filterSel(pred Expr, t *Table, node *PlanNode) ([]int32, error) {
+	n := t.NumRows()
+	ms := ec.morselsOf(n)
+	if len(ms) <= 1 {
+		sel, err := FilterSel(pred, t)
+		if err != nil {
+			return nil, err
+		}
+		if node != nil {
+			node.AddMorsels(1)
+		}
+		return sel, nil
+	}
+	parts := make([][]int32, len(ms))
+	err := ec.parallelFor(len(ms), func(i int) error {
+		m := ms[i]
+		sel, err := FilterSel(pred, t.Slice(m.lo, m.hi))
+		if err != nil {
+			return err
+		}
+		for j := range sel {
+			sel[j] += int32(m.lo)
+		}
+		parts[i] = sel
+		if node != nil {
+			node.AddMorsels(1)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	sel := make([]int32, 0, total)
+	for _, p := range parts {
+		sel = append(sel, p...)
+	}
+	return sel, nil
+}
+
+// gather materializes t.Gather(sel) with the columns fanned out across the
+// pool (each output column is independent).
+func (ec *ExecContext) gather(t *Table, sel []int32) *Table {
+	if ec.degreeFor(t.NumCols()) == 1 || len(sel) < ec.morselSize() {
+		return t.Gather(sel)
+	}
+	cols := make([]*Vector, t.NumCols())
+	_ = ec.parallelFor(len(cols), func(i int) error {
+		cols[i] = t.Col(i).Gather(sel)
+		return nil
+	})
+	return &Table{schema: t.schema, cols: cols}
+}
+
+// concatTables unions the rows of every part (schemas must match) into one
+// freshly materialized table, column-parallel: each output column is
+// assembled by one task, concatenating the part payloads in part order.
+// This replaces the row-at-a-time Table.Append fan-in on the merge path.
+func (ec *ExecContext) concatTables(schema Schema, parts []*Table) (*Table, error) {
+	total := 0
+	for _, p := range parts {
+		if !schema.Equal(p.Schema()) {
+			return nil, fmt.Errorf("engine: cannot append table with schema %v to %v", p.Schema().Names(), schema.Names())
+		}
+		total += p.NumRows()
+	}
+	cols := make([]*Vector, len(schema))
+	err := ec.parallelFor(len(schema), func(j int) error {
+		vs := make([]*Vector, len(parts))
+		for i, p := range parts {
+			vs[i] = p.Col(j)
+		}
+		cols[j] = concatVectors(schema[j].Type, vs, total)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(schema) == 0 {
+		return &Table{schema: schema}, nil
+	}
+	return &Table{schema: schema, cols: cols}, nil
+}
+
+// concatVectors concatenates typed payloads in order. String vectors are
+// re-encoded into one fresh dictionary via a per-part code translation
+// table (O(dict size) per part, O(1) per row).
+func concatVectors(t Type, parts []*Vector, total int) *Vector {
+	out := &Vector{typ: t}
+	hasNulls := false
+	for _, p := range parts {
+		if p.valid != nil {
+			hasNulls = true
+			break
+		}
+	}
+	if hasNulls {
+		out.valid = NewBitmap(total)
+	}
+	off := 0
+	switch t {
+	case Float64:
+		out.f64 = make([]float64, 0, total)
+		for _, p := range parts {
+			out.f64 = append(out.f64, p.f64...)
+		}
+	case Int64:
+		out.i64 = make([]int64, 0, total)
+		for _, p := range parts {
+			out.i64 = append(out.i64, p.i64...)
+		}
+	case Bool:
+		out.b = make([]bool, 0, total)
+		for _, p := range parts {
+			out.b = append(out.b, p.b...)
+		}
+	case String:
+		out.dict = NewDict()
+		out.codes = make([]int32, 0, total)
+		for _, p := range parts {
+			trans := make([]int32, p.dict.Size())
+			for c := range trans {
+				trans[c] = out.dict.Code(p.dict.Value(int32(c)))
+			}
+			for _, c := range p.codes {
+				out.codes = append(out.codes, trans[c])
+			}
+		}
+	}
+	if hasNulls {
+		for _, p := range parts {
+			if p.valid != nil {
+				for i := 0; i < p.Len(); i++ {
+					if !p.valid.Get(i) {
+						out.valid.Set(off+i, false)
+					}
+				}
+			}
+			off += p.Len()
+		}
+	}
+	return out
+}

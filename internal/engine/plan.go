@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,14 +16,31 @@ import (
 // output; a plain EXPLAIN builds the same shape from catalog metadata
 // without executing.
 type PlanNode struct {
-	Op       string      `json:"op"`               // scan, filter, project, join, aggregate, order, limit, merge, part
-	Detail   string      `json:"detail,omitempty"` // operator-specific: table name, predicate, group keys...
-	RowsIn   int         `json:"rows_in"`
-	RowsOut  int         `json:"rows_out"`
-	Batches  int         `json:"batches"` // column vectors materialized in the output
-	Nanos    int64       `json:"nanos"`
-	Bytes    int64       `json:"bytes"` // payload bytes of the materialized output
+	Op      string `json:"op"`               // scan, filter, project, join, aggregate, order, limit, merge, part
+	Detail  string `json:"detail,omitempty"` // operator-specific: table name, predicate, group keys...
+	RowsIn  int64  `json:"rows_in"`
+	RowsOut int64  `json:"rows_out"`
+	Batches int64  `json:"batches"` // column vectors materialized in the output
+	Nanos   int64  `json:"nanos"`
+	Bytes   int64  `json:"bytes"` // payload bytes of the materialized output
+	// Parallelism is the degree the operator actually fanned out to (0 for
+	// operators that ran on the issuing goroutine only: the serial tail).
+	Parallelism int `json:"parallelism,omitempty"`
+	// Morsels counts the row-range batches processed; concurrent morsel
+	// workers accumulate it through AddMorsels (atomically), so EXPLAIN
+	// ANALYZE totals stay exact under parallel execution.
+	Morsels  int64       `json:"morsels,omitempty"`
 	Children []*PlanNode `json:"children,omitempty"`
+}
+
+// AddMorsels counts d processed morsels; safe to call from concurrent
+// morsel workers. All other PlanNode fields are written only at stage
+// boundaries (single-goroutine quiesce points).
+func (n *PlanNode) AddMorsels(d int64) {
+	if n == nil {
+		return
+	}
+	atomic.AddInt64(&n.Morsels, d)
 }
 
 // Attrs renders the node's measurements as span attributes; the federation
@@ -30,13 +48,19 @@ type PlanNode struct {
 func (n *PlanNode) Attrs() map[string]string {
 	a := map[string]string{
 		"op":       n.Op,
-		"rows_in":  strconv.Itoa(n.RowsIn),
-		"rows_out": strconv.Itoa(n.RowsOut),
-		"batches":  strconv.Itoa(n.Batches),
+		"rows_in":  strconv.FormatInt(n.RowsIn, 10),
+		"rows_out": strconv.FormatInt(n.RowsOut, 10),
+		"batches":  strconv.FormatInt(n.Batches, 10),
 		"bytes":    strconv.FormatInt(n.Bytes, 10),
 	}
 	if n.Detail != "" {
 		a["detail"] = n.Detail
+	}
+	if n.Parallelism > 0 {
+		a["parallelism"] = strconv.Itoa(n.Parallelism)
+	}
+	if m := atomic.LoadInt64(&n.Morsels); m > 0 {
+		a["morsels"] = strconv.FormatInt(m, 10)
 	}
 	return a
 }
@@ -70,10 +94,22 @@ func (n *PlanNode) Render(analyzed bool) []string {
 			b.WriteString(n.Detail)
 		}
 		if analyzed {
-			fmt.Fprintf(&b, "  (rows_in=%d rows_out=%d batches=%d time=%s bytes=%d)",
+			fmt.Fprintf(&b, "  (rows_in=%d rows_out=%d batches=%d time=%s bytes=%d",
 				n.RowsIn, n.RowsOut, n.Batches, time.Duration(n.Nanos), n.Bytes)
-		} else if n.Op == "scan" || n.Op == "part" {
-			fmt.Fprintf(&b, "  (rows=%d)", n.RowsOut)
+			if n.Parallelism > 0 {
+				fmt.Fprintf(&b, " par=%d", n.Parallelism)
+			}
+			if m := atomic.LoadInt64(&n.Morsels); m > 0 {
+				fmt.Fprintf(&b, " morsels=%d", m)
+			}
+			b.WriteString(")")
+		} else {
+			if n.Op == "scan" || n.Op == "part" {
+				fmt.Fprintf(&b, "  (rows=%d)", n.RowsOut)
+			}
+			if n.Parallelism > 1 {
+				fmt.Fprintf(&b, "  [par=%d]", n.Parallelism)
+			}
 		}
 		lines = append(lines, b.String())
 		for _, c := range n.Children {
@@ -110,9 +146,9 @@ func scanPlanNode(name string, t *Table) *PlanNode {
 	return &PlanNode{
 		Op:      "scan",
 		Detail:  name,
-		RowsIn:  t.NumRows(),
-		RowsOut: t.NumRows(),
-		Batches: t.NumCols(),
+		RowsIn:  int64(t.NumRows()),
+		RowsOut: int64(t.NumRows()),
+		Batches: int64(t.NumCols()),
 		Bytes:   t.ByteSize(),
 	}
 }
@@ -132,7 +168,7 @@ func (qs *QueryStats) beginStage(op, detail string, rowsIn int) *stage {
 	if qs == nil {
 		return nil
 	}
-	n := &PlanNode{Op: op, Detail: detail, RowsIn: rowsIn}
+	n := &PlanNode{Op: op, Detail: detail, RowsIn: int64(rowsIn)}
 	if qs.Root != nil {
 		n.Children = append(n.Children, qs.Root)
 	}
@@ -140,27 +176,46 @@ func (qs *QueryStats) beginStage(op, detail string, rowsIn int) *stage {
 	return &stage{qs: qs, node: n, start: time.Now()}
 }
 
+// planNode returns the stage's plan node (nil for an inert stage); morsel
+// workers use it to accrue per-morsel counters.
+func (s *stage) planNode() *PlanNode {
+	if s == nil {
+		return nil
+	}
+	return s.node
+}
+
+// setParallelism records the degree the stage fanned out to.
+func (s *stage) setParallelism(d int) {
+	if s == nil || d <= 1 {
+		return
+	}
+	s.node.Parallelism = d
+}
+
 // end closes the stage, recording output shape and folding the elapsed time
-// into the legacy per-operator counters.
+// into the legacy per-operator counters. The per-operator totals accumulate
+// atomically: merge-table combine stages and per-morsel workers may touch
+// the same QueryStats, and atomics keep EXPLAIN ANALYZE totals exact.
 func (s *stage) end(out *Table) {
 	if s == nil {
 		return
 	}
 	s.node.Nanos = time.Since(s.start).Nanoseconds()
 	if out != nil {
-		s.node.RowsOut = out.NumRows()
-		s.node.Batches = out.NumCols()
+		s.node.RowsOut = int64(out.NumRows())
+		s.node.Batches = int64(out.NumCols())
 		s.node.Bytes = out.ByteSize()
 	}
 	switch s.node.Op {
 	case "filter":
-		s.qs.FilterNanos += s.node.Nanos
+		atomic.AddInt64(&s.qs.FilterNanos, s.node.Nanos)
 	case "aggregate":
-		s.qs.AggregateNanos += s.node.Nanos
+		atomic.AddInt64(&s.qs.AggregateNanos, s.node.Nanos)
 	case "order":
-		s.qs.SortNanos += s.node.Nanos
+		atomic.AddInt64(&s.qs.SortNanos, s.node.Nanos)
 	case "project", "limit":
-		s.qs.ProjectNanos += s.node.Nanos
+		atomic.AddInt64(&s.qs.ProjectNanos, s.node.Nanos)
 	}
 }
 
@@ -172,7 +227,18 @@ func (db *DB) explainPlan(st Statement) (*PlanNode, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: EXPLAIN supports only SELECT statements, got %T", st)
 	}
+	ec := db.execCtx()
+	// Predicted fan-out over n input rows: the configured degree capped by
+	// how many morsels the input actually splits into (a 100-row table
+	// cannot use 8 workers). Zero (= unannotated) for single-morsel inputs.
+	predictPar := func(rows int) int {
+		if d := ec.degreeFor(len(ec.morselsOf(rows))); d > 1 {
+			return d
+		}
+		return 0
+	}
 	var cur *PlanNode
+	baseRows := 0
 	if m := db.Merge(sel.From); m != nil {
 		if len(sel.Joins) > 0 {
 			return nil, fmt.Errorf("engine: JOIN over merge tables is not supported")
@@ -182,6 +248,9 @@ func (db *DB) explainPlan(st Statement) (*PlanNode, error) {
 			mode = "pushdown"
 		}
 		cur = &PlanNode{Op: "merge", Detail: mode + " " + m.TableName}
+		if len(m.Parts) > 1 {
+			cur.Parallelism = len(m.Parts) // part fan-out is one goroutine per part
+		}
 		for _, p := range m.Parts {
 			cur.Children = append(cur.Children, &PlanNode{Op: "part", Detail: p.PartName()})
 		}
@@ -190,6 +259,7 @@ func (db *DB) explainPlan(st Statement) (*PlanNode, error) {
 		if base == nil {
 			return nil, fmt.Errorf("engine: unknown table %q", sel.From)
 		}
+		baseRows = base.NumRows()
 		cur = scanPlanNode(sel.From, base)
 		for _, jc := range sel.Joins {
 			right := db.Table(jc.Table)
@@ -200,32 +270,33 @@ func (db *DB) explainPlan(st Statement) (*PlanNode, error) {
 				return nil, fmt.Errorf("engine: unknown table %q", jc.Table)
 			}
 			cur = &PlanNode{
-				Op:       "join",
-				Detail:   joinDetail(jc),
-				Children: []*PlanNode{cur, scanPlanNode(jc.Table, right)},
+				Op:          "join",
+				Detail:      joinDetail(jc),
+				Parallelism: predictPar(baseRows),
+				Children:    []*PlanNode{cur, scanPlanNode(jc.Table, right)},
 			}
 		}
 	}
-	wrap := func(op, detail string) {
-		cur = &PlanNode{Op: op, Detail: detail, Children: []*PlanNode{cur}}
+	wrap := func(op, detail string, par int) {
+		cur = &PlanNode{Op: op, Detail: detail, Parallelism: par, Children: []*PlanNode{cur}}
 	}
 	if sel.Where != nil {
-		wrap("filter", sel.Where.String())
+		wrap("filter", sel.Where.String(), predictPar(baseRows))
 	}
 	if selHasAgg(sel) {
-		wrap("aggregate", aggDetail(sel))
+		wrap("aggregate", aggDetail(sel), predictPar(baseRows))
 		if len(sel.OrderBy) > 0 {
-			wrap("order", orderDetail(sel.OrderBy))
+			wrap("order", orderDetail(sel.OrderBy), 0) // ORDER BY stays a serial tail
 		}
 	} else if len(sel.OrderBy) > 0 {
-		wrap("project", "extend")
-		wrap("order", orderDetail(sel.OrderBy))
-		wrap("project", projectDetail(sel))
+		wrap("project", "extend", 0)
+		wrap("order", orderDetail(sel.OrderBy), 0)
+		wrap("project", projectDetail(sel), 0)
 	} else {
-		wrap("project", projectDetail(sel))
+		wrap("project", projectDetail(sel), 0)
 	}
 	if sel.Limit >= 0 || sel.Offset > 0 {
-		wrap("limit", limitDetail(sel))
+		wrap("limit", limitDetail(sel), 0)
 	}
 	return cur, nil
 }

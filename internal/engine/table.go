@@ -148,6 +148,16 @@ func (t *Table) Row(i int) []any {
 	return out
 }
 
+// Slice returns a zero-copy row-range view [lo, hi) of the table: the
+// morsel the parallel operators run on. Views are read-only.
+func (t *Table) Slice(lo, hi int) *Table {
+	cols := make([]*Vector, len(t.cols))
+	for i, c := range t.cols {
+		cols[i] = c.Slice(lo, hi)
+	}
+	return &Table{schema: t.schema, cols: cols}
+}
+
 // Gather returns a new table with the selected rows.
 func (t *Table) Gather(sel []int32) *Table {
 	cols := make([]*Vector, len(t.cols))

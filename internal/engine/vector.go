@@ -115,6 +115,27 @@ func (b *Bitmap) CountValid() int {
 	return c
 }
 
+// slice returns a bitmap view of rows [lo, hi). When lo is word-aligned
+// (every morsel boundary is — morsel sizes are multiples of 64) the view
+// shares the parent's words with zero copying; the words past hi may carry
+// stray bits, so word-wise consumers must mask the tail (see mergeValid).
+// Sliced bitmaps are read-only views: a Set would corrupt the parent.
+func (b *Bitmap) slice(lo, hi int) *Bitmap {
+	if b == nil {
+		return nil
+	}
+	if lo%64 == 0 {
+		return &Bitmap{words: b.words[lo/64:], n: hi - lo}
+	}
+	out := NewBitmap(hi - lo)
+	for i := lo; i < hi; i++ {
+		if !b.Get(i) {
+			out.Set(i-lo, false)
+		}
+	}
+	return out
+}
+
 // Clone deep-copies the bitmap. Clone of nil is nil.
 func (b *Bitmap) Clone() *Bitmap {
 	if b == nil {
@@ -422,6 +443,102 @@ func (v *Vector) Gather(sel []int32) *Vector {
 	if hasNulls {
 		for i, s := range sel {
 			out.valid.Set(i, v.valid.Get(int(s)))
+		}
+	}
+	return out
+}
+
+// Slice returns a zero-copy view of rows [lo, hi): the morsel primitive.
+// The payload slices and the dictionary are shared with v, so slices are
+// read-only — kernels must allocate fresh outputs, never mutate inputs.
+func (v *Vector) Slice(lo, hi int) *Vector {
+	out := &Vector{typ: v.typ, dict: v.dict, valid: v.valid.slice(lo, hi)}
+	switch v.typ {
+	case Float64:
+		out.f64 = v.f64[lo:hi]
+	case Int64:
+		out.i64 = v.i64[lo:hi]
+	case String:
+		out.codes = v.codes[lo:hi]
+	case Bool:
+		out.b = v.b[lo:hi]
+	}
+	return out
+}
+
+// GatherOuter is Gather extended with -1 selection entries, which produce
+// NULL output rows (left-outer join padding). The NULL payload values match
+// AppendNull. String outputs get a fresh dictionary — the source dictionary
+// may be shared with concurrently-running queries and must not be mutated.
+func (v *Vector) GatherOuter(sel []int32) *Vector {
+	hasNull := false
+	for _, s := range sel {
+		if s < 0 {
+			hasNull = true
+			break
+		}
+	}
+	if !hasNull {
+		return v.Gather(sel)
+	}
+	n := len(sel)
+	out := &Vector{typ: v.typ, valid: NewBitmap(n)}
+	switch v.typ {
+	case Float64:
+		out.f64 = make([]float64, n)
+		for i, s := range sel {
+			if s < 0 {
+				out.f64[i] = math.NaN()
+				out.valid.Set(i, false)
+			} else {
+				out.f64[i] = v.f64[s]
+				if v.valid != nil && !v.valid.Get(int(s)) {
+					out.valid.Set(i, false)
+				}
+			}
+		}
+	case Int64:
+		out.i64 = make([]int64, n)
+		for i, s := range sel {
+			if s < 0 {
+				out.valid.Set(i, false)
+			} else {
+				out.i64[i] = v.i64[s]
+				if v.valid != nil && !v.valid.Get(int(s)) {
+					out.valid.Set(i, false)
+				}
+			}
+		}
+	case String:
+		out.dict = NewDict()
+		nullCode := out.dict.Code("")
+		trans := make([]int32, v.dict.Size())
+		for c := range trans {
+			trans[c] = out.dict.Code(v.dict.Value(int32(c)))
+		}
+		out.codes = make([]int32, n)
+		for i, s := range sel {
+			if s < 0 {
+				out.codes[i] = nullCode
+				out.valid.Set(i, false)
+			} else {
+				out.codes[i] = trans[v.codes[s]]
+				if v.valid != nil && !v.valid.Get(int(s)) {
+					out.valid.Set(i, false)
+				}
+			}
+		}
+	case Bool:
+		out.b = make([]bool, n)
+		for i, s := range sel {
+			if s < 0 {
+				out.valid.Set(i, false)
+			} else {
+				out.b[i] = v.b[s]
+				if v.valid != nil && !v.valid.Get(int(s)) {
+					out.valid.Set(i, false)
+				}
+			}
 		}
 	}
 	return out

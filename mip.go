@@ -127,6 +127,10 @@ type Config struct {
 	// Breaker tunes the per-worker circuit breakers (zero value = defaults:
 	// open after 3 consecutive failures, 5s cooldown, 15s re-probe).
 	Breaker BreakerConfig
+	// EngineParallelism caps intra-query parallelism in each worker's
+	// engine (0 = runtime.NumCPU()). Any value produces identical results;
+	// it only trades query latency against CPU.
+	EngineParallelism int
 }
 
 // Platform is a running MIP deployment (in-process topology).
@@ -174,7 +178,11 @@ func New(cfg Config) (*Platform, error) {
 		if wc.Data == nil {
 			return nil, fmt.Errorf("mip: worker %q has no data", wc.ID)
 		}
-		db := engine.NewDB()
+		var dbOpts []engine.Option
+		if cfg.EngineParallelism > 0 {
+			dbOpts = append(dbOpts, engine.WithParallelism(cfg.EngineParallelism))
+		}
+		db := engine.NewDB(dbOpts...)
 		db.RegisterTable(federation.DataTable, wc.Data)
 		var opts []federation.WorkerOption
 		if cluster != nil {
