@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench benchfull
+.PHONY: build test race vet fmt check bench benchcompare benchfull
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,11 @@ check: vet fmt race
 # companions across every package.
 bench:
 	$(GO) run ./cmd/mipbench -bench-out BENCH_engine.json
+
+# benchcompare re-runs the suite and diffs ns/op and allocs/op against the
+# checked-in BENCH_engine.json, failing past the regression threshold.
+benchcompare:
+	$(GO) run ./cmd/mipbench -compare BENCH_engine.json
 
 benchfull:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

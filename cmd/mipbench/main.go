@@ -9,6 +9,8 @@
 //	mipbench -exp e5                      # one experiment
 //	mipbench -list                        # list experiments
 //	mipbench -bench-out BENCH_engine.json # perf suite → JSON report
+//	mipbench -compare BENCH_engine.json   # perf suite → deltas vs baseline
+//	                                      # (exit 1 above -threshold %)
 package main
 
 import (
@@ -36,10 +38,12 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (e1..e14) or all")
 	list := flag.Bool("list", false, "list experiments")
 	benchOut := flag.String("bench-out", "", "run the perf benchmark suite and write the JSON report to this file")
+	compare := flag.String("compare", "", "run the perf benchmark suite and print ns/op and allocs/op deltas vs this baseline JSON report")
+	threshold := flag.Float64("threshold", 25, "with -compare: exit non-zero when any benchmark regresses more than this percentage")
 	flag.Parse()
 
-	if *benchOut != "" {
-		runPerfSuite(*benchOut)
+	if *benchOut != "" || *compare != "" {
+		runPerfSuite(*benchOut, *compare, *threshold)
 		return
 	}
 

@@ -35,9 +35,12 @@ type benchReport struct {
 	Results []benchResult `json:"results"`
 }
 
-// runPerfSuite executes the engine benchmark suite and writes the JSON
-// report to path. Any benchmark failure aborts the run with a non-zero exit.
-func runPerfSuite(path string) {
+// runPerfSuite executes the engine benchmark suite once, then writes the
+// JSON report to benchOut (when set) and/or diffs it against the baseline
+// report at comparePath (when set), exiting non-zero if any benchmark's
+// ns/op or allocs/op regressed more than threshold percent. Any benchmark
+// failure aborts the run with a non-zero exit.
+func runPerfSuite(benchOut, comparePath string, threshold float64) {
 	report := benchReport{Suite: "engine", Go: runtime.Version(), Arch: runtime.GOARCH, CPUs: runtime.NumCPU()}
 	ncpu := runtime.NumCPU()
 	for _, bench := range []struct {
@@ -59,11 +62,16 @@ func runPerfSuite(path string) {
 		{parName("parallel_group_aggregate_500k", ncpu), parBench(ncpu, benchParGroupAggregate)},
 		{"parallel_hash_join_200k_par1", parBench(1, benchParHashJoin)},
 		{parName("parallel_hash_join_200k", ncpu), parBench(ncpu, benchParHashJoin)},
+		// High-cardinality grouping (~100k distinct keys over 500k rows):
+		// the hash table outgrows every presized hint, so resize behaviour
+		// shows up here as allocs/op and ns/op.
+		{"parallel_group_agg_hicard_500k_par1", parBench(1, benchParGroupAggHiCard)},
+		{parName("parallel_group_agg_hicard_500k", ncpu), parBench(ncpu, benchParGroupAggHiCard)},
 	} {
 		if bench.name == "" {
 			continue // NumCPU==1 collapses a parallel pair into one case
 		}
-		fmt.Printf("bench %-28s ", bench.name)
+		fmt.Printf("bench %-36s ", bench.name)
 		r := testing.Benchmark(bench.fn)
 		if r.N == 0 {
 			fmt.Fprintf(os.Stderr, "bench %s produced no iterations (failed)\n", bench.name)
@@ -79,11 +87,64 @@ func runPerfSuite(path string) {
 			AllocsPerOp: r.AllocsPerOp(),
 		})
 	}
-	buf, err := json.MarshalIndent(report, "", "  ")
+	if benchOut != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		fatalIf(err)
+		buf = append(buf, '\n')
+		fatalIf(os.WriteFile(benchOut, buf, 0o644))
+		fmt.Printf("\nwrote %s (%d benchmarks)\n", benchOut, len(report.Results))
+	}
+	if comparePath != "" {
+		if regressed := comparePerf(report, comparePath, threshold); regressed > 0 {
+			fmt.Fprintf(os.Stderr, "%d benchmark(s) regressed more than %.0f%%\n", regressed, threshold)
+			os.Exit(1)
+		}
+	}
+}
+
+// comparePerf diffs the fresh report against the baseline JSON at path,
+// printing ns/op and allocs/op deltas per benchmark, and returns how many
+// benchmarks regressed more than threshold percent. Alloc regressions only
+// count against baselines of at least 128 allocs/op — below that a couple
+// of incidental allocations would swamp the percentage.
+func comparePerf(report benchReport, path string, threshold float64) int {
+	buf, err := os.ReadFile(path)
 	fatalIf(err)
-	buf = append(buf, '\n')
-	fatalIf(os.WriteFile(path, buf, 0o644))
-	fmt.Printf("\nwrote %s (%d benchmarks)\n", path, len(report.Results))
+	var base benchReport
+	fatalIf(json.Unmarshal(buf, &base))
+	baseBy := make(map[string]benchResult, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	pct := func(now, then float64) float64 {
+		if then == 0 {
+			return 0
+		}
+		return (now - then) / then * 100
+	}
+	fmt.Printf("\ncompare vs %s (cpus: baseline %d, now %d; threshold %.0f%%)\n", path, base.CPUs, report.CPUs, threshold)
+	regressed := 0
+	for _, r := range report.Results {
+		b, ok := baseBy[r.Name]
+		if !ok {
+			fmt.Printf("  %-36s (new benchmark, no baseline)\n", r.Name)
+			continue
+		}
+		dNs := pct(r.NsPerOp, b.NsPerOp)
+		dAllocs := pct(float64(r.AllocsPerOp), float64(b.AllocsPerOp))
+		mark := ""
+		if dNs > threshold || (dAllocs > threshold && b.AllocsPerOp >= 128) {
+			mark = "  << REGRESSION"
+			regressed++
+		}
+		fmt.Printf("  %-36s ns/op %12.0f -> %12.0f (%+6.1f%%)   allocs/op %9d -> %9d (%+6.1f%%)%s\n",
+			r.Name, b.NsPerOp, r.NsPerOp, dNs, b.AllocsPerOp, r.AllocsPerOp, dAllocs, mark)
+		delete(baseBy, r.Name)
+	}
+	for name := range baseBy {
+		fmt.Printf("  %-36s (in baseline but not in this run)\n", name)
+	}
+	return regressed
 }
 
 // parBench adapts a parallelism-parameterized benchmark into a plain one.
@@ -166,6 +227,30 @@ func benchParHashJoin(b *testing.B, par int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := db.Query(`SELECT avg(s.mmse) AS m, count(*) AS n FROM patients p JOIN scores s ON p.id = s.id WHERE p.age > 70`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchParGroupAggHiCard: 500k rows spread over ~100k distinct int64 keys,
+// so per-morsel and combine tables resize repeatedly while group payload
+// arrays grow to 100k entries.
+func benchParGroupAggHiCard(b *testing.B, par int) {
+	tab := engine.NewTable(engine.Schema{
+		{Name: "k", Type: engine.Int64},
+		{Name: "x", Type: engine.Float64},
+	})
+	rng := stats.NewRNG(6)
+	for i := 0; i < 500_000; i++ {
+		if err := tab.AppendRow(int64(i)%100_003, rng.Float64()*30); err != nil {
+			b.Fatal(err)
+		}
+	}
+	db := engine.NewDB(engine.WithParallelism(par))
+	db.RegisterTable("t", tab)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT k, sum(x) AS s, count(*) AS n FROM t GROUP BY k`); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -284,21 +284,21 @@ func compareRows(v *Vector, a, b int) int {
 type aggState struct {
 	call *AggCall
 	// per-group state
-	count  []int64
-	sum    []float64
-	sum2   []float64
-	minF   []float64
-	maxF   []float64
-	minS   []string
-	maxS   []string
-	seenMM []bool // min/max initialized
-	sumY   []float64
-	sumXY  []float64
-	sumY2  []float64
-	vals   [][]float64 // for median/quantile
-	seen   []map[string]struct{}
-	qarg   float64 // quantile fraction
-	strMM  bool    // string-typed min/max
+	count    []int64
+	sum      []float64
+	sum2     []float64
+	minF     []float64
+	maxF     []float64
+	minS     []string
+	maxS     []string
+	seenMM   []bool // min/max initialized
+	sumY     []float64
+	sumXY    []float64
+	sumY2    []float64
+	vals     [][]float64  // for median/quantile
+	distinct *distinctSet // COUNT(DISTINCT ...): typed (group, value) set
+	qarg     float64      // quantile fraction
+	strMM    bool         // string-typed min/max
 }
 
 func newAggState(call *AggCall, groups int, t *Table) (*aggState, []*Vector, error) {
@@ -316,10 +316,7 @@ func newAggState(call *AggCall, groups int, t *Table) (*aggState, []*Vector, err
 	case "count":
 		s.count = make([]int64, groups)
 		if call.Distinct {
-			s.seen = make([]map[string]struct{}, groups)
-			for i := range s.seen {
-				s.seen[i] = make(map[string]struct{})
-			}
+			s.distinct = newDistinctSet()
 		}
 	case "sum", "avg", "stddev_samp", "stddev", "var_samp", "variance":
 		s.count = make([]int64, groups)
@@ -455,6 +452,10 @@ func (s *aggState) observeAll(groupOf []int, args []*Vector, n int) {
 			}
 			return
 		}
+		if s.call.Distinct && len(args) > 0 {
+			s.observeDistinct(groupOf, args[0], n)
+			return
+		}
 	}
 	for row := 0; row < n; row++ {
 		s.observe(gOf(row), args, row)
@@ -474,13 +475,6 @@ func (s *aggState) observe(g int, args []*Vector, row int) {
 	}
 	switch s.call.Name {
 	case "count":
-		if s.call.Distinct {
-			key := fmt.Sprint(args[0].Value(row))
-			if _, ok := s.seen[g][key]; ok {
-				return
-			}
-			s.seen[g][key] = struct{}{}
-		}
 		s.count[g]++
 	case "sum", "avg", "stddev_samp", "stddev", "var_samp", "variance":
 		x := args[0].Float64s()[row]
@@ -529,6 +523,28 @@ func (s *aggState) observe(g int, args []*Vector, row int) {
 		s.count[g]++
 		s.vals[g] = append(s.vals[g], args[0].Float64s()[row])
 	}
+}
+
+// observeDistinct folds a morsel into a COUNT(DISTINCT ...) accumulator:
+// the value column is hashed once by the typed kernels, then each non-NULL
+// row probes the (group, value) set — no per-row key rendering.
+func (s *aggState) observeDistinct(groupOf []int, v *Vector, n int) {
+	src := s.distinct.addSource(v)
+	hashes := getHashBuf(n)
+	hashKeyCols([]*Vector{v}, n, hashes)
+	for row := 0; row < n; row++ {
+		if v.IsNull(row) {
+			continue
+		}
+		g := 0
+		if groupOf != nil {
+			g = groupOf[row]
+		}
+		if s.distinct.insert(hashes[row], int32(g), src, int32(row)) {
+			s.count[g]++
+		}
+	}
+	putHashBuf(hashes)
 }
 
 // result materializes the aggregate's output column.
@@ -698,10 +714,10 @@ func rewriteAgg(e Expr, keys map[string]string, aggs *[]*AggCall, aggCols map[st
 }
 
 // morselAgg is one morsel's partial aggregation: its thread-local group
-// table (keys in first-appearance order, which is row order within the
+// table (groups in first-appearance order, which is row order within the
 // morsel) and one partial accumulator per aggregate call.
 type morselAgg struct {
-	keys    []string    // local group keys, first-appearance order (grouped only)
+	hashes  []uint64    // key-tuple hash per local group (grouped only)
 	rows    []int32     // representative local row per local group
 	keyVecs []*Vector   // group-key vectors evaluated over the morsel
 	states  []*aggState // one per aggregate call, sized to local groups
@@ -773,29 +789,24 @@ func execAggregate(ec *ExecContext, st *SelectStmt, t *Table, node *PlanNode) (*
 				}
 				ma.keyVecs[k] = v
 			}
+			// Vectorized grouping: hash every row's key tuple with the typed
+			// kernels, then assign dense local ids through the open-addressing
+			// table (first-appearance order = row order within the morsel).
 			groupOf = make([]int, n)
-			idx := make(map[string]int)
-			var keyBuf strings.Builder
+			hashes := getHashBuf(n)
+			hashKeyCols(ma.keyVecs, n, hashes)
+			gi := newGroupIndex(0)
+			gi.addSource(ma.keyVecs)
 			for r := 0; r < n; r++ {
-				keyBuf.Reset()
-				for _, kv := range ma.keyVecs {
-					if kv.IsNull(r) {
-						keyBuf.WriteString("\x00N|")
-						continue
-					}
-					fmt.Fprintf(&keyBuf, "%v|", kv.Value(r))
-				}
-				k := keyBuf.String()
-				g, ok := idx[k]
-				if !ok {
-					g = len(ma.keys)
-					idx[k] = g
-					ma.keys = append(ma.keys, k)
-					ma.rows = append(ma.rows, int32(r))
-				}
-				groupOf[r] = g
+				groupOf[r] = int(gi.insert(hashes[r], 0, int32(r)))
 			}
-			localGroups = len(ma.keys)
+			putHashBuf(hashes)
+			ma.hashes = gi.hashes
+			ma.rows = make([]int32, len(gi.refs))
+			for g, rf := range gi.refs {
+				ma.rows[g] = rf.row
+			}
+			localGroups = gi.groups()
 		}
 		ma.states = make([]*aggState, len(aggCalls))
 		for k, c := range aggCalls {
@@ -815,28 +826,26 @@ func execAggregate(ec *ExecContext, st *SelectStmt, t *Table, node *PlanNode) (*
 	}
 
 	// 4. Combine: assign global group ids in morsel order (= first
-	// appearance in row order) and fold every morsel's partials.
+	// appearance in row order) and fold every morsel's partials. Local
+	// key-tuple hashes are content-based, so they carry over to the global
+	// table unchanged; equality falls back to the typed key vectors.
 	groups := 1
-	var repMorsel []int // morsel holding each group's representative row
-	var repRow []int32  // representative row within that morsel
+	var globalIdx *groupIndex // grouped only; refs locate representatives
 	gmaps := make([][]int, len(partials))
 	if grouped {
-		groups = 0
-		globalIdx := map[string]int{}
+		hint := 0
+		for _, ma := range partials {
+			hint += len(ma.rows)
+		}
+		globalIdx = newGroupIndex(hint)
 		for mi, ma := range partials {
-			gmaps[mi] = make([]int, len(ma.keys))
-			for lg, k := range ma.keys {
-				g, ok := globalIdx[k]
-				if !ok {
-					g = groups
-					groups++
-					globalIdx[k] = g
-					repMorsel = append(repMorsel, mi)
-					repRow = append(repRow, ma.rows[lg])
-				}
-				gmaps[mi][lg] = g
+			src := globalIdx.addSource(ma.keyVecs)
+			gmaps[mi] = make([]int, len(ma.rows))
+			for lg := range ma.rows {
+				gmaps[mi][lg] = int(globalIdx.insert(ma.hashes[lg], src, ma.rows[lg]))
 			}
 		}
+		groups = globalIdx.groups()
 	}
 	states := make([]*aggState, len(aggCalls))
 	for k, c := range aggCalls {
@@ -850,22 +859,25 @@ func execAggregate(ec *ExecContext, st *SelectStmt, t *Table, node *PlanNode) (*
 		states[k] = s
 	}
 
-	// 5. Build the intermediate table: $key* columns + $agg* columns.
+	// 5. Build the intermediate table: $key* columns + $agg* columns. Key
+	// cells are copied typed from each group's representative row (located
+	// by the global table's refs) — no boxing through interface values.
 	var schema Schema
 	var cols []*Vector
 	for i := range st.GroupBy {
 		out := NewVector(emptyKeys[i].Type())
 		for g := 0; g < groups; g++ {
-			kv := partials[repMorsel[g]].keyVecs[i]
-			r := int(repRow[g])
-			if kv.IsNull(r) {
-				out.AppendNull()
-			} else if err := out.AppendValue(kv.Value(r)); err != nil {
+			rf := globalIdx.refs[g]
+			kv := partials[rf.src].keyVecs[i]
+			if err := appendKeyRow(out, kv, int(rf.row)); err != nil {
 				return nil, err
 			}
 		}
 		schema = append(schema, ColumnDef{Name: fmt.Sprintf("$key%d", i), Type: out.Type()})
 		cols = append(cols, out)
+	}
+	if node != nil {
+		node.Groups = int64(groups)
 	}
 	for i, s := range states {
 		v := s.result(groups)
@@ -900,6 +912,31 @@ func execAggregate(ec *ExecContext, st *SelectStmt, t *Table, node *PlanNode) (*
 	return NewTableFromVectors(outSchema, outCols)
 }
 
+// appendKeyRow appends row r of src to out with a typed copy (NULL stays
+// NULL). The types match by construction — both come from evaluating the
+// same group-key expression — but a mismatch falls back to the converting
+// AppendValue rather than corrupting the column.
+func appendKeyRow(out, src *Vector, r int) error {
+	if src.IsNull(r) {
+		out.AppendNull()
+		return nil
+	}
+	if out.typ != src.typ {
+		return out.AppendValue(src.Value(r))
+	}
+	switch src.typ {
+	case Float64:
+		out.AppendFloat64(src.f64[r])
+	case Int64:
+		out.AppendInt64(src.i64[r])
+	case Bool:
+		out.AppendBool(src.b[r])
+	case String:
+		out.AppendString(src.dict.Value(src.codes[r]))
+	}
+	return nil
+}
+
 // mergeFrom folds src (one morsel's partial state) into dst. gmap maps
 // src's local group ids to dst's global ids; nil means identity (the
 // single global group). Callers fold morsels in morsel-index order, which
@@ -914,13 +951,7 @@ func (dst *aggState) mergeFrom(src *aggState, gmap []int) {
 	switch dst.call.Name {
 	case "count":
 		if dst.call.Distinct {
-			for lg := range src.seen {
-				g := gOf(lg)
-				for k := range src.seen[lg] {
-					dst.seen[g][k] = struct{}{}
-				}
-				dst.count[g] = int64(len(dst.seen[g]))
-			}
+			dst.distinct.mergeFrom(src.distinct, gmap, dst.count)
 			return
 		}
 		for lg, c := range src.count {

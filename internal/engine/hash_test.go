@@ -1,0 +1,287 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+)
+
+// Regression tests for the key-encoding collision bug. The engine used to
+// render every key tuple to a string — "%v|" per element, "\x00N|" for
+// NULL — so the tuples ("a|", "b") and ("a", "|b") both encoded to
+// "a||b|", and the string "\x00N" encoded identically to NULL. The typed
+// hash kernels compare real column values, so these keys must stay
+// distinct in GROUP BY, JOIN ON, and COUNT(DISTINCT ...) at every
+// parallelism degree. (Against the old encoding each of these tests
+// fails: the colliding keys merge into one group / join match.)
+
+// collisionDegrees mirrors the equivalence corpus: serial oracle, forced
+// fan-out, and the host's real degree.
+func collisionDegrees() []int { return []int{1, 2, runtime.NumCPU()} }
+
+func TestGroupByKeyCollision(t *testing.T) {
+	for _, d := range collisionDegrees() {
+		db := NewDB(WithParallelism(d), WithMorselSize(64))
+		kv := NewTable(Schema{{Name: "a", Type: String}, {Name: "b", Type: String}})
+		for i := 0; i < 100; i++ {
+			if err := kv.AppendRow("a|", "b"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			if err := kv.AppendRow("a", "|b"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db.RegisterTable("kv", kv)
+		res, err := db.Query(`SELECT a, b, count(*) AS n FROM kv GROUP BY a, b ORDER BY n DESC`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumRows() != 2 {
+			t.Fatalf("par=%d: (\"a|\",\"b\") and (\"a\",\"|b\") merged: got %d group(s), want 2", d, res.NumRows())
+		}
+		if n0, n1 := res.Col(2).Value(0), res.Col(2).Value(1); fmt.Sprint(n0) != "100" || fmt.Sprint(n1) != "50" {
+			t.Fatalf("par=%d: group counts = %v, %v, want 100, 50", d, n0, n1)
+		}
+	}
+}
+
+func TestGroupByNullSentinelCollision(t *testing.T) {
+	for _, d := range collisionDegrees() {
+		db := NewDB(WithParallelism(d), WithMorselSize(64))
+		s := NewTable(Schema{{Name: "k", Type: String}})
+		for i := 0; i < 80; i++ {
+			if err := s.AppendRow(nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 30; i++ {
+			// The literal text of the old NULL sentinel, as real data.
+			if err := s.AppendRow("\x00N"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db.RegisterTable("s", s)
+		res, err := db.Query(`SELECT k, count(*) AS n FROM s GROUP BY k ORDER BY n DESC`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumRows() != 2 {
+			t.Fatalf("par=%d: NULL and \"\\x00N\" merged: got %d group(s), want 2", d, res.NumRows())
+		}
+		if !res.Col(0).IsNull(0) || res.Col(0).IsNull(1) {
+			t.Fatalf("par=%d: expected the NULL group (n=80) first, then \"\\x00N\" (n=30)", d)
+		}
+	}
+}
+
+func TestJoinKeyCollision(t *testing.T) {
+	for _, d := range collisionDegrees() {
+		db := NewDB(WithParallelism(d), WithMorselSize(64))
+		l := NewTable(Schema{{Name: "k1", Type: String}, {Name: "k2", Type: String}, {Name: "lv", Type: Int64}})
+		if err := l.AppendRow("a|", "b", int64(1)); err != nil {
+			t.Fatal(err)
+		}
+		r := NewTable(Schema{{Name: "k1", Type: String}, {Name: "k2", Type: String}, {Name: "rv", Type: Int64}})
+		if err := r.AppendRow("a", "|b", int64(10)); err != nil { // collides under the old encoding
+			t.Fatal(err)
+		}
+		if err := r.AppendRow("a|", "b", int64(20)); err != nil { // the genuine match
+			t.Fatal(err)
+		}
+		db.RegisterTable("l", l)
+		db.RegisterTable("r", r)
+		res, err := db.Query(`SELECT x.lv, y.rv FROM l x JOIN r y ON x.k1 = y.k1 AND x.k2 = y.k2`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumRows() != 1 {
+			t.Fatalf("par=%d: join matched %d row(s), want exactly the (\"a|\",\"b\") pair", d, res.NumRows())
+		}
+		if got := fmt.Sprint(res.Col(1).Value(0)); got != "20" {
+			t.Fatalf("par=%d: joined rv = %s, want 20", d, got)
+		}
+	}
+}
+
+func TestCountDistinctTrickyStrings(t *testing.T) {
+	for _, d := range collisionDegrees() {
+		db := NewDB(WithParallelism(d), WithMorselSize(64))
+		s := NewTable(Schema{{Name: "g", Type: String}, {Name: "k", Type: String}})
+		vals := []any{"a|", "a", "|a", "\x00N", nil}
+		for i := 0; i < 200; i++ {
+			if err := s.AppendRow("g", vals[i%len(vals)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db.RegisterTable("s", s)
+		res, err := db.Query(`SELECT g, count(DISTINCT k) AS dk FROM s GROUP BY g`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// NULL never counts toward DISTINCT; the four strings all stay apart.
+		if got := fmt.Sprint(res.Col(1).Value(0)); got != "4" {
+			t.Fatalf("par=%d: count(DISTINCT k) = %s, want 4", d, got)
+		}
+	}
+}
+
+// --- kernel unit tests ---
+
+func TestFloatKeyBitsSemantics(t *testing.T) {
+	nanA := math.NaN()
+	nanB := math.Float64frombits(math.Float64bits(math.NaN()) ^ 1) // different payload
+	if !math.IsNaN(nanB) {
+		t.Fatal("test bug: payload flip left the NaN domain")
+	}
+	if floatKeyBits(nanA) != floatKeyBits(nanB) {
+		t.Error(`all NaNs must collapse to one key (the old rendering gave every NaN "NaN")`)
+	}
+	if floatKeyBits(0.0) == floatKeyBits(math.Copysign(0, -1)) {
+		t.Error(`+0 and -0 must stay distinct keys (the old rendering gave "0" vs "-0")`)
+	}
+	if floatKeyBits(1.5) != math.Float64bits(1.5) {
+		t.Error("ordinary floats must key by their raw IEEE bits")
+	}
+}
+
+func TestHashKeyColsNullDistinctFromData(t *testing.T) {
+	v := NewVector(String)
+	v.AppendString("\x00N")
+	v.AppendNull()
+	out := make([]uint64, 2)
+	hashKeyCols([]*Vector{v}, 2, out)
+	if out[0] == out[1] {
+		t.Error("NULL hashed identically to the old sentinel text — marker not folded in")
+	}
+	if keyRowsEqual([]*Vector{v}, 0, []*Vector{v}, 1) {
+		t.Error("keyRowsEqual treats \"\\x00N\" as NULL")
+	}
+	if !keyRowsEqual([]*Vector{v}, 1, []*Vector{v}, 1) {
+		t.Error("keyRowsEqual must treat NULL = NULL (grouping semantics)")
+	}
+}
+
+func TestStringHashIsContentBased(t *testing.T) {
+	a, b := NewVector(String), NewVector(String)
+	for _, s := range []string{"pad", "x"} { // different codes for "x" in each dict
+		a.AppendString(s)
+	}
+	b.AppendString("x")
+	ha, hb := make([]uint64, 2), make([]uint64, 1)
+	hashKeyCols([]*Vector{a}, 2, ha)
+	hashKeyCols([]*Vector{b}, 1, hb)
+	if ha[1] != hb[0] {
+		t.Error("same text must hash identically across dictionaries (cross-morsel combine relies on it)")
+	}
+	if !keyRowsEqual([]*Vector{a}, 1, []*Vector{b}, 0) {
+		t.Error("same text must compare equal across dictionaries")
+	}
+}
+
+func TestDictCodeHashesMemoized(t *testing.T) {
+	v := NewVector(String)
+	v.AppendString("alpha")
+	v.AppendString("beta")
+	h1 := v.StrDict().codeHashes()
+	if len(h1) != 2 || h1[0] != hashString("alpha") || h1[1] != hashString("beta") {
+		t.Fatalf("codeHashes = %v, want content hashes of [alpha beta]", h1)
+	}
+	v.AppendString("gamma") // extends the dict; memo must extend too
+	h2 := v.StrDict().codeHashes()
+	if len(h2) != 3 || h2[2] != hashString("gamma") {
+		t.Fatalf("codeHashes after append = %v, want 3 entries ending with hash(gamma)", h2)
+	}
+}
+
+func TestGroupIndexOrderGrowAndFind(t *testing.T) {
+	v := NewVector(Int64)
+	const rows, keys = 10_000, 1_000
+	for i := 0; i < rows; i++ {
+		v.AppendInt64(int64(i % keys))
+	}
+	hashes := make([]uint64, rows)
+	hashKeyCols([]*Vector{v}, rows, hashes)
+	gi := newGroupIndex(0) // starts at minimum capacity: forces many grows
+	src := gi.addSource([]*Vector{v})
+	for r := 0; r < rows; r++ {
+		g := gi.insert(hashes[r], src, int32(r))
+		if int(g) != r%keys {
+			t.Fatalf("row %d: group id %d, want first-appearance id %d", r, g, r%keys)
+		}
+	}
+	if gi.groups() != keys {
+		t.Fatalf("groups() = %d, want %d", gi.groups(), keys)
+	}
+	for r := 0; r < keys; r++ {
+		if g := gi.find(hashes[r], src, int32(r)); int(g) != r {
+			t.Fatalf("find(row %d) = %d, want %d", r, g, r)
+		}
+	}
+	// A key that was never inserted must come back -1.
+	probe := NewVector(Int64)
+	probe.AppendInt64(keys + 7)
+	ph := make([]uint64, 1)
+	hashKeyCols([]*Vector{probe}, 1, ph)
+	psrc := gi.addSource([]*Vector{probe})
+	if g := gi.find(ph[0], psrc, 0); g != -1 {
+		t.Fatalf("find(absent key) = %d, want -1", g)
+	}
+}
+
+func TestDistinctSetMergeRemapsGroups(t *testing.T) {
+	mk := func(vals ...int64) (*distinctSet, *Vector) {
+		v := NewVector(Int64)
+		for _, x := range vals {
+			v.AppendInt64(x)
+		}
+		return newDistinctSet(), v
+	}
+	// Morsel A saw values 1,2 in its local group 0; morsel B saw 2,3 in its
+	// local group 0, which the combine maps to global group 1.
+	a, av := mk(1, 2)
+	asrc := a.addSource(av)
+	b, bv := mk(2, 3)
+	bsrc := b.addSource(bv)
+	h := make([]uint64, 2)
+	hashKeyCols([]*Vector{av}, 2, h)
+	for r := 0; r < 2; r++ {
+		if !a.insert(h[r], 0, asrc, int32(r)) {
+			t.Fatalf("morsel A insert %d not new", r)
+		}
+	}
+	hashKeyCols([]*Vector{bv}, 2, h)
+	for r := 0; r < 2; r++ {
+		if !b.insert(h[r], 0, bsrc, int32(r)) {
+			t.Fatalf("morsel B insert %d not new", r)
+		}
+	}
+	global, _ := mk()
+	count := make([]int64, 2)
+	global.mergeFrom(a, []int{0}, count)
+	global.mergeFrom(b, []int{1}, count)
+	if count[0] != 2 || count[1] != 2 {
+		t.Fatalf("counts after merge = %v, want [2 2] (groups remapped, value 2 distinct per group)", count)
+	}
+	// Merging B again into the same global group adds nothing new.
+	global.mergeFrom(b, []int{1}, count)
+	if count[1] != 2 {
+		t.Fatalf("re-merge changed count to %d; distinct set must dedupe", count[1])
+	}
+}
+
+func TestSelBufPoolReuse(t *testing.T) {
+	s := getSelBuf(100)
+	if len(s) != 0 || cap(s) < 100 {
+		t.Fatalf("getSelBuf: len=%d cap=%d, want empty with cap >= 100", len(s), cap(s))
+	}
+	s = append(s, 1, 2, 3)
+	putSelBuf(s)
+	h := getHashBuf(64)
+	if len(h) != 64 {
+		t.Fatalf("getHashBuf(64) len = %d", len(h))
+	}
+	putHashBuf(h)
+}

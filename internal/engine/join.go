@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -144,37 +143,46 @@ func resolveSide(name string, left, right *Table) int {
 	return 0
 }
 
-// joinKeys renders each row's key tuple as a string, morsel-parallel.
-// A row with any NULL key component gets "" (SQL: NULL keys never match);
-// real keys always end in "|", so "" is unambiguous.
-func (ec *ExecContext) joinKeys(cols []*Vector, n int, node *PlanNode) []string {
-	keys := make([]string, n)
+// joinKeyHashes computes each row's key-tuple hash morsel-parallel via the
+// typed kernels, plus a per-row NULL flag (SQL: NULL keys never match, so
+// join rows with any NULL key component are excluded from build and probe).
+// nulls is nil when no key column can hold NULLs.
+func (ec *ExecContext) joinKeyHashes(cols []*Vector, n int, node *PlanNode) (hashes []uint64, nulls []bool) {
+	hashes = make([]uint64, n)
+	for _, c := range cols {
+		if c.valid != nil {
+			nulls = make([]bool, n)
+			break
+		}
+	}
 	ms := ec.morselsOf(n)
 	_ = ec.parallelFor(len(ms), func(i int) error {
 		m := ms[i]
-		var keyBuf strings.Builder
-		for r := m.lo; r < m.hi; r++ {
-			keyBuf.Reset()
-			null := false
-			for _, c := range cols {
-				if c.IsNull(r) {
-					null = true
-					break
+		sliced := make([]*Vector, len(cols))
+		for j, c := range cols {
+			sliced[j] = c.Slice(m.lo, m.hi)
+		}
+		hashKeyCols(sliced, m.hi-m.lo, hashes[m.lo:m.hi])
+		if nulls != nil {
+			for _, c := range sliced {
+				if c.valid == nil {
+					continue
 				}
-				fmt.Fprintf(&keyBuf, "%v|", c.Value(r))
-			}
-			if !null {
-				keys[r] = keyBuf.String()
+				for r := 0; r < m.hi-m.lo; r++ {
+					if c.IsNull(r) {
+						nulls[m.lo+r] = true
+					}
+				}
 			}
 		}
 		node.AddMorsels(1)
 		return nil
 	})
-	return keys
+	return hashes, nulls
 }
 
 // hashJoin performs the (inner or left-outer) equi-join, morsel-parallel:
-// key strings for both sides are computed across the pool, the build-side
+// key hashes for both sides are computed across the pool, the build-side
 // index is inserted serially in row order (it is immutable from then on and
 // shared by all probe workers), and the probe fans out over left-side
 // morsels, each emitting local selection vectors that are stitched in
@@ -193,18 +201,56 @@ func hashJoin(ec *ExecContext, left, right *Table, jc JoinClause, node *PlanNode
 	for i, n := range lk {
 		lKeyCols[i] = left.ColByName(n)
 	}
-	rKeys := ec.joinKeys(rKeyCols, right.NumRows(), node)
-	lKeys := ec.joinKeys(lKeyCols, left.NumRows(), node)
-
-	// Build side: hash the right table's key tuples (serial, row order).
-	index := make(map[string][]int32, right.NumRows())
-	for r, k := range rKeys {
-		if k != "" {
-			index[k] = append(index[k], int32(r))
+	// The typed kernels compare within one type; promote mixed-type key
+	// pairs to float64 so cross-type numeric equality (int 42 = float 42.0,
+	// string "42" = int 42) keeps matching as it did under value rendering.
+	for i := range lKeyCols {
+		if lKeyCols[i].Type() != rKeyCols[i].Type() {
+			lKeyCols[i] = lKeyCols[i].CastFloat64()
+			rKeyCols[i] = rKeyCols[i].CastFloat64()
 		}
 	}
+	rHashes, rNulls := ec.joinKeyHashes(rKeyCols, right.NumRows(), node)
+	lHashes, lNulls := ec.joinKeyHashes(lKeyCols, left.NumRows(), node)
 
-	// Probe side: per-morsel selection vectors into the immutable index.
+	// Build side: index the right table's key tuples (serial, row order)
+	// and lay the rows of each distinct key out in CSR form so probes emit
+	// matches in right row order.
+	index := newGroupIndex(right.NumRows())
+	buildSrc := index.addSource(rKeyCols)
+	groupOf := make([]int32, right.NumRows())
+	for r := range groupOf {
+		if rNulls != nil && rNulls[r] {
+			groupOf[r] = -1
+			continue
+		}
+		groupOf[r] = index.insert(rHashes[r], buildSrc, int32(r))
+	}
+	groups := index.groups()
+	off := make([]int32, groups+1)
+	for _, g := range groupOf {
+		if g >= 0 {
+			off[g+1]++
+		}
+	}
+	for g := 0; g < groups; g++ {
+		off[g+1] += off[g]
+	}
+	matchRows := make([]int32, off[groups])
+	cursor := append([]int32(nil), off[:groups]...)
+	for r, g := range groupOf {
+		if g >= 0 {
+			matchRows[cursor[g]] = int32(r)
+			cursor[g]++
+		}
+	}
+	if node != nil {
+		node.Groups = int64(groups)
+	}
+
+	// Probe side: per-morsel selection vectors into the immutable index
+	// (find never mutates, so all probe workers share it).
+	probeSrc := index.addSource(lKeyCols)
 	ms := ec.morselsOf(left.NumRows())
 	if node != nil {
 		node.Parallelism = ec.degreeFor(len(ms))
@@ -213,14 +259,17 @@ func hashJoin(ec *ExecContext, left, right *Table, jc JoinClause, node *PlanNode
 	parts := make([]probeOut, len(ms))
 	_ = ec.parallelFor(len(ms), func(i int) error {
 		m := ms[i]
-		var lsel, rsel []int32
+		lsel := getSelBuf(m.hi - m.lo)
+		rsel := getSelBuf(m.hi - m.lo)
 		for lr := m.lo; lr < m.hi; lr++ {
 			matched := false
-			if k := lKeys[lr]; k != "" {
-				for _, rr := range index[k] {
-					lsel = append(lsel, int32(lr))
-					rsel = append(rsel, rr)
-					matched = true
+			if lNulls == nil || !lNulls[lr] {
+				if g := index.find(lHashes[lr], probeSrc, int32(lr)); g >= 0 {
+					for _, rr := range matchRows[off[g]:off[g+1]] {
+						lsel = append(lsel, int32(lr))
+						rsel = append(rsel, rr)
+						matched = true
+					}
 				}
 			}
 			if !matched && jc.Left {
@@ -241,6 +290,8 @@ func hashJoin(ec *ExecContext, left, right *Table, jc JoinClause, node *PlanNode
 	for _, p := range parts {
 		lsel = append(lsel, p.lsel...)
 		rsel = append(rsel, p.rsel...)
+		putSelBuf(p.lsel)
+		putSelBuf(p.rsel)
 	}
 
 	// Materialize: left columns by plain gather, right columns by outer

@@ -25,7 +25,11 @@ func buildParallelFixture(db *DB, rows int) error {
 		{Name: "cat", Type: String},
 		{Name: "flag", Type: Bool},
 	})
-	cats := []string{"cn", "mci", "ad", "other", "unknown"}
+	// "a|" and "\x00N" pin the key-encoding collision bug forever: under the
+	// old stringified keys ("%v|" with a "\x00N|" NULL sentinel) they collide
+	// with neighbouring tuples and with NULL; the typed kernels must keep
+	// them distinct at every parallelism degree.
+	cats := []string{"cn", "mci", "ad", "a|", "\x00N"}
 	seed := uint64(42)
 	next := func() uint64 {
 		seed = seed*6364136223846793005 + 1442695040888963407

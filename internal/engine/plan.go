@@ -29,7 +29,11 @@ type PlanNode struct {
 	// Morsels counts the row-range batches processed; concurrent morsel
 	// workers accumulate it through AddMorsels (atomically), so EXPLAIN
 	// ANALYZE totals stay exact under parallel execution.
-	Morsels  int64       `json:"morsels,omitempty"`
+	Morsels int64 `json:"morsels,omitempty"`
+	// Groups is the number of distinct key tuples the operator's hash table
+	// held: groups for an aggregate, build-side keys for a join. Written at
+	// the combine quiesce point (single goroutine), zero when not grouping.
+	Groups   int64       `json:"groups,omitempty"`
 	Children []*PlanNode `json:"children,omitempty"`
 }
 
@@ -61,6 +65,9 @@ func (n *PlanNode) Attrs() map[string]string {
 	}
 	if m := atomic.LoadInt64(&n.Morsels); m > 0 {
 		a["morsels"] = strconv.FormatInt(m, 10)
+	}
+	if n.Groups > 0 {
+		a["groups"] = strconv.FormatInt(n.Groups, 10)
 	}
 	return a
 }
@@ -101,6 +108,9 @@ func (n *PlanNode) Render(analyzed bool) []string {
 			}
 			if m := atomic.LoadInt64(&n.Morsels); m > 0 {
 				fmt.Fprintf(&b, " morsels=%d", m)
+			}
+			if n.Groups > 0 {
+				fmt.Fprintf(&b, " groups=%d", n.Groups)
 			}
 			b.WriteString(")")
 		} else {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"sync"
 )
 
 // Type enumerates the column types the engine supports.
@@ -150,6 +151,11 @@ func (b *Bitmap) Clone() *Bitmap {
 type Dict struct {
 	values []string
 	index  map[string]int32
+	// hashes memoizes each code's content hash for the vectorized key
+	// kernels (see codeHashes); append-only, guarded by hashMu so
+	// concurrent morsel workers sharing the dict compute each hash once.
+	hashMu sync.Mutex
+	hashes []uint64
 }
 
 // NewDict returns an empty dictionary.
