@@ -67,6 +67,14 @@ func runPerfSuite(benchOut, comparePath string, threshold float64) {
 		// shows up here as allocs/op and ns/op.
 		{"parallel_group_agg_hicard_500k_par1", parBench(1, benchParGroupAggHiCard)},
 		{parName("parallel_group_agg_hicard_500k", ncpu), parBench(ncpu, benchParGroupAggHiCard)},
+		// Memory-accounting pairs: the same workloads with the per-query
+		// accountant and governance enabled (the default) and disabled. The
+		// acct_on rows bound the governance overhead — they should land within
+		// a few percent of acct_off.
+		{"group_aggregate_500k_acct_off", acctBench(false, benchAcctGroupAggregate)},
+		{"group_aggregate_500k_acct_on", acctBench(true, benchAcctGroupAggregate)},
+		{"hash_join_200k_acct_off", acctBench(false, benchAcctHashJoin)},
+		{"hash_join_200k_acct_on", acctBench(true, benchAcctHashJoin)},
 	} {
 		if bench.name == "" {
 			continue // NumCPU==1 collapses a parallel pair into one case
@@ -152,6 +160,11 @@ func parBench(par int, fn func(*testing.B, int)) func(*testing.B) {
 	return func(b *testing.B) { fn(b, par) }
 }
 
+// acctBench adapts an accounting-parameterized benchmark into a plain one.
+func acctBench(on bool, fn func(*testing.B, bool)) func(*testing.B) {
+	return func(b *testing.B) { fn(b, on) }
+}
+
 // parName names the NumCPU half of a parallel pair; on a 1-CPU machine it
 // would duplicate the par1 case, so the empty name drops it from the suite.
 func parName(base string, ncpu int) string {
@@ -182,6 +195,15 @@ func benchParScanFilter(b *testing.B, par int) {
 
 // benchParGroupAggregate: 500k rows, 8 groups, partitioned hash aggregation.
 func benchParGroupAggregate(b *testing.B, par int) {
+	benchGroupAggregate500k(b, engine.WithParallelism(par))
+}
+
+// benchAcctGroupAggregate: the grouping workload with accounting toggled.
+func benchAcctGroupAggregate(b *testing.B, on bool) {
+	benchGroupAggregate500k(b, engine.WithAccounting(on))
+}
+
+func benchGroupAggregate500k(b *testing.B, opts ...engine.Option) {
 	tab := engine.NewTable(engine.Schema{
 		{Name: "site", Type: engine.String},
 		{Name: "x", Type: engine.Float64},
@@ -192,7 +214,7 @@ func benchParGroupAggregate(b *testing.B, par int) {
 			b.Fatal(err)
 		}
 	}
-	db := engine.NewDB(engine.WithParallelism(par))
+	db := engine.NewDB(opts...)
 	db.RegisterTable("t", tab)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -204,6 +226,15 @@ func benchParGroupAggregate(b *testing.B, par int) {
 
 // benchParHashJoin: 200k x 200k equi-join with parallel probe/materialize.
 func benchParHashJoin(b *testing.B, par int) {
+	benchHashJoin200k(b, engine.WithParallelism(par))
+}
+
+// benchAcctHashJoin: the join workload with accounting toggled.
+func benchAcctHashJoin(b *testing.B, on bool) {
+	benchHashJoin200k(b, engine.WithAccounting(on))
+}
+
+func benchHashJoin200k(b *testing.B, opts ...engine.Option) {
 	patients := engine.NewTable(engine.Schema{
 		{Name: "id", Type: engine.Int64},
 		{Name: "age", Type: engine.Float64},
@@ -221,7 +252,7 @@ func benchParHashJoin(b *testing.B, par int) {
 			b.Fatal(err)
 		}
 	}
-	db := engine.NewDB(engine.WithParallelism(par))
+	db := engine.NewDB(opts...)
 	db.RegisterTable("patients", patients)
 	db.RegisterTable("scores", scores)
 	b.ResetTimer()

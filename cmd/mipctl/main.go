@@ -17,6 +17,8 @@
 //	mipctl trace exp-000001   # render the experiment's span tree
 //	mipctl explain [-analyze] [-datasets edsd] "SELECT avg(age) FROM data"
 //	mipctl slow               # the server's slow-query log
+//	mipctl top [-interval 1s] [-iterations 0]   # live active-query view
+//	mipctl kill 42            # cancel an active query by id
 package main
 
 import (
@@ -50,6 +52,8 @@ func main() {
 	search := flag.String("search", "", "variable search query (variables)")
 	name := flag.String("name", "", "experiment name (run)")
 	analyze := flag.Bool("analyze", false, "execute the query and report measured stats (explain)")
+	interval := flag.Duration("interval", time.Second, "refresh interval (top)")
+	iterations := flag.Int("iterations", 0, "refresh count before exiting, 0 = forever (top)")
 	var params multiFlag
 	flag.Var(&params, "param", "algorithm parameter key=value (repeatable)")
 	flag.Parse()
@@ -100,8 +104,15 @@ func main() {
 		explainQuery(*server, strings.Join(subArgs, " "), *datasets, *analyze)
 	case "slow":
 		get(*server+"/queries/slow", printSlow)
+	case "top":
+		topQueries(*server, *interval, *iterations)
+	case "kill":
+		if len(subArgs) == 0 {
+			log.Fatal("kill needs a query id (see mipctl top)")
+		}
+		killQuery(*server, subArgs[0])
 	default:
-		fmt.Fprintln(os.Stderr, "usage: mipctl [flags] algorithms|datasets|variables|experiments|workflows|run|workflow|health|workers|trace|explain|slow")
+		fmt.Fprintln(os.Stderr, "usage: mipctl [flags] algorithms|datasets|variables|experiments|workflows|run|workflow|health|workers|trace|explain|slow|top|kill")
 		os.Exit(2)
 	}
 }
@@ -142,13 +153,15 @@ func printSlow(body []byte) {
 	var doc struct {
 		ThresholdSeconds float64 `json:"threshold_seconds"`
 		Queries          []struct {
-			SQL         string   `json:"sql"`
-			Seconds     float64  `json:"seconds"`
-			RowsScanned int      `json:"rows_scanned"`
-			RowsOut     int      `json:"rows_out"`
-			Error       string   `json:"error"`
-			When        string   `json:"when"`
-			Plan        []string `json:"plan"`
+			SQL          string   `json:"sql"`
+			Seconds      float64  `json:"seconds"`
+			RowsScanned  int      `json:"rows_scanned"`
+			RowsOut      int      `json:"rows_out"`
+			Error        string   `json:"error"`
+			When         string   `json:"when"`
+			Plan         []string `json:"plan"`
+			MemPeakBytes int64    `json:"mem_peak_bytes"`
+			Reason       string   `json:"reason"`
 		} `json:"queries"`
 	}
 	if err := json.Unmarshal(body, &doc); err != nil {
@@ -157,13 +170,107 @@ func printSlow(body []byte) {
 	}
 	fmt.Printf("slow-query threshold: %.3fs, %d retained\n", doc.ThresholdSeconds, len(doc.Queries))
 	for _, q := range doc.Queries {
-		fmt.Printf("\n%s  %.3fs  rows %d->%d  %s\n", q.When, q.Seconds, q.RowsScanned, q.RowsOut, q.SQL)
+		fmt.Printf("\n%s  %.3fs  rows %d->%d", q.When, q.Seconds, q.RowsScanned, q.RowsOut)
+		if q.MemPeakBytes > 0 {
+			fmt.Printf("  mem_peak=%s", formatBytes(q.MemPeakBytes))
+		}
+		if q.Reason != "" {
+			fmt.Printf("  reason=%s", q.Reason)
+		}
+		fmt.Printf("  %s\n", q.SQL)
 		if q.Error != "" {
 			fmt.Printf("  ERROR: %s\n", q.Error)
 		}
 		for _, line := range q.Plan {
 			fmt.Printf("  %s\n", line)
 		}
+	}
+}
+
+// activeQuery mirrors the server's engine.QueryInfo JSON.
+type activeQuery struct {
+	ID        int64   `json:"id"`
+	SQL       string  `json:"sql"`
+	Tenant    string  `json:"tenant"`
+	Seconds   float64 `json:"seconds"`
+	Rows      int64   `json:"rows"`
+	LiveBytes int64   `json:"live_bytes"`
+	PeakBytes int64   `json:"peak_bytes"`
+	Operator  string  `json:"operator"`
+}
+
+// topQueries polls GET /queries/active and renders a live, top-style view:
+// one line per in-flight statement with age, rows, accounted memory and the
+// operator it is currently inside. iterations 0 refreshes until interrupted.
+func topQueries(server string, interval time.Duration, iterations int) {
+	for i := 0; iterations == 0 || i < iterations; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		var doc struct {
+			Queries []activeQuery `json:"queries"`
+		}
+		get(server+"/queries/active", func(b []byte) {
+			if err := json.Unmarshal(b, &doc); err != nil {
+				log.Fatal(err)
+			}
+		})
+		fmt.Print("\033[H\033[2J") // clear screen, cursor home
+		fmt.Printf("%s  %d active quer%s (refresh %s; kill with: mipctl kill <id>)\n",
+			time.Now().Format("15:04:05"), len(doc.Queries), plural(len(doc.Queries), "y", "ies"), interval)
+		fmt.Printf("%4s  %8s  %10s  %10s  %10s  %-24s  %s\n",
+			"ID", "AGE", "ROWS", "LIVE", "PEAK", "OPERATOR", "SQL")
+		for _, q := range doc.Queries {
+			sql := q.SQL
+			if q.Tenant != "" {
+				sql = "[" + q.Tenant + "] " + sql
+			}
+			if len(sql) > 60 {
+				sql = sql[:57] + "..."
+			}
+			fmt.Printf("%4d  %8s  %10d  %10s  %10s  %-24s  %s\n",
+				q.ID, (time.Duration(q.Seconds * float64(time.Second))).Round(time.Millisecond),
+				q.Rows, formatBytes(q.LiveBytes), formatBytes(q.PeakBytes), q.Operator, sql)
+		}
+	}
+}
+
+// killQuery cancels an active query via DELETE /queries/{id}.
+func killQuery(server, id string) {
+	req, err := http.NewRequest(http.MethodDelete, server+"/queries/"+id, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		log.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	fmt.Printf("query %s cancelled\n", id)
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+// formatBytes renders a byte count with a binary-unit suffix.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
 	}
 }
 

@@ -11,6 +11,8 @@
 //	     [-min-workers 0] [-quorum 0] [-step-deadline 0]  # fault tolerance
 //	     [-slow-query 250ms]  # slow-query log threshold (GET /queries/slow)
 //	     [-engine-parallelism 0]  # intra-query parallelism per worker (0 = NumCPU)
+//	     [-query-deadline 0]   # per-statement wall-time ceiling (0 = unbounded)
+//	     [-query-mem-limit 0]  # per-statement accounted-bytes ceiling (0 = unbounded)
 //
 // The fault-tolerance flags let plain-path experiments degrade to a partial
 // aggregate instead of failing when workers die mid-step: -min-workers and
@@ -70,6 +72,8 @@ func main() {
 	stepDeadline := flag.Duration("step-deadline", 0, "per-step straggler deadline before dropping slow workers (0 = wait forever)")
 	slowQuery := flag.Duration("slow-query", engine.DefaultSlowLog.Threshold(), "engine slow-query log threshold (see GET /queries/slow)")
 	enginePar := flag.Int("engine-parallelism", 0, "intra-query parallelism per worker engine (0 = NumCPU); results are identical at any value")
+	queryDeadline := flag.Duration("query-deadline", 0, "cancel engine statements running longer than this (0 = unbounded); see GET /queries/active")
+	queryMemLimit := flag.Int64("query-mem-limit", 0, "cancel engine statements whose accounted live bytes exceed this (0 = unbounded)")
 	flag.Parse()
 
 	engine.DefaultSlowLog.SetThreshold(*slowQuery)
@@ -77,7 +81,8 @@ func main() {
 		engine.SetDefaultParallelism(*enginePar)
 	}
 
-	cfg := mip.Config{Seed: *seed, EngineParallelism: *enginePar}
+	cfg := mip.Config{Seed: *seed, EngineParallelism: *enginePar,
+		QueryDeadline: *queryDeadline, QueryMemLimit: *queryMemLimit}
 	cfg.Tolerance = mip.Tolerance{MinWorkers: *minWorkers, Quorum: *quorum, StepDeadline: *stepDeadline}
 	switch strings.ToLower(*security) {
 	case "off":

@@ -115,6 +115,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /experiments/{uuid}", s.handleGetExperiment)
 	mux.HandleFunc("GET /experiments/{uuid}/trace", s.handleExperimentTrace)
 	mux.HandleFunc("GET /queries/slow", s.handleSlowQueries)
+	mux.HandleFunc("GET /queries/active", s.handleActiveQueries)
+	mux.HandleFunc("DELETE /queries/{id}", s.handleKillQuery)
 	mux.HandleFunc("POST /queries/explain", s.handleExplain)
 	s.registerWorkflowRoutes(mux)
 	return obs.Middleware("api", mux)

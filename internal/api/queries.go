@@ -3,12 +3,39 @@ package api
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
 
 	"mip/internal/engine"
 )
 
-// Query-observability endpoints: the process-wide slow-query log and
-// federated EXPLAIN over the workers' merge view.
+// Query-observability endpoints: the live statement registry (with kill),
+// the process-wide slow-query log and federated EXPLAIN over the workers'
+// merge view.
+
+// handleActiveQueries serves a snapshot of every statement currently
+// executing in this process: id, SQL, tenant/experiment tag, start time,
+// live rows and accounted bytes, and the operator it is inside right now.
+func (s *Server) handleActiveQueries(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"queries": engine.Queries.List(),
+	})
+}
+
+// handleKillQuery cancels a live statement by registry id. The query fails
+// with a cancelled verdict at its next batch boundary; on federated merge
+// queries the cancellation rides the per-part contexts to the workers.
+func (s *Server) handleKillQuery(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad query id %q", r.PathValue("id"))
+		return
+	}
+	if !engine.Queries.Cancel(id) {
+		writeErr(w, http.StatusNotFound, "no active query %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"killed": id})
+}
 
 // handleSlowQueries serves the retained slow-query records, newest first.
 func (s *Server) handleSlowQueries(w http.ResponseWriter, _ *http.Request) {

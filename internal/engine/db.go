@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -56,6 +57,43 @@ func roundMorselSize(n int) int {
 		n = 64
 	}
 	return (n + 63) / 64 * 64
+}
+
+// WithQueryDeadline caps every statement's wall time: a query running
+// longer is cancelled through the governance path with verdict "deadline".
+// Zero or negative keeps queries unbounded.
+func WithQueryDeadline(d time.Duration) Option {
+	return func(db *DB) {
+		if d > 0 {
+			cur := *db.ec.Load()
+			cur.QueryDeadline = d
+			db.ec.Store(&cur)
+		}
+	}
+}
+
+// WithQueryMemLimit caps a statement's accounted live bytes: a query whose
+// operators charge more is cancelled with verdict "mem-limit". Zero or
+// negative keeps queries unbounded.
+func WithQueryMemLimit(n int64) Option {
+	return func(db *DB) {
+		if n > 0 {
+			cur := *db.ec.Load()
+			cur.QueryMemLimit = n
+			db.ec.Store(&cur)
+		}
+	}
+}
+
+// WithAccounting toggles per-query governance (registry registration,
+// cancellation contexts, memory accounting). It defaults to on; the
+// benchmark harness measures the off path to pin the accounting overhead.
+func WithAccounting(enabled bool) Option {
+	return func(db *DB) {
+		cur := *db.ec.Load()
+		cur.NoAccounting = !enabled
+		db.ec.Store(&cur)
+	}
 }
 
 // NewDB returns an empty database.
@@ -177,11 +215,26 @@ func (db *DB) Query(sql string) (*Table, error) {
 	return t, err
 }
 
+// QueryCtx is Query under a caller-supplied context: cancelling ctx aborts
+// the statement at the next morsel boundary with verdict "cancelled".
+func (db *DB) QueryCtx(ctx context.Context, sql string) (*Table, error) {
+	t, _, err := db.QueryWithStatsCtx(ctx, sql)
+	return t, err
+}
+
 // QueryWithStats executes a statement and additionally returns its
 // execution statistics (rows scanned, vectors, per-operator nanos). The
 // statement is always folded into the engine metrics; callers that want
 // the stats on a trace span use this form.
 func (db *DB) QueryWithStats(sql string) (*Table, QueryStats, error) {
+	return db.QueryWithStatsCtx(context.Background(), sql)
+}
+
+// QueryWithStatsCtx is QueryWithStats under a caller-supplied context. The
+// statement registers in the active-query registry, runs under a derived
+// cancellation context (caller ctx + optional deadline + optional memory
+// ceiling), and records its verdict on the returned stats.
+func (db *DB) QueryWithStatsCtx(ctx context.Context, sql string) (*Table, QueryStats, error) {
 	db.queries.Add(1)
 	var qs QueryStats
 	start := time.Now()
@@ -190,14 +243,63 @@ func (db *DB) QueryWithStats(sql string) (*Table, QueryStats, error) {
 		engQueryErrors.Inc()
 		return nil, qs, err
 	}
-	t, err := db.run(st, &qs)
+	ec, finish := db.beginQuery(ctx, sql, &qs)
+	t, err := db.run(st, &qs, ec)
 	elapsed := time.Since(start)
+	finish(err)
 	qs.publish(elapsed.Seconds())
 	if err != nil {
 		engQueryErrors.Inc()
 	}
 	DefaultSlowLog.observe(sql, elapsed, &qs, err)
 	return t, qs, err
+}
+
+// beginQuery derives the statement's ExecContext from the DB snapshot and
+// enrolls it in the governance layer: cancellation context (with optional
+// deadline), memory accountant (with optional ceiling), and a registry
+// handle. The returned finish must be called exactly once when the
+// statement ends; it deregisters the query, settles the verdict, and
+// releases context resources.
+func (db *DB) beginQuery(ctx context.Context, sql string, qs *QueryStats) (*ExecContext, func(error)) {
+	ecq := *db.ec.Load()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ecq.NoAccounting {
+		if ctx.Done() != nil {
+			ecq.Ctx = ctx
+		}
+		return &ecq, func(error) {}
+	}
+	cctx, cancel := context.WithCancelCause(ctx)
+	var stopDeadline context.CancelFunc
+	if d := ecq.QueryDeadline; d > 0 {
+		cctx, stopDeadline = context.WithDeadlineCause(cctx, time.Now().Add(d), ErrQueryDeadline)
+	}
+	acct := &MemAccountant{limit: ecq.QueryMemLimit}
+	acct.onExceed = func() { cancel(ErrQueryMemLimit) }
+	h := Queries.register(sql, queryTenant(ctx), cancel, acct)
+	ecq.Ctx = cctx
+	ecq.Acct = acct
+	ecq.query = h
+	if qs != nil {
+		qs.acct = acct
+		qs.handle = h
+	}
+	return &ecq, func(err error) {
+		Queries.finish(h)
+		v := verdictFor(err)
+		if qs != nil {
+			qs.MemPeakBytes = acct.Peak()
+			qs.Verdict = v
+		}
+		queryTerminated(v)
+		if stopDeadline != nil {
+			stopDeadline()
+		}
+		cancel(nil)
+	}
 }
 
 // Run executes a parsed statement. Like Query it counts the statement and
@@ -208,7 +310,9 @@ func (db *DB) Run(st Statement) (*Table, error) {
 	db.queries.Add(1)
 	var qs QueryStats
 	start := time.Now()
-	t, err := db.run(st, &qs)
+	ec, finish := db.beginQuery(context.Background(), "(prepared statement)", &qs)
+	t, err := db.run(st, &qs, ec)
+	finish(err)
 	qs.publish(time.Since(start).Seconds())
 	if err != nil {
 		engQueryErrors.Inc()
@@ -216,12 +320,11 @@ func (db *DB) Run(st Statement) (*Table, error) {
 	return t, err
 }
 
-func (db *DB) run(st Statement, qs *QueryStats) (*Table, error) {
+func (db *DB) run(st Statement, qs *QueryStats, ec *ExecContext) (*Table, error) {
 	switch s := st.(type) {
 	case *ExplainStmt:
-		return db.runExplain(s, qs)
+		return db.runExplain(s, qs, ec)
 	case *SelectStmt:
-		ec := db.execCtx()
 		if m := db.Merge(s.From); m != nil {
 			if len(s.Joins) > 0 {
 				return nil, fmt.Errorf("engine: JOIN over merge tables is not supported")
@@ -266,13 +369,13 @@ func (db *DB) run(st Statement, qs *QueryStats) (*Table, error) {
 // inner statement (sharing the caller's QueryStats, so the statement still
 // publishes exactly once) and renders the measured tree. Either way the
 // result is a one-column table of plan lines.
-func (db *DB) runExplain(s *ExplainStmt, qs *QueryStats) (*Table, error) {
+func (db *DB) runExplain(s *ExplainStmt, qs *QueryStats, ec *ExecContext) (*Table, error) {
 	if s.Analyze {
 		var local QueryStats
 		if qs == nil {
 			qs = &local
 		}
-		if _, err := db.run(s.Stmt, qs); err != nil {
+		if _, err := db.run(s.Stmt, qs, ec); err != nil {
 			return nil, err
 		}
 		return planTable(qs.Root, true)

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // execSelect runs a parsed SELECT over an input table. It implements the
@@ -20,6 +21,10 @@ func execSelect(ec *ExecContext, st *SelectStmt, input *Table, qs *QueryStats) (
 	if qs != nil {
 		qs.RowsScanned += input.NumRows()
 		qs.Vectors += len(input.Schema())
+	}
+	ec.addRows(input.NumRows())
+	if err := ec.interrupted(); err != nil {
+		return nil, err
 	}
 
 	// WHERE: compute a selection vector morsel-wise and gather once.
@@ -45,6 +50,9 @@ func execSelect(ec *ExecContext, st *SelectStmt, input *Table, qs *QueryStats) (
 		}
 		sg.end(out)
 		if len(st.OrderBy) > 0 {
+			if err := ec.interrupted(); err != nil {
+				return nil, err
+			}
 			so := qs.beginStage("order", orderDetail(st.OrderBy), out.NumRows())
 			out, err = execOrderBy(st.OrderBy, out)
 			if err != nil {
@@ -57,6 +65,9 @@ func execSelect(ec *ExecContext, st *SelectStmt, input *Table, qs *QueryStats) (
 		// (SELECT id ... ORDER BY age), as well as projection aliases. Build
 		// an extended table carrying both, sort it, then project.
 		if len(st.OrderBy) > 0 {
+			if err := ec.interrupted(); err != nil {
+				return nil, err
+			}
 			sp := qs.beginStage("project", "extend", t.NumRows())
 			ext, outNames, err := extendWithProjection(st, t)
 			if err != nil {
@@ -76,6 +87,9 @@ func execSelect(ec *ExecContext, st *SelectStmt, input *Table, qs *QueryStats) (
 			}
 			sf.end(out)
 		} else {
+			if err := ec.interrupted(); err != nil {
+				return nil, err
+			}
 			sp := qs.beginStage("project", projectDetail(st), t.NumRows())
 			out, err = execProject(st, t)
 			if err != nil {
@@ -770,9 +784,12 @@ func execAggregate(ec *ExecContext, st *SelectStmt, t *Table, node *PlanNode) (*
 		}
 	}
 
-	// 3. Per-morsel partial aggregation (parallel).
+	// 3. Per-morsel partial aggregation (parallel). Each morsel charges its
+	// partial's approximate footprint once (key vectors + per-group state);
+	// the total is released after the combine, when the partials die.
 	ms := ec.morselsOf(t.NumRows())
 	partials := make([]*morselAgg, len(ms))
+	var partialBytes atomic.Int64
 	err := ec.parallelFor(len(ms), func(i int) error {
 		m := ms[i]
 		part := t.Slice(m.lo, m.hi)
@@ -818,6 +835,11 @@ func execAggregate(ec *ExecContext, st *SelectStmt, t *Table, node *PlanNode) (*
 			ma.states[k] = s
 		}
 		partials[i] = ma
+		if ec != nil && ec.Acct != nil {
+			b := ma.approxBytes(localGroups)
+			partialBytes.Add(b)
+			ec.charge(b)
+		}
 		node.AddMorsels(1)
 		return nil
 	})
@@ -888,6 +910,10 @@ func execAggregate(ec *ExecContext, st *SelectStmt, t *Table, node *PlanNode) (*
 	if err != nil {
 		return nil, err
 	}
+	// The partials are garbage after the combine; the intermediate table is
+	// the stage's live payload now.
+	ec.release(partialBytes.Load())
+	ec.charge(mid.ByteSize())
 
 	// 6. HAVING filter (group counts are small: serial).
 	if having != nil {
@@ -909,7 +935,26 @@ func execAggregate(ec *ExecContext, st *SelectStmt, t *Table, node *PlanNode) (*
 		outSchema[i] = ColumnDef{Name: it.Alias, Type: v.Type()}
 		outCols[i] = v
 	}
-	return NewTableFromVectors(outSchema, outCols)
+	out, err := NewTableFromVectors(outSchema, outCols)
+	if err != nil {
+		return nil, err
+	}
+	ec.charge(out.ByteSize())
+	return out, nil
+}
+
+// approxBytes estimates one morsel partial's footprint: the evaluated key
+// vectors plus a coarse per-group, per-aggregate state cost. An estimate is
+// enough — the accountant tracks operator-scale allocations, not bytes-exact
+// heap usage.
+func (ma *morselAgg) approxBytes(localGroups int) int64 {
+	var b int64
+	for _, v := range ma.keyVecs {
+		b += v.ByteSize()
+	}
+	b += int64(len(ma.hashes))*8 + int64(len(ma.rows))*4
+	b += int64(localGroups) * int64(len(ma.states)) * 48
+	return b
 }
 
 // appendKeyRow appends row r of src to out with a typed copy (NULL stays

@@ -45,6 +45,7 @@ func (db *DB) buildJoined(ec *ExecContext, st *SelectStmt, qs *QueryStats) (*Tab
 		}
 		t0 := time.Now()
 		node := &PlanNode{Op: "join", Detail: joinDetail(jc)}
+		ec.setOperator("join " + joinDetail(jc))
 		joined, err := hashJoin(ec, cur, qualifyTable(right, ra), jc, node)
 		if err != nil {
 			return nil, err
@@ -215,11 +216,17 @@ func hashJoin(ec *ExecContext, left, right *Table, jc JoinClause, node *PlanNode
 
 	// Build side: index the right table's key tuples (serial, row order)
 	// and lay the rows of each distinct key out in CSR form so probes emit
-	// matches in right row order.
+	// matches in right row order. The serial loop polls for cancellation at
+	// batch-size strides, so a killed query aborts mid-build.
 	index := newGroupIndex(right.NumRows())
 	buildSrc := index.addSource(rKeyCols)
 	groupOf := make([]int32, right.NumRows())
 	for r := range groupOf {
+		if r&4095 == 0 {
+			if err := ec.interrupted(); err != nil {
+				return nil, err
+			}
+		}
 		if rNulls != nil && rNulls[r] {
 			groupOf[r] = -1
 			continue
@@ -247,6 +254,13 @@ func hashJoin(ec *ExecContext, left, right *Table, jc JoinClause, node *PlanNode
 	if node != nil {
 		node.Groups = int64(groups)
 	}
+	// Charge the join's transient payloads in one shot: both sides' key
+	// hashes, the build index's CSR arrays and group map. Released after the
+	// output is materialized and they become garbage.
+	buildBytes := int64(right.NumRows()+left.NumRows())*8 +
+		int64(len(groupOf)+len(off)+len(matchRows))*4 +
+		int64(groups)*16 // group-index slots/refs, approximate
+	ec.charge(buildBytes)
 
 	// Probe side: per-morsel selection vectors into the immutable index
 	// (find never mutates, so all probe workers share it).
@@ -257,7 +271,7 @@ func hashJoin(ec *ExecContext, left, right *Table, jc JoinClause, node *PlanNode
 	}
 	type probeOut struct{ lsel, rsel []int32 }
 	parts := make([]probeOut, len(ms))
-	_ = ec.parallelFor(len(ms), func(i int) error {
+	err = ec.parallelFor(len(ms), func(i int) error {
 		m := ms[i]
 		lsel := getSelBuf(m.hi - m.lo)
 		rsel := getSelBuf(m.hi - m.lo)
@@ -281,6 +295,9 @@ func hashJoin(ec *ExecContext, left, right *Table, jc JoinClause, node *PlanNode
 		node.AddMorsels(1)
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	total := 0
 	for _, p := range parts {
 		total += len(p.lsel)
@@ -309,6 +326,8 @@ func hashJoin(ec *ExecContext, left, right *Table, jc JoinClause, node *PlanNode
 		return nil
 	})
 	out := &Table{schema: schema, cols: cols}
+	ec.charge(out.ByteSize())
+	ec.release(buildBytes)
 	if residual != nil {
 		sel, err := ec.filterSel(residual, out, node)
 		if err != nil {

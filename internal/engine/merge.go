@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -21,6 +22,15 @@ type Part interface {
 	Query(sql string) (*Table, error)
 }
 
+// CtxPart is an optional Part extension: parts that implement it receive
+// the querying statement's context, so cancelling a merge query on this
+// node propagates to the part's own execution (engine-level for LocalPart,
+// a cancelled RPC for federation transports). Plain Parts keep working —
+// they just run to completion after a cancel.
+type CtxPart interface {
+	QueryCtx(ctx context.Context, sql string) (*Table, error)
+}
+
 // LocalPart adapts a local DB table as a merge-table part (used in tests
 // and single-process deployments).
 type LocalPart struct {
@@ -33,6 +43,11 @@ func (p *LocalPart) PartName() string { return p.Name }
 
 // Query implements Part.
 func (p *LocalPart) Query(sql string) (*Table, error) { return p.DB.Query(sql) }
+
+// QueryCtx implements CtxPart.
+func (p *LocalPart) QueryCtx(ctx context.Context, sql string) (*Table, error) {
+	return p.DB.QueryCtx(ctx, sql)
+}
 
 // MergeTable is a non-materialized UNION ALL view over parts holding
 // identically-schemed tables (MonetDB's remote+merge tables, which MIP uses
@@ -98,7 +113,8 @@ func (m *MergeTable) execMaterialize(ec *ExecContext, st *SelectStmt, qs *QueryS
 		sql += " WHERE " + st.Where.String()
 	}
 	t0 := time.Now()
-	parts, failed, err := m.queryAll(sql)
+	ec.setOperator("merge materialize " + m.TableName)
+	parts, failed, err := m.queryAll(ec, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -167,7 +183,11 @@ func (m *MergeTable) plantPlan(qs *QueryStats, mode string, parts []partResult, 
 // surviving results plus the names of failed parts; with MinParts unset
 // any failure is fatal, otherwise failures are tolerated down to MinParts
 // survivors.
-func (m *MergeTable) queryAll(sql string) ([]partResult, []string, error) {
+func (m *MergeTable) queryAll(ec *ExecContext, sql string) ([]partResult, []string, error) {
+	var ctx context.Context
+	if ec != nil {
+		ctx = ec.Ctx
+	}
 	out := make([]*Table, len(m.Parts))
 	nanos := make([]int64, len(m.Parts))
 	errs := make([]error, len(m.Parts))
@@ -177,7 +197,15 @@ func (m *MergeTable) queryAll(sql string) ([]partResult, []string, error) {
 		go func(i int, p Part) {
 			defer wg.Done()
 			t0 := time.Now()
-			t, err := p.Query(sql)
+			var t *Table
+			var err error
+			// Parts that understand contexts get the statement's: cancelling
+			// this merge query cancels the part-side execution mid-flight.
+			if cp, ok := p.(CtxPart); ok && ctx != nil {
+				t, err = cp.QueryCtx(ctx, sql)
+			} else {
+				t, err = p.Query(sql)
+			}
 			nanos[i] = time.Since(t0).Nanoseconds()
 			if err != nil {
 				errs[i] = fmt.Errorf("part %s: %w", p.PartName(), err)
@@ -187,6 +215,9 @@ func (m *MergeTable) queryAll(sql string) ([]partResult, []string, error) {
 		}(i, p)
 	}
 	wg.Wait()
+	if err := ec.interrupted(); err != nil {
+		return nil, nil, err
+	}
 	var ok []partResult
 	var failed []string
 	var failErrs []error
@@ -446,7 +477,8 @@ func (m *MergeTable) execPushdown(ec *ExecContext, st *SelectStmt, specs []parti
 
 	// 2. Fan out.
 	t0 := time.Now()
-	partTables, failed, err := m.queryAll(sql)
+	ec.setOperator("merge pushdown " + m.TableName)
+	partTables, failed, err := m.queryAll(ec, sql)
 	if err != nil {
 		return nil, err
 	}

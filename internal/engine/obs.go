@@ -20,18 +20,34 @@ type QueryStats struct {
 	ProjectNanos   int64 // projection stage
 	JoinNanos      int64 // hash-join build+probe
 	MergeNanos     int64 // merge-table part fan-out
+	// MemPeakBytes is the query's peak accounted memory (coarse operator
+	// charges: materialized outputs, hash/CSR payloads, partial aggregates).
+	MemPeakBytes int64
+	// Verdict records how the statement ended: completed, cancelled,
+	// deadline, mem-limit, or error. Empty when governance was disabled.
+	Verdict string
 	// Root is the executed operator tree (profiled plan). Nil for DDL/DML
 	// statements and for callers that executed with a nil QueryStats.
 	Root *PlanNode
+
+	acct   *MemAccountant // the query's accountant, for stage memory deltas
+	handle *queryHandle   // live registry record (current operator, rows)
 }
 
 // AttrMap renders the stats as span attributes.
 func (qs *QueryStats) AttrMap() map[string]string {
-	return map[string]string{
+	m := map[string]string{
 		"rows_scanned": strconv.Itoa(qs.RowsScanned),
 		"rows_out":     strconv.Itoa(qs.RowsOut),
 		"vectors":      strconv.Itoa(qs.Vectors),
 	}
+	if qs.MemPeakBytes > 0 {
+		m["mem_peak_bytes"] = strconv.FormatInt(qs.MemPeakBytes, 10)
+	}
+	if qs.Verdict != "" {
+		m["verdict"] = qs.Verdict
+	}
+	return m
 }
 
 var (

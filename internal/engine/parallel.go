@@ -20,10 +20,12 @@ package engine
 //     deadlocking or queueing unboundedly.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultMorselSize is the number of rows per morsel. It is a multiple of
@@ -109,6 +111,67 @@ type ExecContext struct {
 	// MorselSize is the row-range length tables are split into. It must be
 	// a multiple of 64 (bitmap word alignment); NewDB enforces this.
 	MorselSize int
+	// Ctx, when non-nil, carries the statement's cancellation signal
+	// (explicit kill, deadline, memory ceiling). Morsel loops poll it at
+	// batch boundaries; parallelFor aborts in-flight morsels.
+	Ctx context.Context
+	// Acct, when non-nil, receives coarse per-operator memory charges.
+	Acct *MemAccountant
+	// QueryDeadline, when positive, bounds every statement's wall time.
+	QueryDeadline time.Duration
+	// QueryMemLimit, when positive, caps a statement's accounted live bytes.
+	QueryMemLimit int64
+	// NoAccounting skips registration, cancellation contexts and memory
+	// accounting (the benchmark harness measures this off path).
+	NoAccounting bool
+
+	query *queryHandle // active-registry handle; nil when unregistered
+}
+
+// interrupted reports the statement's termination cause (cancellation,
+// deadline, memory ceiling), or nil while it may keep running. Checked at
+// morsel and operator boundaries, never per row.
+func (ec *ExecContext) interrupted() error {
+	if ec == nil || ec.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-ec.Ctx.Done():
+		if cause := context.Cause(ec.Ctx); cause != nil {
+			return cause
+		}
+		return ec.Ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// charge accounts n freshly allocated bytes against the query.
+func (ec *ExecContext) charge(n int64) {
+	if ec != nil {
+		ec.Acct.Charge(n)
+	}
+}
+
+// release returns n bytes of a freed transient structure.
+func (ec *ExecContext) release(n int64) {
+	if ec != nil {
+		ec.Acct.Release(n)
+	}
+}
+
+// addRows tallies input rows on the live registry record.
+func (ec *ExecContext) addRows(n int) {
+	if ec != nil && ec.query != nil {
+		ec.query.addRows(int64(n))
+	}
+}
+
+// setOperator records the operator the query is currently in.
+func (ec *ExecContext) setOperator(op string) {
+	if ec != nil {
+		ec.query.setOp(op)
+	}
 }
 
 func (ec *ExecContext) parallelism() int {
@@ -174,6 +237,9 @@ func (ec *ExecContext) parallelFor(n int, fn func(i int) error) error {
 	degree := ec.degreeFor(n)
 	if degree == 1 {
 		for i := 0; i < n; i++ {
+			if err := ec.interrupted(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -204,6 +270,11 @@ func (ec *ExecContext) parallelFor(n int, fn func(i int) error) error {
 		for {
 			i := int(next.Add(1) - 1)
 			if i >= n || failed.Load() {
+				return
+			}
+			if err := ec.interrupted(); err != nil {
+				errOnce.Do(func() { firstErr = err })
+				failed.Store(true)
 				return
 			}
 			if err := fn(i); err != nil {
@@ -286,14 +357,18 @@ func (ec *ExecContext) filterSel(pred Expr, t *Table, node *PlanNode) ([]int32, 
 // pool (each output column is independent).
 func (ec *ExecContext) gather(t *Table, sel []int32) *Table {
 	if ec.degreeFor(t.NumCols()) == 1 || len(sel) < ec.morselSize() {
-		return t.Gather(sel)
+		out := t.Gather(sel)
+		ec.charge(out.ByteSize())
+		return out
 	}
 	cols := make([]*Vector, t.NumCols())
 	_ = ec.parallelFor(len(cols), func(i int) error {
 		cols[i] = t.Col(i).Gather(sel)
 		return nil
 	})
-	return &Table{schema: t.schema, cols: cols}
+	out := &Table{schema: t.schema, cols: cols}
+	ec.charge(out.ByteSize())
+	return out
 }
 
 // concatTables unions the rows of every part (schemas must match) into one
@@ -323,7 +398,9 @@ func (ec *ExecContext) concatTables(schema Schema, parts []*Table) (*Table, erro
 	if len(schema) == 0 {
 		return &Table{schema: schema}, nil
 	}
-	return &Table{schema: schema, cols: cols}, nil
+	out := &Table{schema: schema, cols: cols}
+	ec.charge(out.ByteSize())
+	return out, nil
 }
 
 // concatVectors concatenates typed payloads in order. String vectors are

@@ -33,7 +33,10 @@ type PlanNode struct {
 	// Groups is the number of distinct key tuples the operator's hash table
 	// held: groups for an aggregate, build-side keys for a join. Written at
 	// the combine quiesce point (single goroutine), zero when not grouping.
-	Groups   int64       `json:"groups,omitempty"`
+	Groups int64 `json:"groups,omitempty"`
+	// MemBytes is the net accounted memory the operator charged (its stage
+	// delta against the query's MemAccountant); zero when accounting is off.
+	MemBytes int64       `json:"mem_bytes,omitempty"`
 	Children []*PlanNode `json:"children,omitempty"`
 }
 
@@ -68,6 +71,9 @@ func (n *PlanNode) Attrs() map[string]string {
 	}
 	if n.Groups > 0 {
 		a["groups"] = strconv.FormatInt(n.Groups, 10)
+	}
+	if n.MemBytes > 0 {
+		a["mem_bytes"] = strconv.FormatInt(n.MemBytes, 10)
 	}
 	return a
 }
@@ -111,6 +117,9 @@ func (n *PlanNode) Render(analyzed bool) []string {
 			}
 			if n.Groups > 0 {
 				fmt.Fprintf(&b, " groups=%d", n.Groups)
+			}
+			if n.MemBytes > 0 {
+				fmt.Fprintf(&b, " mem=%d", n.MemBytes)
 			}
 			b.WriteString(")")
 		} else {
@@ -166,14 +175,16 @@ func scanPlanNode(name string, t *Table) *PlanNode {
 // stage profiles one pipeline operator. A nil *stage (from a nil
 // *QueryStats) is inert, so executor code calls begin/end unconditionally.
 type stage struct {
-	qs    *QueryStats
-	node  *PlanNode
-	start time.Time
+	qs       *QueryStats
+	node     *PlanNode
+	start    time.Time
+	memStart int64 // accounted live bytes when the stage opened
 }
 
 // beginStage opens a profiling stage: a new plan node whose input is the
 // current plan root (the pipeline is linear; joins and merge fan-ins build
-// their multi-child nodes by hand).
+// their multi-child nodes by hand). It also marks the operator as the
+// query's current one in the active-query registry.
 func (qs *QueryStats) beginStage(op, detail string, rowsIn int) *stage {
 	if qs == nil {
 		return nil
@@ -183,7 +194,14 @@ func (qs *QueryStats) beginStage(op, detail string, rowsIn int) *stage {
 		n.Children = append(n.Children, qs.Root)
 	}
 	qs.Root = n
-	return &stage{qs: qs, node: n, start: time.Now()}
+	if qs.handle != nil {
+		label := op
+		if detail != "" {
+			label += " " + detail
+		}
+		qs.handle.setOp(label)
+	}
+	return &stage{qs: qs, node: n, start: time.Now(), memStart: qs.acct.Live()}
 }
 
 // planNode returns the stage's plan node (nil for an inert stage); morsel
@@ -216,6 +234,11 @@ func (s *stage) end(out *Table) {
 		s.node.RowsOut = int64(out.NumRows())
 		s.node.Batches = int64(out.NumCols())
 		s.node.Bytes = out.ByteSize()
+	}
+	if s.qs.acct != nil {
+		if d := s.qs.acct.Live() - s.memStart; d > 0 {
+			s.node.MemBytes = d
+		}
 	}
 	switch s.node.Op {
 	case "filter":

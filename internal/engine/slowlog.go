@@ -16,6 +16,10 @@ type SlowQuery struct {
 	Error       string    `json:"error,omitempty"`
 	When        time.Time `json:"when"`
 	Plan        []string  `json:"plan,omitempty"`
+	// MemPeakBytes is the query's peak accounted memory; Reason is its
+	// governance verdict (completed/cancelled/deadline/mem-limit/error).
+	MemPeakBytes int64  `json:"mem_peak_bytes,omitempty"`
+	Reason       string `json:"reason,omitempty"`
 }
 
 // SlowLog is a fixed-capacity ring buffer of statements that ran longer
@@ -69,6 +73,8 @@ func (l *SlowLog) observe(sql string, elapsed time.Duration, qs *QueryStats, err
 	if qs != nil {
 		rec.RowsScanned = qs.RowsScanned
 		rec.RowsOut = qs.RowsOut
+		rec.MemPeakBytes = qs.MemPeakBytes
+		rec.Reason = qs.Verdict
 		if qs.Root != nil {
 			rec.Plan = qs.Root.Render(true)
 		}

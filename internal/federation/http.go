@@ -19,6 +19,7 @@ import (
 // and message queues. Endpoints:
 //
 //	POST /localrun  — execute a local step (LocalRunRequest → LocalRunResponse)
+//	POST /cancel    — abort an in-flight step by job id
 //	POST /query     — run SQL against the worker engine (non-sensitive mode)
 //	GET  /datasets  — list hosted datasets
 //	GET  /healthz   — liveness + worker status JSON
@@ -47,6 +48,7 @@ func (s *WorkerServer) Handler() http.Handler {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /localrun", s.handleLocalRun)
+	mux.HandleFunc("POST /cancel", s.handleCancel)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /datasets", s.handleDatasets)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -77,12 +79,25 @@ func (s *WorkerServer) handleLocalRun(w http.ResponseWriter, r *http.Request) {
 			req.Trace = &ref
 		}
 	}
-	resp, err := s.Worker.LocalRun(req)
+	resp, err := s.Worker.LocalRunCtx(r.Context(), req)
 	if err != nil {
 		writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCancel aborts an in-flight step by job id (the master-side kill
+// path). The response reports whether a live job was found.
+func (s *WorkerServer) handleCancel(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"cancelled": s.Worker.CancelJob(req.JobID)})
 }
 
 func (s *WorkerServer) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -97,7 +112,7 @@ func (s *WorkerServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
-	t, err := s.Worker.Query(req.SQL)
+	t, err := s.Worker.QueryCtx(r.Context(), req.SQL)
 	if err != nil {
 		writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
 		return
@@ -214,6 +229,12 @@ func (c *HTTPWorkerClient) httpClient() *http.Client {
 // surfacing worker-side error bodies as `worker <id>: HTTP <code>: <msg>`
 // instead of opaque transport errors.
 func (c *HTTPWorkerClient) do(method, path string, timeout time.Duration, trace *obs.TraceRef, in, out any) error {
+	return c.doCtx(context.Background(), method, path, timeout, trace, in, out)
+}
+
+// doCtx is do under a caller context: cancelling it aborts the in-flight
+// request, which the worker server sees as its request context dying.
+func (c *HTTPWorkerClient) doCtx(parent context.Context, method, path string, timeout time.Duration, trace *obs.TraceRef, in, out any) error {
 	var body io.Reader
 	var sent int
 	if in != nil {
@@ -224,7 +245,7 @@ func (c *HTTPWorkerClient) do(method, path string, timeout time.Duration, trace 
 		sent = len(enc)
 		body = bytes.NewReader(enc)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(parent, timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
@@ -315,10 +336,30 @@ func (c *HTTPWorkerClient) LocalRun(req LocalRunRequest) (LocalRunResponse, erro
 	return resp, err
 }
 
+// CancelJob implements the master's optional job-canceller interface: POST
+// /cancel aborts the named step on the worker. Returns whether the worker
+// found a live job to cancel.
+func (c *HTTPWorkerClient) CancelJob(jobID string) bool {
+	var out struct {
+		Cancelled bool `json:"cancelled"`
+	}
+	if err := c.do(http.MethodPost, "/cancel", c.metaTimeout(), nil, map[string]string{"job_id": jobID}, &out); err != nil {
+		return false
+	}
+	return out.Cancelled
+}
+
 // Query implements WorkerClient.
 func (c *HTTPWorkerClient) Query(sql string) (*engine.Table, error) {
+	return c.QueryCtx(context.Background(), sql)
+}
+
+// QueryCtx implements the master's optional context-aware query interface:
+// cancelling the context tears down the HTTP request, which cancels the
+// worker-side engine execution through the server's request context.
+func (c *HTTPWorkerClient) QueryCtx(ctx context.Context, sql string) (*engine.Table, error) {
 	var wt WireTable
-	if err := c.do(http.MethodPost, "/query", c.runTimeout(), nil, map[string]string{"sql": sql}, &wt); err != nil {
+	if err := c.doCtx(ctx, http.MethodPost, "/query", c.runTimeout(), nil, map[string]string{"sql": sql}, &wt); err != nil {
 		return nil, err
 	}
 	return DecodeTable(&wt)

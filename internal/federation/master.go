@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -49,6 +50,10 @@ type Master struct {
 	stopProbe chan struct{}
 	closeOnce sync.Once
 	now       func() time.Time
+
+	// engineOpts configure the transient merge databases master-side
+	// queries run on (WithEngineOptions).
+	engineOpts []engine.Option
 }
 
 // MasterOption configures a Master.
@@ -63,6 +68,14 @@ func WithBreaker(b BreakerConfig) MasterOption {
 // new sessions and by MergeQuery.
 func WithTolerance(t Tolerance) MasterOption {
 	return func(m *Master) { m.tolerance = t }
+}
+
+// WithEngineOptions sets the engine options applied to the master's
+// transient merge databases (MergeQuery, Explain) — parallelism and the
+// per-query deadline/memory ceilings, so a federated statement is governed
+// on the master exactly like a worker-local one.
+func WithEngineOptions(opts ...engine.Option) MasterOption {
+	return func(m *Master) { m.engineOpts = opts }
 }
 
 // Security selects the aggregation path for a master.
@@ -306,6 +319,7 @@ func (m *Master) NewSession(datasets []string) (*Session, error) {
 		workers:   ws,
 		datasets:  datasets,
 		tolerance: tol,
+		cancelCh:  make(chan struct{}),
 	}, nil
 }
 
@@ -326,7 +340,7 @@ func (m *Master) MergeQueryDegraded(datasets []string, sql string) (*engine.Tabl
 	if len(ws) == 0 {
 		return nil, nil, fmt.Errorf("federation: no worker holds datasets %v", datasets)
 	}
-	mdb := engine.NewDB()
+	mdb := engine.NewDB(m.engineOpts...)
 	mt := &engine.MergeTable{TableName: DataTable}
 	for _, w := range ws {
 		mt.Parts = append(mt.Parts, &workerPart{w: w, m: m})
@@ -357,7 +371,7 @@ func (m *Master) Explain(datasets []string, sql string, analyze bool) ([]string,
 	if len(ws) == 0 {
 		return nil, fmt.Errorf("federation: no worker holds datasets %v", datasets)
 	}
-	mdb := engine.NewDB()
+	mdb := engine.NewDB(m.engineOpts...)
 	mt := &engine.MergeTable{TableName: DataTable}
 	for _, w := range ws {
 		mt.Parts = append(mt.Parts, &workerPart{w: w, m: m})
@@ -388,13 +402,38 @@ type workerPart struct {
 	m *Master
 }
 
+// ctxQueryClient is the optional WorkerClient extension for context-aware
+// remote queries; *Worker and the HTTP client implement it. Kept optional so
+// existing fakes satisfying plain WorkerClient keep compiling.
+type ctxQueryClient interface {
+	QueryCtx(ctx context.Context, sql string) (*engine.Table, error)
+}
+
+// jobCanceller is the optional WorkerClient extension for aborting an
+// in-flight step by job id.
+type jobCanceller interface {
+	CancelJob(jobID string) bool
+}
+
 func (p *workerPart) PartName() string { return p.w.ID() }
 
 func (p *workerPart) Query(sql string) (*engine.Table, error) {
+	return p.QueryCtx(context.Background(), sql)
+}
+
+// QueryCtx implements engine.CtxPart: cancelling a federated merge query on
+// the master propagates to workers that understand contexts.
+func (p *workerPart) QueryCtx(ctx context.Context, sql string) (*engine.Table, error) {
 	if p.m != nil && !p.m.allowCall(p.w.ID()) {
 		return nil, fmt.Errorf("worker %s: %w", p.w.ID(), ErrCircuitOpen)
 	}
-	t, err := p.w.Query(sql)
+	var t *engine.Table
+	var err error
+	if cq, ok := p.w.(ctxQueryClient); ok {
+		t, err = cq.QueryCtx(ctx, sql)
+	} else {
+		t, err = p.w.Query(sql)
+	}
 	if p.m != nil {
 		p.m.reportResult(p.w.ID(), err)
 	}
@@ -412,6 +451,14 @@ type Session struct {
 	stepSeq   int
 	trace     obs.TraceRef // zero value disables tracing
 	tolerance Tolerance
+
+	// End-to-end cancellation: Cancel closes cancelCh (failing the current
+	// and any future step) and sends a cancel RPC for the in-flight job to
+	// every worker, so worker-side engine queries abort mid-step.
+	cancelOnce sync.Once
+	cancelCh   chan struct{} // nil in zero-value Sessions: never cancellable
+	jobMu      sync.Mutex
+	curJob     string
 
 	// dropped accumulates the ids of workers excluded from degraded steps
 	// (partial-aggregate metadata surfaced by the API).
@@ -480,6 +527,46 @@ func (s *Session) recordDropped(ids []string) {
 func (s *Session) nextJobID() string {
 	s.stepSeq++
 	return fmt.Sprintf("%s/step-%d", s.id, s.stepSeq)
+}
+
+// Cancel aborts the experiment: the in-flight step fails immediately on the
+// master, a cancel RPC for the current job fans out to every worker (so
+// their engine queries stop mid-batch), and any future step of this session
+// fails fast. Safe to call from any goroutine, more than once.
+func (s *Session) Cancel() {
+	if s.cancelCh == nil {
+		return
+	}
+	s.cancelOnce.Do(func() { close(s.cancelCh) })
+	s.jobMu.Lock()
+	job := s.curJob
+	s.jobMu.Unlock()
+	s.cancelWorkers(job)
+}
+
+// Cancelled reports whether Cancel has been called.
+func (s *Session) Cancelled() bool {
+	if s.cancelCh == nil {
+		return false
+	}
+	select {
+	case <-s.cancelCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// cancelWorkers fans a CancelJob to every session worker that supports it.
+func (s *Session) cancelWorkers(jobID string) {
+	if jobID == "" {
+		return
+	}
+	for _, w := range s.workers {
+		if jc, ok := w.(jobCanceller); ok {
+			jc.CancelJob(jobID)
+		}
+	}
 }
 
 // DataQuery builds the SQL for a step's relation input: the requested
@@ -571,7 +658,13 @@ func (s *Session) LocalRun(spec LocalRunSpec) ([]Transfer, error) {
 // every worker's shares), and the survivors' responses are returned with
 // the dropped ids recorded on the session and the step span.
 func (s *Session) localRun(spec LocalRunSpec, secureKeys []string, parentSpan string) ([]LocalRunResponse, error) {
+	if s.Cancelled() {
+		return nil, fmt.Errorf("federation: experiment %s: %w", s.id, engine.ErrQueryCancelled)
+	}
 	jobID := s.nextJobID()
+	s.jobMu.Lock()
+	s.curJob = jobID
+	s.jobMu.Unlock()
 	dq := spec.DataQuery
 	if dq == "" {
 		dq = s.DataQuery(spec.Vars, spec.Filter, !spec.KeepNA)
@@ -640,7 +733,8 @@ func (s *Session) localRun(spec LocalRunSpec, secureKeys []string, parentSpan st
 		deadline = timer.C
 	}
 	timedOut := false
-	for received := 0; received < launched && !timedOut; {
+	cancelled := false
+	for received := 0; received < launched && !timedOut && !cancelled; {
 		select {
 		case r := <-ch:
 			received++
@@ -652,7 +746,18 @@ func (s *Session) localRun(spec LocalRunSpec, secureKeys []string, parentSpan st
 			}
 		case <-deadline:
 			timedOut = true
+		case <-s.cancelCh:
+			// Experiment killed mid-step: fan the cancel to the workers so
+			// their in-engine executions stop, then fail the step. Stragglers
+			// still drain into the buffered channel — no goroutine leaks.
+			cancelled = true
+			s.cancelWorkers(jobID)
 		}
+	}
+	if cancelled {
+		err := fmt.Errorf("federation: experiment %s: %w", s.id, engine.ErrQueryCancelled)
+		step.SetError(err)
+		return nil, err
 	}
 	if timedOut {
 		for i, w := range s.workers {

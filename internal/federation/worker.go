@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -91,9 +92,10 @@ const jobDedupeCap = 256
 // the master's retry layer) return the original result instead of running
 // the step — and, on the secure path, re-importing shares — twice.
 type jobEntry struct {
-	done chan struct{} // closed when resp/err are final
-	resp LocalRunResponse
-	err  error
+	done   chan struct{} // closed when resp/err are final
+	cancel context.CancelCauseFunc
+	resp   LocalRunResponse
+	err    error
 }
 
 // WorkerOption configures a Worker.
@@ -165,6 +167,33 @@ func (w *Worker) Datasets() ([]string, error) {
 // deployments only; production MIP disables raw remote queries).
 func (w *Worker) Query(sql string) (*engine.Table, error) { return w.db.Query(sql) }
 
+// QueryCtx is Query scoped by a caller context: cancelling it aborts the
+// engine execution at the next batch boundary. Federation transports use it
+// so a master-side kill reaches the worker's engine.
+func (w *Worker) QueryCtx(ctx context.Context, sql string) (*engine.Table, error) {
+	return w.db.QueryCtx(ctx, sql)
+}
+
+// CancelJob aborts a step that is still executing under the given JobID.
+// Returns true if a live job was found and its cancellation triggered. The
+// dedupe entry is cleared once the step unwinds, so a later replay of the
+// same JobID re-executes instead of returning the cancelled error forever.
+func (w *Worker) CancelJob(jobID string) bool {
+	w.mu.Lock()
+	e, ok := w.jobs[jobID]
+	w.mu.Unlock()
+	if !ok || e.cancel == nil {
+		return false
+	}
+	select {
+	case <-e.done:
+		return false // already finished; nothing to cancel
+	default:
+	}
+	e.cancel(engine.ErrQueryCancelled)
+	return true
+}
+
 // LocalRun implements WorkerClient: executes a local step inside the
 // engine via the UDF generator, applies disclosure control, and routes the
 // transfer through the requested path. When the request carries a trace
@@ -178,14 +207,23 @@ func (w *Worker) Query(sql string) (*engine.Table, error) { return w.db.Query(sq
 // critical on the secure path, where re-running a step would import its
 // secret shares into the SMPC cluster a second time.
 func (w *Worker) LocalRun(req LocalRunRequest) (LocalRunResponse, error) {
+	return w.LocalRunCtx(context.Background(), req)
+}
+
+// LocalRunCtx is LocalRun scoped by a caller context. Cancelling the context
+// — or calling CancelJob with the step's JobID — aborts the in-engine
+// execution at the next batch boundary, so a master-side experiment kill
+// stops workers mid-step.
+func (w *Worker) LocalRunCtx(ctx context.Context, req LocalRunRequest) (LocalRunResponse, error) {
 	if req.JobID == "" {
-		return w.runStep(req)
+		return w.runStep(ctx, req)
 	}
 	for {
 		w.mu.Lock()
 		e, ok := w.jobs[req.JobID]
 		if !ok {
-			e = &jobEntry{done: make(chan struct{})}
+			jctx, jcancel := context.WithCancelCause(ctx)
+			e = &jobEntry{done: make(chan struct{}), cancel: jcancel}
 			w.jobs[req.JobID] = e
 			w.jobOrder = append(w.jobOrder, req.JobID)
 			for len(w.jobOrder) > jobDedupeCap {
@@ -193,7 +231,8 @@ func (w *Worker) LocalRun(req LocalRunRequest) (LocalRunResponse, error) {
 				w.jobOrder = w.jobOrder[1:]
 			}
 			w.mu.Unlock()
-			e.resp, e.err = w.runStep(req)
+			e.resp, e.err = w.runStep(jctx, req)
+			jcancel(nil)
 			close(e.done)
 			return e.resp, e.err
 		}
@@ -216,12 +255,12 @@ func (w *Worker) LocalRun(req LocalRunRequest) (LocalRunResponse, error) {
 var workerLog = obs.Logger("worker")
 
 // runStep executes one local step unconditionally (no dedupe).
-func (w *Worker) runStep(req LocalRunRequest) (LocalRunResponse, error) {
+func (w *Worker) runStep(ctx context.Context, req LocalRunRequest) (LocalRunResponse, error) {
 	fedWorkerRuns.Inc()
 	span := obs.DefaultTraces.StartSpanRef(req.Trace, "exec "+req.Func)
 	span.SetAttr("worker", w.id)
 	start := time.Now()
-	resp, err := w.doLocalRun(req, span)
+	resp, err := w.doLocalRun(ctx, req, span)
 	span.SetError(err)
 	span.End()
 	if span != nil {
@@ -237,8 +276,16 @@ func (w *Worker) runStep(req LocalRunRequest) (LocalRunResponse, error) {
 	return resp, err
 }
 
-func (w *Worker) doLocalRun(req LocalRunRequest, span *obs.Span) (LocalRunResponse, error) {
+func (w *Worker) doLocalRun(ctx context.Context, req LocalRunRequest, span *obs.Span) (LocalRunResponse, error) {
 	resp := LocalRunResponse{WorkerID: w.id}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Tag engine queries of this step with the job id, so the active-query
+	// registry shows which experiment step a worker-side query belongs to.
+	if req.JobID != "" {
+		ctx = engine.WithQueryTenant(ctx, req.JobID)
+	}
 	fn := w.funcs.Local(req.Func)
 	if fn == nil {
 		return resp, fmt.Errorf("federation: worker %s has no local func %q", w.id, req.Func)
@@ -271,7 +318,7 @@ func (w *Worker) doLocalRun(req LocalRunRequest, span *obs.Span) (LocalRunRespon
 
 	args := []udf.Value{{}, udf.TransferValue(req.Kwargs)}
 	udfSpan := span.StartChild("udf " + udfName)
-	outs, err := w.exec.Call(udfName, args, map[string]string{"data": req.DataQuery})
+	outs, err := w.exec.CallCtx(ctx, udfName, args, map[string]string{"data": req.DataQuery})
 	udfSpan.SetError(err)
 	udfSpan.End()
 	if udfSpan != nil {
@@ -283,7 +330,7 @@ func (w *Worker) doLocalRun(req LocalRunRequest, span *obs.Span) (LocalRunRespon
 	transfer := Transfer(outs[0].Transfer)
 
 	// Row count for disclosure control.
-	rows, err := w.countRows(req.DataQuery, span, &resp)
+	rows, err := w.countRows(ctx, req.DataQuery, span, &resp)
 	if err != nil {
 		return resp, err
 	}
@@ -327,12 +374,12 @@ func (w *Worker) doLocalRun(req LocalRunRequest, span *obs.Span) (LocalRunRespon
 // countRows evaluates the data query's row count (with a cheap rewrite for
 // plain SELECT ... FROM shapes; falls back to running the query). The
 // engine's per-query stats land on a child trace span when tracing is on.
-func (w *Worker) countRows(dataQuery string, parent *obs.Span, resp *LocalRunResponse) (int, error) {
+func (w *Worker) countRows(ctx context.Context, dataQuery string, parent *obs.Span, resp *LocalRunResponse) (int, error) {
 	if dataQuery == "" {
 		return 0, nil
 	}
 	qspan := parent.StartChild("engine query")
-	t, qs, err := w.db.QueryWithStats(dataQuery)
+	t, qs, err := w.db.QueryWithStatsCtx(ctx, dataQuery)
 	if err != nil {
 		qspan.SetError(err)
 		qspan.End()

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// unescapeLabel inverts the Prometheus text-format label escapes, the way
+// a conforming scraper would when parsing the exposition.
+func unescapeLabel(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] != '\\' || i+1 == len(v) {
+			b.WriteByte(v[i])
+			continue
+		}
+		i++
+		switch v[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default: // not an escape we emit; keep both bytes
+			b.WriteByte('\\')
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// TestPrometheusLabelEscapeRoundTrip renders metrics whose label values
+// contain every character the text format escapes (backslash, double
+// quote, newline) and checks a scrape-side unescape recovers the original
+// values exactly, with each escape applied in the right order (backslash
+// first, so `\n` in the input survives as literal backslash-n).
+func TestPrometheusLabelEscapeRoundTrip(t *testing.T) {
+	hostile := []string{
+		`plain`,
+		`back\slash`,
+		`dou"ble`,
+		"new\nline",
+		`pre-escaped\n`, // literal backslash + n, NOT a newline
+		"all\\of\"them\nat once",
+		`trailing backslash\`,
+	}
+
+	r := NewRegistry()
+	for i, v := range hostile {
+		c := r.Counter("escape_total", "round-trip test", Label{Key: "sql", Value: v})
+		c.Add(int64(i + 1))
+	}
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	exposition := buf.String()
+
+	// Every sample must be a single line: raw newlines inside label values
+	// would corrupt the format.
+	var got []string
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, "escape_total{sql=\"") {
+			continue
+		}
+		rest := strings.TrimPrefix(line, "escape_total{sql=\"")
+		end := strings.LastIndex(rest, "\"}")
+		if end < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		got = append(got, unescapeLabel(rest[:end]))
+	}
+	if len(got) != len(hostile) {
+		t.Fatalf("found %d escape_total samples, want %d:\n%s", len(got), len(hostile), exposition)
+	}
+	for _, want := range hostile {
+		found := false
+		for _, g := range got {
+			if g == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("label value %q did not survive the exposition round-trip; got %q", want, got)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package udf
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -84,6 +85,9 @@ func StateValue(s any) Value { return Value{State: s} }
 // "SQL loopback queries").
 type Ctx struct {
 	DB *engine.DB
+	// Context, when set, scopes every loopback query: cancelling it aborts
+	// the in-engine execution mid-batch (end-to-end query cancellation).
+	Context context.Context
 	// LoopbackCount tallies loopback queries, for tests and tracing.
 	LoopbackCount int
 }
@@ -91,6 +95,9 @@ type Ctx struct {
 // Loopback executes SQL inside the engine hosting the UDF.
 func (c *Ctx) Loopback(sql string) (*engine.Table, error) {
 	c.LoopbackCount++
+	if c.Context != nil {
+		return c.DB.QueryCtx(c.Context, sql)
+	}
 	return c.DB.Query(sql)
 }
 
@@ -249,6 +256,13 @@ type Exec struct {
 // inputs supplies the remaining arguments by position (entries for
 // relation inputs resolved via SQL may be zero Values).
 func (e *Exec) Call(name string, inputs []Value, relationQueries map[string]string) ([]Value, error) {
+	return e.CallCtx(context.Background(), name, inputs, relationQueries)
+}
+
+// CallCtx is Call with a caller-supplied context that scopes the UDF's
+// loopback queries; cancelling it aborts the data-resolution query (and any
+// loopbacks the body issues) at the next batch boundary.
+func (e *Exec) CallCtx(cctx context.Context, name string, inputs []Value, relationQueries map[string]string) ([]Value, error) {
 	d := e.Registry.Lookup(name)
 	if d == nil {
 		return nil, fmt.Errorf("udf: unknown function %q", name)
@@ -258,7 +272,7 @@ func (e *Exec) Call(name string, inputs []Value, relationQueries map[string]stri
 	}
 	args := make([]Value, len(inputs))
 	copy(args, inputs)
-	ctx := &Ctx{DB: e.DB}
+	ctx := &Ctx{DB: e.DB, Context: cctx}
 	for i, spec := range d.Inputs {
 		if spec.Kind != Relation {
 			continue

@@ -28,6 +28,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"time"
 
 	"mip/internal/algorithms"
 	"mip/internal/catalogue"
@@ -131,6 +132,12 @@ type Config struct {
 	// engine (0 = runtime.NumCPU()). Any value produces identical results;
 	// it only trades query latency against CPU.
 	EngineParallelism int
+	// QueryDeadline, when positive, bounds every engine statement's wall
+	// time; statements past it are cancelled with a deadline verdict.
+	QueryDeadline time.Duration
+	// QueryMemLimit, when positive, caps a statement's accounted live bytes;
+	// statements over it are cancelled with a mem-limit verdict.
+	QueryMemLimit int64
 }
 
 // Platform is a running MIP deployment (in-process topology).
@@ -173,16 +180,25 @@ func New(cfg Config) (*Platform, error) {
 		p.cluster = cluster
 	}
 
+	// Engine options shared by every worker DB and the master's transient
+	// merge DBs, so a federated statement is governed at both ends.
+	var masterOpts []engine.Option
+	if cfg.EngineParallelism > 0 {
+		masterOpts = append(masterOpts, engine.WithParallelism(cfg.EngineParallelism))
+	}
+	if cfg.QueryDeadline > 0 {
+		masterOpts = append(masterOpts, engine.WithQueryDeadline(cfg.QueryDeadline))
+	}
+	if cfg.QueryMemLimit > 0 {
+		masterOpts = append(masterOpts, engine.WithQueryMemLimit(cfg.QueryMemLimit))
+	}
+
 	var clients []federation.WorkerClient
 	for _, wc := range cfg.Workers {
 		if wc.Data == nil {
 			return nil, fmt.Errorf("mip: worker %q has no data", wc.ID)
 		}
-		var dbOpts []engine.Option
-		if cfg.EngineParallelism > 0 {
-			dbOpts = append(dbOpts, engine.WithParallelism(cfg.EngineParallelism))
-		}
-		db := engine.NewDB(dbOpts...)
+		db := engine.NewDB(masterOpts...)
 		db.RegisterTable(federation.DataTable, wc.Data)
 		var opts []federation.WorkerOption
 		if cluster != nil {
@@ -205,7 +221,8 @@ func New(cfg Config) (*Platform, error) {
 	}
 	master, err := federation.NewMaster(clients, cluster, sec,
 		federation.WithTolerance(cfg.Tolerance),
-		federation.WithBreaker(cfg.Breaker))
+		federation.WithBreaker(cfg.Breaker),
+		federation.WithEngineOptions(masterOpts...))
 	if err != nil {
 		return nil, err
 	}
