@@ -33,6 +33,17 @@ type benchReport struct {
 	Arch    string        `json:"arch"`
 	CPUs    int           `json:"cpus"`
 	Results []benchResult `json:"results"`
+	// Shipping records wire volume through the merge boundary for a fixed
+	// federated workload — deterministic counts, not timings, so they are
+	// directly comparable across machines. comparePerf ignores them.
+	Shipping []shipResult `json:"shipping,omitempty"`
+}
+
+type shipResult struct {
+	Name         string `json:"name"`
+	RowsShipped  int    `json:"rows_shipped"`
+	BytesShipped int64  `json:"bytes_shipped"`
+	PartSQL      string `json:"part_sql"`
 }
 
 // runPerfSuite executes the engine benchmark suite once, then writes the
@@ -95,6 +106,7 @@ func runPerfSuite(benchOut, comparePath string, threshold float64) {
 			AllocsPerOp: r.AllocsPerOp(),
 		})
 	}
+	measureShipping(&report)
 	if benchOut != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")
 		fatalIf(err)
@@ -107,6 +119,46 @@ func runPerfSuite(benchOut, comparePath string, threshold float64) {
 			fmt.Fprintf(os.Stderr, "%d benchmark(s) regressed more than %.0f%%\n", regressed, threshold)
 			os.Exit(1)
 		}
+	}
+}
+
+// measureShipping runs the same federated workload through the materialize
+// path twice — once with the full union forced across the wire (SELECT *
+// under ORDER BY, which blocks the LIMIT cap) and once with projection,
+// filter, and LIMIT pushed to the parts — and records the wire volume of
+// each, so BENCH_engine.json shows the rows-shipped reduction the planner
+// buys.
+func measureShipping(report *benchReport) {
+	mt := &engine.MergeTable{TableName: "data"}
+	for i := 0; i < 4; i++ {
+		tab, err := synth.Generate(synth.Spec{Dataset: "edsd", Rows: 2000, Seed: int64(i)})
+		fatalIf(err)
+		db := engine.NewDB()
+		db.RegisterTable("data", tab)
+		mt.Parts = append(mt.Parts, &engine.LocalPart{Name: fmt.Sprintf("w%d", i), DB: db})
+	}
+	master := engine.NewDB()
+	master.RegisterMerge("data", mt)
+
+	fmt.Println()
+	for _, c := range []struct {
+		name, sql string
+	}{
+		{"materialize_select_star", `SELECT * FROM data ORDER BY ab42 LIMIT 5`},
+		{"materialize_pushdown", `SELECT ab42 FROM data WHERE ab42 > 10 LIMIT 100`},
+	} {
+		if _, err := master.Query(c.sql); err != nil {
+			fmt.Fprintf(os.Stderr, "shipping workload %s: %v\n", c.name, err)
+			os.Exit(1)
+		}
+		st := mt.LastStats()
+		fmt.Printf("ship  %-36s %12d rows %10d bytes\n", c.name, st.RowsShipped, st.BytesShipped)
+		report.Shipping = append(report.Shipping, shipResult{
+			Name:         c.name,
+			RowsShipped:  st.RowsShipped,
+			BytesShipped: st.BytesShipped,
+			PartSQL:      st.PartSQL,
+		})
 	}
 }
 

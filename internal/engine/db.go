@@ -96,6 +96,17 @@ func WithAccounting(enabled bool) Option {
 	}
 }
 
+// WithJoinReorder toggles greedy join reordering (on by default). Off pins
+// multi-way joins to their written order; the planner's equivalence tests
+// compare the two paths for bit-identical results.
+func WithJoinReorder(enabled bool) Option {
+	return func(db *DB) {
+		cur := *db.ec.Load()
+		cur.NoJoinReorder = !enabled
+		db.ec.Store(&cur)
+	}
+}
+
 // NewDB returns an empty database.
 func NewDB(opts ...Option) *DB {
 	db := &DB{
@@ -332,11 +343,15 @@ func (db *DB) run(st Statement, qs *QueryStats, ec *ExecContext) (*Table, error)
 			return m.execSelect(ec, s, qs)
 		}
 		if len(s.Joins) > 0 || s.FromAlias != "" {
-			joined, err := db.buildJoined(ec, s, qs)
+			joined, residual, err := db.buildJoined(ec, s, qs)
 			if err != nil {
 				return nil, err
 			}
-			return execSelect(ec, s, joined, qs)
+			// The planner pushed single-table conjuncts below the joins;
+			// only the residual reaches the statement's filter stage.
+			local := *s
+			local.Where = residual
+			return execSelect(ec, &local, joined, qs)
 		}
 		t := db.Table(s.From)
 		if t == nil {

@@ -107,12 +107,21 @@ func TestExplainAnalyzeAggregateOverJoin(t *testing.T) {
 	if agg := byOp["aggregate"][0]; int(agg.RowsOut) != direct.NumRows() {
 		t.Errorf("aggregate rows_out = %d, want %d", agg.RowsOut, direct.NumRows())
 	}
-	// The join of 5x5 rows on id matches 4 pairs; filter keeps ages > 60.
+	// The join of 5x5 rows on id matches 4 pairs.
 	if j := byOp["join"][0]; j.RowsOut != 4 {
 		t.Errorf("join rows_out = %d, want 4", j.RowsOut)
 	}
-	if f := byOp["filter"][0]; f.RowsIn != 4 || f.RowsOut != 4 {
-		t.Errorf("filter rows in/out = %d/%d, want 4/4", f.RowsIn, f.RowsOut)
+	// The planner pushes the single-table WHERE below the join: the filter
+	// node sits above the patients scan and sees all 5 rows (all ages > 60).
+	f := byOp["filter"][0]
+	if !strings.Contains(f.Detail, "pushed") {
+		t.Errorf("filter detail = %q, want a pushed-down filter", f.Detail)
+	}
+	if f.RowsIn != 5 || f.RowsOut != 5 {
+		t.Errorf("filter rows in/out = %d/%d, want 5/5", f.RowsIn, f.RowsOut)
+	}
+	if len(f.Children) != 1 || f.Children[0].Op != "scan" {
+		t.Errorf("pushed filter should sit directly above a scan, got:\n%s", root)
 	}
 	for _, sc := range byOp["scan"] {
 		if sc.RowsOut != 5 {

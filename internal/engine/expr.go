@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
 )
 
@@ -11,10 +13,43 @@ type Expr interface {
 	fmt.Stringer
 }
 
+// QuoteIdent renders an identifier so the SQL lexer reads it back verbatim:
+// names matching [A-Za-z_][A-Za-z0-9_]* that are not reserved keywords pass
+// through bare; anything else is double-quoted with embedded quotes doubled.
+// Rendered SQL crosses the federation boundary (pushed-down WHERE clauses,
+// per-part projections), so this must agree exactly with the lexer.
+func QuoteIdent(s string) string {
+	plain := s != ""
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			plain = false
+		}
+		if !plain {
+			break
+		}
+	}
+	if plain && !sqlKeywords[strings.ToUpper(s)] {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
 // ColRef references a column by name.
 type ColRef struct{ Name string }
 
-func (e *ColRef) String() string { return e.Name }
+func (e *ColRef) String() string {
+	// Qualified references (alias.col, produced by join qualification)
+	// render segment-wise so either half is quoted independently and the
+	// whole re-parses as the same qualified name.
+	if i := strings.IndexByte(e.Name, '.'); i > 0 && i < len(e.Name)-1 {
+		return QuoteIdent(e.Name[:i]) + "." + QuoteIdent(e.Name[i+1:])
+	}
+	return QuoteIdent(e.Name)
+}
 
 // Lit is a literal constant. Null literals carry IsNull=true.
 type Lit struct {
@@ -26,8 +61,21 @@ func (e *Lit) String() string {
 	if e.IsNull {
 		return "NULL"
 	}
-	if s, ok := e.Val.(string); ok {
-		return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+	switch v := e.Val.(type) {
+	case string:
+		return "'" + strings.ReplaceAll(v, "'", "''") + "'"
+	case float64:
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			// Not producible by the parser; render best-effort.
+			return fmt.Sprint(v)
+		}
+		s := strconv.FormatFloat(v, 'g', -1, 64)
+		// An integral rendering like "5" would re-parse as an int64
+		// literal; keep the literal a float across the round trip.
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
 	}
 	return fmt.Sprint(e.Val)
 }

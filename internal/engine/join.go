@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -11,44 +12,66 @@ import (
 // filter/aggregate/order pipeline. Equality conditions on columns drive the
 // hash join; any residual ON conditions are applied as a post-join filter.
 
-// buildJoined resolves the FROM table and folds every JOIN clause into one
-// joined table. With qs attached it plants the scan/join subtree that
-// execSelect's stages then chain on top of.
-func (db *DB) buildJoined(ec *ExecContext, st *SelectStmt, qs *QueryStats) (*Table, error) {
-	if db.Merge(st.From) != nil {
-		return nil, fmt.Errorf("engine: JOIN over merge tables is not supported")
+// buildJoined plans the FROM/JOIN clause list and folds every JOIN clause
+// into one joined table, executing in the planner's greedy order. It
+// returns the joined table plus the residual WHERE (conjuncts the planner
+// did not push below the joins) for the caller's filter stage. With qs
+// attached it plants the scan/filter/join subtree that execSelect's stages
+// then chain on top of.
+//
+// Reordered execution is provably identical to written order: written-order
+// left-deep hash joins emit rows in lexicographic (base row, join-1 row,
+// ..., join-k row) order, so tagging each input with a hidden rowid and
+// sorting the reordered output by the written-order rowid tuple reproduces
+// the written-order result bit for bit.
+func (db *DB) buildJoined(ec *ExecContext, st *SelectStmt, qs *QueryStats) (*Table, Expr, error) {
+	plan, err := db.planJoins(st, ec == nil || !ec.NoJoinReorder)
+	if err != nil {
+		return nil, nil, err
 	}
-	base := db.Table(st.From)
-	if base == nil {
-		return nil, fmt.Errorf("engine: unknown table %q", st.From)
-	}
-	alias := st.FromAlias
-	if alias == "" {
-		alias = st.From
-	}
-	cur := qualifyTable(base, alias)
-	var curNode *PlanNode
-	if qs != nil {
-		curNode = scanPlanNode(st.From, base)
-	}
-	for _, jc := range st.Joins {
-		if db.Merge(jc.Table) != nil {
-			return nil, fmt.Errorf("engine: JOIN over merge tables is not supported")
+	inputs := make([]*Table, len(plan.rels))
+	nodes := make([]*PlanNode, len(plan.rels))
+	for i, r := range plan.rels {
+		qt := qualifyTable(r.table, r.alias)
+		var node *PlanNode
+		if qs != nil {
+			node = scanPlanNode(r.name, r.table)
 		}
-		right := db.Table(jc.Table)
-		if right == nil {
-			return nil, fmt.Errorf("engine: unknown table %q", jc.Table)
+		if r.pushed != nil {
+			t0 := time.Now()
+			fnode := &PlanNode{Op: "filter", Detail: "pushed " + r.pushed.String(), RowsIn: int64(qt.NumRows())}
+			ec.setOperator("filter pushed " + r.pushed.String())
+			sel, err := ec.filterSel(r.pushed, qt, fnode)
+			if err != nil {
+				return nil, nil, err
+			}
+			qt = ec.gather(qt, sel)
+			if qs != nil {
+				fnode.Nanos = time.Since(t0).Nanoseconds()
+				fnode.RowsOut = int64(qt.NumRows())
+				fnode.Batches = int64(qt.NumCols())
+				fnode.Bytes = qt.ByteSize()
+				fnode.Children = []*PlanNode{node}
+				atomic.AddInt64(&qs.FilterNanos, fnode.Nanos)
+				node = fnode
+			}
 		}
-		ra := jc.Alias
-		if ra == "" {
-			ra = jc.Table
+		if plan.reordered {
+			qt = withRowID(qt, i)
 		}
+		inputs[i] = qt
+		nodes[i] = node
+	}
+	cur, curNode := inputs[0], nodes[0]
+	for _, ji := range plan.order {
+		jc := st.Joins[ji]
+		right := inputs[ji+1]
 		t0 := time.Now()
 		node := &PlanNode{Op: "join", Detail: joinDetail(jc)}
 		ec.setOperator("join " + joinDetail(jc))
-		joined, err := hashJoin(ec, cur, qualifyTable(right, ra), jc, node)
+		joined, err := hashJoin(ec, cur, right, jc, node)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if qs != nil {
 			nanos := time.Since(t0).Nanoseconds()
@@ -58,15 +81,101 @@ func (db *DB) buildJoined(ec *ExecContext, st *SelectStmt, qs *QueryStats) (*Tab
 			node.Batches = int64(joined.NumCols())
 			node.Nanos = nanos
 			node.Bytes = joined.ByteSize()
-			node.Children = []*PlanNode{curNode, scanPlanNode(jc.Table, right)}
+			node.Children = []*PlanNode{curNode, nodes[ji+1]}
 			curNode = node
 		}
 		cur = joined
 	}
+	if plan.reordered {
+		t0 := time.Now()
+		cur, err = restoreWrittenOrder(ec, cur, plan)
+		if err != nil {
+			return nil, nil, err
+		}
+		if qs != nil {
+			n := &PlanNode{
+				Op: "order", Detail: "restore written join order",
+				RowsIn: int64(cur.NumRows()), RowsOut: int64(cur.NumRows()),
+				Batches: int64(cur.NumCols()), Nanos: time.Since(t0).Nanoseconds(),
+				Bytes: cur.ByteSize(), Children: []*PlanNode{curNode},
+			}
+			atomic.AddInt64(&qs.SortNanos, n.Nanos)
+			curNode = n
+		}
+	}
 	if qs != nil {
 		qs.Root = curNode
 	}
-	return cur, nil
+	return cur, plan.residual, nil
+}
+
+// withRowID appends a hidden int64 row-number column $rid<rel> to t. The
+// restore sort reads these to put reordered join output back in written
+// order; the $ prefix keeps the name outside the user-expressible space.
+func withRowID(t *Table, rel int) *Table {
+	n := t.NumRows()
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	schema := append(append(Schema{}, t.Schema()...),
+		ColumnDef{Name: fmt.Sprintf("$rid%d", rel), Type: Int64})
+	cols := make([]*Vector, t.NumCols()+1)
+	for i := 0; i < t.NumCols(); i++ {
+		cols[i] = t.Col(i)
+	}
+	cols[t.NumCols()] = NewInt64Vector(ids, nil)
+	out, err := NewTableFromVectors(schema, cols)
+	if err != nil {
+		panic(err) // same lengths by construction
+	}
+	return out
+}
+
+// restoreWrittenOrder sorts the reordered join output by the hidden rowid
+// tuple in written relation order — exactly the lexicographic order
+// written-order execution emits — then drops the rowid columns and puts
+// the column blocks back in written order. Inner-join output holds each
+// input-row combination at most once, so the tuple order is total.
+func restoreWrittenOrder(ec *ExecContext, t *Table, plan *joinPlan) (*Table, error) {
+	execSeq := make([]int, 0, len(plan.rels))
+	execSeq = append(execSeq, 0)
+	for _, ji := range plan.order {
+		execSeq = append(execSeq, ji+1)
+	}
+	offsets := make([]int, len(plan.rels)) // column-block start per relation
+	off := 0
+	for _, ri := range execSeq {
+		offsets[ri] = off
+		off += len(plan.rels[ri].table.Schema()) + 1
+	}
+	rids := make([][]int64, len(plan.rels))
+	for ri, r := range plan.rels {
+		rids[ri] = t.Col(offsets[ri] + len(r.table.Schema())).Int64s()
+	}
+	idx := make([]int32, t.NumRows())
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		for _, rv := range rids {
+			if rv[ia] != rv[ib] {
+				return rv[ia] < rv[ib]
+			}
+		}
+		return false
+	})
+	sorted := ec.gather(t, idx)
+	var schema Schema
+	var cols []*Vector
+	for ri, r := range plan.rels {
+		for c := 0; c < len(r.table.Schema()); c++ {
+			schema = append(schema, sorted.Schema()[offsets[ri]+c])
+			cols = append(cols, sorted.Col(offsets[ri]+c))
+		}
+	}
+	return NewTableFromVectors(schema, cols)
 }
 
 // qualifyTable renames every column to alias.col (vectors are shared, not

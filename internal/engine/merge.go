@@ -69,11 +69,16 @@ type MergeTable struct {
 
 // Stats tracks how a merge query was served, for the E9 benchmark.
 type MergeStats struct {
-	Pushdown     bool // true if only partial aggregates travelled
-	RowsShipped  int  // rows received from parts
+	Pushdown     bool  // true if only partial aggregates travelled
+	RowsShipped  int   // rows received from parts
+	BytesShipped int64 // payload bytes received from parts
 	PartsQueried int
 	// FailedParts names parts dropped from a degraded (MinParts) query.
 	FailedParts []string
+	// PartSQL is the SQL shipped to every part: the partial-aggregate
+	// query on the pushdown path, or the projected/filtered (and, without
+	// ORDER BY, LIMIT-capped) row query on the materialize path.
+	PartSQL string
 }
 
 // LastStats returns statistics of the most recent execSelect call.
@@ -102,41 +107,142 @@ func (m *MergeTable) execSelect(ec *ExecContext, st *SelectStmt, qs *QueryStats)
 	return m.execMaterialize(ec, st, qs)
 }
 
-// execMaterialize unions all part rows locally (with WHERE pushed down)
-// and runs the query over the union. Fallback path for non-decomposable
-// aggregates (median/quantile) and plain row queries. The union is a
-// vectorized concatenation with columns fanned out across the worker pool
-// (parts arrive in part order, so the result is deterministic).
+// execMaterialize unions part rows locally and runs the query over the
+// union. Fallback path for non-decomposable aggregates (median/quantile)
+// and plain row queries. Each part's SQL carries the statement's WHERE,
+// only the referenced columns, and — when no ORDER BY or aggregate needs
+// the whole union — a LIMIT cap, so the wire carries as little as the
+// query allows. The union is a vectorized concatenation with columns
+// fanned out across the worker pool (parts arrive in part order, so the
+// result is deterministic).
 func (m *MergeTable) execMaterialize(ec *ExecContext, st *SelectStmt, qs *QueryStats) (*Table, error) {
-	sql := fmt.Sprintf("SELECT * FROM %s", m.TableName)
-	if st.Where != nil {
-		sql += " WHERE " + st.Where.String()
-	}
+	sql, pushedCols := m.materializeSQL(st)
 	t0 := time.Now()
 	ec.setOperator("merge materialize " + m.TableName)
 	parts, failed, err := m.queryAll(ec, sql)
 	if err != nil {
 		return nil, err
 	}
-	schema := m.Schema
-	if len(schema) == 0 && len(parts) > 0 {
+	var schema Schema
+	switch {
+	case len(parts) > 0:
 		schema = parts[0].table.Schema()
+	case len(m.Schema) > 0:
+		// No parts registered: fall back to the declared schema (narrowed
+		// to the pushed projection) so the statement still typechecks over
+		// an empty union instead of concatenating under a nil schema.
+		schema = m.declaredSchema(pushedCols)
+	default:
+		return nil, fmt.Errorf("engine: merge table %s has no parts and no declared schema", m.TableName)
 	}
 	shipped := 0
+	var shippedBytes int64
 	partTabs := make([]*Table, len(parts))
 	for i, pr := range parts {
 		shipped += pr.table.NumRows()
+		shippedBytes += pr.table.ByteSize()
 		partTabs[i] = pr.table
 	}
 	union, err := ec.concatTables(schema, partTabs)
 	if err != nil {
 		return nil, err
 	}
-	m.setStats(MergeStats{Pushdown: false, RowsShipped: shipped, PartsQueried: len(parts), FailedParts: failed})
-	m.plantPlan(qs, "materialize", parts, union, time.Since(t0))
+	m.setStats(MergeStats{Pushdown: false, RowsShipped: shipped, BytesShipped: shippedBytes,
+		PartsQueried: len(parts), FailedParts: failed, PartSQL: sql})
+	m.plantPlan(qs, "materialize", sql, parts, union, time.Since(t0))
 	local := *st
 	local.Where = nil // already applied at the parts
 	return execSelect(ec, &local, union, qs)
+}
+
+// materializeSQL builds the per-part SQL for the materialize path. Three
+// reductions apply, each provably transparent to the local pipeline:
+//   - projection: only columns the statement references ship (SELECT *
+//     keeps the full width);
+//   - filter: the whole WHERE runs remotely (the local filter stage is
+//     skipped), exactly as before;
+//   - limit: without ORDER BY or aggregation the union's first
+//     offset+limit rows are a prefix of the part-order concatenation, and
+//     every union row at a position below that cap sits at or below the
+//     same position within its own part — so capping each part at
+//     offset+limit preserves the rows the local limit stage can emit.
+//
+// It returns the SQL plus the pushed projection (nil when shipping *).
+func (m *MergeTable) materializeSQL(st *SelectStmt) (string, []string) {
+	proj := "*"
+	cols := m.referencedColumns(st)
+	if cols != nil {
+		q := make([]string, len(cols))
+		for i, c := range cols {
+			q[i] = QuoteIdent(c)
+		}
+		proj = strings.Join(q, ", ")
+	}
+	sql := fmt.Sprintf("SELECT %s FROM %s", proj, QuoteIdent(m.TableName))
+	if st.Where != nil {
+		sql += " WHERE " + st.Where.String()
+	}
+	if st.Limit >= 0 && len(st.OrderBy) == 0 && !selHasAgg(st) {
+		sql += fmt.Sprintf(" LIMIT %d", st.Limit+st.Offset)
+	}
+	return sql, cols
+}
+
+// referencedColumns lists the part columns the statement touches, in
+// first-reference order, or nil when the full width is needed (SELECT *,
+// or a statement referencing no columns at all). ORDER BY names that match
+// a select-item alias resolve to the projected column locally, so they are
+// not part columns and are excluded.
+func (m *MergeTable) referencedColumns(st *SelectStmt) []string {
+	if st.Star {
+		return nil
+	}
+	aliases := map[string]bool{}
+	for _, it := range st.Items {
+		if it.Alias != "" {
+			aliases[strings.ToLower(it.Alias)] = true
+		}
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(name string) {
+		k := strings.ToLower(name)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, name)
+		}
+	}
+	for _, it := range st.Items {
+		walkColRefs(it.Expr, add)
+	}
+	walkColRefs(st.Where, add)
+	for _, g := range st.GroupBy {
+		walkColRefs(g, add)
+	}
+	walkColRefs(st.Having, add)
+	for _, o := range st.OrderBy {
+		walkColRefs(o.Expr, func(n string) {
+			if !aliases[strings.ToLower(n)] {
+				add(n)
+			}
+		})
+	}
+	return out
+}
+
+// declaredSchema narrows the declared schema to the pushed projection (in
+// pushed order); a nil projection keeps the full declared schema.
+func (m *MergeTable) declaredSchema(cols []string) Schema {
+	if cols == nil {
+		return m.Schema
+	}
+	var out Schema
+	for _, c := range cols {
+		if i := m.Schema.ColIndex(c); i >= 0 {
+			out = append(out, m.Schema[i])
+		}
+	}
+	return out
 }
 
 // partResult is one part's answer plus how long the round trip took.
@@ -147,8 +253,9 @@ type partResult struct {
 }
 
 // plantPlan roots qs at the merge fan-in node: one child per surviving
-// part, carrying that part's shipped rows and round-trip time.
-func (m *MergeTable) plantPlan(qs *QueryStats, mode string, parts []partResult, union *Table, elapsed time.Duration) {
+// part, carrying that part's shipped rows, round-trip time, and the SQL
+// pushed to it (so EXPLAIN ANALYZE shows exactly what each part ran).
+func (m *MergeTable) plantPlan(qs *QueryStats, mode, sql string, parts []partResult, union *Table, elapsed time.Duration) {
 	if qs == nil {
 		return
 	}
@@ -167,7 +274,7 @@ func (m *MergeTable) plantPlan(qs *QueryStats, mode string, parts []partResult, 
 	for _, pr := range parts {
 		n.Children = append(n.Children, &PlanNode{
 			Op:      "part",
-			Detail:  pr.name,
+			Detail:  pr.name + ": " + sql,
 			RowsIn:  int64(pr.table.NumRows()),
 			RowsOut: int64(pr.table.NumRows()),
 			Batches: int64(pr.table.NumCols()),
@@ -209,6 +316,12 @@ func (m *MergeTable) queryAll(ec *ExecContext, sql string) ([]partResult, []stri
 			nanos[i] = time.Since(t0).Nanoseconds()
 			if err != nil {
 				errs[i] = fmt.Errorf("part %s: %w", p.PartName(), err)
+				return
+			}
+			if t == nil {
+				// A part answering (nil, nil) would otherwise crash the
+				// fan-in; treat it as a failure so MinParts semantics apply.
+				errs[i] = fmt.Errorf("part %s: returned no table", p.PartName())
 				return
 			}
 			out[i] = t
@@ -445,10 +558,9 @@ func decomposeAgg(a *AggCall) (partialSpec, bool) {
 	return partialSpec{}, false
 }
 
-// execPushdown runs the decomposed plan: per-part partial aggregates,
-// merged locally, then the final projection.
-func (m *MergeTable) execPushdown(ec *ExecContext, st *SelectStmt, specs []partialSpec, qs *QueryStats) (*Table, error) {
-	// 1. Build the partial query.
+// partialSQL builds the per-part partial-aggregate query for a decomposed
+// plan, returning the SQL plus the partial column names grouped by spec.
+func (m *MergeTable) partialSQL(st *SelectStmt, specs []partialSpec) (string, [][]string) {
 	var sel []string
 	for i, g := range st.GroupBy {
 		sel = append(sel, fmt.Sprintf("%s AS gk%d", g.String(), i))
@@ -463,7 +575,7 @@ func (m *MergeTable) execPushdown(ec *ExecContext, st *SelectStmt, specs []parti
 			pcol++
 		}
 	}
-	sql := fmt.Sprintf("SELECT %s FROM %s", strings.Join(sel, ", "), m.TableName)
+	sql := fmt.Sprintf("SELECT %s FROM %s", strings.Join(sel, ", "), QuoteIdent(m.TableName))
 	if st.Where != nil {
 		sql += " WHERE " + st.Where.String()
 	}
@@ -474,6 +586,14 @@ func (m *MergeTable) execPushdown(ec *ExecContext, st *SelectStmt, specs []parti
 		}
 		sql += " GROUP BY " + strings.Join(keys, ", ")
 	}
+	return sql, colNames
+}
+
+// execPushdown runs the decomposed plan: per-part partial aggregates,
+// merged locally, then the final projection.
+func (m *MergeTable) execPushdown(ec *ExecContext, st *SelectStmt, specs []partialSpec, qs *QueryStats) (*Table, error) {
+	// 1. Build the partial query.
+	sql, colNames := m.partialSQL(st, specs)
 
 	// 2. Fan out.
 	t0 := time.Now()
@@ -486,17 +606,20 @@ func (m *MergeTable) execPushdown(ec *ExecContext, st *SelectStmt, specs []parti
 		return nil, fmt.Errorf("merge table %s: no parts answered", m.TableName)
 	}
 	shipped := 0
+	var shippedBytes int64
 	partTabs := make([]*Table, len(partTables))
 	for i, pr := range partTables {
 		shipped += pr.table.NumRows()
+		shippedBytes += pr.table.ByteSize()
 		partTabs[i] = pr.table
 	}
 	unionAll, err := ec.concatTables(partTables[0].table.Schema(), partTabs)
 	if err != nil {
 		return nil, err
 	}
-	m.setStats(MergeStats{Pushdown: true, RowsShipped: shipped, PartsQueried: len(partTables), FailedParts: failed})
-	m.plantPlan(qs, "pushdown", partTables, unionAll, time.Since(t0))
+	m.setStats(MergeStats{Pushdown: true, RowsShipped: shipped, BytesShipped: shippedBytes,
+		PartsQueried: len(partTables), FailedParts: failed, PartSQL: sql})
+	m.plantPlan(qs, "pushdown", sql, partTables, unionAll, time.Since(t0))
 
 	// 3. Merge partials: group by the gk* columns, combining each partial
 	// with its merge op.
@@ -506,7 +629,7 @@ func (m *MergeTable) execPushdown(ec *ExecContext, st *SelectStmt, specs []parti
 		mergeStmt.Items = append(mergeStmt.Items, SelectItem{Expr: &ColRef{Name: name}, Alias: name})
 		mergeStmt.GroupBy = append(mergeStmt.GroupBy, &ColRef{Name: name})
 	}
-	pcol = 0
+	pcol := 0
 	for _, sp := range specs {
 		for _, pc := range sp.partials {
 			name := fmt.Sprintf("p%d", pcol)

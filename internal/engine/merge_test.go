@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -274,5 +275,185 @@ func TestMergeMinPartsDegraded(t *testing.T) {
 	db, _ = newMT(0)
 	if _, err := db.Query(`SELECT sum(x) FROM data`); err == nil {
 		t.Fatal("strict merge with failing part must fail")
+	}
+}
+
+// nilPart answers with neither a table nor an error — a buggy worker.
+type nilPart struct{ name string }
+
+func (p *nilPart) PartName() string             { return p.name }
+func (p *nilPart) Query(string) (*Table, error) { return nil, nil }
+
+// TestMergeMaterializeProjectionFilterLimitPushdown is the acceptance
+// check for the materialize-path pushdown: a projected, filtered, limited
+// row query must ship measurably fewer rows and bytes than the full
+// SELECT * materialization, the pushed SQL must show all three
+// reductions, and the result must still equal the pooled reference.
+func TestMergeMaterializeProjectionFilterLimitPushdown(t *testing.T) {
+	master, mt, pooled := buildFederation(t, 4)
+
+	// Baseline: a query that materializes the full union.
+	if _, err := master.Query(`SELECT median(age) AS m FROM data`); err != nil {
+		t.Fatal(err)
+	}
+	base := mt.LastStats()
+	if base.Pushdown || base.RowsShipped == 0 || base.BytesShipped == 0 {
+		t.Fatalf("baseline stats = %+v, want a full materialization", base)
+	}
+
+	sql := `SELECT hospital, age FROM data WHERE age > 80 LIMIT 10`
+	got, err := master.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pooled.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSame(t, sql, got, want)
+
+	st := mt.LastStats()
+	if st.Pushdown {
+		t.Fatal("row query must take the materialize path")
+	}
+	wantSQL := `SELECT hospital, age FROM data WHERE (age > 80) LIMIT 10`
+	if st.PartSQL != wantSQL {
+		t.Errorf("part SQL = %q, want %q", st.PartSQL, wantSQL)
+	}
+	if st.RowsShipped > 4*10 {
+		t.Errorf("shipped %d rows, want at most parts*(limit+offset) = 40", st.RowsShipped)
+	}
+	if st.RowsShipped >= base.RowsShipped {
+		t.Errorf("pushdown shipped %d rows, baseline %d — no reduction", st.RowsShipped, base.RowsShipped)
+	}
+	if st.BytesShipped <= 0 || st.BytesShipped >= base.BytesShipped {
+		t.Errorf("pushdown shipped %d bytes, baseline %d — no reduction", st.BytesShipped, base.BytesShipped)
+	}
+
+	// ORDER BY needs the whole filtered union: the LIMIT must not push,
+	// but projection and filter still do.
+	sql = `SELECT hospital, age FROM data WHERE age > 80 ORDER BY age, hospital LIMIT 5`
+	got, err = master.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err = pooled.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSame(t, sql, got, want)
+	st = mt.LastStats()
+	if strings.Contains(st.PartSQL, "LIMIT") {
+		t.Errorf("LIMIT pushed under ORDER BY: %q", st.PartSQL)
+	}
+	if !strings.Contains(st.PartSQL, "hospital, age") || !strings.Contains(st.PartSQL, "WHERE") {
+		t.Errorf("projection/filter missing from part SQL: %q", st.PartSQL)
+	}
+
+	// ORDER BY over a select-item alias must not leak the alias into the
+	// pushed projection.
+	sql = `SELECT age AS a FROM data WHERE age > 80 ORDER BY a`
+	if _, err := master.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	if st = mt.LastStats(); !strings.Contains(st.PartSQL, "SELECT age FROM") {
+		t.Errorf("aliased ORDER BY broke the projection: %q", st.PartSQL)
+	}
+}
+
+// TestMergeQuotedIdentifierPushdown is the round-trip regression for
+// quoted identifiers: a filter over columns that need quoting (a space,
+// a reserved word) must survive rendering into per-part SQL and re-parse
+// at the part. Under the old bare-name rendering the shipped SQL was
+// unparseable.
+func TestMergeQuotedIdentifierPushdown(t *testing.T) {
+	schema := Schema{{"patient id", Float64}, {"select", String}}
+	pdb := NewDB()
+	tab := NewTable(schema)
+	for i := 1; i <= 6; i++ {
+		if err := tab.AppendRow(float64(i), fmt.Sprintf("s%d", i%2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pdb.RegisterTable("data", tab)
+	mt := &MergeTable{Schema: schema, TableName: "data",
+		Parts: []Part{&LocalPart{Name: "p0", DB: pdb}}}
+	master := NewDB()
+	master.RegisterMerge("data", mt)
+
+	sql := `SELECT "patient id" FROM data WHERE "patient id" > 2 AND "select" = 's1'`
+	got, err := master.Query(sql)
+	if err != nil {
+		t.Fatalf("quoted-identifier round trip: %v", err)
+	}
+	// Rows 3..6 pass the range; of those, odd ids carry s1.
+	if got.NumRows() != 2 {
+		t.Fatalf("got %d rows, want 2", got.NumRows())
+	}
+	st := mt.LastStats()
+	if !strings.Contains(st.PartSQL, `"patient id"`) || !strings.Contains(st.PartSQL, `"select"`) {
+		t.Errorf("part SQL lost identifier quoting: %q", st.PartSQL)
+	}
+}
+
+// TestMergeZeroParts: an empty federation with a declared schema answers
+// row queries with an empty typed result; without a schema it reports a
+// clear error instead of crashing on a nil union schema.
+func TestMergeZeroParts(t *testing.T) {
+	db := NewDB()
+	db.RegisterMerge("data", &MergeTable{
+		Schema:    Schema{{"x", Float64}, {"tag", String}},
+		TableName: "data",
+	})
+	got, err := db.Query(`SELECT x FROM data WHERE x > 1`)
+	if err != nil {
+		t.Fatalf("zero-part query: %v", err)
+	}
+	if got.NumRows() != 0 || got.NumCols() != 1 {
+		t.Fatalf("got %dx%d, want an empty one-column result", got.NumRows(), got.NumCols())
+	}
+	if s := got.Schema(); s[0].Name != "x" || s[0].Type != Float64 {
+		t.Fatalf("schema = %v, want declared x DOUBLE", s)
+	}
+
+	bare := NewDB()
+	bare.RegisterMerge("data", &MergeTable{TableName: "data"})
+	_, err = bare.Query(`SELECT median(x) AS m FROM data`)
+	if err == nil || !strings.Contains(err.Error(), "no parts and no declared schema") {
+		t.Fatalf("schemaless zero-part merge: err = %v, want a clear diagnosis", err)
+	}
+}
+
+// TestMergeNilTablePart: a part that answers (nil, nil) is a failure, not
+// a silent empty shard — strict merges error, MinParts merges degrade.
+func TestMergeNilTablePart(t *testing.T) {
+	newMT := func(minParts int) (*DB, *MergeTable) {
+		mt := &MergeTable{
+			Schema:    Schema{{"x", Float64}},
+			TableName: "data",
+			MinParts:  minParts,
+			Parts: []Part{
+				&LocalPart{Name: "p0", DB: partDB(t, 3)},
+				&nilPart{name: "p1"},
+			},
+		}
+		db := NewDB()
+		db.RegisterMerge("data", mt)
+		return db, mt
+	}
+	db, _ := newMT(0)
+	if _, err := db.Query(`SELECT median(x) AS m FROM data`); err == nil || !strings.Contains(err.Error(), "returned no table") {
+		t.Fatalf("strict merge over nil-table part: err = %v, want 'returned no table'", err)
+	}
+	db, mt := newMT(1)
+	got, err := db.Query(`SELECT median(x) AS m FROM data`)
+	if err != nil {
+		t.Fatalf("degraded merge over nil-table part: %v", err)
+	}
+	if m := got.Col(0).Float64s()[0]; m != 2 {
+		t.Fatalf("median over surviving part = %v, want 2", m)
+	}
+	if st := mt.LastStats(); len(st.FailedParts) != 1 || st.FailedParts[0] != "p1" {
+		t.Fatalf("stats = %+v, want p1 recorded as failed", st)
 	}
 }

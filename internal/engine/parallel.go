@@ -124,6 +124,10 @@ type ExecContext struct {
 	// NoAccounting skips registration, cancellation contexts and memory
 	// accounting (the benchmark harness measures this off path).
 	NoAccounting bool
+	// NoJoinReorder pins multi-way joins to their written order. The
+	// planner's reordering is provably result-identical, so this is an
+	// escape hatch and the lever the equivalence tests compare against.
+	NoJoinReorder bool
 
 	query *queryHandle // active-registry handle; nil when unregistered
 }

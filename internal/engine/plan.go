@@ -272,20 +272,26 @@ func (db *DB) explainPlan(st Statement) (*PlanNode, error) {
 	}
 	var cur *PlanNode
 	baseRows := 0
+	where := sel.Where
 	if m := db.Merge(sel.From); m != nil {
 		if len(sel.Joins) > 0 {
 			return nil, fmt.Errorf("engine: JOIN over merge tables is not supported")
 		}
 		mode := "materialize"
-		if _, ok := m.decompose(sel); ok {
+		var partSQL string
+		if specs, ok := m.decompose(sel); ok {
 			mode = "pushdown"
+			partSQL, _ = m.partialSQL(sel, specs)
+		} else {
+			partSQL, _ = m.materializeSQL(sel)
 		}
+		where = nil // either mode runs the whole WHERE at the parts
 		cur = &PlanNode{Op: "merge", Detail: mode + " " + m.TableName}
 		if len(m.Parts) > 1 {
 			cur.Parallelism = len(m.Parts) // part fan-out is one goroutine per part
 		}
 		for _, p := range m.Parts {
-			cur.Children = append(cur.Children, &PlanNode{Op: "part", Detail: p.PartName()})
+			cur.Children = append(cur.Children, &PlanNode{Op: "part", Detail: p.PartName() + ": " + partSQL})
 		}
 	} else {
 		base := db.Table(sel.From)
@@ -293,28 +299,44 @@ func (db *DB) explainPlan(st Statement) (*PlanNode, error) {
 			return nil, fmt.Errorf("engine: unknown table %q", sel.From)
 		}
 		baseRows = base.NumRows()
-		cur = scanPlanNode(sel.From, base)
-		for _, jc := range sel.Joins {
-			right := db.Table(jc.Table)
-			if right == nil {
-				if db.Merge(jc.Table) != nil {
-					return nil, fmt.Errorf("engine: JOIN over merge tables is not supported")
+		if len(sel.Joins) > 0 || sel.FromAlias != "" {
+			// Mirror buildJoined: same planner, same join order, same
+			// pushed-filter placement, so EXPLAIN shows what will run.
+			plan, err := db.planJoins(sel, !ec.NoJoinReorder)
+			if err != nil {
+				return nil, err
+			}
+			where = plan.residual
+			relNode := func(ri int) *PlanNode {
+				r := plan.rels[ri]
+				n := scanPlanNode(r.name, r.table)
+				if r.pushed != nil {
+					n = &PlanNode{Op: "filter", Detail: "pushed " + r.pushed.String(),
+						Parallelism: predictPar(r.table.NumRows()), Children: []*PlanNode{n}}
 				}
-				return nil, fmt.Errorf("engine: unknown table %q", jc.Table)
+				return n
 			}
-			cur = &PlanNode{
-				Op:          "join",
-				Detail:      joinDetail(jc),
-				Parallelism: predictPar(baseRows),
-				Children:    []*PlanNode{cur, scanPlanNode(jc.Table, right)},
+			cur = relNode(0)
+			for _, ji := range plan.order {
+				cur = &PlanNode{
+					Op:          "join",
+					Detail:      joinDetail(sel.Joins[ji]),
+					Parallelism: predictPar(baseRows),
+					Children:    []*PlanNode{cur, relNode(ji + 1)},
+				}
 			}
+			if plan.reordered {
+				cur = &PlanNode{Op: "order", Detail: "restore written join order", Children: []*PlanNode{cur}}
+			}
+		} else {
+			cur = scanPlanNode(sel.From, base)
 		}
 	}
 	wrap := func(op, detail string, par int) {
 		cur = &PlanNode{Op: op, Detail: detail, Parallelism: par, Children: []*PlanNode{cur}}
 	}
-	if sel.Where != nil {
-		wrap("filter", sel.Where.String(), predictPar(baseRows))
+	if where != nil {
+		wrap("filter", where.String(), predictPar(baseRows))
 	}
 	if selHasAgg(sel) {
 		wrap("aggregate", aggDetail(sel), predictPar(baseRows))

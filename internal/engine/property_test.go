@@ -245,3 +245,215 @@ func TestRandomOrderByEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// ---- Expression rendering round trip ------------------------------------
+//
+// Rendered expressions cross the federation boundary as SQL text, so for
+// every parser-reachable expression e the property
+//
+//	ParseExpr(e.String()).String() == e.String()
+//
+// must hold. The generator below emits only parser-reachable shapes:
+// scalar literals are non-negative (a leading '-' re-parses as a Unary),
+// negative literals appear only inside IN lists, function names are
+// lower-case (the parser folds case), and comparison uses <> (the only
+// inequality token the lexer knows).
+
+// exprGen derives a deterministic expression from a byte stream; exhausted
+// input yields zeros, keeping generation total.
+type exprGen struct {
+	data []byte
+	pos  int
+}
+
+func (g *exprGen) next() byte {
+	if g.pos >= len(g.data) {
+		return 0
+	}
+	b := g.data[g.pos]
+	g.pos++
+	return b
+}
+
+func (g *exprGen) pick(n int) int { return int(g.next()) % n }
+
+var genColNames = []string{
+	"x", "y", "g", "t.x", "patient id", "select", "a.b.c", "_v9", "MixedCase",
+}
+
+var genFloats = []float64{
+	0, 1, 0.5, 1e21, 5e-324, math.MaxFloat64, 1.0 / 3.0, 123456789.123456789,
+}
+
+var genStrings = []string{"", "AD", "it's", `a"b`, "ñ"}
+
+func (g *exprGen) scalarLit() Expr {
+	switch g.pick(4) {
+	case 0:
+		return &Lit{Val: int64(g.pick(1000))}
+	case 1:
+		return &Lit{Val: genFloats[g.pick(len(genFloats))]}
+	case 2:
+		return &Lit{Val: genStrings[g.pick(len(genStrings))]}
+	default:
+		return &Lit{IsNull: true}
+	}
+}
+
+// inLit may be negative: IN lists parse literal values with an optional
+// leading sign.
+func (g *exprGen) inLit() Expr {
+	switch g.pick(3) {
+	case 0:
+		n := int64(g.pick(1000))
+		if g.pick(2) == 0 {
+			n = -n
+		}
+		return &Lit{Val: n}
+	case 1:
+		f := genFloats[g.pick(len(genFloats))]
+		if g.pick(2) == 0 {
+			f = -f
+		}
+		return &Lit{Val: f}
+	default:
+		return &Lit{Val: genStrings[g.pick(len(genStrings))]}
+	}
+}
+
+var genBinOps = []string{"+", "-", "*", "/", "%", "||", "=", "<>", "<", "<=", ">", ">=", "AND", "OR"}
+
+func (g *exprGen) expr(depth int) Expr {
+	if depth <= 0 {
+		if g.pick(2) == 0 {
+			return &ColRef{Name: genColNames[g.pick(len(genColNames))]}
+		}
+		return g.scalarLit()
+	}
+	switch g.pick(8) {
+	case 0:
+		return &ColRef{Name: genColNames[g.pick(len(genColNames))]}
+	case 1:
+		return g.scalarLit()
+	case 2:
+		op := "-"
+		if g.pick(2) == 0 {
+			op = "NOT"
+		}
+		return &Unary{Op: op, X: g.expr(depth - 1)}
+	case 3:
+		return &Binary{
+			Op: genBinOps[g.pick(len(genBinOps))],
+			L:  g.expr(depth - 1),
+			R:  g.expr(depth - 1),
+		}
+	case 4:
+		names := []string{"abs", "round", "coalesce", "lower"}
+		c := &Call{Name: names[g.pick(len(names))]}
+		for i, n := 0, 1+g.pick(2); i < n; i++ {
+			c.Args = append(c.Args, g.expr(depth-1))
+		}
+		return c
+	case 5:
+		return &IsNullExpr{X: g.expr(depth - 1), Not: g.pick(2) == 0}
+	case 6:
+		in := &InExpr{X: g.expr(depth - 1), Not: g.pick(2) == 0}
+		for i, n := 0, 1+g.pick(3); i < n; i++ {
+			in.List = append(in.List, g.inLit())
+		}
+		return in
+	default:
+		c := &CaseExpr{}
+		for i, n := 0, 1+g.pick(2); i < n; i++ {
+			c.Whens = append(c.Whens, CaseWhen{Cond: g.expr(depth - 1), Then: g.expr(depth - 1)})
+		}
+		if g.pick(2) == 0 {
+			c.Else = g.expr(depth - 1)
+		}
+		return c
+	}
+}
+
+func FuzzExprRoundTrip(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{3, 1, 5})
+	f.Add([]byte("deadbeef"))
+	f.Add([]byte{2, 1, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte{6, 0, 6, 1, 6, 2, 7, 7, 7, 255, 254, 253})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := &exprGen{data: data}
+		e := g.expr(3)
+		s1 := e.String()
+		p, err := ParseExpr(s1)
+		if err != nil {
+			t.Fatalf("generated expression does not parse: %q: %v", s1, err)
+		}
+		if s2 := p.String(); s2 != s1 {
+			t.Fatalf("round trip diverged:\n rendered %q\n reparsed %q", s1, s2)
+		}
+	})
+}
+
+// TestLitFloatRoundTrip pins the float rendering fix: every boundary value
+// must re-parse to the bit-identical float64. The old fmt.Sprint rendering
+// emitted whole floats like 1.0 as "1", silently re-typing them to int64
+// across the federation boundary.
+func TestLitFloatRoundTrip(t *testing.T) {
+	vals := []float64{
+		0, 1, 2.5, 1e21, 1e-21, 5e-324, math.MaxFloat64,
+		math.SmallestNonzeroFloat64, 1.0 / 3.0, 0.1,
+		123456789.123456789, 1.7976931348623157e308,
+	}
+	for _, v := range vals {
+		lit := &Lit{Val: v}
+		s := lit.String()
+		p, err := ParseExpr(s)
+		if err != nil {
+			t.Fatalf("%v rendered %q: %v", v, s, err)
+		}
+		got, ok := p.(*Lit)
+		if !ok {
+			t.Fatalf("%v rendered %q re-parsed as %T, want *Lit", v, s, p)
+		}
+		f, ok := got.Val.(float64)
+		if !ok {
+			t.Fatalf("%v rendered %q re-typed to %T across the round trip", v, s, got.Val)
+		}
+		if math.Float64bits(f) != math.Float64bits(v) {
+			t.Fatalf("%v rendered %q re-parsed to %v (bits differ)", v, s, f)
+		}
+	}
+	// Negative floats appear as Unary over a positive literal; the literal
+	// itself still round-trips.
+	if s := (&Lit{Val: -2.5}).String(); s != "-2.5" {
+		t.Fatalf("negative literal renders %q, want -2.5 (IN lists depend on it)", s)
+	}
+}
+
+// TestColRefQuotedRendering pins the identifier-quoting fix.
+func TestColRefQuotedRendering(t *testing.T) {
+	cases := map[string]string{
+		"age":         "age",
+		"t.x":         "t.x",
+		"patient id":  `"patient id"`,
+		"select":      `"select"`,
+		"a.b.c":       `a."b.c"`,
+		`we"ird`:      `"we""ird"`,
+		"group.order": `"group"."order"`,
+	}
+	for name, want := range cases {
+		c := &ColRef{Name: name}
+		if got := c.String(); got != want {
+			t.Errorf("ColRef(%q).String() = %q, want %q", name, got, want)
+		}
+		p, err := ParseExpr(c.String())
+		if err != nil {
+			t.Errorf("ColRef(%q) rendering %q does not parse: %v", name, c.String(), err)
+			continue
+		}
+		r, ok := p.(*ColRef)
+		if !ok || r.Name != name {
+			t.Errorf("ColRef(%q) re-parsed to %#v", name, p)
+		}
+	}
+}

@@ -605,22 +605,10 @@ func (s *Session) DataQuery(vars []string, filter string, dropNA bool) string {
 	return sql
 }
 
-func quoteIdent(s string) string {
-	// Plain identifiers pass through; anything else is quoted, with
-	// embedded double quotes escaped as "" so the SQL lexer can undo them.
-	plain := s != ""
-	for _, r := range s {
-		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' {
-			continue
-		}
-		plain = false
-		break
-	}
-	if plain && !(s[0] >= '0' && s[0] <= '9') {
-		return s
-	}
-	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
-}
+// quoteIdent delegates to the engine's renderer so the SQL this layer
+// generates and the SQL the engine re-renders for pushdown quote
+// identically (the engine version additionally quotes reserved keywords).
+func quoteIdent(s string) string { return engine.QuoteIdent(s) }
 
 // LocalRunSpec parameterizes a LocalRun round.
 type LocalRunSpec struct {
