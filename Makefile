@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check bench benchcompare benchfull
+.PHONY: build test race vet fmt check auditsmoke bench benchcompare benchfull
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,12 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-check: vet fmt race
+# auditsmoke exercises the tamper-evident audit chain end to end: a JSONL
+# sink round-trip (the mipd -audit-log format) plus mutation detection.
+auditsmoke:
+	$(GO) test -count=1 -run 'TestAuditJSONLSinkRoundTrip|TestVerifyChainDetectsMutatedMiddleEntry' ./internal/obs/
+
+check: vet fmt race auditsmoke
 
 # bench runs the engine perf suite and writes BENCH_engine.json (the CI
 # bench job uploads it as an artifact). Use benchfull for the testing.B

@@ -19,6 +19,11 @@
 //	mipctl slow               # the server's slow-query log
 //	mipctl top [-interval 1s] [-iterations 0]   # live active-query view
 //	mipctl kill 42            # cancel an active query by id
+//	mipctl tenants            # per-tenant usage accounts and SLO windows
+//	mipctl audit [-tenant alice] [-dataset edsd] [-limit 50]   # audit trail
+//
+// run and explain accept -tenant to attribute the work to a usage account
+// (shown by mipctl tenants and joinable against mipctl audit).
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	neturl "net/url"
 	"os"
 	"sort"
 	"strconv"
@@ -54,6 +60,9 @@ func main() {
 	analyze := flag.Bool("analyze", false, "execute the query and report measured stats (explain)")
 	interval := flag.Duration("interval", time.Second, "refresh interval (top)")
 	iterations := flag.Int("iterations", 0, "refresh count before exiting, 0 = forever (top)")
+	tenant := flag.String("tenant", "", "tenant account to attribute or filter by (run, explain, audit)")
+	dataset := flag.String("dataset", "", "dataset filter (audit)")
+	limit := flag.Int("limit", 0, "max records, keeping the newest (audit)")
 	var params multiFlag
 	flag.Var(&params, "param", "algorithm parameter key=value (repeatable)")
 	flag.Parse()
@@ -83,7 +92,7 @@ func main() {
 	case "experiments":
 		get(*server+"/experiments", prettyPrint)
 	case "run":
-		runExperiment(*server, *name, *algorithm, *datasets, *yvars, *xvars, *filter, params)
+		runExperiment(*server, *name, *tenant, *algorithm, *datasets, *yvars, *xvars, *filter, params)
 	case "workflows":
 		get(*server+"/workflows", prettyPrint)
 	case "workflow":
@@ -101,7 +110,7 @@ func main() {
 		if len(subArgs) == 0 {
 			log.Fatal(`explain needs a SQL query (against the federated "data" view)`)
 		}
-		explainQuery(*server, strings.Join(subArgs, " "), *datasets, *analyze)
+		explainQuery(*server, strings.Join(subArgs, " "), *datasets, *tenant, *analyze)
 	case "slow":
 		get(*server+"/queries/slow", printSlow)
 	case "top":
@@ -111,18 +120,39 @@ func main() {
 			log.Fatal("kill needs a query id (see mipctl top)")
 		}
 		killQuery(*server, subArgs[0])
+	case "tenants":
+		get(*server+"/tenants", printTenants)
+	case "audit":
+		url := *server + "/audit"
+		q := neturl.Values{}
+		if *tenant != "" {
+			q.Set("tenant", *tenant)
+		}
+		if *dataset != "" {
+			q.Set("dataset", *dataset)
+		}
+		if *limit > 0 {
+			q.Set("limit", strconv.Itoa(*limit))
+		}
+		if len(q) > 0 {
+			url += "?" + q.Encode()
+		}
+		get(url, printAudit)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: mipctl [flags] algorithms|datasets|variables|experiments|workflows|run|workflow|health|workers|trace|explain|slow|top|kill")
+		fmt.Fprintln(os.Stderr, "usage: mipctl [flags] algorithms|datasets|variables|experiments|workflows|run|workflow|health|workers|trace|explain|slow|top|kill|tenants|audit")
 		os.Exit(2)
 	}
 }
 
 // explainQuery asks the master to plan (or profile, with -analyze) a
 // federated query over the workers' merge view and prints the plan tree.
-func explainQuery(server, sql, datasets string, analyze bool) {
+func explainQuery(server, sql, datasets, tenant string, analyze bool) {
 	req := map[string]any{"sql": sql, "analyze": analyze}
 	if ds := splitList(datasets); len(ds) > 0 {
 		req["datasets"] = ds
+	}
+	if tenant != "" {
+		req["tenant"] = tenant
 	}
 	body, _ := json.Marshal(req)
 	resp, err := http.Post(server+"/queries/explain", "application/json", bytes.NewReader(body))
@@ -162,6 +192,9 @@ func printSlow(body []byte) {
 			Plan         []string `json:"plan"`
 			MemPeakBytes int64    `json:"mem_peak_bytes"`
 			Reason       string   `json:"reason"`
+			Tenant       string   `json:"tenant"`
+			Job          string   `json:"job"`
+			Datasets     []string `json:"datasets"`
 		} `json:"queries"`
 	}
 	if err := json.Unmarshal(body, &doc); err != nil {
@@ -176,6 +209,15 @@ func printSlow(body []byte) {
 		}
 		if q.Reason != "" {
 			fmt.Printf("  reason=%s", q.Reason)
+		}
+		if q.Tenant != "" {
+			fmt.Printf("  tenant=%s", q.Tenant)
+		}
+		if q.Job != "" {
+			fmt.Printf("  job=%s", q.Job)
+		}
+		if len(q.Datasets) > 0 {
+			fmt.Printf("  datasets=%s", strings.Join(q.Datasets, ","))
 		}
 		fmt.Printf("  %s\n", q.SQL)
 		if q.Error != "" {
@@ -192,6 +234,7 @@ type activeQuery struct {
 	ID        int64   `json:"id"`
 	SQL       string  `json:"sql"`
 	Tenant    string  `json:"tenant"`
+	Job       string  `json:"job"`
 	Seconds   float64 `json:"seconds"`
 	Rows      int64   `json:"rows"`
 	LiveBytes int64   `json:"live_bytes"`
@@ -222,8 +265,13 @@ func topQueries(server string, interval time.Duration, iterations int) {
 			"ID", "AGE", "ROWS", "LIVE", "PEAK", "OPERATOR", "SQL")
 		for _, q := range doc.Queries {
 			sql := q.SQL
-			if q.Tenant != "" {
+			switch {
+			case q.Tenant != "" && q.Job != "":
+				sql = "[" + q.Tenant + " " + q.Job + "] " + sql
+			case q.Tenant != "":
 				sql = "[" + q.Tenant + "] " + sql
+			case q.Job != "":
+				sql = "[" + q.Job + "] " + sql
 			}
 			if len(sql) > 60 {
 				sql = sql[:57] + "..."
@@ -251,6 +299,115 @@ func killQuery(server, id string) {
 		log.Fatalf("HTTP %d: %s", resp.StatusCode, body)
 	}
 	fmt.Printf("query %s cancelled\n", id)
+}
+
+// printTenants renders GET /tenants: one block per account with cumulative
+// meters and the sliding-window SLO stats.
+func printTenants(body []byte) {
+	var doc struct {
+		Tenants []struct {
+			Tenant       string    `json:"tenant"`
+			Queries      int64     `json:"queries"`
+			QueryErrors  int64     `json:"query_errors"`
+			Experiments  int64     `json:"experiments"`
+			Degraded     int64     `json:"degraded_experiments"`
+			RowsShipped  int64     `json:"rows_shipped"`
+			BytesShipped int64     `json:"bytes_shipped"`
+			Seconds      float64   `json:"seconds"`
+			MemPeakBytes int64     `json:"mem_peak_bytes"`
+			LastSeen     time.Time `json:"last_seen"`
+			Windows      map[string]struct {
+				Count     uint64  `json:"count"`
+				QPS       float64 `json:"qps"`
+				ErrorRate float64 `json:"error_rate"`
+				P50       float64 `json:"p50_seconds"`
+				P95       float64 `json:"p95_seconds"`
+				P99       float64 `json:"p99_seconds"`
+			} `json:"windows"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		fmt.Println(string(body))
+		return
+	}
+	fmt.Printf("%d tenant account%s\n", len(doc.Tenants), plural(len(doc.Tenants), "", "s"))
+	for _, u := range doc.Tenants {
+		fmt.Printf("\n%s  queries=%d errors=%d experiments=%d", u.Tenant, u.Queries, u.QueryErrors, u.Experiments)
+		if u.Degraded > 0 {
+			fmt.Printf(" degraded=%d", u.Degraded)
+		}
+		fmt.Printf("\n  shipped rows=%d bytes=%s  wall=%.3fs  mem_peak=%s  last_seen=%s\n",
+			u.RowsShipped, formatBytes(u.BytesShipped), u.Seconds,
+			formatBytes(u.MemPeakBytes), u.LastSeen.Format(time.RFC3339))
+		names := make([]string, 0, len(u.Windows))
+		for w := range u.Windows {
+			names = append(names, w)
+		}
+		sort.Strings(names)
+		for _, w := range names {
+			s := u.Windows[w]
+			fmt.Printf("  %-4s count=%d qps=%.2f err=%.1f%% p50=%.3fs p95=%.3fs p99=%.3fs\n",
+				w, s.Count, s.QPS, 100*s.ErrorRate, s.P50, s.P95, s.P99)
+		}
+	}
+}
+
+// printAudit renders GET /audit: the verification verdict, then one line
+// per record, oldest first.
+func printAudit(body []byte) {
+	var doc struct {
+		Records []struct {
+			Seq       uint64    `json:"seq"`
+			Time      time.Time `json:"time"`
+			Kind      string    `json:"kind"`
+			Tenant    string    `json:"tenant"`
+			Job       string    `json:"job"`
+			SQLDigest string    `json:"sql_digest"`
+			Datasets  []string  `json:"datasets"`
+			Workers   []string  `json:"workers"`
+			Dropped   []string  `json:"dropped_workers"`
+			Verdict   string    `json:"verdict"`
+			Seconds   float64   `json:"seconds"`
+			Rows      int64     `json:"rows"`
+		} `json:"records"`
+		Verified    bool   `json:"verified"`
+		VerifyError string `json:"verify_error"`
+		HeadSeq     uint64 `json:"head_seq"`
+		Head        string `json:"head"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		fmt.Println(string(body))
+		return
+	}
+	status := "chain VERIFIED"
+	if !doc.Verified {
+		status = "chain BROKEN: " + doc.VerifyError
+	}
+	fmt.Printf("%d record%s, head seq=%d hash=%.16s...  %s\n",
+		len(doc.Records), plural(len(doc.Records), "", "s"), doc.HeadSeq, doc.Head, status)
+	for _, r := range doc.Records {
+		fmt.Printf("%6d  %s  %-10s  %-12s  %-8s %7.3fs",
+			r.Seq, r.Time.Format("15:04:05.000"), r.Kind, r.Tenant, r.Verdict, r.Seconds)
+		if r.SQLDigest != "" {
+			fmt.Printf("  sql=%s", r.SQLDigest)
+		}
+		if r.Job != "" {
+			fmt.Printf("  job=%s", r.Job)
+		}
+		if len(r.Datasets) > 0 {
+			fmt.Printf("  datasets=%s", strings.Join(r.Datasets, ","))
+		}
+		if len(r.Workers) > 0 {
+			fmt.Printf("  workers=%s", strings.Join(r.Workers, ","))
+		}
+		if len(r.Dropped) > 0 {
+			fmt.Printf("  dropped=%s", strings.Join(r.Dropped, ","))
+		}
+		if r.Rows > 0 {
+			fmt.Printf("  rows=%d", r.Rows)
+		}
+		fmt.Println()
+	}
 }
 
 func plural(n int, one, many string) string {
@@ -403,13 +560,14 @@ func prettyPrint(body []byte) {
 	fmt.Println(string(body))
 }
 
-func runExperiment(server, name, algorithm, datasets, y, x, filter string, params []string) {
+func runExperiment(server, name, tenant, algorithm, datasets, y, x, filter string, params []string) {
 	if algorithm == "" {
 		log.Fatal("run needs -algorithm")
 	}
 	req := map[string]any{
 		"name":      name,
 		"algorithm": algorithm,
+		"tenant":    tenant,
 		"request": map[string]any{
 			"datasets":   splitList(datasets),
 			"y":          splitList(y),

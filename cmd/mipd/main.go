@@ -10,6 +10,7 @@
 //	     [-debug-addr :6060]  # pprof + metrics on a private listener
 //	     [-min-workers 0] [-quorum 0] [-step-deadline 0]  # fault tolerance
 //	     [-slow-query 250ms]  # slow-query log threshold (GET /queries/slow)
+//	     [-audit-log path]    # append the tamper-evident audit trail as JSONL
 //	     [-engine-parallelism 0]  # intra-query parallelism per worker (0 = NumCPU)
 //	     [-query-deadline 0]   # per-statement wall-time ceiling (0 = unbounded)
 //	     [-query-mem-limit 0]  # per-statement accounted-bytes ceiling (0 = unbounded)
@@ -71,6 +72,7 @@ func main() {
 	quorum := flag.Float64("quorum", 0, "quorum fraction of session workers for degraded results (0 = all required)")
 	stepDeadline := flag.Duration("step-deadline", 0, "per-step straggler deadline before dropping slow workers (0 = wait forever)")
 	slowQuery := flag.Duration("slow-query", engine.DefaultSlowLog.Threshold(), "engine slow-query log threshold (see GET /queries/slow)")
+	auditLog := flag.String("audit-log", "", "append hash-chained audit records to this JSONL file (see GET /audit)")
 	enginePar := flag.Int("engine-parallelism", 0, "intra-query parallelism per worker engine (0 = NumCPU); results are identical at any value")
 	queryDeadline := flag.Duration("query-deadline", 0, "cancel engine statements running longer than this (0 = unbounded); see GET /queries/active")
 	queryMemLimit := flag.Int64("query-mem-limit", 0, "cancel engine statements whose accounted live bytes exceed this (0 = unbounded)")
@@ -79,6 +81,17 @@ func main() {
 	engine.DefaultSlowLog.SetThreshold(*slowQuery)
 	if *enginePar > 0 {
 		engine.SetDefaultParallelism(*enginePar)
+	}
+	if *auditLog != "" {
+		// O_APPEND: restarts extend the existing chain file; VerifyChain
+		// accepts a file that starts mid-chain, so rotation is safe too.
+		f, err := os.OpenFile(*auditLog, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatal("opening audit log failed", "file", *auditLog, "err", err.Error())
+		}
+		defer f.Close()
+		obs.DefaultAudit.SetSink(f)
+		logger.Info("audit trail sink attached", "file", *auditLog)
 	}
 
 	cfg := mip.Config{Seed: *seed, EngineParallelism: *enginePar,

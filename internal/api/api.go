@@ -39,10 +39,13 @@ func apiExperimentsDone(status string) *obs.Counter {
 		obs.Label{Key: "status", Value: status})
 }
 
-// ExperimentRequest is the POST /experiments payload.
+// ExperimentRequest is the POST /experiments payload. Tenant attributes the
+// experiment (and every statement it runs on the federation) to a billing
+// account; the X-MIP-Tenant request header takes precedence when set.
 type ExperimentRequest struct {
 	Name      string             `json:"name"`
 	Algorithm string             `json:"algorithm"`
+	Tenant    string             `json:"tenant,omitempty"`
 	Request   algorithms.Request `json:"request"`
 }
 
@@ -51,6 +54,7 @@ type Experiment struct {
 	UUID      string             `json:"uuid"`
 	Name      string             `json:"name"`
 	Algorithm string             `json:"algorithm"`
+	Tenant    string             `json:"tenant,omitempty"`
 	Request   algorithms.Request `json:"request"`
 	Status    string             `json:"status"` // pending | running | success | error
 	Result    json.RawMessage    `json:"result,omitempty"`
@@ -114,6 +118,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /experiments", s.handleListExperiments)
 	mux.HandleFunc("GET /experiments/{uuid}", s.handleGetExperiment)
 	mux.HandleFunc("GET /experiments/{uuid}/trace", s.handleExperimentTrace)
+	mux.HandleFunc("GET /tenants", s.handleTenants)
+	mux.HandleFunc("GET /tenants/{tenant}/usage", s.handleTenantUsage)
+	mux.HandleFunc("GET /audit", s.handleAudit)
 	mux.HandleFunc("GET /queries/slow", s.handleSlowQueries)
 	mux.HandleFunc("GET /queries/active", s.handleActiveQueries)
 	mux.HandleFunc("DELETE /queries/{id}", s.handleKillQuery)
@@ -295,12 +302,16 @@ func (s *Server) handleCreateExperiment(w http.ResponseWriter, r *http.Request) 
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
+	if h := r.Header.Get("X-MIP-Tenant"); h != "" {
+		req.Tenant = h
+	}
 	s.mu.Lock()
 	s.seq++
 	exp := &Experiment{
 		UUID:      fmt.Sprintf("exp-%s-%06d", s.instance, s.seq),
 		Name:      req.Name,
 		Algorithm: req.Algorithm,
+		Tenant:    req.Tenant,
 		Request:   req.Request,
 		Status:    "pending",
 		Created:   time.Now(),
@@ -361,6 +372,7 @@ func (s *Server) runExperimentTask(ctx context.Context, payload json.RawMessage)
 	alg := algorithms.Get(exp.Algorithm)
 	req := exp.Request
 	created := exp.Created
+	tenant := exp.Tenant
 	s.mu.Unlock()
 
 	// The experiment UUID doubles as the trace id: every span recorded while
@@ -399,6 +411,37 @@ func (s *Server) runExperimentTask(ctx context.Context, payload json.RawMessage)
 			root.SetAttr("error", exp.Error)
 		}
 		root.End()
+
+		// Fold the experiment into the tenant's account and seal it onto the
+		// audit chain. Per-statement rows/bytes were already metered by the
+		// engine governor as the workers ran; this records the experiment
+		// itself — its verdict, its worker set and any degraded quorum.
+		d := obs.UsageDelta{
+			Experiments: 1,
+			Seconds:     now.Sub(created).Seconds(),
+		}
+		rec := obs.AuditRecord{
+			Kind:      "experiment",
+			Tenant:    tenant,
+			Job:       exp.UUID,
+			QueryID:   exp.UUID,
+			SQLDigest: obs.SQLDigest(exp.Algorithm),
+			Datasets:  req.Datasets,
+			Verdict:   exp.Status,
+			Seconds:   now.Sub(created).Seconds(),
+		}
+		if exp.Status == "error" {
+			d.ExperimentErrors = 1
+		}
+		if sess != nil {
+			rec.Workers = sess.WorkerIDs()
+			rec.Dropped = exp.DroppedWorkers
+		}
+		if exp.Degraded {
+			d.Degraded = 1
+		}
+		obs.DefaultTenants.Record(tenant, d)
+		obs.DefaultAudit.Append(rec)
 	}
 
 	sess, err := s.Master.NewSession(req.Datasets)
@@ -407,6 +450,7 @@ func (s *Server) runExperimentTask(ctx context.Context, payload json.RawMessage)
 		return nil, nil // failure recorded on the experiment, not retried
 	}
 	sess.SetTrace(obs.TraceRef{TraceID: exp.UUID, SpanID: root.ID()})
+	sess.SetTenant(tenant) // every worker statement meters under this account
 	result, err := algorithms.Run(alg, sess, req)
 	finish(result, err)
 	return map[string]string{"uuid": p.UUID}, nil

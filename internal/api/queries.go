@@ -49,6 +49,9 @@ type explainRequest struct {
 	SQL      string   `json:"sql"`
 	Analyze  bool     `json:"analyze"`
 	Datasets []string `json:"datasets"`
+	// Tenant attributes the statement (which executes under analyze) to a
+	// usage account; the X-MIP-Tenant header takes precedence when set.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // handleExplain plans (or, with analyze, executes and profiles) a federated
@@ -70,7 +73,10 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	lines, err := s.Master.Explain(req.Datasets, req.SQL, req.Analyze)
+	if h := r.Header.Get("X-MIP-Tenant"); h != "" {
+		req.Tenant = h
+	}
+	lines, err := s.Master.ExplainAs(req.Tenant, req.Datasets, req.SQL, req.Analyze)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return

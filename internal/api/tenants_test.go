@@ -1,0 +1,195 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"mip/internal/algorithms"
+	"mip/internal/obs"
+)
+
+// postJSONAs is postJSON with the X-MIP-Tenant header set.
+func postJSONAs(t *testing.T, tenant, url string, in, out any) int {
+	t.Helper()
+	body, _ := json.Marshal(in)
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-MIP-Tenant", tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response of %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// Two tenants drive the API concurrently — experiments plus an executing
+// federated EXPLAIN ANALYZE each — and GET /tenants must report both
+// accounts with their own query counts, shipped bytes and windowed
+// latency percentiles; GET /audit must hold each tenant's trail on a
+// chain that verifies.
+func TestTenantUsageSplitAcrossConcurrentTenants(t *testing.T) {
+	s, ts := testServer(t)
+	stamp := time.Now().UnixNano()
+	alice := fmt.Sprintf("alice-%d", stamp)
+	bob := fmt.Sprintf("bob-%d", stamp)
+
+	runTenant := func(tenant string, experiments int) {
+		var uuids []string
+		for i := 0; i < experiments; i++ {
+			var exp Experiment
+			code := postJSONAs(t, tenant, ts.URL+"/experiments", ExperimentRequest{
+				Name:      fmt.Sprintf("%s-run-%d", tenant, i),
+				Algorithm: "descriptive_stats",
+				Request: algorithms.Request{
+					Datasets: []string{"edsd"},
+					Y:        []string{"ab42", "p_tau"},
+				},
+			}, &exp)
+			if code != 201 {
+				t.Errorf("%s: create = %d", tenant, code)
+				return
+			}
+			if exp.Tenant != tenant {
+				t.Errorf("created experiment tenant = %q, want %q", exp.Tenant, tenant)
+			}
+			uuids = append(uuids, exp.UUID)
+		}
+		// An executing federated statement ships partial aggregates from
+		// both workers, so the account accrues shipped rows/bytes.
+		code := postJSONAs(t, tenant, ts.URL+"/queries/explain", explainRequest{
+			SQL:     `SELECT count(*) AS n, avg(ab42) AS a FROM data`,
+			Analyze: true,
+		}, nil)
+		if code != 200 {
+			t.Errorf("%s: explain analyze = %d", tenant, code)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, id := range uuids {
+			final, err := s.WaitForExperiment(ctx, id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if final.Status != "success" {
+				t.Errorf("%s/%s: %q (%s)", tenant, id, final.Status, final.Error)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, tc := range []struct {
+		tenant string
+		n      int
+	}{{alice, 3}, {bob, 1}} {
+		wg.Add(1)
+		go func(tenant string, n int) {
+			defer wg.Done()
+			runTenant(tenant, n)
+		}(tc.tenant, tc.n)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	var listing struct {
+		Tenants []obs.TenantUsage `json:"tenants"`
+	}
+	if code := getJSON(t, ts.URL+"/tenants", &listing); code != 200 {
+		t.Fatalf("GET /tenants = %d", code)
+	}
+	byTenant := map[string]obs.TenantUsage{}
+	for _, u := range listing.Tenants {
+		byTenant[u.Tenant] = u
+	}
+	ua, ok := byTenant[alice]
+	if !ok {
+		t.Fatalf("tenant %q missing from /tenants", alice)
+	}
+	ub, ok := byTenant[bob]
+	if !ok {
+		t.Fatalf("tenant %q missing from /tenants", bob)
+	}
+
+	// Counts split by account: alice ran 3 experiments to bob's 1, and both
+	// accounts metered their own governed statements.
+	if ua.Experiments != 3 || ub.Experiments != 1 {
+		t.Fatalf("experiments split = %d/%d, want 3/1", ua.Experiments, ub.Experiments)
+	}
+	for _, u := range []obs.TenantUsage{ua, ub} {
+		if u.Queries == 0 {
+			t.Fatalf("tenant %s metered no statements: %+v", u.Tenant, u)
+		}
+		if u.BytesShipped == 0 || u.RowsShipped == 0 {
+			t.Fatalf("tenant %s shipped rows=%d bytes=%d, want > 0",
+				u.Tenant, u.RowsShipped, u.BytesShipped)
+		}
+		w1, ok := u.Windows["1m"]
+		if !ok {
+			t.Fatalf("tenant %s has no 1m window: %+v", u.Tenant, u.Windows)
+		}
+		if w1.Count == 0 || w1.P95 <= 0 {
+			t.Fatalf("tenant %s 1m window = %+v, want live count and p95", u.Tenant, w1)
+		}
+	}
+
+	// The single-tenant endpoint agrees with the listing; unknown tenants 404.
+	var one obs.TenantUsage
+	if code := getJSON(t, ts.URL+"/tenants/"+alice+"/usage", &one); code != 200 {
+		t.Fatalf("GET /tenants/{id}/usage = %d", code)
+	}
+	if one.Tenant != alice || one.Experiments != ua.Experiments {
+		t.Fatalf("usage endpoint = %+v, listing = %+v", one, ua)
+	}
+	if code := getJSON(t, ts.URL+"/tenants/nope-"+alice+"/usage", nil); code != 404 {
+		t.Fatalf("unknown tenant = %d, want 404", code)
+	}
+
+	// The audit trail holds each tenant's records — experiment entries with
+	// the worker set, query entries with datasets — on a verifying chain.
+	for tenant, wantExp := range map[string]int{alice: 3, bob: 1} {
+		var audit struct {
+			Records  []obs.AuditRecord `json:"records"`
+			Verified bool              `json:"verified"`
+			HeadSeq  uint64            `json:"head_seq"`
+		}
+		if code := getJSON(t, ts.URL+"/audit?tenant="+tenant, &audit); code != 200 {
+			t.Fatalf("GET /audit = %d", code)
+		}
+		if !audit.Verified {
+			t.Fatal("audit chain did not verify")
+		}
+		exps, queries := 0, 0
+		for _, r := range audit.Records {
+			switch r.Kind {
+			case "experiment":
+				exps++
+				if len(r.Workers) != 2 {
+					t.Fatalf("experiment audit workers = %v, want both", r.Workers)
+				}
+			case "query":
+				queries++
+			}
+		}
+		if exps != wantExp || queries == 0 {
+			t.Fatalf("tenant %s audit: %d experiment / %d query records, want %d/>0",
+				tenant, exps, queries, wantExp)
+		}
+	}
+}

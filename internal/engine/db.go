@@ -290,7 +290,7 @@ func (db *DB) beginQuery(ctx context.Context, sql string, qs *QueryStats) (*Exec
 	}
 	acct := &MemAccountant{limit: ecq.QueryMemLimit}
 	acct.onExceed = func() { cancel(ErrQueryMemLimit) }
-	h := Queries.register(sql, queryTenant(ctx), cancel, acct)
+	h := Queries.register(sql, queryAttribution(ctx), cancel, acct)
 	ecq.Ctx = cctx
 	ecq.Acct = acct
 	ecq.query = h
@@ -306,6 +306,7 @@ func (db *DB) beginQuery(ctx context.Context, sql string, qs *QueryStats) (*Exec
 			qs.Verdict = v
 		}
 		queryTerminated(v)
+		meterQuery(h, qs, v, time.Since(h.start))
 		if stopDeadline != nil {
 			stopDeadline()
 		}

@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -127,7 +128,7 @@ func (a *MemAccountant) Peak() int64 {
 type queryHandle struct {
 	id     int64
 	sql    string
-	tenant string
+	attr   Attribution
 	start  time.Time
 	cancel context.CancelCauseFunc
 	acct   *MemAccountant
@@ -157,6 +158,8 @@ type QueryInfo struct {
 	ID        int64     `json:"id"`
 	SQL       string    `json:"sql"`
 	Tenant    string    `json:"tenant,omitempty"`
+	Job       string    `json:"job,omitempty"`
+	Datasets  []string  `json:"datasets,omitempty"`
 	Start     time.Time `json:"start"`
 	Seconds   float64   `json:"seconds"`
 	Rows      int64     `json:"rows"`
@@ -177,8 +180,8 @@ type QueryRegistry struct {
 // Queries is the process-wide active-query registry.
 var Queries = &QueryRegistry{active: make(map[int64]*queryHandle)}
 
-func (r *QueryRegistry) register(sql, tenant string, cancel context.CancelCauseFunc, acct *MemAccountant) *queryHandle {
-	h := &queryHandle{sql: sql, tenant: tenant, start: time.Now(), cancel: cancel, acct: acct}
+func (r *QueryRegistry) register(sql string, attr Attribution, cancel context.CancelCauseFunc, acct *MemAccountant) *queryHandle {
+	h := &queryHandle{sql: sql, attr: attr, start: time.Now(), cancel: cancel, acct: acct}
 	r.mu.Lock()
 	r.seq++
 	h.id = r.seq
@@ -211,7 +214,9 @@ func (r *QueryRegistry) List() []QueryInfo {
 		info := QueryInfo{
 			ID:        h.id,
 			SQL:       h.sql,
-			Tenant:    h.tenant,
+			Tenant:    h.attr.Tenant,
+			Job:       h.attr.Job,
+			Datasets:  h.attr.Datasets,
 			Start:     h.start,
 			Seconds:   now.Sub(h.start).Seconds(),
 			Rows:      h.rows.Load(),
@@ -278,19 +283,79 @@ func queryTerminated(reason string) {
 		obs.Label{Key: "reason", Value: reason}).Inc()
 }
 
-// tenantKey carries the tenant/experiment tag a query registers under.
-type tenantKey struct{}
-
-// WithQueryTenant tags ctx with a tenant/experiment identifier; statements
-// run under it show the tag in the active-query registry.
-func WithQueryTenant(ctx context.Context, tenant string) context.Context {
-	return context.WithValue(ctx, tenantKey{}, tenant)
+// Attribution identifies who a statement runs for: the tenant that owns
+// the work, the federation job (experiment) it belongs to, and the
+// datasets it touches. It rides the context from the API / federation
+// layer into the governor, where it lands on the active-query registry,
+// the tenant meter, the audit trail, and the slow-query log.
+type Attribution struct {
+	Tenant   string
+	Job      string
+	Datasets []string
 }
 
-func queryTenant(ctx context.Context) string {
+// attrKey carries the Attribution a query registers under.
+type attrKey struct{}
+
+// WithQueryAttribution tags ctx with full attribution; statements run
+// under it are metered and audited against the tenant.
+func WithQueryAttribution(ctx context.Context, a Attribution) context.Context {
+	return context.WithValue(ctx, attrKey{}, a)
+}
+
+// WithQueryTenant tags ctx with just a tenant identifier, preserving any
+// job/dataset attribution already present.
+func WithQueryTenant(ctx context.Context, tenant string) context.Context {
+	a := queryAttribution(ctx)
+	a.Tenant = tenant
+	return WithQueryAttribution(ctx, a)
+}
+
+func queryAttribution(ctx context.Context) Attribution {
 	if ctx == nil {
-		return ""
+		return Attribution{}
 	}
-	s, _ := ctx.Value(tenantKey{}).(string)
-	return s
+	a, _ := ctx.Value(attrKey{}).(Attribution)
+	return a
+}
+
+// meterQuery folds one finished governed statement into the process-wide
+// tenant meter and appends its access record to the audit chain. Called
+// from beginQuery's finish closure, so the acct_off benchmark path
+// (NoAccounting) skips it entirely.
+func meterQuery(h *queryHandle, qs *QueryStats, verdict string, elapsed time.Duration) {
+	d := obs.UsageDelta{
+		Queries: 1,
+		Seconds: elapsed.Seconds(),
+		Verdict: verdict,
+	}
+	if verdict != VerdictCompleted {
+		d.Errors = 1
+	}
+	rec := obs.AuditRecord{
+		Kind:      "query",
+		Tenant:    h.attr.Tenant,
+		Job:       h.attr.Job,
+		QueryID:   strconv.FormatInt(h.id, 10),
+		SQLDigest: obs.SQLDigest(h.sql),
+		Datasets:  h.attr.Datasets,
+		Verdict:   verdict,
+		Seconds:   elapsed.Seconds(),
+	}
+	if qs != nil {
+		d.RowsIn = int64(qs.RowsScanned)
+		d.RowsOut = int64(qs.RowsOut)
+		d.RowsShipped = int64(qs.RowsShipped)
+		d.BytesShipped = qs.BytesShipped
+		d.MemPeakBytes = qs.MemPeakBytes
+		rec.Rows = int64(qs.RowsOut)
+		if len(qs.Parts) > 0 {
+			rec.Workers = qs.Parts
+		}
+		if len(qs.DroppedParts) > 0 {
+			rec.Dropped = qs.DroppedParts
+		}
+	}
+	obs.DefaultTenants.Record(h.attr.Tenant, d)
+	obs.DefaultAudit.Append(rec)
 }

@@ -149,6 +149,7 @@ func (m *MergeTable) execMaterialize(ec *ExecContext, st *SelectStmt, qs *QueryS
 	}
 	m.setStats(MergeStats{Pushdown: false, RowsShipped: shipped, BytesShipped: shippedBytes,
 		PartsQueried: len(parts), FailedParts: failed, PartSQL: sql})
+	recordShipped(qs, shipped, shippedBytes, parts, failed)
 	m.plantPlan(qs, "materialize", sql, parts, union, time.Since(t0))
 	local := *st
 	local.Where = nil // already applied at the parts
@@ -250,6 +251,21 @@ type partResult struct {
 	name  string
 	table *Table
 	nanos int64
+}
+
+// recordShipped accumulates one merge fan-out's wire traffic and part
+// roster onto the statement's stats (a statement can fan out more than
+// once — joins over two merge views — so fields add, not overwrite).
+func recordShipped(qs *QueryStats, shipped int, shippedBytes int64, parts []partResult, failed []string) {
+	if qs == nil {
+		return
+	}
+	qs.RowsShipped += shipped
+	qs.BytesShipped += shippedBytes
+	for _, pr := range parts {
+		qs.Parts = append(qs.Parts, pr.name)
+	}
+	qs.DroppedParts = append(qs.DroppedParts, failed...)
 }
 
 // plantPlan roots qs at the merge fan-in node: one child per surviving
@@ -619,6 +635,7 @@ func (m *MergeTable) execPushdown(ec *ExecContext, st *SelectStmt, specs []parti
 	}
 	m.setStats(MergeStats{Pushdown: true, RowsShipped: shipped, BytesShipped: shippedBytes,
 		PartsQueried: len(partTables), FailedParts: failed, PartSQL: sql})
+	recordShipped(qs, shipped, shippedBytes, partTables, failed)
 	m.plantPlan(qs, "pushdown", sql, partTables, unionAll, time.Since(t0))
 
 	// 3. Merge partials: group by the gk* columns, combining each partial

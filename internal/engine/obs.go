@@ -23,6 +23,15 @@ type QueryStats struct {
 	// MemPeakBytes is the query's peak accounted memory (coarse operator
 	// charges: materialized outputs, hash/CSR payloads, partial aggregates).
 	MemPeakBytes int64
+	// RowsShipped/BytesShipped tally what the statement pulled over the
+	// wire from merge-table parts (zero for purely local statements);
+	// Parts/DroppedParts name the parts that answered and the ones that
+	// failed or were skipped. All four feed tenant metering and the audit
+	// trail.
+	RowsShipped  int
+	BytesShipped int64
+	Parts        []string
+	DroppedParts []string
 	// Verdict records how the statement ended: completed, cancelled,
 	// deadline, mem-limit, or error. Empty when governance was disabled.
 	Verdict string

@@ -20,6 +20,12 @@ type SlowQuery struct {
 	// governance verdict (completed/cancelled/deadline/mem-limit/error).
 	MemPeakBytes int64  `json:"mem_peak_bytes,omitempty"`
 	Reason       string `json:"reason,omitempty"`
+	// Tenant/Job/Datasets mirror the statement's audit attribution, so a
+	// slow-log entry joins against `mipctl audit` output (via job id or
+	// the tenant + dataset pair).
+	Tenant   string   `json:"tenant,omitempty"`
+	Job      string   `json:"job,omitempty"`
+	Datasets []string `json:"datasets,omitempty"`
 }
 
 // SlowLog is a fixed-capacity ring buffer of statements that ran longer
@@ -77,6 +83,11 @@ func (l *SlowLog) observe(sql string, elapsed time.Duration, qs *QueryStats, err
 		rec.Reason = qs.Verdict
 		if qs.Root != nil {
 			rec.Plan = qs.Root.Render(true)
+		}
+		if h := qs.handle; h != nil {
+			rec.Tenant = h.attr.Tenant
+			rec.Job = h.attr.Job
+			rec.Datasets = h.attr.Datasets
 		}
 	}
 	if err != nil {

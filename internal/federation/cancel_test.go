@@ -97,7 +97,7 @@ func TestWorkerCancelJobMidStep(t *testing.T) {
 	// registry tagged with the job id.
 	tagged := false
 	for _, q := range engine.Queries.List() {
-		if q.Tenant == jobID {
+		if q.Job == jobID {
 			tagged = true
 		}
 	}

@@ -336,6 +336,13 @@ func (m *Master) MergeQuery(datasets []string, sql string) (*engine.Table, error
 // MergeQueryDegraded is MergeQuery plus the ids of worker parts that
 // failed and were dropped from the aggregate (empty on a full result).
 func (m *Master) MergeQueryDegraded(datasets []string, sql string) (*engine.Table, []string, error) {
+	return m.MergeQueryDegradedAs("", datasets, sql)
+}
+
+// MergeQueryDegradedAs is MergeQueryDegraded with the statement attributed
+// to a tenant account: the master-side merge statement (and its shipped
+// rows/bytes) meters under that tenant and lands on the audit chain.
+func (m *Master) MergeQueryDegradedAs(tenant string, datasets []string, sql string) (*engine.Table, []string, error) {
 	ws := m.WorkersFor(datasets)
 	if len(ws) == 0 {
 		return nil, nil, fmt.Errorf("federation: no worker holds datasets %v", datasets)
@@ -349,7 +356,9 @@ func (m *Master) MergeQueryDegraded(datasets []string, sql string) (*engine.Tabl
 		mt.MinParts = req
 	}
 	mdb.RegisterMerge(DataTable, mt)
-	t, err := mdb.Query(sql)
+	ctx := engine.WithQueryAttribution(context.Background(),
+		engine.Attribution{Tenant: tenant, Datasets: datasets})
+	t, err := mdb.QueryCtx(ctx, sql)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -367,6 +376,12 @@ func (m *Master) MergeQueryDegraded(datasets []string, sql string) (*engine.Tabl
 // exactly like MergeQuery) and the lines carry measured per-part rows and
 // timings; without it only the predicted plan shape is returned.
 func (m *Master) Explain(datasets []string, sql string, analyze bool) ([]string, error) {
+	return m.ExplainAs("", datasets, sql, analyze)
+}
+
+// ExplainAs is Explain with the (possibly executing, under analyze)
+// statement attributed to a tenant account.
+func (m *Master) ExplainAs(tenant string, datasets []string, sql string, analyze bool) ([]string, error) {
 	ws := m.WorkersFor(datasets)
 	if len(ws) == 0 {
 		return nil, fmt.Errorf("federation: no worker holds datasets %v", datasets)
@@ -384,7 +399,9 @@ func (m *Master) Explain(datasets []string, sql string, analyze bool) ([]string,
 	if analyze {
 		keyword = "EXPLAIN ANALYZE "
 	}
-	t, err := mdb.Query(keyword + sql)
+	ctx := engine.WithQueryAttribution(context.Background(),
+		engine.Attribution{Tenant: tenant, Datasets: datasets})
+	t, err := mdb.QueryCtx(ctx, keyword+sql)
 	if err != nil {
 		return nil, err
 	}
@@ -448,6 +465,7 @@ type Session struct {
 	master    *Master
 	workers   []WorkerClient
 	datasets  []string
+	tenant    string // owner of the experiment, for metering and audit
 	stepSeq   int
 	trace     obs.TraceRef // zero value disables tracing
 	tolerance Tolerance
@@ -481,8 +499,26 @@ func (s *Session) SetTrace(ref obs.TraceRef) { s.trace = ref }
 // Trace returns the session's trace context.
 func (s *Session) Trace() obs.TraceRef { return s.trace }
 
+// SetTenant attributes the session's work to a tenant: every local step
+// ships the tenant to the workers, where it lands on the engine's query
+// registry, the tenant meter, and the audit trail. Call before running
+// steps.
+func (s *Session) SetTenant(tenant string) { s.tenant = tenant }
+
+// Tenant returns the session's tenant attribution ("" when untagged).
+func (s *Session) Tenant() string { return s.tenant }
+
 // NumWorkers returns the worker count in scope.
 func (s *Session) NumWorkers() int { return len(s.workers) }
+
+// WorkerIDs returns the ids of the workers in scope, in session order.
+func (s *Session) WorkerIDs() []string {
+	out := make([]string, len(s.workers))
+	for i, w := range s.workers {
+		out[i] = w.ID()
+	}
+	return out
+}
 
 // Datasets returns the datasets in scope.
 func (s *Session) Datasets() []string { return append([]string(nil), s.datasets...) }
@@ -660,6 +696,8 @@ func (s *Session) localRun(spec LocalRunSpec, secureKeys []string, parentSpan st
 	req := LocalRunRequest{
 		JobID:         jobID,
 		Func:          spec.Func,
+		Tenant:        s.tenant,
+		Datasets:      s.datasets,
 		DataQuery:     dq,
 		Kwargs:        spec.Kwargs,
 		ShareToGlobal: len(secureKeys) == 0,

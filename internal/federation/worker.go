@@ -39,6 +39,12 @@ type LocalRunRequest struct {
 	// entries into the SMPC cluster under JobID instead of returning them;
 	// only shape metadata leaves the worker.
 	SecureKeys []string `json:"secure_keys,omitempty"`
+	// Tenant and Datasets attribute the step for metering and audit: the
+	// worker tags its engine statements with them, so per-hospital access
+	// records name the owning tenant and the datasets touched. Additive
+	// JSON fields — older workers ignore them.
+	Tenant   string   `json:"tenant,omitempty"`
+	Datasets []string `json:"datasets,omitempty"`
 	// Trace carries the master's trace context so worker-side spans nest
 	// under the per-worker round-trip span. On the HTTP hop it also rides
 	// the X-MIP-Trace header; nil disables tracing for the step.
@@ -281,10 +287,15 @@ func (w *Worker) doLocalRun(ctx context.Context, req LocalRunRequest, span *obs.
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	// Tag engine queries of this step with the job id, so the active-query
-	// registry shows which experiment step a worker-side query belongs to.
-	if req.JobID != "" {
-		ctx = engine.WithQueryTenant(ctx, req.JobID)
+	// Attribute engine queries of this step: the active-query registry
+	// shows which experiment step (and tenant) a worker-side query belongs
+	// to, and the tenant meter and audit trail record the access.
+	if req.JobID != "" || req.Tenant != "" {
+		ctx = engine.WithQueryAttribution(ctx, engine.Attribution{
+			Tenant:   req.Tenant,
+			Job:      req.JobID,
+			Datasets: req.Datasets,
+		})
 	}
 	fn := w.funcs.Local(req.Func)
 	if fn == nil {

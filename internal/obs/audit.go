@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// AuditRecord is one entry in the tamper-evident access trail: who touched
+// which datasets, through what statement or experiment, with what outcome.
+// Hash covers every other field (including Prev), so any in-place edit
+// breaks the record's own hash, and any splice breaks the next record's
+// Prev link. SQL text itself is never stored — only its digest — so the
+// trail can be shipped to a less-trusted sink without leaking query shapes.
+type AuditRecord struct {
+	Seq       uint64    `json:"seq"`
+	Time      time.Time `json:"time"`
+	Kind      string    `json:"kind"` // "query" or "experiment"
+	Tenant    string    `json:"tenant,omitempty"`
+	Job       string    `json:"job,omitempty"`
+	QueryID   string    `json:"query_id,omitempty"`
+	SQLDigest string    `json:"sql_digest,omitempty"`
+	Datasets  []string  `json:"datasets,omitempty"`
+	Workers   []string  `json:"workers,omitempty"`
+	Dropped   []string  `json:"dropped_workers,omitempty"`
+	Verdict   string    `json:"verdict,omitempty"`
+	Seconds   float64   `json:"seconds"`
+	Rows      int64     `json:"rows,omitempty"`
+	Prev      string    `json:"prev"`
+	Hash      string    `json:"hash"`
+}
+
+// SQLDigest returns a short stable digest of a statement's text, suitable
+// for joining audit entries against the slow-query log without exposing
+// the SQL itself.
+func SQLDigest(sql string) string {
+	h := sha256.Sum256([]byte(sql))
+	return hex.EncodeToString(h[:8])
+}
+
+// chainPayload renders every hash-covered field with length prefixes, so
+// no choice of tenant/dataset strings can collide with another record's
+// encoding. Time is folded in as UnixNano, which survives the JSON
+// round-trip through a JSONL sink.
+func (r *AuditRecord) chainPayload() []byte {
+	b := make([]byte, 0, 256)
+	field := func(s string) {
+		b = strconv.AppendInt(b, int64(len(s)), 10)
+		b = append(b, ':')
+		b = append(b, s...)
+		b = append(b, ';')
+	}
+	list := func(ss []string) {
+		b = strconv.AppendInt(b, int64(len(ss)), 10)
+		b = append(b, '[')
+		for _, s := range ss {
+			field(s)
+		}
+		b = append(b, ']')
+	}
+	field(r.Prev)
+	field(strconv.FormatUint(r.Seq, 10))
+	field(strconv.FormatInt(r.Time.UnixNano(), 10))
+	field(r.Kind)
+	field(r.Tenant)
+	field(r.Job)
+	field(r.QueryID)
+	field(r.SQLDigest)
+	list(r.Datasets)
+	list(r.Workers)
+	list(r.Dropped)
+	field(r.Verdict)
+	field(strconv.FormatUint(math.Float64bits(r.Seconds), 16))
+	field(strconv.FormatInt(r.Rows, 10))
+	return b
+}
+
+func (r *AuditRecord) chainHash() string {
+	h := sha256.Sum256(r.chainPayload())
+	return hex.EncodeToString(h[:])
+}
+
+// AuditFilter selects a slice of the trail. Zero fields match everything;
+// Limit keeps only the newest Limit matches (still in chain order).
+type AuditFilter struct {
+	Tenant  string
+	Dataset string
+	Kind    string
+	Since   time.Time
+	Until   time.Time
+	Limit   int
+}
+
+func (f AuditFilter) matches(r AuditRecord) bool {
+	if f.Tenant != "" && r.Tenant != f.Tenant {
+		return false
+	}
+	if f.Kind != "" && r.Kind != f.Kind {
+		return false
+	}
+	if !f.Since.IsZero() && r.Time.Before(f.Since) {
+		return false
+	}
+	if !f.Until.IsZero() && r.Time.After(f.Until) {
+		return false
+	}
+	if f.Dataset != "" {
+		found := false
+		for _, d := range r.Datasets {
+			if d == f.Dataset {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// AuditLog is an append-only hash chain over a bounded in-memory ring,
+// with an optional line-per-record JSON sink for durable trails. The ring
+// evicts oldest-first, but eviction never breaks verifiability: the chain
+// head lives in the log, and the retained suffix still links record to
+// record.
+type AuditLog struct {
+	mu   sync.Mutex
+	buf  []AuditRecord
+	next int // ring index the next record lands in
+	n    int // records currently retained
+	seq  uint64
+	last string // hash of the most recently appended record
+	sink io.Writer
+	now  func() time.Time
+}
+
+// NewAuditLog returns a log retaining up to capacity records in memory.
+func NewAuditLog(capacity int) *AuditLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &AuditLog{buf: make([]AuditRecord, capacity), now: time.Now}
+}
+
+// DefaultAudit is the process-wide audit trail the engine and api append to.
+var DefaultAudit = NewAuditLog(4096)
+
+var (
+	auditRecords = GetCounter("mip_audit_records_total",
+		"Audit records appended to the hash chain.")
+	auditSinkErrors = GetCounter("mip_audit_sink_errors_total",
+		"Failed writes to the audit JSONL sink.")
+)
+
+// SetSink directs a copy of every appended record, as one JSON line, to w.
+// Pass nil to detach. Writes happen under the log's lock so the file
+// preserves chain order.
+func (l *AuditLog) SetSink(w io.Writer) {
+	l.mu.Lock()
+	l.sink = w
+	l.mu.Unlock()
+}
+
+// SetClock replaces the timestamp source (tests).
+func (l *AuditLog) SetClock(now func() time.Time) {
+	l.mu.Lock()
+	l.now = now
+	l.mu.Unlock()
+}
+
+// Append seals r onto the chain: it assigns the next sequence number and
+// timestamp, links Prev to the current head, computes the record hash, and
+// stores the result. The sealed record is returned.
+func (l *AuditLog) Append(r AuditRecord) AuditRecord {
+	r.Datasets = append([]string(nil), r.Datasets...)
+	r.Workers = append([]string(nil), r.Workers...)
+	r.Dropped = append([]string(nil), r.Dropped...)
+
+	l.mu.Lock()
+	l.seq++
+	r.Seq = l.seq
+	r.Time = l.now().UTC()
+	r.Prev = l.last
+	r.Hash = r.chainHash()
+	l.last = r.Hash
+	l.buf[l.next] = r
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	if l.sink != nil {
+		line, err := json.Marshal(r)
+		if err == nil {
+			_, err = l.sink.Write(append(line, '\n'))
+		}
+		if err != nil {
+			auditSinkErrors.Inc()
+		}
+	}
+	l.mu.Unlock()
+	auditRecords.Inc()
+	return r
+}
+
+// Entries returns the retained records matching f, oldest first (chain
+// order, so the result feeds straight into VerifyChain when unfiltered).
+func (l *AuditLog) Entries(f AuditFilter) []AuditRecord {
+	l.mu.Lock()
+	out := make([]AuditRecord, 0, l.n)
+	start := l.next - l.n
+	for i := 0; i < l.n; i++ {
+		r := l.buf[(start+i+len(l.buf))%len(l.buf)]
+		if f.matches(r) {
+			out = append(out, r)
+		}
+	}
+	l.mu.Unlock()
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[len(out)-f.Limit:]
+	}
+	return out
+}
+
+// Len returns the number of retained records.
+func (l *AuditLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Head returns the chain head: the sequence number and hash of the most
+// recent record ("" and 0 for an empty log).
+func (l *AuditLog) Head() (seq uint64, hash string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq, l.last
+}
+
+// Verify checks the retained suffix of the chain.
+func (l *AuditLog) Verify() error {
+	return VerifyChain(l.Entries(AuditFilter{}))
+}
+
+// VerifyChain checks a contiguous run of audit records: every record must
+// hash to its stored Hash, and every adjacent pair must link by Prev and
+// advance Seq by exactly one. The first record's Prev is accepted as-is,
+// because ring eviction (or a truncated JSONL file) can legitimately start
+// the run mid-chain. Works on records read back from a JSONL sink.
+func VerifyChain(records []AuditRecord) error {
+	for i := range records {
+		r := &records[i]
+		if got := r.chainHash(); got != r.Hash {
+			return fmt.Errorf("audit: record seq=%d fails its own hash (index %d): chain broken", r.Seq, i)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := &records[i-1]
+		if r.Prev != prev.Hash {
+			return fmt.Errorf("audit: record seq=%d prev-hash does not link to seq=%d", r.Seq, prev.Seq)
+		}
+		if r.Seq != prev.Seq+1 {
+			return fmt.Errorf("audit: sequence gap between seq=%d and seq=%d", prev.Seq, r.Seq)
+		}
+	}
+	return nil
+}

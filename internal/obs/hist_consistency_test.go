@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Exposition must be self-consistent while observations land concurrently:
+// cumulative buckets never decrease across bounds, and the +Inf bucket
+// equals _count exactly — both come from the same single pass, never from
+// the separately updated count atomic. Run with -race.
+func TestHistogramExpositionConsistentUnderConcurrentObserve(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("consistency_seconds", "test histogram", nil)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vals := []float64{0.0002, 0.003, 0.04, 0.7, 20}
+			for i := 0; !stop.Load(); i++ {
+				h.Observe(vals[(i+g)%len(vals)])
+			}
+		}(g)
+	}
+
+	for iter := 0; iter < 200; iter++ {
+		var buf strings.Builder
+		reg.WritePrometheus(&buf)
+		var prev uint64
+		var inf, count uint64
+		var sawInf, sawCount bool
+		for _, line := range strings.Split(buf.String(), "\n") {
+			switch {
+			case strings.HasPrefix(line, "consistency_seconds_bucket"):
+				v := parseLineValue(t, line)
+				if v < prev {
+					t.Fatalf("cumulative bucket decreased: %d after %d in %q", v, prev, line)
+				}
+				prev = v
+				if strings.Contains(line, `le="+Inf"`) {
+					inf, sawInf = v, true
+				}
+			case strings.HasPrefix(line, "consistency_seconds_count"):
+				count, sawCount = parseLineValue(t, line), true
+			}
+		}
+		if !sawInf || !sawCount {
+			t.Fatalf("exposition missing +Inf bucket or _count:\n%s", buf.String())
+		}
+		if inf != count {
+			t.Fatalf("iteration %d: _count %d != +Inf bucket %d under concurrent observe", iter, count, inf)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// Quiescent: the one-pass total converges with the count atomic.
+	var buf strings.Builder
+	reg.WritePrometheus(&buf)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "consistency_seconds_count") {
+			if got := parseLineValue(t, line); got != h.Count() {
+				t.Fatalf("quiescent _count = %d, Histogram.Count() = %d", got, h.Count())
+			}
+		}
+	}
+
+	// Snapshot totals are the same single pass the exposition uses.
+	cum := h.Snapshot()
+	if cum[len(cum)-1] != h.Count() {
+		t.Fatalf("Snapshot total %d != Count %d at rest", cum[len(cum)-1], h.Count())
+	}
+}
+
+func parseLineValue(t *testing.T, line string) uint64 {
+	t.Helper()
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		t.Fatalf("unparseable metric line %q", line)
+	}
+	v, err := strconv.ParseUint(line[i+1:], 10, 64)
+	if err != nil {
+		t.Fatalf("unparseable value in %q: %v", line, err)
+	}
+	return v
+}

@@ -79,8 +79,13 @@ func Middleware(component string, next http.Handler) http.Handler {
 }
 
 // knownRoutes is the allowlist of first path segments that may become route
-// labels. Anything else — scanner probes, typos, future endpoints not yet
-// added here — collapses to "/other" so metric cardinality stays bounded.
+// labels, audited against every route the api and worker servers register:
+// api mounts healthz, metrics, pathologies, datasets, workers, algorithms,
+// experiments, workflows, queries/*, tenants, audit; the worker server
+// mounts localrun, cancel, query, datasets, healthz, metrics; mipd's debug
+// listener mounts debug/pprof. Anything else — scanner probes, typos,
+// future endpoints not yet added here — collapses to "/other" so metric
+// cardinality stays bounded.
 var knownRoutes = map[string]bool{
 	"healthz":     true,
 	"metrics":     true,
@@ -91,7 +96,10 @@ var knownRoutes = map[string]bool{
 	"experiments": true,
 	"workflows":   true,
 	"localrun":    true,
+	"cancel":      true,
 	"query":       true,
+	"tenants":     true,
+	"audit":       true,
 	"debug":       true,
 }
 
@@ -100,13 +108,21 @@ func routeLabel(path string) string {
 	if trimmed == "" {
 		return "/"
 	}
-	// The two /queries endpoints have distinct cost profiles, so they get
-	// separate labels; any other /queries path is unknown → "/other".
+	// The /queries endpoints have distinct cost profiles, so each gets its
+	// own label; DELETE /queries/{id} collapses its unbounded numeric id to
+	// one label. Any other /queries path is unknown → "/other".
 	switch trimmed {
 	case "queries/slow":
 		return "/queries/slow"
 	case "queries/explain":
 		return "/queries/explain"
+	case "queries/active":
+		return "/queries/active"
+	}
+	if id, ok := strings.CutPrefix(trimmed, "queries/"); ok {
+		if _, err := strconv.ParseInt(id, 10, 64); err == nil {
+			return "/queries/{id}"
+		}
 	}
 	first := trimmed
 	if i := strings.IndexByte(first, '/'); i >= 0 {

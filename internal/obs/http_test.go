@@ -29,11 +29,19 @@ func TestRouteLabelTable(t *testing.T) {
 		"/workflows":             "/workflows",
 		"/workflows/w1/run":      "/workflows",
 		"/localrun":              "/localrun",
+		"/cancel":                "/cancel",
 		"/query":                 "/query",
+		"/tenants":               "/tenants",
+		"/tenants/alice/usage":   "/tenants",
+		"/audit":                 "/audit",
 		"/queries/slow":          "/queries/slow",
 		"/queries/explain":       "/queries/explain",
+		"/queries/active":        "/queries/active",
+		"/queries/42":            "/queries/{id}",
+		"/queries/9000":          "/queries/{id}",
 		"/queries":               "/other",
 		"/queries/unknown":       "/other",
+		"/queries/42/extra":      "/other",
 		"/debug":                 "/debug",
 		"/debug/pprof/heap":      "/debug",
 		"/favicon.ico":           "/other",

@@ -108,6 +108,22 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// Snapshot returns cumulative bucket counts — one entry per finite bound
+// plus a final +Inf entry — from a single pass over the bucket counters.
+// The last entry doubles as the observation total, which keeps +Inf and
+// _count identical by construction even while Observe runs concurrently
+// (Observe bumps the bucket before the separate count atomic, so the
+// independently maintained h.count may transiently disagree).
+func (h *Histogram) Snapshot() []uint64 {
+	cum := make([]uint64, len(h.counts))
+	var c uint64
+	for i := range h.counts {
+		c += h.counts[i].Load()
+		cum[i] = c
+	}
+	return cum
+}
+
 type metricKind int
 
 const (
@@ -309,16 +325,19 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	}
 }
 
+// writeHistogram renders one series from a single bucket snapshot, so the
+// emitted +Inf bucket and _count are always equal and every cumulative
+// line is non-decreasing — the separate h.count atomic (which Observe
+// updates after the bucket) is never consulted here.
 func writeHistogram(w io.Writer, name string, s *series) {
-	var cum uint64
+	cum := s.hist.Snapshot()
 	for i, ub := range s.hist.upper {
-		cum += s.hist.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket%s %d\n", name, bracedWith(s.labels, `le="`+fmtFloat(ub)+`"`), cum)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, bracedWith(s.labels, `le="`+fmtFloat(ub)+`"`), cum[i])
 	}
-	cum += s.hist.counts[len(s.hist.upper)].Load()
-	fmt.Fprintf(w, "%s_bucket%s %d\n", name, bracedWith(s.labels, `le="+Inf"`), cum)
+	total := cum[len(cum)-1]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, bracedWith(s.labels, `le="+Inf"`), total)
 	fmt.Fprintf(w, "%s_sum%s %s\n", name, braced(s.labels), fmtFloat(s.hist.Sum()))
-	fmt.Fprintf(w, "%s_count%s %d\n", name, braced(s.labels), s.hist.Count())
+	fmt.Fprintf(w, "%s_count%s %d\n", name, braced(s.labels), total)
 }
 
 func braced(labels string) string {

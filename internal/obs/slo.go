@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// WindowSpec describes one sliding window: its display name, total width,
+// and the number of rotating slots the width is divided into. More slots
+// means finer expiry granularity at slightly more memory.
+type WindowSpec struct {
+	Name  string
+	Width time.Duration
+	Slots int
+}
+
+// DefaultWindows are the SLO windows every tenant account tracks. Slot
+// counts keep each window's staleness under ~10% of its width.
+var DefaultWindows = []WindowSpec{
+	{Name: "1m", Width: time.Minute, Slots: 12},
+	{Name: "5m", Width: 5 * time.Minute, Slots: 15},
+	{Name: "1h", Width: time.Hour, Slots: 15},
+}
+
+// WindowStats is a point-in-time summary of one sliding window: rate,
+// error rate, and latency quantiles over observations that fell inside
+// the window as of the snapshot instant.
+type WindowStats struct {
+	Count     uint64  `json:"count"`
+	Errors    uint64  `json:"errors"`
+	QPS       float64 `json:"qps"`
+	ErrorRate float64 `json:"error_rate"`
+	P50       float64 `json:"p50_seconds"`
+	P95       float64 `json:"p95_seconds"`
+	P99       float64 `json:"p99_seconds"`
+}
+
+// windowSlot is one rotating bucket of a sliding window. epoch is the
+// absolute slot number (now / slotWidth) the data belongs to; a slot whose
+// epoch has fallen out of the window is dead weight until overwritten, so
+// memory stays bounded at Slots buckets regardless of uptime.
+type windowSlot struct {
+	epoch  int64
+	count  uint64
+	errors uint64
+	sum    float64
+	hist   []uint32 // len(DefBuckets)+1, last bucket is +Inf
+}
+
+// slidingWindow is a mutex-guarded ring of windowSlots. Observations land
+// in the slot for their absolute slot number; reads merge every slot whose
+// epoch is still inside the window. Rotation is driven purely by the
+// caller-supplied clock, so tests can step time explicitly.
+type slidingWindow struct {
+	spec WindowSpec
+	slot time.Duration
+	mu   sync.Mutex
+	ring []windowSlot
+}
+
+func newSlidingWindow(spec WindowSpec) *slidingWindow {
+	w := &slidingWindow{spec: spec, slot: spec.Width / time.Duration(spec.Slots)}
+	w.ring = make([]windowSlot, spec.Slots)
+	for i := range w.ring {
+		w.ring[i] = windowSlot{epoch: -1, hist: make([]uint32, len(DefBuckets)+1)}
+	}
+	return w
+}
+
+// observe records one event with the given latency at time now.
+func (w *slidingWindow) observe(now time.Time, seconds float64, isErr bool) {
+	abs := now.UnixNano() / int64(w.slot)
+	w.mu.Lock()
+	s := &w.ring[int(abs%int64(len(w.ring)))]
+	if s.epoch != abs {
+		s.epoch = abs
+		s.count, s.errors, s.sum = 0, 0, 0
+		for i := range s.hist {
+			s.hist[i] = 0
+		}
+	}
+	s.count++
+	if isErr {
+		s.errors++
+	}
+	s.sum += seconds
+	s.hist[sort.SearchFloat64s(DefBuckets, seconds)]++
+	w.mu.Unlock()
+}
+
+// stats merges every live slot into a WindowStats as of time now. The
+// current (partial) slot is included, so QPS slightly trails a perfectly
+// uniform arrival rate; that bias is bounded by one slot width.
+func (w *slidingWindow) stats(now time.Time) WindowStats {
+	abs := now.UnixNano() / int64(w.slot)
+	min := abs - int64(w.spec.Slots) + 1
+	merged := make([]uint64, len(DefBuckets)+1)
+	var st WindowStats
+	w.mu.Lock()
+	for i := range w.ring {
+		s := &w.ring[i]
+		if s.epoch < min || s.epoch > abs {
+			continue
+		}
+		st.Count += s.count
+		st.Errors += s.errors
+		for j, c := range s.hist {
+			merged[j] += uint64(c)
+		}
+	}
+	w.mu.Unlock()
+	st.QPS = float64(st.Count) / w.spec.Width.Seconds()
+	if st.Count > 0 {
+		st.ErrorRate = float64(st.Errors) / float64(st.Count)
+		st.P50 = histQuantile(merged, st.Count, 0.50)
+		st.P95 = histQuantile(merged, st.Count, 0.95)
+		st.P99 = histQuantile(merged, st.Count, 0.99)
+	}
+	return st
+}
+
+// histQuantile estimates the q-quantile from per-bucket counts over
+// DefBuckets by linear interpolation inside the bucket holding the target
+// rank. Observations beyond the last finite bound clamp to that bound —
+// the histogram cannot resolve further.
+func histQuantile(counts []uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) >= rank {
+			if i >= len(DefBuckets) {
+				return DefBuckets[len(DefBuckets)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = DefBuckets[i-1]
+			}
+			hi := DefBuckets[i]
+			frac := (rank - float64(prev)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+	}
+	return DefBuckets[len(DefBuckets)-1]
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source for window tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// Observations must survive slot-boundary crossings: events spread over
+// several slots all count while inside the window, then expire slot by
+// slot as the clock advances past them.
+func TestWindowRotationAcrossBucketBoundaries(t *testing.T) {
+	clk := newFakeClock()
+	w := newSlidingWindow(WindowSpec{Name: "1m", Width: time.Minute, Slots: 12}) // 5s slots
+
+	// 3 events in three consecutive slots: t+0, t+5s, t+10s.
+	for i := 0; i < 3; i++ {
+		w.observe(clk.now(), 0.010, false)
+		clk.advance(5 * time.Second)
+	}
+	// Clock is now at t+15s; all three slots are still inside the minute.
+	st := w.stats(clk.now())
+	if st.Count != 3 {
+		t.Fatalf("count = %d after 3 observes across slot boundaries, want 3", st.Count)
+	}
+	if want := 3.0 / 60.0; math.Abs(st.QPS-want) > 1e-9 {
+		t.Errorf("qps = %v, want %v", st.QPS, want)
+	}
+
+	// Advance so the first event (at t+0) falls out: window covers slots
+	// (now-60s, now]; at t+62.5s the t+0 slot is expired, t+5s is not.
+	clk.advance(47500 * time.Millisecond) // now t+62.5s
+	st = w.stats(clk.now())
+	if st.Count != 2 {
+		t.Fatalf("count = %d after first slot expired, want 2", st.Count)
+	}
+
+	// 5s later the second event expires; only the t+10s slot remains.
+	clk.advance(5 * time.Second) // now t+67.5s
+	st = w.stats(clk.now())
+	if st.Count != 1 {
+		t.Fatalf("count = %d at t+67.5s, want 1", st.Count)
+	}
+
+	// And 5s after that the last one falls out too.
+	clk.advance(5 * time.Second) // now t+72.5s
+	st = w.stats(clk.now())
+	if st.Count != 0 {
+		t.Fatalf("count = %d at t+72.5s, want 0", st.Count)
+	}
+}
+
+// A full wraparound (clock jumps more than a whole window) must expire
+// every slot even though the ring indices collide with the old epochs.
+func TestWindowFullWraparound(t *testing.T) {
+	clk := newFakeClock()
+	w := newSlidingWindow(WindowSpec{Name: "1m", Width: time.Minute, Slots: 12})
+
+	for i := 0; i < 50; i++ {
+		w.observe(clk.now(), 0.005, i%5 == 0)
+		clk.advance(time.Second)
+	}
+	if st := w.stats(clk.now()); st.Count == 0 {
+		t.Fatal("window empty right after 50 observations")
+	}
+
+	// Jump exactly N full windows ahead: same ring slots, stale epochs.
+	clk.advance(3 * time.Minute)
+	st := w.stats(clk.now())
+	if st.Count != 0 || st.Errors != 0 || st.QPS != 0 {
+		t.Fatalf("window not empty after wraparound: %+v", st)
+	}
+
+	// The ring must be immediately reusable after the jump.
+	w.observe(clk.now(), 0.020, false)
+	st = w.stats(clk.now())
+	if st.Count != 1 {
+		t.Fatalf("count = %d after post-wraparound observe, want 1", st.Count)
+	}
+}
+
+// Quantiles interpolate within DefBuckets and clamp at the last finite
+// bound for off-scale observations.
+func TestWindowQuantiles(t *testing.T) {
+	clk := newFakeClock()
+	w := newSlidingWindow(WindowSpec{Name: "1m", Width: time.Minute, Slots: 12})
+
+	// 90 fast observations (~1ms) and 10 slow (~1s): p50 lands in the
+	// 0.0005–0.001 bucket, p95 and p99 in the 0.5–1 bucket.
+	for i := 0; i < 90; i++ {
+		w.observe(clk.now(), 0.0009, false)
+	}
+	for i := 0; i < 10; i++ {
+		w.observe(clk.now(), 0.9, true)
+	}
+	st := w.stats(clk.now())
+	if st.P50 < 0.0005 || st.P50 > 0.001 {
+		t.Errorf("p50 = %v, want within (0.0005, 0.001]", st.P50)
+	}
+	if st.P95 < 0.5 || st.P95 > 1.0 {
+		t.Errorf("p95 = %v, want within (0.5, 1]", st.P95)
+	}
+	if st.P99 < 0.5 || st.P99 > 1.0 {
+		t.Errorf("p99 = %v, want within (0.5, 1]", st.P99)
+	}
+	if want := 0.1; math.Abs(st.ErrorRate-want) > 1e-9 {
+		t.Errorf("error rate = %v, want %v", st.ErrorRate, want)
+	}
+
+	// Off-scale-high clamps to the last finite bound.
+	w2 := newSlidingWindow(WindowSpec{Name: "1m", Width: time.Minute, Slots: 12})
+	w2.observe(clk.now(), 100, false)
+	if got := w2.stats(clk.now()).P99; got != DefBuckets[len(DefBuckets)-1] {
+		t.Errorf("off-scale p99 = %v, want clamp to %v", got, DefBuckets[len(DefBuckets)-1])
+	}
+
+	// Empty window reports zeros.
+	if st := newSlidingWindow(DefaultWindows[0]).stats(clk.now()); st != (WindowStats{}) {
+		t.Errorf("empty window stats = %+v, want zero value", st)
+	}
+}

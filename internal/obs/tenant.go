@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+const (
+	// TenantUntagged buckets work that carried no tenant attribution
+	// (boot-time catalogue scans, raw worker /query calls, untagged API use).
+	TenantUntagged = "(untagged)"
+	// TenantOverflow absorbs tenants beyond the cardinality cap so a
+	// misbehaving client minting tenant ids cannot grow memory or the
+	// metric namespace without bound.
+	TenantOverflow = "(overflow)"
+	// maxTenants caps distinct tenant accounts (and their labeled series).
+	maxTenants = 256
+)
+
+// UsageDelta is one increment folded into a tenant's account — typically
+// a single finished statement (Queries=1 plus its QueryStats) or a single
+// finished experiment.
+type UsageDelta struct {
+	Queries          int64
+	Errors           int64 // statements ending in a non-completed verdict
+	RowsIn           int64 // rows scanned
+	RowsOut          int64 // result rows
+	RowsShipped      int64 // rows pulled from federated parts
+	BytesShipped     int64
+	MemPeakBytes     int64 // statement peak; account keeps the max
+	Seconds          float64
+	Verdict          string
+	Experiments      int64
+	ExperimentErrors int64
+	Degraded         int64 // experiments that completed degraded
+}
+
+// TenantUsage is the JSON snapshot of one tenant's cumulative account plus
+// its live SLO windows, as served by GET /tenants.
+type TenantUsage struct {
+	Tenant              string                 `json:"tenant"`
+	Queries             int64                  `json:"queries"`
+	QueryErrors         int64                  `json:"query_errors"`
+	Experiments         int64                  `json:"experiments"`
+	ExperimentErrors    int64                  `json:"experiment_errors,omitempty"`
+	DegradedExperiments int64                  `json:"degraded_experiments,omitempty"`
+	RowsIn              int64                  `json:"rows_in"`
+	RowsOut             int64                  `json:"rows_out"`
+	RowsShipped         int64                  `json:"rows_shipped"`
+	BytesShipped        int64                  `json:"bytes_shipped"`
+	Seconds             float64                `json:"seconds"`
+	MemPeakBytes        int64                  `json:"mem_peak_bytes"`
+	Verdicts            map[string]int64       `json:"verdicts,omitempty"`
+	FirstSeen           time.Time              `json:"first_seen"`
+	LastSeen            time.Time              `json:"last_seen"`
+	Windows             map[string]WindowStats `json:"windows"`
+}
+
+// tenantAccount is the live state behind one TenantUsage. Cumulative
+// fields live under mu; the labeled registry counters are atomic and
+// updated outside it.
+type tenantAccount struct {
+	mu       sync.Mutex
+	u        TenantUsage // Verdicts/Windows unused here; see snapshot
+	verdicts map[string]int64
+	windows  []*slidingWindow
+
+	cQueries, cErrors, cRowsShipped, cBytesShipped, cExperiments *Counter
+	gSeconds                                                     *Gauge
+}
+
+// TenantMeter folds per-query and per-experiment usage into bounded
+// per-tenant accounts, each with cumulative counters, labeled mip_tenant_*
+// registry series, and sliding SLO windows. The clock is injectable so
+// window rotation is testable.
+type TenantMeter struct {
+	reg      *Registry
+	now      func() time.Time
+	mu       sync.RWMutex
+	accounts map[string]*tenantAccount
+}
+
+// NewTenantMeter returns a meter registering its series against reg and
+// reading time from now.
+func NewTenantMeter(reg *Registry, now func() time.Time) *TenantMeter {
+	return &TenantMeter{reg: reg, now: now, accounts: make(map[string]*tenantAccount)}
+}
+
+// DefaultTenants is the process-wide meter the engine and api record into.
+var DefaultTenants = NewTenantMeter(Default, time.Now)
+
+func (m *TenantMeter) account(tenant string) *tenantAccount {
+	if tenant == "" {
+		tenant = TenantUntagged
+	}
+	m.mu.RLock()
+	a := m.accounts[tenant]
+	m.mu.RUnlock()
+	if a != nil {
+		return a
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if a = m.accounts[tenant]; a != nil {
+		return a
+	}
+	if len(m.accounts) >= maxTenants && tenant != TenantOverflow {
+		if a = m.accounts[TenantOverflow]; a != nil {
+			return a
+		}
+		tenant = TenantOverflow
+	}
+	a = m.newAccount(tenant)
+	m.accounts[tenant] = a
+	return a
+}
+
+// newAccount builds the account and registers its labeled series. Called
+// under m.mu so concurrent first touches observe one fully built account.
+func (m *TenantMeter) newAccount(tenant string) *tenantAccount {
+	now := m.now().UTC()
+	a := &tenantAccount{verdicts: make(map[string]int64)}
+	a.u.Tenant = tenant
+	a.u.FirstSeen = now
+	a.u.LastSeen = now
+	lt := Label{"tenant", tenant}
+	a.cQueries = m.reg.Counter("mip_tenant_queries_total",
+		"Statements metered per tenant.", lt)
+	a.cErrors = m.reg.Counter("mip_tenant_query_errors_total",
+		"Statements per tenant ending in a non-completed verdict.", lt)
+	a.cRowsShipped = m.reg.Counter("mip_tenant_rows_shipped_total",
+		"Rows shipped from federated parts per tenant.", lt)
+	a.cBytesShipped = m.reg.Counter("mip_tenant_bytes_shipped_total",
+		"Bytes shipped from federated parts per tenant.", lt)
+	a.cExperiments = m.reg.Counter("mip_tenant_experiments_total",
+		"Experiments finished per tenant.", lt)
+	a.gSeconds = m.reg.Gauge("mip_tenant_query_seconds_total",
+		"Cumulative statement wall time per tenant.", lt)
+	for _, spec := range DefaultWindows {
+		w := newSlidingWindow(spec)
+		a.windows = append(a.windows, w)
+		lw := Label{"window", spec.Name}
+		m.reg.GaugeFunc("mip_tenant_qps",
+			"Tenant statements per second over the window.",
+			func() float64 { return w.stats(m.now()).QPS }, lt, lw)
+		m.reg.GaugeFunc("mip_tenant_error_rate",
+			"Fraction of tenant statements failing over the window.",
+			func() float64 { return w.stats(m.now()).ErrorRate }, lt, lw)
+		m.reg.GaugeFunc("mip_tenant_p95_seconds",
+			"Tenant p95 statement latency over the window.",
+			func() float64 { return w.stats(m.now()).P95 }, lt, lw)
+	}
+	return a
+}
+
+// Record folds one delta into the tenant's account. Statement deltas
+// (Queries > 0) also feed the tenant's SLO windows.
+func (m *TenantMeter) Record(tenant string, d UsageDelta) {
+	a := m.account(tenant)
+	now := m.now()
+
+	a.mu.Lock()
+	a.u.Queries += d.Queries
+	a.u.QueryErrors += d.Errors
+	a.u.Experiments += d.Experiments
+	a.u.ExperimentErrors += d.ExperimentErrors
+	a.u.DegradedExperiments += d.Degraded
+	a.u.RowsIn += d.RowsIn
+	a.u.RowsOut += d.RowsOut
+	a.u.RowsShipped += d.RowsShipped
+	a.u.BytesShipped += d.BytesShipped
+	a.u.Seconds += d.Seconds
+	if d.MemPeakBytes > a.u.MemPeakBytes {
+		a.u.MemPeakBytes = d.MemPeakBytes
+	}
+	if d.Verdict != "" {
+		a.verdicts[d.Verdict]++
+	}
+	a.u.LastSeen = now.UTC()
+	a.mu.Unlock()
+
+	if d.Queries > 0 {
+		for _, w := range a.windows {
+			w.observe(now, d.Seconds, d.Errors > 0)
+		}
+	}
+	a.cQueries.Add(d.Queries)
+	a.cErrors.Add(d.Errors)
+	a.cRowsShipped.Add(d.RowsShipped)
+	a.cBytesShipped.Add(d.BytesShipped)
+	a.cExperiments.Add(d.Experiments)
+	if d.Seconds > 0 {
+		a.gSeconds.Add(d.Seconds)
+	}
+}
+
+func (a *tenantAccount) snapshot(now time.Time) TenantUsage {
+	a.mu.Lock()
+	u := a.u
+	u.Verdicts = make(map[string]int64, len(a.verdicts))
+	for k, v := range a.verdicts {
+		u.Verdicts[k] = v
+	}
+	a.mu.Unlock()
+	u.Windows = make(map[string]WindowStats, len(a.windows))
+	for _, w := range a.windows {
+		u.Windows[w.spec.Name] = w.stats(now)
+	}
+	return u
+}
+
+// Usage returns one tenant's snapshot.
+func (m *TenantMeter) Usage(tenant string) (TenantUsage, bool) {
+	m.mu.RLock()
+	a := m.accounts[tenant]
+	m.mu.RUnlock()
+	if a == nil {
+		return TenantUsage{}, false
+	}
+	return a.snapshot(m.now()), true
+}
+
+// Snapshot returns every tenant's usage, sorted by tenant name.
+func (m *TenantMeter) Snapshot() []TenantUsage {
+	m.mu.RLock()
+	accounts := make([]*tenantAccount, 0, len(m.accounts))
+	for _, a := range m.accounts {
+		accounts = append(accounts, a)
+	}
+	m.mu.RUnlock()
+	now := m.now()
+	out := make([]TenantUsage, 0, len(accounts))
+	for _, a := range accounts {
+		out = append(out, a.snapshot(now))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
