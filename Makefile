@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check auditsmoke bench benchcompare benchfull
+.PHONY: build test race vet fmt check auditsmoke spillsmoke bench benchcompare benchfull
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,13 @@ fmt:
 auditsmoke:
 	$(GO) test -count=1 -run 'TestAuditJSONLSinkRoundTrip|TestVerifyChainDetectsMutatedMiddleEntry' ./internal/obs/
 
-check: vet fmt race auditsmoke
+# spillsmoke runs the tiny-budget spill equivalence and cleanup tests: a
+# few-KB budget forces every grouped aggregate and hash join to disk, and
+# the results must stay bit-identical with no run files left behind.
+spillsmoke:
+	$(GO) test -count=1 -run 'TestSpillSerialParallelEquivalence|TestSpillJoinEquivalence|TestSpillCleanupOnError|TestSpillCleanupOnCancel' ./internal/engine/
+
+check: vet fmt race auditsmoke spillsmoke
 
 # bench runs the engine perf suite and writes BENCH_engine.json (the CI
 # bench job uploads it as an artifact). Use benchfull for the testing.B

@@ -25,6 +25,12 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// MemPeakBytes/SpillBytes come from one instrumented run of the
+	// benchmark's statement (engine-accounted peak and spill volume, not
+	// allocator stats). Machine-independent, so comparable across hosts;
+	// comparePerf reports their deltas but never fails on them.
+	MemPeakBytes int64 `json:"mem_peak_bytes,omitempty"`
+	SpillBytes   int64 `json:"spill_bytes,omitempty"`
 }
 
 type benchReport struct {
@@ -86,24 +92,40 @@ func runPerfSuite(benchOut, comparePath string, threshold float64) {
 		{"group_aggregate_500k_acct_on", acctBench(true, benchAcctGroupAggregate)},
 		{"hash_join_200k_acct_off", acctBench(false, benchAcctHashJoin)},
 		{"hash_join_200k_acct_on", acctBench(true, benchAcctHashJoin)},
+		// Spill pair: a 1M-row join feeding a grouped aggregate, unbudgeted
+		// and under an 8 MB budget with a spill directory. The spill row's
+		// mem_peak_bytes should land far below the unbudgeted row's (the
+		// grace join and streamed aggregate hold one partition at a time)
+		// and its spill_bytes > 0 proves the budget actually forced disk.
+		{"hash_join_1m_agg", spillBench(0, benchJoinAggSpill)},
+		{"hash_join_1m_agg_spill_8mb", spillBench(8<<20, benchJoinAggSpill)},
 	} {
 		if bench.name == "" {
 			continue // NumCPU==1 collapses a parallel pair into one case
 		}
 		fmt.Printf("bench %-36s ", bench.name)
+		probePeak, probeSpill = 0, 0
 		r := testing.Benchmark(bench.fn)
 		if r.N == 0 {
 			fmt.Fprintf(os.Stderr, "bench %s produced no iterations (failed)\n", bench.name)
 			os.Exit(1)
 		}
-		fmt.Printf("%12d ns/op %10d B/op %8d allocs/op\n",
-			r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		fmt.Printf("%12d ns/op %10d B/op %8d allocs/op", r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+		if probePeak > 0 {
+			fmt.Printf(" %10d peak", probePeak)
+		}
+		if probeSpill > 0 {
+			fmt.Printf(" %10d spilled", probeSpill)
+		}
+		fmt.Println()
 		report.Results = append(report.Results, benchResult{
-			Name:        bench.name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
+			Name:         bench.name,
+			Iterations:   r.N,
+			NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:   r.AllocedBytesPerOp(),
+			AllocsPerOp:  r.AllocsPerOp(),
+			MemPeakBytes: probePeak,
+			SpillBytes:   probeSpill,
 		})
 	}
 	measureShipping(&report)
@@ -197,8 +219,15 @@ func comparePerf(report benchReport, path string, threshold float64) int {
 			mark = "  << REGRESSION"
 			regressed++
 		}
-		fmt.Printf("  %-36s ns/op %12.0f -> %12.0f (%+6.1f%%)   allocs/op %9d -> %9d (%+6.1f%%)%s\n",
-			r.Name, b.NsPerOp, r.NsPerOp, dNs, b.AllocsPerOp, r.AllocsPerOp, dAllocs, mark)
+		// mem_peak_bytes deltas are informational only: peaks move with
+		// deliberate budget/spill choices, so they never fail the compare.
+		peak := ""
+		if r.MemPeakBytes > 0 || b.MemPeakBytes > 0 {
+			peak = fmt.Sprintf("   mem_peak %11d -> %11d (%+6.1f%%)",
+				b.MemPeakBytes, r.MemPeakBytes, pct(float64(r.MemPeakBytes), float64(b.MemPeakBytes)))
+		}
+		fmt.Printf("  %-36s ns/op %12.0f -> %12.0f (%+6.1f%%)   allocs/op %9d -> %9d (%+6.1f%%)%s%s\n",
+			r.Name, b.NsPerOp, r.NsPerOp, dNs, b.AllocsPerOp, r.AllocsPerOp, dAllocs, peak, mark)
 		delete(baseBy, r.Name)
 	}
 	for name := range baseBy {
@@ -207,9 +236,80 @@ func comparePerf(report benchReport, path string, threshold float64) int {
 	return regressed
 }
 
+// probePeak/probeSpill receive the engine-accounted peak bytes and spill
+// volume of the most recent instrumented benchmark iteration (benchLoop's
+// first), so runPerfSuite can attach them to the result row. The suite is
+// strictly sequential, so plain package vars are fine.
+var probePeak, probeSpill int64
+
+// benchLoop runs sql b.N times against db. The first iteration runs
+// instrumented (QueryWithStats) to capture mem_peak_bytes/spill_bytes into
+// the suite probes; the remaining iterations take the plain path so the
+// timing stays representative.
+func benchLoop(b *testing.B, db *engine.DB, sql string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if i == 0 {
+			_, qs, err := db.QueryWithStats(sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			probePeak, probeSpill = qs.MemPeakBytes, qs.SpillBytes
+			continue
+		}
+		if _, err := db.Query(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // parBench adapts a parallelism-parameterized benchmark into a plain one.
 func parBench(par int, fn func(*testing.B, int)) func(*testing.B) {
 	return func(b *testing.B) { fn(b, par) }
+}
+
+// spillBench adapts a budget-parameterized benchmark into a plain one.
+func spillBench(budget int64, fn func(*testing.B, int64)) func(*testing.B) {
+	return func(b *testing.B) { fn(b, budget) }
+}
+
+// benchJoinAggSpill: a 1M x 1M equi-join feeding a 16-group aggregate.
+// With budget 0 it runs fully in memory; with a positive budget plus a
+// spill dir the grace hash join partitions both sides to disk and streams
+// its merged output into the spilled aggregate — same bits, tiny peak.
+func benchJoinAggSpill(b *testing.B, budget int64) {
+	l := engine.NewTable(engine.Schema{
+		{Name: "id", Type: engine.Int64},
+		{Name: "x", Type: engine.Float64},
+		{Name: "y", Type: engine.Float64},
+	})
+	r := engine.NewTable(engine.Schema{
+		{Name: "id", Type: engine.Int64},
+		{Name: "k", Type: engine.String},
+	})
+	rng := stats.NewRNG(7)
+	for i := 0; i < 1_000_000; i++ {
+		if err := l.AppendRow(int64(i), rng.Float64()*30, rng.Float64()); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.AppendRow(int64(i), fmt.Sprintf("site-%d", i%16)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var opts []engine.Option
+	if budget > 0 {
+		dir, err := os.MkdirTemp("", "mipbench-spill-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		opts = append(opts, engine.WithQueryMemLimit(budget), engine.WithSpillDir(dir))
+	}
+	db := engine.NewDB(opts...)
+	db.RegisterTable("l", l)
+	db.RegisterTable("r", r)
+	b.ResetTimer()
+	benchLoop(b, db, `SELECT r.k, sum(l.x) AS s, count(*) AS n FROM l JOIN r ON l.id = r.id GROUP BY r.k`)
 }
 
 // acctBench adapts an accounting-parameterized benchmark into a plain one.
@@ -238,11 +338,7 @@ func benchParScanFilter(b *testing.B, par int) {
 	db := engine.NewDB(engine.WithParallelism(par))
 	db.RegisterTable("t", tab)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := db.Query(`SELECT avg(x) AS m, count(*) AS n FROM t WHERE x > 0.2`); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchLoop(b, db, `SELECT avg(x) AS m, count(*) AS n FROM t WHERE x > 0.2`)
 }
 
 // benchParGroupAggregate: 500k rows, 8 groups, partitioned hash aggregation.
@@ -269,11 +365,7 @@ func benchGroupAggregate500k(b *testing.B, opts ...engine.Option) {
 	db := engine.NewDB(opts...)
 	db.RegisterTable("t", tab)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := db.Query(`SELECT site, avg(x) AS m, stddev(x) AS sd, count(*) AS n FROM t GROUP BY site`); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchLoop(b, db, `SELECT site, avg(x) AS m, stddev(x) AS sd, count(*) AS n FROM t GROUP BY site`)
 }
 
 // benchParHashJoin: 200k x 200k equi-join with parallel probe/materialize.
@@ -308,11 +400,7 @@ func benchHashJoin200k(b *testing.B, opts ...engine.Option) {
 	db.RegisterTable("patients", patients)
 	db.RegisterTable("scores", scores)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := db.Query(`SELECT avg(s.mmse) AS m, count(*) AS n FROM patients p JOIN scores s ON p.id = s.id WHERE p.age > 70`); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchLoop(b, db, `SELECT avg(s.mmse) AS m, count(*) AS n FROM patients p JOIN scores s ON p.id = s.id WHERE p.age > 70`)
 }
 
 // benchParGroupAggHiCard: 500k rows spread over ~100k distinct int64 keys,
@@ -332,11 +420,7 @@ func benchParGroupAggHiCard(b *testing.B, par int) {
 	db := engine.NewDB(engine.WithParallelism(par))
 	db.RegisterTable("t", tab)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := db.Query(`SELECT k, sum(x) AS s, count(*) AS n FROM t GROUP BY k`); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchLoop(b, db, `SELECT k, sum(x) AS s, count(*) AS n FROM t GROUP BY k`)
 }
 
 func benchFloatTable(b *testing.B, rows int) *engine.DB {
@@ -356,11 +440,7 @@ func benchFloatTable(b *testing.B, rows int) *engine.DB {
 func benchScanFilter(b *testing.B) {
 	db := benchFloatTable(b, 100000)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := db.Query(`SELECT avg(x) AS m, count(*) AS n FROM t WHERE x > 0.2`); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchLoop(b, db, `SELECT avg(x) AS m, count(*) AS n FROM t WHERE x > 0.2`)
 }
 
 func benchGroupAggregate(b *testing.B) {
@@ -371,11 +451,7 @@ func benchGroupAggregate(b *testing.B) {
 	db := engine.NewDB()
 	db.RegisterTable("data", tab)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := db.Query(`SELECT alzheimerbroadcategory AS dx, avg(lefthippocampus) AS m, count(*) AS n FROM data GROUP BY alzheimerbroadcategory`); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchLoop(b, db, `SELECT alzheimerbroadcategory AS dx, avg(lefthippocampus) AS m, count(*) AS n FROM data GROUP BY alzheimerbroadcategory`)
 }
 
 func benchJoinDB(b *testing.B) *engine.DB {
@@ -406,11 +482,7 @@ func benchJoinDB(b *testing.B) *engine.DB {
 func benchAggregateOverJoin(b *testing.B) {
 	db := benchJoinDB(b)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := db.Query(`SELECT avg(s.mmse) AS m, count(*) AS n FROM patients p JOIN scores s ON p.id = s.id WHERE p.age > 70`); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchLoop(b, db, `SELECT avg(s.mmse) AS m, count(*) AS n FROM patients p JOIN scores s ON p.id = s.id WHERE p.age > 70`)
 }
 
 func benchMergeDB(b *testing.B) *engine.DB {
@@ -433,11 +505,7 @@ func benchMergeDB(b *testing.B) *engine.DB {
 func benchMergePushdown(b *testing.B) {
 	master := benchMergeDB(b)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := master.Query(`SELECT alzheimerbroadcategory AS dx, avg(ab42) AS m FROM data GROUP BY alzheimerbroadcategory`); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchLoop(b, master, `SELECT alzheimerbroadcategory AS dx, avg(ab42) AS m FROM data GROUP BY alzheimerbroadcategory`)
 }
 
 // The cost of running the same federated aggregate with full operator

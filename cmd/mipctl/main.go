@@ -191,6 +191,7 @@ func printSlow(body []byte) {
 			When         string   `json:"when"`
 			Plan         []string `json:"plan"`
 			MemPeakBytes int64    `json:"mem_peak_bytes"`
+			SpillBytes   int64    `json:"spill_bytes"`
 			Reason       string   `json:"reason"`
 			Tenant       string   `json:"tenant"`
 			Job          string   `json:"job"`
@@ -206,6 +207,9 @@ func printSlow(body []byte) {
 		fmt.Printf("\n%s  %.3fs  rows %d->%d", q.When, q.Seconds, q.RowsScanned, q.RowsOut)
 		if q.MemPeakBytes > 0 {
 			fmt.Printf("  mem_peak=%s", formatBytes(q.MemPeakBytes))
+		}
+		if q.SpillBytes > 0 {
+			fmt.Printf("  spill=%s", formatBytes(q.SpillBytes))
 		}
 		if q.Reason != "" {
 			fmt.Printf("  reason=%s", q.Reason)
@@ -231,15 +235,16 @@ func printSlow(body []byte) {
 
 // activeQuery mirrors the server's engine.QueryInfo JSON.
 type activeQuery struct {
-	ID        int64   `json:"id"`
-	SQL       string  `json:"sql"`
-	Tenant    string  `json:"tenant"`
-	Job       string  `json:"job"`
-	Seconds   float64 `json:"seconds"`
-	Rows      int64   `json:"rows"`
-	LiveBytes int64   `json:"live_bytes"`
-	PeakBytes int64   `json:"peak_bytes"`
-	Operator  string  `json:"operator"`
+	ID         int64   `json:"id"`
+	SQL        string  `json:"sql"`
+	Tenant     string  `json:"tenant"`
+	Job        string  `json:"job"`
+	Seconds    float64 `json:"seconds"`
+	Rows       int64   `json:"rows"`
+	LiveBytes  int64   `json:"live_bytes"`
+	PeakBytes  int64   `json:"peak_bytes"`
+	SpillBytes int64   `json:"spill_bytes"`
+	Operator   string  `json:"operator"`
 }
 
 // topQueries polls GET /queries/active and renders a live, top-style view:
@@ -261,8 +266,8 @@ func topQueries(server string, interval time.Duration, iterations int) {
 		fmt.Print("\033[H\033[2J") // clear screen, cursor home
 		fmt.Printf("%s  %d active quer%s (refresh %s; kill with: mipctl kill <id>)\n",
 			time.Now().Format("15:04:05"), len(doc.Queries), plural(len(doc.Queries), "y", "ies"), interval)
-		fmt.Printf("%4s  %8s  %10s  %10s  %10s  %-24s  %s\n",
-			"ID", "AGE", "ROWS", "LIVE", "PEAK", "OPERATOR", "SQL")
+		fmt.Printf("%4s  %8s  %10s  %10s  %10s  %10s  %-24s  %s\n",
+			"ID", "AGE", "ROWS", "LIVE", "PEAK", "SPILL", "OPERATOR", "SQL")
 		for _, q := range doc.Queries {
 			sql := q.SQL
 			switch {
@@ -276,9 +281,10 @@ func topQueries(server string, interval time.Duration, iterations int) {
 			if len(sql) > 60 {
 				sql = sql[:57] + "..."
 			}
-			fmt.Printf("%4d  %8s  %10d  %10s  %10s  %-24s  %s\n",
+			fmt.Printf("%4d  %8s  %10d  %10s  %10s  %10s  %-24s  %s\n",
 				q.ID, (time.Duration(q.Seconds * float64(time.Second))).Round(time.Millisecond),
-				q.Rows, formatBytes(q.LiveBytes), formatBytes(q.PeakBytes), q.Operator, sql)
+				q.Rows, formatBytes(q.LiveBytes), formatBytes(q.PeakBytes), formatBytes(q.SpillBytes),
+				q.Operator, sql)
 		}
 	}
 }

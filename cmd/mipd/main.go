@@ -14,6 +14,7 @@
 //	     [-engine-parallelism 0]  # intra-query parallelism per worker (0 = NumCPU)
 //	     [-query-deadline 0]   # per-statement wall-time ceiling (0 = unbounded)
 //	     [-query-mem-limit 0]  # per-statement accounted-bytes ceiling (0 = unbounded)
+//	     [-query-spill-dir ""] # with a mem limit: spill joins/aggregates here instead of cancelling
 //
 // The fault-tolerance flags let plain-path experiments degrade to a partial
 // aggregate instead of failing when workers die mid-step: -min-workers and
@@ -75,7 +76,8 @@ func main() {
 	auditLog := flag.String("audit-log", "", "append hash-chained audit records to this JSONL file (see GET /audit)")
 	enginePar := flag.Int("engine-parallelism", 0, "intra-query parallelism per worker engine (0 = NumCPU); results are identical at any value")
 	queryDeadline := flag.Duration("query-deadline", 0, "cancel engine statements running longer than this (0 = unbounded); see GET /queries/active")
-	queryMemLimit := flag.Int64("query-mem-limit", 0, "cancel engine statements whose accounted live bytes exceed this (0 = unbounded)")
+	queryMemLimit := flag.Int64("query-mem-limit", 0, "per-statement memory budget in bytes (0 = unbounded); without -query-spill-dir, statements over it are cancelled")
+	querySpillDir := flag.String("query-spill-dir", "", "spill directory: with -query-mem-limit, budget-crossing joins/aggregates partition to disk here and keep running")
 	flag.Parse()
 
 	engine.DefaultSlowLog.SetThreshold(*slowQuery)
@@ -95,7 +97,7 @@ func main() {
 	}
 
 	cfg := mip.Config{Seed: *seed, EngineParallelism: *enginePar,
-		QueryDeadline: *queryDeadline, QueryMemLimit: *queryMemLimit}
+		QueryDeadline: *queryDeadline, QueryMemLimit: *queryMemLimit, QuerySpillDir: *querySpillDir}
 	cfg.Tolerance = mip.Tolerance{MinWorkers: *minWorkers, Quorum: *quorum, StepDeadline: *stepDeadline}
 	switch strings.ToLower(*security) {
 	case "off":

@@ -85,6 +85,20 @@ func WithQueryMemLimit(n int64) Option {
 	}
 }
 
+// WithSpillDir sets the base directory for spill run files. Combined with
+// WithQueryMemLimit it changes the limit's meaning from a hard ceiling to
+// a soft budget: hash join and hash aggregate partition their state and
+// shed partitions to temp files past the budget instead of the statement
+// being cancelled with ErrQueryMemLimit. Empty (the default) keeps the
+// hard-ceiling behavior.
+func WithSpillDir(dir string) Option {
+	return func(db *DB) {
+		cur := *db.ec.Load()
+		cur.SpillDir = dir
+		db.ec.Store(&cur)
+	}
+}
+
 // WithAccounting toggles per-query governance (registry registration,
 // cancellation contexts, memory accounting). It defaults to on; the
 // benchmark harness measures the off path to pin the accounting overhead.
@@ -289,7 +303,13 @@ func (db *DB) beginQuery(ctx context.Context, sql string, qs *QueryStats) (*Exec
 		cctx, stopDeadline = context.WithDeadlineCause(cctx, time.Now().Add(d), ErrQueryDeadline)
 	}
 	acct := &MemAccountant{limit: ecq.QueryMemLimit}
-	acct.onExceed = func() { cancel(ErrQueryMemLimit) }
+	if ecq.SpillDir != "" && ecq.QueryMemLimit > 0 {
+		// Soft budget: spill-aware operators poll acct.OverLimit() and
+		// shed partitions to disk instead of the query being killed.
+		ecq.spill = &spillSession{base: ecq.SpillDir}
+	} else {
+		acct.onExceed = func() { cancel(ErrQueryMemLimit) }
+	}
 	h := Queries.register(sql, queryAttribution(ctx), cancel, acct)
 	ecq.Ctx = cctx
 	ecq.Acct = acct
@@ -300,9 +320,14 @@ func (db *DB) beginQuery(ctx context.Context, sql string, qs *QueryStats) (*Exec
 	}
 	return &ecq, func(err error) {
 		Queries.finish(h)
+		if ecq.spill != nil {
+			ecq.spill.cleanup()
+		}
 		v := verdictFor(err)
 		if qs != nil {
 			qs.MemPeakBytes = acct.Peak()
+			qs.SpillBytes = h.spillBytes.Load()
+			qs.SpillPartitions = h.spillParts.Load()
 			qs.Verdict = v
 		}
 		queryTerminated(v)
@@ -344,6 +369,12 @@ func (db *DB) run(st Statement, qs *QueryStats, ec *ExecContext) (*Table, error)
 			return m.execSelect(ec, s, qs)
 		}
 		if len(s.Joins) > 0 || s.FromAlias != "" {
+			// Grouped aggregate over one join whose materialized result
+			// would blow the memory budget: stream the grace join's merged
+			// output straight into the spilled aggregation instead.
+			if out, handled, err := db.trySpillJoinAgg(ec, s, qs); handled || err != nil {
+				return out, err
+			}
 			joined, residual, err := db.buildJoined(ec, s, qs)
 			if err != nil {
 				return nil, err

@@ -27,8 +27,28 @@ func execSelect(ec *ExecContext, st *SelectStmt, input *Table, qs *QueryStats) (
 		return nil, err
 	}
 
-	// WHERE: compute a selection vector morsel-wise and gather once.
-	if st.Where != nil {
+	// Pipeline fusion: when a WHERE precedes a fusible stage and the input
+	// is non-empty, the filter runs inside that stage's morsel loop
+	// (select → gather → consume per morsel) instead of materializing a
+	// filtered intermediate table. Fusion never changes the morsel
+	// decomposition rule — morsels still cover the unfused input — so
+	// results stay bit-identical at every parallelism degree. Empty inputs
+	// take the unfused path so evaluation errors surface identically.
+	hasAgg := selHasAgg(st)
+	kPrime := -1
+	if st.Limit >= 0 {
+		kPrime = st.Limit + st.Offset
+	}
+	useTopk := !hasAgg && len(st.OrderBy) > 0 && kPrime >= 0 &&
+		kPrime <= topkMaxCandidates && kPrime < t.NumRows()
+	canFuse := st.Where != nil && t.NumRows() > 0
+	fuseAgg := canFuse && hasAgg
+	fuseExtend := canFuse && !hasAgg && len(st.OrderBy) > 0 && !useTopk
+	fuseProject := canFuse && !hasAgg && len(st.OrderBy) == 0 && !st.Star
+	whereFused := fuseAgg || fuseExtend || fuseProject || useTopk
+
+	// WHERE (unfused): compute a selection vector morsel-wise, gather once.
+	if st.Where != nil && !whereFused {
 		sg := qs.beginStage("filter", st.Where.String(), t.NumRows())
 		sg.setParallelism(ec.degreeFor(len(ec.morselsOf(t.NumRows()))))
 		sel, err := ec.filterSel(st.Where, t, sg.planNode())
@@ -41,12 +61,38 @@ func execSelect(ec *ExecContext, st *SelectStmt, input *Table, qs *QueryStats) (
 
 	var out *Table
 	var err error
-	if selHasAgg(st) {
+	limitApplied := false
+	degree := ec.degreeFor(len(ec.morselsOf(t.NumRows())))
+	beginFusedFilter := func() *stage {
+		if st.Where == nil {
+			return nil
+		}
+		fs := qs.beginStage("filter", st.Where.String(), t.NumRows())
+		fs.setParallelism(degree)
+		if fn := fs.planNode(); fn != nil {
+			fn.Fused = true
+		}
+		return fs
+	}
+	switch {
+	case hasAgg:
+		var fs *stage
+		var where Expr
+		if fuseAgg {
+			where = st.Where
+			fs = beginFusedFilter()
+		}
 		sg := qs.beginStage("aggregate", aggDetail(st), t.NumRows())
-		sg.setParallelism(ec.degreeFor(len(ec.morselsOf(t.NumRows()))))
-		out, err = execAggregate(ec, st, t, sg.planNode())
+		sg.setParallelism(degree)
+		if n := sg.planNode(); n != nil && fuseAgg {
+			n.Fused = true
+		}
+		out, err = execAggregate(ec, st, t, sg.planNode(), where, fs.planNode())
 		if err != nil {
 			return nil, err
+		}
+		if fs != nil {
+			fs.end(nil)
 		}
 		sg.end(out)
 		if len(st.OrderBy) > 0 {
@@ -60,56 +106,288 @@ func execSelect(ec *ExecContext, st *SelectStmt, input *Table, qs *QueryStats) (
 			}
 			so.end(out)
 		}
-	} else {
+	case useTopk:
+		// ORDER BY ... LIMIT k: bounded per-morsel selection + merge. Each
+		// morsel keeps only its k'=limit+offset best rows, so the sort/merge
+		// never materializes the full ordered table. The limit is folded in.
+		if err := ec.interrupted(); err != nil {
+			return nil, err
+		}
+		out, err = execTopK(ec, st, t, qs, kPrime, degree, beginFusedFilter)
+		if err != nil {
+			return nil, err
+		}
+		limitApplied = true
+	case len(st.OrderBy) > 0:
 		// ORDER BY may reference source columns that the projection drops
 		// (SELECT id ... ORDER BY age), as well as projection aliases. Build
 		// an extended table carrying both, sort it, then project.
-		if len(st.OrderBy) > 0 {
-			if err := ec.interrupted(); err != nil {
+		if err := ec.interrupted(); err != nil {
+			return nil, err
+		}
+		var ext *Table
+		var outNames []string
+		if fuseExtend {
+			fs := beginFusedFilter()
+			sp := qs.beginStage("project", "extend", t.NumRows())
+			sp.setParallelism(degree)
+			if n := sp.planNode(); n != nil {
+				n.Fused = true
+			}
+			ext, outNames, err = execExtendFused(ec, st, t, fs.planNode(), sp.planNode())
+			if err != nil {
 				return nil, err
 			}
+			fs.end(nil)
+			sp.end(ext)
+		} else {
 			sp := qs.beginStage("project", "extend", t.NumRows())
-			ext, outNames, err := extendWithProjection(st, t)
+			ext, outNames, err = extendWithProjection(st, t)
 			if err != nil {
 				return nil, err
 			}
 			sp.end(ext)
-			so := qs.beginStage("order", orderDetail(st.OrderBy), ext.NumRows())
-			ext, err = execOrderBy(st.OrderBy, ext)
-			if err != nil {
-				return nil, err
-			}
-			so.end(ext)
-			sf := qs.beginStage("project", projectDetail(st), ext.NumRows())
-			out, err = projectNames(ext, outNames)
-			if err != nil {
-				return nil, err
-			}
-			sf.end(out)
+		}
+		so := qs.beginStage("order", orderDetail(st.OrderBy), ext.NumRows())
+		ext, err = execOrderBy(st.OrderBy, ext)
+		if err != nil {
+			return nil, err
+		}
+		so.end(ext)
+		sf := qs.beginStage("project", projectDetail(st), ext.NumRows())
+		out, err = projectNames(ext, outNames)
+		if err != nil {
+			return nil, err
+		}
+		sf.end(out)
+	case fuseProject:
+		if err := ec.interrupted(); err != nil {
+			return nil, err
+		}
+		fs := beginFusedFilter()
+		sp := qs.beginStage("project", projectDetail(st), t.NumRows())
+		sp.setParallelism(degree)
+		if n := sp.planNode(); n != nil {
+			n.Fused = true
+		}
+		out, err = execProjectFused(ec, st, t, fs.planNode(), sp.planNode())
+		if err != nil {
+			return nil, err
+		}
+		fs.end(nil)
+		sp.end(out)
+	default:
+		if err := ec.interrupted(); err != nil {
+			return nil, err
+		}
+		sp := qs.beginStage("project", projectDetail(st), t.NumRows())
+		out, err = execProject(st, t)
+		if err != nil {
+			return nil, err
+		}
+		sp.end(out)
+	}
+	if !limitApplied {
+		if st.Limit >= 0 || st.Offset > 0 {
+			sl := qs.beginStage("limit", limitDetail(st), out.NumRows())
+			out = execLimit(st, out)
+			sl.end(out)
 		} else {
-			if err := ec.interrupted(); err != nil {
-				return nil, err
-			}
-			sp := qs.beginStage("project", projectDetail(st), t.NumRows())
-			out, err = execProject(st, t)
-			if err != nil {
-				return nil, err
-			}
-			sp.end(out)
+			out = execLimit(st, out)
 		}
 	}
-	if st.Limit >= 0 || st.Offset > 0 {
-		sl := qs.beginStage("limit", limitDetail(st), out.NumRows())
-		out = execLimit(st, out)
-		sl.end(out)
-	} else {
-		out = execLimit(st, out)
+	// Fused pipelines charge their output at the terminal concat, after the
+	// last in-loop interrupt check; settle any resulting hard-limit or
+	// deadline cancellation before declaring the statement done.
+	if err := ec.interrupted(); err != nil {
+		return nil, err
 	}
 	if qs != nil {
 		qs.RowsOut += out.NumRows()
 		qs.Vectors += len(out.Schema())
 	}
 	return out, nil
+}
+
+// topkMaxCandidates bounds k'=limit+offset for the top-k operator: past
+// this, per-morsel candidate sets stop being "bounded" in any useful sense
+// and the full sort path is used instead.
+const topkMaxCandidates = 1 << 16
+
+// execTopK implements ORDER BY ... LIMIT k without a full sort: every
+// morsel (optionally filtered in-loop) sorts its own extended rows and
+// keeps only its first k'=limit+offset; the candidates are concatenated in
+// morsel order and re-sorted. A row outside its morsel's first k' has ≥ k'
+// rows ahead of it globally, so the merged first k' equal the full stable
+// sort's first k' — including tie order, because per-morsel stable sorts
+// preserve within-morsel row order and the concat preserves morsel order.
+func execTopK(ec *ExecContext, st *SelectStmt, t *Table, qs *QueryStats, kPrime, degree int, beginFusedFilter func() *stage) (*Table, error) {
+	fs := beginFusedFilter()
+	sg := qs.beginStage("topk", orderDetail(st.OrderBy)+" "+limitDetail(st), t.NumRows())
+	sg.setParallelism(degree)
+	fnode, node := fs.planNode(), sg.planNode()
+	if node != nil && st.Where != nil {
+		node.Fused = true
+	}
+
+	extEmpty, outNames, err := extendWithProjection(st, t.Slice(0, 0))
+	if err != nil {
+		return nil, err
+	}
+	schema := extEmpty.Schema()
+	ms := ec.morselsOf(t.NumRows())
+	parts := make([]*Table, len(ms))
+	err = ec.parallelFor(len(ms), func(i int) error {
+		m := ms[i]
+		part := t.Slice(m.lo, m.hi)
+		if st.Where != nil {
+			sel, err := FilterSel(st.Where, part)
+			if err != nil {
+				return err
+			}
+			if fnode != nil {
+				atomic.AddInt64(&fnode.RowsOut, int64(len(sel)))
+			}
+			fnode.AddMorsels(1)
+			part = part.Gather(sel)
+		}
+		ext, _, err := extendWithProjection(st, part)
+		if err != nil {
+			return err
+		}
+		idx, err := sortIdx(st.OrderBy, ext)
+		if err != nil {
+			return err
+		}
+		if len(idx) > kPrime {
+			idx = idx[:kPrime]
+		}
+		parts[i] = ext.Gather(idx)
+		node.AddMorsels(1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged, err := ec.concatTables(schema, parts)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := sortIdx(st.OrderBy, merged)
+	if err != nil {
+		return nil, err
+	}
+	start := st.Offset
+	if start > len(idx) {
+		start = len(idx)
+	}
+	end := len(idx)
+	if st.Limit >= 0 && start+st.Limit < end {
+		end = start + st.Limit
+	}
+	out, err := projectNames(merged.Gather(idx[start:end]), outNames)
+	if err != nil {
+		return nil, err
+	}
+	ec.charge(out.ByteSize())
+	if fs != nil {
+		fs.end(nil)
+	}
+	sg.end(out)
+	return out, nil
+}
+
+// execExtendFused runs filter → extend fused per morsel: each morsel
+// selects its matching rows, gathers them, and evaluates the extended
+// projection locally; the morsel outputs concatenate in morsel order.
+func execExtendFused(ec *ExecContext, st *SelectStmt, t *Table, fnode, enode *PlanNode) (*Table, []string, error) {
+	extEmpty, outNames, err := extendWithProjection(st, t.Slice(0, 0))
+	if err != nil {
+		return nil, nil, err
+	}
+	schema := extEmpty.Schema()
+	ms := ec.morselsOf(t.NumRows())
+	parts := make([]*Table, len(ms))
+	err = ec.parallelFor(len(ms), func(i int) error {
+		m := ms[i]
+		part := t.Slice(m.lo, m.hi)
+		sel, err := FilterSel(st.Where, part)
+		if err != nil {
+			return err
+		}
+		if fnode != nil {
+			atomic.AddInt64(&fnode.RowsOut, int64(len(sel)))
+		}
+		fnode.AddMorsels(1)
+		ext, _, err := extendWithProjection(st, part.Gather(sel))
+		if err != nil {
+			return err
+		}
+		parts[i] = ext
+		enode.AddMorsels(1)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	merged, err := ec.concatTables(schema, parts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return merged, outNames, nil
+}
+
+// execProjectFused runs filter → project fused per morsel (non-star
+// projections without ORDER BY): no filtered intermediate table is ever
+// materialized, only the projected output.
+func execProjectFused(ec *ExecContext, st *SelectStmt, t *Table, fnode, pnode *PlanNode) (*Table, error) {
+	empty := t.Slice(0, 0)
+	schema := make(Schema, len(st.Items))
+	for i, it := range st.Items {
+		v, err := Eval(it.Expr, empty)
+		if err != nil {
+			return nil, err
+		}
+		name := it.Alias
+		if name == "" {
+			name = exprName(it.Expr)
+		}
+		schema[i] = ColumnDef{Name: name, Type: v.Type()}
+	}
+	ms := ec.morselsOf(t.NumRows())
+	parts := make([]*Table, len(ms))
+	err := ec.parallelFor(len(ms), func(i int) error {
+		m := ms[i]
+		part := t.Slice(m.lo, m.hi)
+		sel, err := FilterSel(st.Where, part)
+		if err != nil {
+			return err
+		}
+		if fnode != nil {
+			atomic.AddInt64(&fnode.RowsOut, int64(len(sel)))
+		}
+		fnode.AddMorsels(1)
+		part = part.Gather(sel)
+		cols := make([]*Vector, len(st.Items))
+		for k, it := range st.Items {
+			v, err := Eval(it.Expr, part)
+			if err != nil {
+				return err
+			}
+			cols[k] = v
+		}
+		pt, err := NewTableFromVectors(schema, cols)
+		if err != nil {
+			return err
+		}
+		parts[i] = pt
+		pnode.AddMorsels(1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ec.concatTables(schema, parts)
 }
 
 // extendWithProjection evaluates the select items over t and returns a
@@ -225,6 +503,16 @@ func execLimit(st *SelectStmt, t *Table) *Table {
 }
 
 func execOrderBy(keys []OrderItem, t *Table) (*Table, error) {
+	idx, err := sortIdx(keys, t)
+	if err != nil {
+		return nil, err
+	}
+	return t.Gather(idx), nil
+}
+
+// sortIdx returns the stable sort permutation of t's rows under the ORDER
+// BY keys without gathering; top-k truncates it before materializing.
+func sortIdx(keys []OrderItem, t *Table) ([]int32, error) {
 	n := t.NumRows()
 	vecs := make([]*Vector, len(keys))
 	for i, k := range keys {
@@ -252,7 +540,7 @@ func execOrderBy(keys []OrderItem, t *Table) (*Table, error) {
 		}
 		return false
 	})
-	return t.Gather(idx), nil
+	return idx, nil
 }
 
 // compareRows orders two rows of one vector; NULLs sort first.
@@ -316,7 +604,6 @@ type aggState struct {
 }
 
 func newAggState(call *AggCall, groups int, t *Table) (*aggState, []*Vector, error) {
-	s := &aggState{call: call}
 	var argVecs []*Vector
 	for _, a := range call.Args {
 		v, err := Eval(a, t)
@@ -325,6 +612,15 @@ func newAggState(call *AggCall, groups int, t *Table) (*aggState, []*Vector, err
 		}
 		argVecs = append(argVecs, v)
 	}
+	return newAggStateFromArgs(call, groups, argVecs)
+}
+
+// newAggStateFromArgs builds the state from already-evaluated argument
+// vectors. The spill path reloads processed arg vectors from run files
+// (quantile's literal fraction arg is already trimmed there; the literal
+// itself still comes from the call AST).
+func newAggStateFromArgs(call *AggCall, groups int, argVecs []*Vector) (*aggState, []*Vector, error) {
+	s := &aggState{call: call}
 	name := call.Name
 	switch name {
 	case "count":
@@ -744,55 +1040,52 @@ type morselAgg struct {
 // global group ids equal first-appearance-in-row-order ids — exactly what
 // the single-threaded implementation produced — and the fixed fold order
 // makes float results bit-identical at every parallelism degree.
-func execAggregate(ec *ExecContext, st *SelectStmt, t *Table, node *PlanNode) (*Table, error) {
+//
+// When where is non-nil the WHERE filter is fused into the morsel loop:
+// morsels decompose the unfiltered input, and each morsel selects and
+// gathers its matching rows before grouping, so no filtered intermediate
+// table is materialized. fnode (optional) receives the fused filter's
+// per-morsel stats.
+func execAggregate(ec *ExecContext, st *SelectStmt, t *Table, node *PlanNode, where Expr, fnode *PlanNode) (*Table, error) {
 	grouped := len(st.GroupBy) > 0
 
-	// 1. Rewrite select items and HAVING; collect aggregate calls.
-	keyNames := map[string]string{}
-	for i, g := range st.GroupBy {
-		keyNames[g.String()] = fmt.Sprintf("$key%d", i)
-	}
-	var aggCalls []*AggCall
-	aggCols := map[string]string{}
-	items := make([]SelectItem, len(st.Items))
-	for i, it := range st.Items {
-		items[i] = SelectItem{Expr: rewriteAgg(it.Expr, keyNames, &aggCalls, aggCols), Alias: it.Alias}
-		if items[i].Alias == "" {
-			items[i].Alias = exprName(it.Expr)
-		}
-	}
-	var having Expr
-	if st.Having != nil {
-		having = rewriteAgg(st.Having, keyNames, &aggCalls, aggCols)
-	}
-
-	// 2. Validate and type group keys and aggregate args over an empty
-	// row range, so errors (unknown columns, bad quantile fractions, corr
-	// arity) surface deterministically even when the input has no rows.
+	// 1+2. Rewrite items/HAVING, collect aggregate calls, validate over an
+	// empty row range.
 	empty := t.Slice(0, 0)
-	emptyKeys := make([]*Vector, len(st.GroupBy))
-	for i, g := range st.GroupBy {
-		v, err := Eval(g, empty)
-		if err != nil {
-			return nil, err
-		}
-		emptyKeys[i] = v
+	prep, err := prepareAgg(st, empty)
+	if err != nil {
+		return nil, err
 	}
-	for _, c := range aggCalls {
-		if _, _, err := newAggState(c, 0, empty); err != nil {
-			return nil, err
-		}
-	}
+	items, having, aggCalls, emptyKeys := prep.items, prep.having, prep.aggCalls, prep.emptyKeys
 
 	// 3. Per-morsel partial aggregation (parallel). Each morsel charges its
 	// partial's approximate footprint once (key vectors + per-group state);
 	// the total is released after the combine, when the partials die.
+	// With spilling available, every morsel polls the soft budget before
+	// building its partial; crossing it aborts the in-memory pass with a
+	// sentinel and the aggregation restarts through the disk-backed
+	// partitioned path (bit-identical results, bounded memory).
+	spillOK := grouped && ec.spillEnabled()
 	ms := ec.morselsOf(t.NumRows())
 	partials := make([]*morselAgg, len(ms))
 	var partialBytes atomic.Int64
-	err := ec.parallelFor(len(ms), func(i int) error {
+	err = ec.parallelFor(len(ms), func(i int) error {
+		if spillOK && ec.overBudget() {
+			return errAggOverBudget
+		}
 		m := ms[i]
 		part := t.Slice(m.lo, m.hi)
+		if where != nil {
+			sel, err := FilterSel(where, part)
+			if err != nil {
+				return err
+			}
+			if fnode != nil {
+				atomic.AddInt64(&fnode.RowsOut, int64(len(sel)))
+			}
+			fnode.AddMorsels(1)
+			part = part.Gather(sel)
+		}
 		n := part.NumRows()
 		ma := &morselAgg{}
 		var groupOf []int
@@ -843,6 +1136,24 @@ func execAggregate(ec *ExecContext, st *SelectStmt, t *Table, node *PlanNode) (*
 		node.AddMorsels(1)
 		return nil
 	})
+	if spillOK && err == errAggOverBudget {
+		// The in-memory partials crossed the budget: drop them (and their
+		// stage counters — the spill pass re-counts every morsel) and redo
+		// the aggregation through the disk-backed partitioned path.
+		ec.release(partialBytes.Load())
+		if node != nil {
+			atomic.StoreInt64(&node.Morsels, 0)
+		}
+		if fnode != nil {
+			atomic.StoreInt64(&fnode.Morsels, 0)
+			atomic.StoreInt64(&fnode.RowsOut, 0)
+		}
+		mid, err := execAggSpill(ec, st, t, node, fnode, where, aggCalls, emptyKeys, empty)
+		if err != nil {
+			return nil, err
+		}
+		return aggFinalize(ec, mid, having, items)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -915,7 +1226,62 @@ func execAggregate(ec *ExecContext, st *SelectStmt, t *Table, node *PlanNode) (*
 	ec.release(partialBytes.Load())
 	ec.charge(mid.ByteSize())
 
-	// 6. HAVING filter (group counts are small: serial).
+	return aggFinalize(ec, mid, having, items)
+}
+
+// aggPrep is the statement-level preparation of an aggregation: rewritten
+// select items and HAVING (aggregate calls and group keys replaced by
+// $agg*/$key* column refs), the collected aggregate calls, and the typed
+// empty group-key vectors.
+type aggPrep struct {
+	items     []SelectItem
+	having    Expr
+	aggCalls  []*AggCall
+	emptyKeys []*Vector
+}
+
+// prepareAgg rewrites the statement against the (empty) input schema and
+// validates group keys and aggregate arguments, so errors (unknown
+// columns, bad quantile fractions, corr arity) surface deterministically
+// even when the input has no rows. Shared by the in-memory aggregate and
+// the spilled join→aggregate path, which never materializes its input.
+func prepareAgg(st *SelectStmt, empty *Table) (*aggPrep, error) {
+	keyNames := map[string]string{}
+	for i, g := range st.GroupBy {
+		keyNames[g.String()] = fmt.Sprintf("$key%d", i)
+	}
+	p := &aggPrep{}
+	aggCols := map[string]string{}
+	p.items = make([]SelectItem, len(st.Items))
+	for i, it := range st.Items {
+		p.items[i] = SelectItem{Expr: rewriteAgg(it.Expr, keyNames, &p.aggCalls, aggCols), Alias: it.Alias}
+		if p.items[i].Alias == "" {
+			p.items[i].Alias = exprName(it.Expr)
+		}
+	}
+	if st.Having != nil {
+		p.having = rewriteAgg(st.Having, keyNames, &p.aggCalls, aggCols)
+	}
+	p.emptyKeys = make([]*Vector, len(st.GroupBy))
+	for i, g := range st.GroupBy {
+		v, err := Eval(g, empty)
+		if err != nil {
+			return nil, err
+		}
+		p.emptyKeys[i] = v
+	}
+	for _, c := range p.aggCalls {
+		if _, _, err := newAggState(c, 0, empty); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// aggFinalize applies the HAVING filter (group counts are small: serial)
+// and the final projection to the $key/$agg intermediate table. Shared by
+// the in-memory and spilled aggregation paths.
+func aggFinalize(ec *ExecContext, mid *Table, having Expr, items []SelectItem) (*Table, error) {
 	if having != nil {
 		sel, err := FilterSel(having, mid)
 		if err != nil {
@@ -923,8 +1289,6 @@ func execAggregate(ec *ExecContext, st *SelectStmt, t *Table, node *PlanNode) (*
 		}
 		mid = mid.Gather(sel)
 	}
-
-	// 7. Final projection over the intermediate table.
 	outSchema := make(Schema, len(items))
 	outCols := make([]*Vector, len(items))
 	for i, it := range items {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -255,5 +256,56 @@ func TestRunIsMetered(t *testing.T) {
 	}
 	if got := db.QueryCount() - before; got != 1 {
 		t.Errorf("Run added %d to QueryCount, want 1", got)
+	}
+}
+
+// TestTopKOperator pins the bounded top-k path for ORDER BY … LIMIT:
+// both plain EXPLAIN (predicted from catalog row counts) and EXPLAIN
+// ANALYZE render a single `topk` node instead of order+limit, and the
+// rows it returns are exactly the corresponding prefix of the full sort.
+func TestTopKOperator(t *testing.T) {
+	db := explainDB(t)
+	lines := planLines(t, db, `EXPLAIN SELECT id, age FROM patients ORDER BY age DESC LIMIT 2`)
+	if !strings.Contains(lines[0], "topk age DESC limit 2") {
+		t.Errorf("plain EXPLAIN root = %q, want a topk node", lines[0])
+	}
+	for _, l := range lines {
+		if strings.Contains(l, "order ") && !strings.Contains(l, "topk") {
+			t.Errorf("plain EXPLAIN still has a separate order node: %q", l)
+		}
+	}
+	lines = planLines(t, db, `EXPLAIN ANALYZE SELECT id, age FROM patients ORDER BY age DESC LIMIT 2`)
+	if !strings.Contains(lines[0], "topk") || !strings.Contains(lines[0], "rows_out=2") {
+		t.Errorf("EXPLAIN ANALYZE root = %q, want topk with rows_out=2", lines[0])
+	}
+
+	for _, q := range []struct {
+		limited, full string
+		offset, k     int
+	}{
+		{`SELECT id, age FROM patients ORDER BY age DESC, id LIMIT 2`,
+			`SELECT id, age FROM patients ORDER BY age DESC, id`, 0, 2},
+		{`SELECT id, age FROM patients WHERE age > 60 ORDER BY age, id LIMIT 2 OFFSET 1`,
+			`SELECT id, age FROM patients WHERE age > 60 ORDER BY age, id`, 1, 2},
+	} {
+		got, err := db.Query(q.limited)
+		if err != nil {
+			t.Fatalf("%s: %v", q.limited, err)
+		}
+		ref, err := db.Query(q.full)
+		if err != nil {
+			t.Fatalf("%s: %v", q.full, err)
+		}
+		if got.NumRows() != q.k {
+			t.Fatalf("%s: returned %d rows, want %d", q.limited, got.NumRows(), q.k)
+		}
+		for i := 0; i < got.NumRows(); i++ {
+			for j := 0; j < got.NumCols(); j++ {
+				g, r := got.Col(j).Value(i), ref.Col(j).Value(i+q.offset)
+				if fmt.Sprint(g) != fmt.Sprint(r) {
+					t.Errorf("%s: row %d col %d = %v, full-sort prefix has %v", q.limited, i, j, g, r)
+				}
+			}
+		}
 	}
 }

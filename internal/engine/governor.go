@@ -122,6 +122,25 @@ func (a *MemAccountant) Peak() int64 {
 	return a.peak.Load()
 }
 
+// OverLimit reports whether accounted live bytes currently exceed the
+// limit. Spill-enabled operators poll this at morsel boundaries and shed
+// state to disk instead of waiting for the hard-cancel callback (which is
+// not installed when spilling is on).
+func (a *MemAccountant) OverLimit() bool {
+	if a == nil {
+		return false
+	}
+	return a.limit > 0 && a.live.Load() > a.limit
+}
+
+// Limit returns the configured budget (0 = unlimited).
+func (a *MemAccountant) Limit() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.limit
+}
+
 // queryHandle is one live statement's registry record. Exec goroutines
 // update only its atomics (rows, current operator) so List never races
 // execution under -race.
@@ -134,6 +153,11 @@ type queryHandle struct {
 	acct   *MemAccountant
 	rows   atomic.Int64
 	op     atomic.Pointer[string]
+	// spillBytes/spillParts tally run-file bytes written and partitions
+	// spilled so far; live (mipctl top) and final (QueryStats) views both
+	// read them.
+	spillBytes atomic.Int64
+	spillParts atomic.Int64
 }
 
 // setOp records the operator the query is currently executing.
@@ -155,17 +179,18 @@ func (h *queryHandle) addRows(n int64) {
 // QueryInfo is a JSON-safe snapshot of one active query, as served by
 // GET /queries/active and rendered by `mipctl top`.
 type QueryInfo struct {
-	ID        int64     `json:"id"`
-	SQL       string    `json:"sql"`
-	Tenant    string    `json:"tenant,omitempty"`
-	Job       string    `json:"job,omitempty"`
-	Datasets  []string  `json:"datasets,omitempty"`
-	Start     time.Time `json:"start"`
-	Seconds   float64   `json:"seconds"`
-	Rows      int64     `json:"rows"`
-	LiveBytes int64     `json:"live_bytes"`
-	PeakBytes int64     `json:"peak_bytes"`
-	Operator  string    `json:"operator,omitempty"`
+	ID         int64     `json:"id"`
+	SQL        string    `json:"sql"`
+	Tenant     string    `json:"tenant,omitempty"`
+	Job        string    `json:"job,omitempty"`
+	Datasets   []string  `json:"datasets,omitempty"`
+	Start      time.Time `json:"start"`
+	Seconds    float64   `json:"seconds"`
+	Rows       int64     `json:"rows"`
+	LiveBytes  int64     `json:"live_bytes"`
+	PeakBytes  int64     `json:"peak_bytes"`
+	SpillBytes int64     `json:"spill_bytes,omitempty"`
+	Operator   string    `json:"operator,omitempty"`
 }
 
 // QueryRegistry tracks every statement currently executing in the process
@@ -212,16 +237,17 @@ func (r *QueryRegistry) List() []QueryInfo {
 	out := make([]QueryInfo, len(hs))
 	for i, h := range hs {
 		info := QueryInfo{
-			ID:        h.id,
-			SQL:       h.sql,
-			Tenant:    h.attr.Tenant,
-			Job:       h.attr.Job,
-			Datasets:  h.attr.Datasets,
-			Start:     h.start,
-			Seconds:   now.Sub(h.start).Seconds(),
-			Rows:      h.rows.Load(),
-			LiveBytes: h.acct.Live(),
-			PeakBytes: h.acct.Peak(),
+			ID:         h.id,
+			SQL:        h.sql,
+			Tenant:     h.attr.Tenant,
+			Job:        h.attr.Job,
+			Datasets:   h.attr.Datasets,
+			Start:      h.start,
+			Seconds:    now.Sub(h.start).Seconds(),
+			Rows:       h.rows.Load(),
+			LiveBytes:  h.acct.Live(),
+			PeakBytes:  h.acct.Peak(),
+			SpillBytes: h.spillBytes.Load(),
 		}
 		if op := h.op.Load(); op != nil {
 			info.Operator = *op

@@ -320,6 +320,14 @@ func hashJoin(ec *ExecContext, left, right *Table, jc JoinClause, node *PlanNode
 			rKeyCols[i] = rKeyCols[i].CastFloat64()
 		}
 	}
+	// Grace hash join: when the estimated build-side + transient footprint
+	// cannot fit the query's soft memory budget, partition both sides to
+	// disk and join partition-wise instead. Output is bit-identical,
+	// including row order.
+	if est := right.ByteSize() + int64(right.NumRows())*24 + int64(left.NumRows())*8; ec.wouldSpill(est) &&
+		left.NumRows() < 1<<30 && right.NumRows() < 1<<30 {
+		return graceHashJoin(ec, left, right, lKeyCols, rKeyCols, lk, rk, jc, residual, node)
+	}
 	rHashes, rNulls := ec.joinKeyHashes(rKeyCols, right.NumRows(), node)
 	lHashes, lNulls := ec.joinKeyHashes(lKeyCols, left.NumRows(), node)
 

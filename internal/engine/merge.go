@@ -112,40 +112,32 @@ func (m *MergeTable) execSelect(ec *ExecContext, st *SelectStmt, qs *QueryStats)
 // and plain row queries. Each part's SQL carries the statement's WHERE,
 // only the referenced columns, and — when no ORDER BY or aggregate needs
 // the whole union — a LIMIT cap, so the wire carries as little as the
-// query allows. The union is a vectorized concatenation with columns
-// fanned out across the worker pool (parts arrive in part order, so the
-// result is deterministic).
+// query allows. The union is built streamingly: each part's rows fold
+// into the union as they arrive (in part order, so the result is
+// deterministic) and the part table is released immediately, instead of
+// holding every worker table until a final concatenation.
 func (m *MergeTable) execMaterialize(ec *ExecContext, st *SelectStmt, qs *QueryStats) (*Table, error) {
 	sql, pushedCols := m.materializeSQL(st)
 	t0 := time.Now()
 	ec.setOperator("merge materialize " + m.TableName)
-	parts, failed, err := m.queryAll(ec, sql)
+	union, parts, failed, err := m.streamUnion(ec, sql)
 	if err != nil {
 		return nil, err
 	}
-	var schema Schema
-	switch {
-	case len(parts) > 0:
-		schema = parts[0].table.Schema()
-	case len(m.Schema) > 0:
+	if union == nil {
+		if len(m.Schema) == 0 {
+			return nil, fmt.Errorf("engine: merge table %s has no parts and no declared schema", m.TableName)
+		}
 		// No parts registered: fall back to the declared schema (narrowed
 		// to the pushed projection) so the statement still typechecks over
-		// an empty union instead of concatenating under a nil schema.
-		schema = m.declaredSchema(pushedCols)
-	default:
-		return nil, fmt.Errorf("engine: merge table %s has no parts and no declared schema", m.TableName)
+		// an empty union instead of running under a nil schema.
+		union = NewTable(m.declaredSchema(pushedCols))
 	}
 	shipped := 0
 	var shippedBytes int64
-	partTabs := make([]*Table, len(parts))
-	for i, pr := range parts {
-		shipped += pr.table.NumRows()
-		shippedBytes += pr.table.ByteSize()
-		partTabs[i] = pr.table
-	}
-	union, err := ec.concatTables(schema, partTabs)
-	if err != nil {
-		return nil, err
+	for _, pr := range parts {
+		shipped += pr.rows
+		shippedBytes += pr.bytes
 	}
 	m.setStats(MergeStats{Pushdown: false, RowsShipped: shipped, BytesShipped: shippedBytes,
 		PartsQueried: len(parts), FailedParts: failed, PartSQL: sql})
@@ -246,10 +238,14 @@ func (m *MergeTable) declaredSchema(cols []string) Schema {
 	return out
 }
 
-// partResult is one part's answer plus how long the round trip took.
+// partResult summarizes one part's answer: its shape and how long the
+// round trip took. The rows themselves are folded into the union as they
+// arrive and released, so only these scalars survive the fan-in.
 type partResult struct {
 	name  string
-	table *Table
+	rows  int
+	cols  int
+	bytes int64
 	nanos int64
 }
 
@@ -291,22 +287,59 @@ func (m *MergeTable) plantPlan(qs *QueryStats, mode, sql string, parts []partRes
 		n.Children = append(n.Children, &PlanNode{
 			Op:      "part",
 			Detail:  pr.name + ": " + sql,
-			RowsIn:  int64(pr.table.NumRows()),
-			RowsOut: int64(pr.table.NumRows()),
-			Batches: int64(pr.table.NumCols()),
+			RowsIn:  int64(pr.rows),
+			RowsOut: int64(pr.rows),
+			Batches: int64(pr.cols),
 			Nanos:   pr.nanos,
-			Bytes:   pr.table.ByteSize(),
+			Bytes:   pr.bytes,
 		})
 	}
 	atomic.AddInt64(&qs.MergeNanos, elapsed.Nanoseconds())
 	qs.Root = n
 }
 
-// queryAll fans the SQL out to every part concurrently. It returns the
-// surviving results plus the names of failed parts; with MinParts unset
-// any failure is fatal, otherwise failures are tolerated down to MinParts
-// survivors.
-func (m *MergeTable) queryAll(ec *ExecContext, sql string) ([]partResult, []string, error) {
+// appendVector appends all of src's rows onto dst (same type). String
+// payloads are re-encoded through a per-call code translation table and
+// null bitmaps materialize lazily, exactly like concatVectors — a union
+// grown by successive appendVector calls in part order is identical
+// (codes included) to the one-shot concatenation it replaces.
+func appendVector(dst, src *Vector) {
+	if src.valid != nil && dst.valid == nil {
+		dst.valid = NewBitmap(dst.Len())
+	}
+	switch dst.typ {
+	case Float64:
+		dst.f64 = append(dst.f64, src.f64...)
+	case Int64:
+		dst.i64 = append(dst.i64, src.i64...)
+	case Bool:
+		dst.b = append(dst.b, src.b...)
+	case String:
+		trans := make([]int32, src.dict.Size())
+		for c := range trans {
+			trans[c] = dst.dict.Code(src.dict.Value(int32(c)))
+		}
+		for _, c := range src.codes {
+			dst.codes = append(dst.codes, trans[c])
+		}
+	}
+	if dst.valid != nil {
+		for i, n := 0, src.Len(); i < n; i++ {
+			dst.valid.Append(src.valid == nil || src.valid.Get(i))
+		}
+	}
+}
+
+// streamUnion fans the SQL out to every part concurrently and folds each
+// answer into the growing union the moment it (and every earlier part)
+// has arrived, releasing the part table immediately — peak memory is the
+// union plus one in-flight part, not the union plus all of them. Parts
+// are consumed in part-index order, so the union is byte-identical to the
+// concatenate-everything fan-in it replaces. The union is nil when no
+// part survived (i.e. none are registered). Failure semantics match the
+// old queryAll: with MinParts unset any failure is fatal, otherwise
+// failures are tolerated down to MinParts survivors.
+func (m *MergeTable) streamUnion(ec *ExecContext, sql string) (*Table, []partResult, []string, error) {
 	var ctx context.Context
 	if ec != nil {
 		ctx = ec.Ctx
@@ -314,11 +347,11 @@ func (m *MergeTable) queryAll(ec *ExecContext, sql string) ([]partResult, []stri
 	out := make([]*Table, len(m.Parts))
 	nanos := make([]int64, len(m.Parts))
 	errs := make([]error, len(m.Parts))
-	var wg sync.WaitGroup
+	done := make([]chan struct{}, len(m.Parts))
 	for i, p := range m.Parts {
-		wg.Add(1)
+		done[i] = make(chan struct{})
 		go func(i int, p Part) {
-			defer wg.Done()
+			defer close(done[i])
 			t0 := time.Now()
 			var t *Table
 			var err error
@@ -343,28 +376,44 @@ func (m *MergeTable) queryAll(ec *ExecContext, sql string) ([]partResult, []stri
 			out[i] = t
 		}(i, p)
 	}
-	wg.Wait()
-	if err := ec.interrupted(); err != nil {
-		return nil, nil, err
-	}
+	var union *Table
 	var ok []partResult
 	var failed []string
 	var failErrs []error
-	for i, e := range errs {
-		if e != nil {
+	for i := range m.Parts {
+		<-done[i]
+		if err := ec.interrupted(); err != nil {
+			return nil, nil, nil, err
+		}
+		if errs[i] != nil {
 			failed = append(failed, m.Parts[i].PartName())
-			failErrs = append(failErrs, e)
+			failErrs = append(failErrs, errs[i])
 			continue
 		}
-		ok = append(ok, partResult{name: m.Parts[i].PartName(), table: out[i], nanos: nanos[i]})
+		t := out[i]
+		out[i] = nil // release the part as soon as it is folded in
+		if union == nil {
+			union = NewTable(t.Schema())
+		} else if !union.Schema().Equal(t.Schema()) {
+			return nil, nil, nil, fmt.Errorf("engine: cannot append table with schema %v to %v",
+				t.Schema().Names(), union.Schema().Names())
+		}
+		for j := range union.cols {
+			appendVector(union.cols[j], t.Col(j))
+		}
+		ok = append(ok, partResult{name: m.Parts[i].PartName(), rows: t.NumRows(),
+			cols: t.NumCols(), bytes: t.ByteSize(), nanos: nanos[i]})
+	}
+	if len(failed) > 0 && (m.MinParts <= 0 || len(ok) < m.MinParts) {
+		return nil, nil, nil, errors.Join(failErrs...)
+	}
+	if union != nil {
+		ec.charge(union.ByteSize())
 	}
 	if len(failed) == 0 {
-		return ok, nil, nil
+		failed = nil
 	}
-	if m.MinParts <= 0 || len(ok) < m.MinParts {
-		return nil, nil, errors.Join(failErrs...)
-	}
-	return ok, failed, nil
+	return union, ok, failed, nil
 }
 
 // partialSpec describes how one original aggregate is computed from
@@ -611,27 +660,21 @@ func (m *MergeTable) execPushdown(ec *ExecContext, st *SelectStmt, specs []parti
 	// 1. Build the partial query.
 	sql, colNames := m.partialSQL(st, specs)
 
-	// 2. Fan out.
+	// 2. Fan out, folding each part's partials into the union as they land.
 	t0 := time.Now()
 	ec.setOperator("merge pushdown " + m.TableName)
-	partTables, failed, err := m.queryAll(ec, sql)
+	unionAll, partTables, failed, err := m.streamUnion(ec, sql)
 	if err != nil {
 		return nil, err
 	}
-	if len(partTables) == 0 {
+	if unionAll == nil {
 		return nil, fmt.Errorf("merge table %s: no parts answered", m.TableName)
 	}
 	shipped := 0
 	var shippedBytes int64
-	partTabs := make([]*Table, len(partTables))
-	for i, pr := range partTables {
-		shipped += pr.table.NumRows()
-		shippedBytes += pr.table.ByteSize()
-		partTabs[i] = pr.table
-	}
-	unionAll, err := ec.concatTables(partTables[0].table.Schema(), partTabs)
-	if err != nil {
-		return nil, err
+	for _, pr := range partTables {
+		shipped += pr.rows
+		shippedBytes += pr.bytes
 	}
 	m.setStats(MergeStats{Pushdown: true, RowsShipped: shipped, BytesShipped: shippedBytes,
 		PartsQueried: len(partTables), FailedParts: failed, PartSQL: sql})

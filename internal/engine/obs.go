@@ -23,6 +23,11 @@ type QueryStats struct {
 	// MemPeakBytes is the query's peak accounted memory (coarse operator
 	// charges: materialized outputs, hash/CSR payloads, partial aggregates).
 	MemPeakBytes int64
+	// SpillBytes/SpillPartitions report how much run-file data the
+	// statement wrote to disk and how many hash partitions it spilled
+	// (both zero when execution stayed in memory).
+	SpillBytes      int64
+	SpillPartitions int64
 	// RowsShipped/BytesShipped tally what the statement pulled over the
 	// wire from merge-table parts (zero for purely local statements);
 	// Parts/DroppedParts name the parts that answered and the ones that
@@ -52,6 +57,9 @@ func (qs *QueryStats) AttrMap() map[string]string {
 	}
 	if qs.MemPeakBytes > 0 {
 		m["mem_peak_bytes"] = strconv.FormatInt(qs.MemPeakBytes, 10)
+	}
+	if qs.SpillBytes > 0 {
+		m["spill_bytes"] = strconv.FormatInt(qs.SpillBytes, 10)
 	}
 	if qs.Verdict != "" {
 		m["verdict"] = qs.Verdict
@@ -87,6 +95,10 @@ var (
 		"Nanoseconds spent per SELECT operator.", obs.Label{Key: "op", Value: "merge"})
 	engSlowQueries = obs.GetCounter("mip_engine_slow_queries_total",
 		"Statements whose wall time exceeded the slow-query threshold.")
+	engSpillBytes = obs.GetCounter("mip_engine_spill_bytes_total",
+		"Run-file bytes written to disk by memory-bounded operators.")
+	engSpillParts = obs.GetCounter("mip_engine_spill_partitions_total",
+		"Hash partitions spilled to disk by memory-bounded operators.")
 )
 
 // publish folds one statement's stats into the engine metrics.

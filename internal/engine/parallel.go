@@ -128,8 +128,54 @@ type ExecContext struct {
 	// planner's reordering is provably result-identical, so this is an
 	// escape hatch and the lever the equivalence tests compare against.
 	NoJoinReorder bool
+	// SpillDir, when non-empty, is the base directory for spill run files.
+	// Combined with a positive QueryMemLimit it turns the memory ceiling
+	// into a soft budget: hash join and aggregate shed partitions to disk
+	// past the budget instead of being cancelled with ErrQueryMemLimit.
+	SpillDir string
 
-	query *queryHandle // active-registry handle; nil when unregistered
+	query *queryHandle  // active-registry handle; nil when unregistered
+	spill *spillSession // per-query spill dir manager; nil = spilling off
+}
+
+// spillEnabled reports whether this statement may shed operator state to
+// disk (a spill dir is configured, governance is on, and a budget is set).
+func (ec *ExecContext) spillEnabled() bool {
+	return ec != nil && ec.spill != nil
+}
+
+// overBudget reports whether accounted live bytes currently exceed the
+// soft budget. Only meaningful when spillEnabled.
+func (ec *ExecContext) overBudget() bool {
+	return ec != nil && ec.Acct.OverLimit()
+}
+
+// budget returns the statement's memory budget in bytes (0 = unlimited).
+func (ec *ExecContext) budget() int64 {
+	if ec == nil {
+		return 0
+	}
+	return ec.QueryMemLimit
+}
+
+// addSpill tallies run-file bytes written and partitions spilled on the
+// live registry record and the process metrics.
+func (ec *ExecContext) addSpill(bytes, parts int64) {
+	if bytes > 0 {
+		engSpillBytes.Add(bytes)
+	}
+	if parts > 0 {
+		engSpillParts.Add(parts)
+	}
+	if ec == nil || ec.query == nil {
+		return
+	}
+	if bytes > 0 {
+		ec.query.spillBytes.Add(bytes)
+	}
+	if parts > 0 {
+		ec.query.spillParts.Add(parts)
+	}
 }
 
 // interrupted reports the statement's termination cause (cancellation,

@@ -36,8 +36,17 @@ type PlanNode struct {
 	Groups int64 `json:"groups,omitempty"`
 	// MemBytes is the net accounted memory the operator charged (its stage
 	// delta against the query's MemAccountant); zero when accounting is off.
-	MemBytes int64       `json:"mem_bytes,omitempty"`
-	Children []*PlanNode `json:"children,omitempty"`
+	MemBytes int64 `json:"mem_bytes,omitempty"`
+	// Fused marks an operator that ran inside another operator's morsel
+	// loop (e.g. a WHERE evaluated per morsel inside the aggregate) rather
+	// than materializing its own output table.
+	Fused bool `json:"fused,omitempty"`
+	// SpillParts/SpillBytes record how much state the operator shed to disk
+	// when the query's memory budget forced it to: the number of spill
+	// partitions processed and the run-file bytes written.
+	SpillParts int64       `json:"spill_parts,omitempty"`
+	SpillBytes int64       `json:"spill_bytes,omitempty"`
+	Children   []*PlanNode `json:"children,omitempty"`
 }
 
 // AddMorsels counts d processed morsels; safe to call from concurrent
@@ -74,6 +83,13 @@ func (n *PlanNode) Attrs() map[string]string {
 	}
 	if n.MemBytes > 0 {
 		a["mem_bytes"] = strconv.FormatInt(n.MemBytes, 10)
+	}
+	if n.Fused {
+		a["fused"] = "true"
+	}
+	if n.SpillParts > 0 {
+		a["spill_parts"] = strconv.FormatInt(n.SpillParts, 10)
+		a["spill_bytes"] = strconv.FormatInt(n.SpillBytes, 10)
 	}
 	return a
 }
@@ -122,6 +138,13 @@ func (n *PlanNode) Render(analyzed bool) []string {
 				fmt.Fprintf(&b, " mem=%d", n.MemBytes)
 			}
 			b.WriteString(")")
+			if n.SpillParts > 0 {
+				fmt.Fprintf(&b, " [spill=%d parts, %.1f MB]",
+					n.SpillParts, float64(n.SpillBytes)/(1<<20))
+			}
+			if n.Fused {
+				b.WriteString(" [fused]")
+			}
 		} else {
 			if n.Op == "scan" || n.Op == "part" {
 				fmt.Fprintf(&b, "  (rows=%d)", n.RowsOut)
@@ -245,7 +268,7 @@ func (s *stage) end(out *Table) {
 		atomic.AddInt64(&s.qs.FilterNanos, s.node.Nanos)
 	case "aggregate":
 		atomic.AddInt64(&s.qs.AggregateNanos, s.node.Nanos)
-	case "order":
+	case "order", "topk":
 		atomic.AddInt64(&s.qs.SortNanos, s.node.Nanos)
 	case "project", "limit":
 		atomic.AddInt64(&s.qs.ProjectNanos, s.node.Nanos)
@@ -335,20 +358,55 @@ func (db *DB) explainPlan(st Statement) (*PlanNode, error) {
 	wrap := func(op, detail string, par int) {
 		cur = &PlanNode{Op: op, Detail: detail, Parallelism: par, Children: []*PlanNode{cur}}
 	}
+	var fnode *PlanNode
 	if where != nil {
 		wrap("filter", where.String(), predictPar(baseRows))
+		fnode = cur
 	}
-	if selHasAgg(sel) {
+	// Predict the same fusion/top-k choices execSelect makes; fusion needs
+	// a WHERE over a non-empty input, top-k a small enough limit+offset.
+	fusible := where != nil && baseRows > 0
+	markFused := func() {
+		if fusible && fnode != nil {
+			fnode.Fused = true
+			cur.Fused = true
+		}
+	}
+	hasAgg := selHasAgg(sel)
+	kPrime := -1
+	if sel.Limit >= 0 {
+		kPrime = sel.Limit + sel.Offset
+	}
+	useTopk := !hasAgg && len(sel.OrderBy) > 0 && kPrime >= 0 &&
+		kPrime <= topkMaxCandidates && kPrime < baseRows
+	if hasAgg {
 		wrap("aggregate", aggDetail(sel), predictPar(baseRows))
+		markFused()
 		if len(sel.OrderBy) > 0 {
 			wrap("order", orderDetail(sel.OrderBy), 0) // ORDER BY stays a serial tail
 		}
+	} else if useTopk {
+		wrap("topk", orderDetail(sel.OrderBy)+" "+limitDetail(sel), predictPar(baseRows))
+		markFused()
+		return cur, nil // limit is folded into topk
 	} else if len(sel.OrderBy) > 0 {
-		wrap("project", "extend", 0)
+		extPar := 0
+		if fusible {
+			extPar = predictPar(baseRows)
+		}
+		wrap("project", "extend", extPar)
+		markFused()
 		wrap("order", orderDetail(sel.OrderBy), 0)
 		wrap("project", projectDetail(sel), 0)
 	} else {
-		wrap("project", projectDetail(sel), 0)
+		projPar := 0
+		if fusible && !sel.Star {
+			projPar = predictPar(baseRows)
+		}
+		wrap("project", projectDetail(sel), projPar)
+		if !sel.Star {
+			markFused()
+		}
 	}
 	if sel.Limit >= 0 || sel.Offset > 0 {
 		wrap("limit", limitDetail(sel), 0)

@@ -16,9 +16,11 @@ type SlowQuery struct {
 	Error       string    `json:"error,omitempty"`
 	When        time.Time `json:"when"`
 	Plan        []string  `json:"plan,omitempty"`
-	// MemPeakBytes is the query's peak accounted memory; Reason is its
+	// MemPeakBytes is the query's peak accounted memory; SpillBytes is the
+	// run-file data it wrote to disk past its budget; Reason is its
 	// governance verdict (completed/cancelled/deadline/mem-limit/error).
 	MemPeakBytes int64  `json:"mem_peak_bytes,omitempty"`
+	SpillBytes   int64  `json:"spill_bytes,omitempty"`
 	Reason       string `json:"reason,omitempty"`
 	// Tenant/Job/Datasets mirror the statement's audit attribution, so a
 	// slow-log entry joins against `mipctl audit` output (via job id or
@@ -80,6 +82,7 @@ func (l *SlowLog) observe(sql string, elapsed time.Duration, qs *QueryStats, err
 		rec.RowsScanned = qs.RowsScanned
 		rec.RowsOut = qs.RowsOut
 		rec.MemPeakBytes = qs.MemPeakBytes
+		rec.SpillBytes = qs.SpillBytes
 		rec.Reason = qs.Verdict
 		if qs.Root != nil {
 			rec.Plan = qs.Root.Render(true)

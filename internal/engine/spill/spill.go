@@ -1,0 +1,345 @@
+// Package spill implements the engine's on-disk run-file format: the
+// append-only columnar batches that memory-bounded operators (hash join,
+// hash aggregate) write when a query's memory budget is exceeded, and read
+// back partition-wise. A run file is a sequence of length-prefixed batches;
+// each batch holds the typed column payloads of a row range plus packed
+// null bitmaps. The format is little-endian, self-describing per batch,
+// and append-only — a writer never seeks back, so runs can stream through
+// an ordinary buffered file.
+//
+// The package is deliberately independent of the engine's Vector/Table
+// types (the engine imports spill, never the reverse); the engine-side
+// adapters live in internal/engine/spillio.go.
+package spill
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// floatBits/floatFromBits round floats through their IEEE bit patterns so
+// NaN payloads and signed zeros survive a spill byte-for-byte.
+func floatBits(x float64) uint64     { return math.Float64bits(x) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Kind enumerates the column payload types a run file can carry. They
+// mirror the engine's column types.
+type Kind uint8
+
+// Column payload kinds.
+const (
+	F64 Kind = iota
+	I64
+	Bool
+	Str
+)
+
+// Column is one column of a batch: exactly one payload slice is populated,
+// per Kind. Str columns are dictionary-encoded per batch: Codes index into
+// Dict. Nulls, when non-nil, is a packed bitmap (bit i set = row i NULL).
+type Column struct {
+	Kind  Kind
+	F64   []float64
+	I64   []int64
+	B     []bool
+	Codes []int32
+	Dict  []string
+	Nulls []byte
+}
+
+// Batch is one row range of spilled columns.
+type Batch struct {
+	Rows int
+	Cols []Column
+}
+
+// NullAt reports whether row i of the column is NULL.
+func (c *Column) NullAt(i int) bool {
+	if c.Nulls == nil {
+		return false
+	}
+	return c.Nulls[i/8]&(1<<(uint(i)%8)) != 0
+}
+
+// SetNull marks row i NULL in a bitmap sized for n rows (allocating it on
+// first use).
+func (c *Column) SetNull(i, n int) {
+	if c.Nulls == nil {
+		c.Nulls = make([]byte, (n+7)/8)
+	}
+	c.Nulls[i/8] |= 1 << (uint(i) % 8)
+}
+
+// bufferSize is the bufio size for run readers and writers. It is small on
+// purpose: spilling queries are already over their memory budget, and the
+// accountant charges one buffer per open run.
+const bufferSize = 64 << 10
+
+// BufferSize returns the per-run buffered-I/O footprint, so the engine's
+// memory accountant can charge open readers and writers.
+func BufferSize() int64 { return bufferSize }
+
+// Writer appends batches to one run file.
+type Writer struct {
+	f       *os.File
+	w       *bufio.Writer
+	bytes   int64
+	scratch []byte
+}
+
+// NewWriter creates (truncating) the run file at path.
+func NewWriter(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{f: f, w: bufio.NewWriterSize(f, bufferSize)}, nil
+}
+
+// Bytes returns the total encoded bytes written so far.
+func (w *Writer) Bytes() int64 { return w.bytes }
+
+func (w *Writer) u32(x uint32) {
+	w.scratch = binary.LittleEndian.AppendUint32(w.scratch, x)
+}
+
+func (w *Writer) u64(x uint64) {
+	w.scratch = binary.LittleEndian.AppendUint64(w.scratch, x)
+}
+
+// Write appends one batch. Layout:
+//
+//	u32 rows | u32 ncols | per column:
+//	  u8 kind | u8 hasNulls | [nulls bitmap] | payload
+//
+// payloads: F64/I64 are 8*rows bytes, Bool is rows bytes, Str is
+// u32 dictLen, dictLen × (u32 len + bytes), then 4*rows code bytes.
+func (w *Writer) Write(b *Batch) error {
+	w.scratch = w.scratch[:0]
+	w.u32(uint32(b.Rows))
+	w.u32(uint32(len(b.Cols)))
+	for ci := range b.Cols {
+		c := &b.Cols[ci]
+		hasNulls := byte(0)
+		if c.Nulls != nil {
+			hasNulls = 1
+		}
+		w.scratch = append(w.scratch, byte(c.Kind), hasNulls)
+		if hasNulls == 1 {
+			want := (b.Rows + 7) / 8
+			if len(c.Nulls) < want {
+				return fmt.Errorf("spill: null bitmap too short: %d < %d", len(c.Nulls), want)
+			}
+			w.scratch = append(w.scratch, c.Nulls[:want]...)
+		}
+		switch c.Kind {
+		case F64:
+			for _, x := range c.F64[:b.Rows] {
+				w.u64(floatBits(x))
+			}
+		case I64:
+			for _, x := range c.I64[:b.Rows] {
+				w.u64(uint64(x))
+			}
+		case Bool:
+			for _, x := range c.B[:b.Rows] {
+				if x {
+					w.scratch = append(w.scratch, 1)
+				} else {
+					w.scratch = append(w.scratch, 0)
+				}
+			}
+		case Str:
+			w.u32(uint32(len(c.Dict)))
+			for _, s := range c.Dict {
+				w.u32(uint32(len(s)))
+				w.scratch = append(w.scratch, s...)
+			}
+			for _, code := range c.Codes[:b.Rows] {
+				w.u32(uint32(code))
+			}
+		default:
+			return fmt.Errorf("spill: unknown column kind %d", c.Kind)
+		}
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(w.scratch)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(w.scratch); err != nil {
+		return err
+	}
+	w.bytes += int64(len(hdr)) + int64(len(w.scratch))
+	return nil
+}
+
+// Close flushes and closes the run file.
+func (w *Writer) Close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Reader streams the batches of one run file back in write order.
+type Reader struct {
+	f       *os.File
+	r       *bufio.Reader
+	scratch []byte
+}
+
+// NewReader opens the run file at path.
+func NewReader(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{f: f, r: bufio.NewReaderSize(f, bufferSize)}, nil
+}
+
+// Next decodes the next batch, returning io.EOF after the last one.
+func (r *Reader) Next() (*Batch, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err // io.EOF at a clean batch boundary
+	}
+	size := int(binary.LittleEndian.Uint32(hdr[:]))
+	if cap(r.scratch) < size {
+		r.scratch = make([]byte, size)
+	}
+	buf := r.scratch[:size]
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return nil, fmt.Errorf("spill: truncated batch: %w", err)
+	}
+	d := decoder{buf: buf}
+	rows := int(d.u32())
+	ncols := int(d.u32())
+	b := &Batch{Rows: rows, Cols: make([]Column, ncols)}
+	for ci := 0; ci < ncols; ci++ {
+		c := &b.Cols[ci]
+		c.Kind = Kind(d.u8())
+		hasNulls := d.u8()
+		if hasNulls == 1 {
+			c.Nulls = append([]byte(nil), d.bytes((rows+7)/8)...)
+		}
+		switch c.Kind {
+		case F64:
+			c.F64 = make([]float64, rows)
+			for i := range c.F64 {
+				c.F64[i] = floatFromBits(d.u64())
+			}
+		case I64:
+			c.I64 = make([]int64, rows)
+			for i := range c.I64 {
+				c.I64[i] = int64(d.u64())
+			}
+		case Bool:
+			c.B = make([]bool, rows)
+			for i, x := range d.bytes(rows) {
+				c.B[i] = x != 0
+			}
+		case Str:
+			dictLen := int(d.u32())
+			c.Dict = make([]string, dictLen)
+			for i := range c.Dict {
+				c.Dict[i] = string(d.bytes(int(d.u32())))
+			}
+			c.Codes = make([]int32, rows)
+			for i := range c.Codes {
+				c.Codes[i] = int32(d.u32())
+			}
+		default:
+			return nil, fmt.Errorf("spill: unknown column kind %d", c.Kind)
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+	}
+	return b, nil
+}
+
+// Close closes the run file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil || d.off+n > len(d.buf) {
+		if d.err == nil {
+			d.err = fmt.Errorf("spill: corrupt batch (short read)")
+		}
+		return make([]byte, n)
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u8() byte    { return d.bytes(1)[0] }
+func (d *decoder) u32() uint32 { return binary.LittleEndian.Uint32(d.bytes(4)) }
+func (d *decoder) u64() uint64 { return binary.LittleEndian.Uint64(d.bytes(8)) }
+
+// Dir manages one query's spill directory: a MkdirTemp under the
+// configured base, handing out unique run-file paths and removing
+// everything (every run, spilled or leaked) on Cleanup. Safe for
+// concurrent use.
+type Dir struct {
+	mu   sync.Mutex
+	path string
+	seq  atomic.Int64
+}
+
+// NewDir creates a fresh private spill directory under base.
+func NewDir(base string) (*Dir, error) {
+	if err := os.MkdirAll(base, 0o700); err != nil {
+		return nil, err
+	}
+	p, err := os.MkdirTemp(base, "mipspill-")
+	if err != nil {
+		return nil, err
+	}
+	return &Dir{path: p}, nil
+}
+
+// Path returns the directory path.
+func (d *Dir) Path() string { return d.path }
+
+// RunPath returns a fresh unique run-file path inside the directory. The
+// label is embedded for debuggability only.
+func (d *Dir) RunPath(label string) string {
+	return filepath.Join(d.path, fmt.Sprintf("run-%04d-%s.col", d.seq.Add(1), label))
+}
+
+// Remove deletes one run file (partition fully consumed); missing files
+// are not an error.
+func (d *Dir) Remove(path string) {
+	os.Remove(path)
+}
+
+// Cleanup removes the directory and every run inside it. Idempotent.
+func (d *Dir) Cleanup() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.path == "" {
+		return nil
+	}
+	err := os.RemoveAll(d.path)
+	d.path = ""
+	return err
+}

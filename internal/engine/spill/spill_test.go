@@ -1,0 +1,190 @@
+package spill
+
+import (
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRoundTripAllKinds(t *testing.T) {
+	dir, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dir.Cleanup()
+
+	path := dir.RunPath("test")
+	w, err := NewWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nan := math.Float64frombits(0x7ff8000000000001) // non-canonical payload
+	b1 := &Batch{Rows: 4, Cols: []Column{
+		{Kind: F64, F64: []float64{1.5, nan, math.Inf(-1), math.Copysign(0, -1)}},
+		{Kind: I64, I64: []int64{-7, 0, math.MaxInt64, math.MinInt64}},
+		{Kind: Bool, B: []bool{true, false, true, true}},
+		{Kind: Str, Codes: []int32{0, 1, 0, 2}, Dict: []string{"alpha", "", "βeta"}},
+	}}
+	b1.Cols[0].SetNull(1, 4)
+	b1.Cols[3].SetNull(3, 4)
+	if err := w.Write(b1); err != nil {
+		t.Fatal(err)
+	}
+	b2 := &Batch{Rows: 2, Cols: []Column{
+		{Kind: F64, F64: []float64{2, 3}},
+		{Kind: I64, I64: []int64{8, 9}},
+		{Kind: Bool, B: []bool{false, false}},
+		{Kind: Str, Codes: []int32{0, 0}, Dict: []string{"only"}},
+	}}
+	if err := w.Write(b2); err != nil {
+		t.Fatal(err)
+	}
+	if w.Bytes() <= 0 {
+		t.Fatalf("Bytes() = %d, want > 0", w.Bytes())
+	}
+	wantBytes := w.Bytes()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() != wantBytes {
+		t.Fatalf("file size %v (err %v), want %d", st, err, wantBytes)
+	}
+
+	r, err := NewReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	g1, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Rows != 4 || len(g1.Cols) != 4 {
+		t.Fatalf("batch1 shape %d×%d", g1.Rows, len(g1.Cols))
+	}
+	for i, want := range b1.Cols[0].F64 {
+		if math.Float64bits(g1.Cols[0].F64[i]) != math.Float64bits(want) {
+			t.Fatalf("f64[%d] bits differ: %x vs %x", i,
+				math.Float64bits(g1.Cols[0].F64[i]), math.Float64bits(want))
+		}
+	}
+	for i, want := range b1.Cols[1].I64 {
+		if g1.Cols[1].I64[i] != want {
+			t.Fatalf("i64[%d] = %d, want %d", i, g1.Cols[1].I64[i], want)
+		}
+	}
+	for i, want := range b1.Cols[2].B {
+		if g1.Cols[2].B[i] != want {
+			t.Fatalf("bool[%d] = %v, want %v", i, g1.Cols[2].B[i], want)
+		}
+	}
+	for i, want := range b1.Cols[3].Codes {
+		if g1.Cols[3].Codes[i] != want {
+			t.Fatalf("code[%d] = %d, want %d", i, g1.Cols[3].Codes[i], want)
+		}
+	}
+	for i, want := range b1.Cols[3].Dict {
+		if g1.Cols[3].Dict[i] != want {
+			t.Fatalf("dict[%d] = %q, want %q", i, g1.Cols[3].Dict[i], want)
+		}
+	}
+	if !g1.Cols[0].NullAt(1) || g1.Cols[0].NullAt(0) || g1.Cols[0].NullAt(2) {
+		t.Fatalf("f64 null bitmap wrong: %v", g1.Cols[0].Nulls)
+	}
+	if !g1.Cols[3].NullAt(3) || g1.Cols[3].NullAt(0) {
+		t.Fatalf("str null bitmap wrong: %v", g1.Cols[3].Nulls)
+	}
+	if g1.Cols[1].Nulls != nil {
+		t.Fatalf("i64 column should have nil bitmap")
+	}
+
+	g2, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Rows != 2 || g2.Cols[3].Dict[0] != "only" {
+		t.Fatalf("batch2 mismatch: %+v", g2)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected io.EOF, got %v", err)
+	}
+}
+
+func TestDirCleanup(t *testing.T) {
+	base := t.TempDir()
+	dir, err := NewDir(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := dir.RunPath("a")
+	p2 := dir.RunPath("b")
+	if p1 == p2 {
+		t.Fatalf("RunPath not unique: %s", p1)
+	}
+	for _, p := range []string{p1, p2} {
+		w, err := NewWriter(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(&Batch{Rows: 1, Cols: []Column{{Kind: I64, I64: []int64{1}}}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir.Remove(p1)
+	if _, err := os.Stat(p1); !os.IsNotExist(err) {
+		t.Fatalf("Remove left %s in place", p1)
+	}
+	if err := dir.Cleanup(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.Cleanup(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("cleanup left entries: %v", ents)
+	}
+	if _, err := os.Stat(filepath.Dir(p2)); !os.IsNotExist(err) {
+		t.Fatalf("spill dir still present after Cleanup")
+	}
+}
+
+func TestEmptyBatchAndZeroRuns(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.col")
+	w, err := NewWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(&Batch{Rows: 0, Cols: []Column{{Kind: F64}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	b, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rows != 0 || len(b.Cols) != 1 {
+		t.Fatalf("empty batch shape %d×%d", b.Rows, len(b.Cols))
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected io.EOF, got %v", err)
+	}
+}

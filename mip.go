@@ -136,8 +136,14 @@ type Config struct {
 	// time; statements past it are cancelled with a deadline verdict.
 	QueryDeadline time.Duration
 	// QueryMemLimit, when positive, caps a statement's accounted live bytes;
-	// statements over it are cancelled with a mem-limit verdict.
+	// statements over it are cancelled with a mem-limit verdict. With
+	// QuerySpillDir set the limit becomes a soft budget instead: see below.
 	QueryMemLimit int64
+	// QuerySpillDir, when set together with QueryMemLimit, turns the limit
+	// into a spill budget: hash joins and grouped aggregates that would
+	// cross it partition their state to temp files under this directory
+	// and keep running (bit-identical results), instead of being cancelled.
+	QuerySpillDir string
 }
 
 // Platform is a running MIP deployment (in-process topology).
@@ -191,6 +197,9 @@ func New(cfg Config) (*Platform, error) {
 	}
 	if cfg.QueryMemLimit > 0 {
 		masterOpts = append(masterOpts, engine.WithQueryMemLimit(cfg.QueryMemLimit))
+	}
+	if cfg.QuerySpillDir != "" {
+		masterOpts = append(masterOpts, engine.WithSpillDir(cfg.QuerySpillDir))
 	}
 
 	var clients []federation.WorkerClient
