@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt check auditsmoke spillsmoke bench benchcompare benchfull
+.PHONY: build test race vet fmt check auditsmoke spillsmoke cachesmoke bench benchcompare benchfull
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,14 @@ auditsmoke:
 spillsmoke:
 	$(GO) test -count=1 -run 'TestSpillSerialParallelEquivalence|TestSpillJoinEquivalence|TestSpillCleanupOnError|TestSpillCleanupOnCancel' ./internal/engine/
 
-check: vet fmt race auditsmoke spillsmoke
+# cachesmoke covers both cache tiers' correctness backbone: plan-cached
+# execution stays bit-identical to uncached, schema changes invalidate
+# plans, dataset-version bumps and worker restarts invalidate federated
+# results, and a concurrent miss herd collapses to one execution.
+cachesmoke:
+	$(GO) test -count=1 -race -run 'TestPlanCacheResultsUnchanged|TestPlanCacheSchemaChangeInvalidates|TestResultCacheInvalidationOnAppend|TestResultCacheWorkerRestartInvalidates|TestResultCacheSingleflight|TestParallelSortEquivalence' ./internal/engine/ ./internal/federation/
+
+check: vet fmt race auditsmoke spillsmoke cachesmoke
 
 # bench runs the engine perf suite and writes BENCH_engine.json (the CI
 # bench job uploads it as an artifact). Use benchfull for the testing.B

@@ -9,6 +9,7 @@ import (
 
 	"mip"
 	"mip/internal/engine"
+	"mip/internal/federation"
 	"mip/internal/stats"
 	"mip/internal/synth"
 )
@@ -43,6 +44,18 @@ type benchReport struct {
 	// federated workload — deterministic counts, not timings, so they are
 	// directly comparable across machines. comparePerf ignores them.
 	Shipping []shipResult `json:"shipping,omitempty"`
+	// Caching records plan-cache and result-cache hit rates for a fixed
+	// dashboard-replay workload. Deterministic for a given query mix, so
+	// comparable across machines; comparePerf prints the deltas but never
+	// fails on them.
+	Caching []cacheResult `json:"caching,omitempty"`
+}
+
+type cacheResult struct {
+	Name          string  `json:"name"`
+	Requests      int     `json:"requests"`
+	PlanHitRate   float64 `json:"plan_hit_rate"`
+	ResultHitRate float64 `json:"result_hit_rate"`
 }
 
 type shipResult struct {
@@ -99,6 +112,19 @@ func runPerfSuite(benchOut, comparePath string, threshold float64) {
 		// and its spill_bytes > 0 proves the budget actually forced disk.
 		{"hash_join_1m_agg", spillBench(0, benchJoinAggSpill)},
 		{"hash_join_1m_agg_spill_8mb", spillBench(8<<20, benchJoinAggSpill)},
+		// Parallel ORDER BY pair: a full 1M-row sort at parallelism 1 (the
+		// serial oracle) and at NumCPU. The comparator breaks every tie on
+		// global row index, so output is bit-identical at any parallelism
+		// and the parN row is pure speedup.
+		{"parallel_sort_1m_par1", parBench(1, benchParSort)},
+		{parName("parallel_sort_1m", ncpu), parBench(ncpu, benchParSort)},
+		// Result-cache pair: the same federated aggregate re-issued against
+		// a 4-worker federation with the master's result cache off (every
+		// repeat replans and re-executes the merge) and on (every repeat is
+		// a version-validated cache hit). The cached row should come out an
+		// order of magnitude under the cold row.
+		{"repeat_query_cold", cacheBench(0, benchRepeatQuery)},
+		{"repeat_query_cached", cacheBench(64<<20, benchRepeatQuery)},
 	} {
 		if bench.name == "" {
 			continue // NumCPU==1 collapses a parallel pair into one case
@@ -129,6 +155,7 @@ func runPerfSuite(benchOut, comparePath string, threshold float64) {
 		})
 	}
 	measureShipping(&report)
+	measureCaching(&report)
 	if benchOut != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")
 		fatalIf(err)
@@ -184,6 +211,56 @@ func measureShipping(report *benchReport) {
 	}
 }
 
+// measureCaching replays the dashboard query mix against a cached 4-worker
+// federation — every statement in the mix, 25 rounds — and records the
+// plan-cache and result-cache hit rates, so BENCH_engine.json shows what a
+// steady-state dashboard gets from each tier. A private plan cache keeps
+// the rates isolated from the rest of the suite (and from the process-wide
+// default cache the other benchmarks warm).
+func measureCaching(report *benchReport) {
+	pc := engine.NewPlanCache(256)
+	var clients []federation.WorkerClient
+	for i := 0; i < 4; i++ {
+		tab, err := synth.Generate(synth.Spec{Dataset: "edsd", Rows: 2000, Seed: int64(i)})
+		fatalIf(err)
+		db := engine.NewDB(engine.WithPlanCache(pc))
+		db.RegisterTable(federation.DataTable, tab)
+		clients = append(clients, federation.NewWorker(fmt.Sprintf("w%d", i), db))
+	}
+	master, err := federation.NewMaster(clients, nil, federation.Security{},
+		federation.WithResultCacheBytes(32<<20),
+		federation.WithEngineOptions(engine.WithPlanCache(pc)))
+	fatalIf(err)
+	defer master.Close()
+
+	mix := dashboardMix()
+	const rounds = 25
+	for r := 0; r < rounds; r++ {
+		for _, sql := range mix {
+			if _, err := master.MergeQuery([]string{"edsd"}, sql); err != nil {
+				fmt.Fprintf(os.Stderr, "caching workload %q: %v\n", sql, err)
+				os.Exit(1)
+			}
+		}
+	}
+	rate := func(hits, misses int64) float64 {
+		if hits+misses == 0 {
+			return 0
+		}
+		return float64(hits) / float64(hits+misses)
+	}
+	ps, rs := pc.Stats(), master.ResultCacheStats()
+	c := cacheResult{
+		Name:          "dashboard_replay_mix",
+		Requests:      rounds * len(mix),
+		PlanHitRate:   rate(ps.Hits, ps.Misses),
+		ResultHitRate: rate(rs.Hits, rs.Misses),
+	}
+	fmt.Printf("\ncache %-36s %12d requests   plan_hit_rate=%.1f%%  result_hit_rate=%.1f%%\n",
+		c.Name, c.Requests, 100*c.PlanHitRate, 100*c.ResultHitRate)
+	report.Caching = append(report.Caching, c)
+}
+
 // comparePerf diffs the fresh report against the baseline JSON at path,
 // printing ns/op and allocs/op deltas per benchmark, and returns how many
 // benchmarks regressed more than threshold percent. Alloc regressions only
@@ -232,6 +309,23 @@ func comparePerf(report benchReport, path string, threshold float64) int {
 	}
 	for name := range baseBy {
 		fmt.Printf("  %-36s (in baseline but not in this run)\n", name)
+	}
+	// Cache hit rates are informational only: they move with deliberate
+	// cache sizing or mix changes, so deltas never fail the compare.
+	cacheBy := make(map[string]cacheResult, len(base.Caching))
+	for _, c := range base.Caching {
+		cacheBy[c.Name] = c
+	}
+	for _, c := range report.Caching {
+		b, ok := cacheBy[c.Name]
+		if !ok {
+			fmt.Printf("  %-36s plan_hit_rate=%.1f%% result_hit_rate=%.1f%% (no baseline)\n",
+				c.Name, 100*c.PlanHitRate, 100*c.ResultHitRate)
+			continue
+		}
+		fmt.Printf("  %-36s plan_hit_rate %5.1f%% -> %5.1f%% (%+.1fpt)   result_hit_rate %5.1f%% -> %5.1f%% (%+.1fpt)\n",
+			c.Name, 100*b.PlanHitRate, 100*c.PlanHitRate, 100*(c.PlanHitRate-b.PlanHitRate),
+			100*b.ResultHitRate, 100*c.ResultHitRate, 100*(c.ResultHitRate-b.ResultHitRate))
 	}
 	return regressed
 }
@@ -315,6 +409,74 @@ func benchJoinAggSpill(b *testing.B, budget int64) {
 // acctBench adapts an accounting-parameterized benchmark into a plain one.
 func acctBench(on bool, fn func(*testing.B, bool)) func(*testing.B) {
 	return func(b *testing.B) { fn(b, on) }
+}
+
+// cacheBench adapts a result-cache-budget-parameterized benchmark.
+func cacheBench(budget int64, fn func(*testing.B, int64)) func(*testing.B) {
+	return func(b *testing.B) { fn(b, budget) }
+}
+
+// benchFederation builds a 4-worker in-process federation over synthetic
+// EDSD shards, with the master's result cache sized by cacheBytes (0 off).
+func benchFederation(b *testing.B, cacheBytes int64) *federation.Master {
+	b.Helper()
+	var clients []federation.WorkerClient
+	for i := 0; i < 4; i++ {
+		tab, err := synth.Generate(synth.Spec{Dataset: "edsd", Rows: 2000, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		db := engine.NewDB()
+		db.RegisterTable(federation.DataTable, tab)
+		clients = append(clients, federation.NewWorker(fmt.Sprintf("w%d", i), db))
+	}
+	var opts []federation.MasterOption
+	if cacheBytes > 0 {
+		opts = append(opts, federation.WithResultCacheBytes(cacheBytes))
+	}
+	master, err := federation.NewMaster(clients, nil, federation.Security{}, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return master
+}
+
+// benchRepeatQuery re-issues one federated grouped aggregate. With a result
+// cache every iteration after the warm-up is a hit served from the master's
+// memory; without one every iteration walks the full merge path.
+func benchRepeatQuery(b *testing.B, cacheBytes int64) {
+	master := benchFederation(b, cacheBytes)
+	defer master.Close()
+	datasets := []string{"edsd"}
+	sql := `SELECT alzheimerbroadcategory AS dx, avg(ab42) AS m, count(*) AS n FROM data GROUP BY alzheimerbroadcategory`
+	if _, err := master.MergeQuery(datasets, sql); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := master.MergeQuery(datasets, sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchParSort: a full 1M-row ORDER BY (no LIMIT, so nothing short-circuits
+// into top-k), morsel-parallel sort + pairwise merge.
+func benchParSort(b *testing.B, par int) {
+	tab := engine.NewTable(engine.Schema{
+		{Name: "x", Type: engine.Float64},
+		{Name: "site", Type: engine.String},
+	})
+	rng := stats.NewRNG(8)
+	for i := 0; i < 1_000_000; i++ {
+		if err := tab.AppendRow(rng.Float64()*1000, fmt.Sprintf("site-%d", i%16)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	db := engine.NewDB(engine.WithParallelism(par))
+	db.RegisterTable("t", tab)
+	b.ResetTimer()
+	benchLoop(b, db, `SELECT site, x FROM t ORDER BY x, site`)
 }
 
 // parName names the NumCPU half of a parallel pair; on a 1-CPU machine it

@@ -21,6 +21,8 @@
 //	mipctl kill 42            # cancel an active query by id
 //	mipctl tenants            # per-tenant usage accounts and SLO windows
 //	mipctl audit [-tenant alice] [-dataset edsd] [-limit 50]   # audit trail
+//	mipctl cache              # plan-cache and result-cache hit/miss stats
+//	mipctl cache flush        # drop both cache tiers (audited)
 //
 // run and explain accept -tenant to attribute the work to a usage account
 // (shown by mipctl tenants and joinable against mipctl audit).
@@ -138,8 +140,14 @@ func main() {
 			url += "?" + q.Encode()
 		}
 		get(url, printAudit)
+	case "cache":
+		if len(subArgs) > 0 && subArgs[0] == "flush" {
+			flushCache(*server, *tenant)
+		} else {
+			get(*server+"/cache", printCache)
+		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: mipctl [flags] algorithms|datasets|variables|experiments|workflows|run|workflow|health|workers|trace|explain|slow|top|kill|tenants|audit")
+		fmt.Fprintln(os.Stderr, "usage: mipctl [flags] algorithms|datasets|variables|experiments|workflows|run|workflow|health|workers|trace|explain|slow|top|kill|tenants|audit|cache")
 		os.Exit(2)
 	}
 }
@@ -193,6 +201,7 @@ func printSlow(body []byte) {
 			MemPeakBytes int64    `json:"mem_peak_bytes"`
 			SpillBytes   int64    `json:"spill_bytes"`
 			Reason       string   `json:"reason"`
+			Cache        string   `json:"cache"`
 			Tenant       string   `json:"tenant"`
 			Job          string   `json:"job"`
 			Datasets     []string `json:"datasets"`
@@ -213,6 +222,9 @@ func printSlow(body []byte) {
 		}
 		if q.Reason != "" {
 			fmt.Printf("  reason=%s", q.Reason)
+		}
+		if q.Cache != "" {
+			fmt.Printf("  cache=%s", q.Cache)
 		}
 		if q.Tenant != "" {
 			fmt.Printf("  tenant=%s", q.Tenant)
@@ -414,6 +426,76 @@ func printAudit(body []byte) {
 		}
 		fmt.Println()
 	}
+}
+
+// printCache renders GET /cache: one line per cache tier with hit rates.
+func printCache(body []byte) {
+	var doc struct {
+		Plan struct {
+			Capacity int   `json:"capacity"`
+			Entries  int   `json:"entries"`
+			Hits     int64 `json:"hits"`
+			Misses   int64 `json:"misses"`
+		} `json:"plan"`
+		Result struct {
+			BudgetBytes int64 `json:"budget_bytes"`
+			Bytes       int64 `json:"bytes"`
+			Entries     int   `json:"entries"`
+			Hits        int64 `json:"hits"`
+			Misses      int64 `json:"misses"`
+			Evictions   int64 `json:"evictions"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		fmt.Println(string(body))
+		return
+	}
+	rate := func(hits, misses int64) string {
+		if hits+misses == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+misses))
+	}
+	p, r := doc.Plan, doc.Result
+	fmt.Printf("plan cache    entries=%d/%d hits=%d misses=%d hit_rate=%s\n",
+		p.Entries, p.Capacity, p.Hits, p.Misses, rate(p.Hits, p.Misses))
+	fmt.Printf("result cache  entries=%d bytes=%s", r.Entries, formatBytes(r.Bytes))
+	if r.BudgetBytes > 0 {
+		fmt.Printf("/%s", formatBytes(r.BudgetBytes))
+	}
+	fmt.Printf(" hits=%d misses=%d evictions=%d hit_rate=%s\n",
+		r.Hits, r.Misses, r.Evictions, rate(r.Hits, r.Misses))
+}
+
+// flushCache drops both cache tiers via POST /cache/flush, attributing the
+// (audited) flush to -tenant when given.
+func flushCache(server, tenant string) {
+	req, err := http.NewRequest(http.MethodPost, server+"/cache/flush", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set("X-MIP-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		log.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	var doc struct {
+		Plan   int `json:"flushed_plan_entries"`
+		Result int `json:"flushed_result_entries"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		fmt.Println(string(body))
+		return
+	}
+	fmt.Printf("flushed %d plan entr%s, %d result entr%s\n",
+		doc.Plan, plural(doc.Plan, "y", "ies"), doc.Result, plural(doc.Result, "y", "ies"))
 }
 
 func plural(n int, one, many string) string {

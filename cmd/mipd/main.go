@@ -15,6 +15,8 @@
 //	     [-query-deadline 0]   # per-statement wall-time ceiling (0 = unbounded)
 //	     [-query-mem-limit 0]  # per-statement accounted-bytes ceiling (0 = unbounded)
 //	     [-query-spill-dir ""] # with a mem limit: spill joins/aggregates here instead of cancelling
+//	     [-plan-cache-size 256]   # engine plan cache capacity (0 disables)
+//	     [-result-cache-bytes 0]  # master result cache byte budget (0 disables)
 //
 // The fault-tolerance flags let plain-path experiments degrade to a partial
 // aggregate instead of failing when workers die mid-step: -min-workers and
@@ -78,9 +80,12 @@ func main() {
 	queryDeadline := flag.Duration("query-deadline", 0, "cancel engine statements running longer than this (0 = unbounded); see GET /queries/active")
 	queryMemLimit := flag.Int64("query-mem-limit", 0, "per-statement memory budget in bytes (0 = unbounded); without -query-spill-dir, statements over it are cancelled")
 	querySpillDir := flag.String("query-spill-dir", "", "spill directory: with -query-mem-limit, budget-crossing joins/aggregates partition to disk here and keep running")
+	planCacheSize := flag.Int("plan-cache-size", 256, "engine plan cache capacity in statements (0 disables); see GET /cache")
+	resultCacheBytes := flag.Int64("result-cache-bytes", 0, "federated result cache byte budget on the master (0 disables); see GET /cache")
 	flag.Parse()
 
 	engine.DefaultSlowLog.SetThreshold(*slowQuery)
+	engine.SetDefaultPlanCacheSize(*planCacheSize)
 	if *enginePar > 0 {
 		engine.SetDefaultParallelism(*enginePar)
 	}
@@ -97,7 +102,8 @@ func main() {
 	}
 
 	cfg := mip.Config{Seed: *seed, EngineParallelism: *enginePar,
-		QueryDeadline: *queryDeadline, QueryMemLimit: *queryMemLimit, QuerySpillDir: *querySpillDir}
+		QueryDeadline: *queryDeadline, QueryMemLimit: *queryMemLimit, QuerySpillDir: *querySpillDir,
+		ResultCacheBytes: *resultCacheBytes}
 	cfg.Tolerance = mip.Tolerance{MinWorkers: *minWorkers, Quorum: *quorum, StepDeadline: *stepDeadline}
 	switch strings.ToLower(*security) {
 	case "off":

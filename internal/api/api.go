@@ -125,6 +125,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /queries/active", s.handleActiveQueries)
 	mux.HandleFunc("DELETE /queries/{id}", s.handleKillQuery)
 	mux.HandleFunc("POST /queries/explain", s.handleExplain)
+	mux.HandleFunc("GET /cache", s.handleCacheStats)
+	mux.HandleFunc("POST /cache/flush", s.handleCacheFlush)
 	s.registerWorkflowRoutes(mux)
 	return obs.Middleware("api", mux)
 }

@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"mip/internal/engine"
+	"mip/internal/obs"
 )
 
 // Query-observability endpoints: the live statement registry (with kill),
@@ -42,6 +43,34 @@ func (s *Server) handleSlowQueries(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"threshold_seconds": engine.DefaultSlowLog.Threshold().Seconds(),
 		"queries":           engine.DefaultSlowLog.Entries(),
+	})
+}
+
+// handleCacheStats serves both cache tiers' counters: the engine's plan
+// cache (process-wide) and the master's federated result cache.
+func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"plan":   engine.DefaultPlanCache.Stats(),
+		"result": s.Master.ResultCacheStats(),
+	})
+}
+
+// handleCacheFlush drops every entry of both cache tiers and seals the
+// flush onto the audit chain (who cleared the caches, and when, is an
+// operational event worth keeping).
+func (s *Server) handleCacheFlush(w http.ResponseWriter, r *http.Request) {
+	plan := engine.DefaultPlanCache.Stats().Entries
+	engine.DefaultPlanCache.Flush()
+	result := s.Master.FlushResultCache()
+	obs.DefaultAudit.Append(obs.AuditRecord{
+		Kind:    "cache-flush",
+		Tenant:  r.Header.Get("X-MIP-Tenant"),
+		Verdict: "completed",
+		Rows:    int64(plan + result),
+	})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"flushed_plan_entries":   plan,
+		"flushed_result_entries": result,
 	})
 }
 

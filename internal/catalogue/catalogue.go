@@ -63,18 +63,62 @@ type Pathology struct {
 type Catalogue struct {
 	mu          sync.RWMutex
 	pathologies map[string]*Pathology
+
+	// Dataset version stamps: a monotonic counter per dataset code, bumped
+	// when the dataset is (re)registered through a pathology load or
+	// explicitly through BumpDataset after a data load/append/replace.
+	// Caching layers key on these to invalidate on metadata changes.
+	verSeq   uint64
+	versions map[string]uint64
 }
 
 // New returns an empty catalogue.
 func New() *Catalogue {
-	return &Catalogue{pathologies: make(map[string]*Pathology)}
+	return &Catalogue{
+		pathologies: make(map[string]*Pathology),
+		versions:    make(map[string]uint64),
+	}
 }
 
 // AddPathology registers a pathology (replacing any previous definition).
+// Every dataset the pathology carries gets a fresh version stamp.
 func (c *Catalogue) AddPathology(p *Pathology) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.pathologies[p.Code] = p
+	for _, d := range p.Datasets {
+		c.verSeq++
+		c.versions[d.Code] = c.verSeq
+	}
+}
+
+// BumpDataset advances a dataset's version stamp (call after loading,
+// appending to, or replacing its data) and returns the new version.
+func (c *Catalogue) BumpDataset(code string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.verSeq++
+	c.versions[code] = c.verSeq
+	return c.versions[code]
+}
+
+// DatasetVersion returns a dataset's current version stamp (0 = unknown
+// dataset, never bumped).
+func (c *Catalogue) DatasetVersion(code string) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.versions[code]
+}
+
+// DatasetVersions snapshots every known dataset's version stamp.
+func (c *Catalogue) DatasetVersions() map[string]uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]uint64, len(c.versions))
+	for k, v := range c.versions {
+		out[k] = v
+	}
+	return out
 }
 
 // Pathology returns a pathology by code, or nil.

@@ -18,6 +18,16 @@ type DB struct {
 	merges  map[string]*MergeTable
 	queries atomic.Int64
 	ec      atomic.Pointer[ExecContext]
+
+	// id scopes this DB's plan-cache keys; schemaVer bumps on every DDL
+	// (CREATE/DROP/RegisterTable/RegisterMerge), making older cached plans
+	// unreachable. dataVer additionally bumps on DML, giving callers (the
+	// federation worker) a cheap monotonic data-version stamp for result
+	// caching.
+	id        uint64
+	schemaVer atomic.Uint64
+	dataVer   atomic.Uint64
+	plans     *PlanCache
 }
 
 // QueryCount returns the number of statements executed so far (scans,
@@ -121,17 +131,52 @@ func WithJoinReorder(enabled bool) Option {
 	}
 }
 
+// WithPlanCache points the DB at an explicit plan cache (nil disables
+// caching). The default is the process-wide DefaultPlanCache.
+func WithPlanCache(pc *PlanCache) Option {
+	return func(db *DB) { db.plans = pc }
+}
+
+// WithPlanCacheSize gives the DB a private plan cache of the given
+// capacity; n <= 0 disables plan caching for this DB.
+func WithPlanCacheSize(n int) Option {
+	return func(db *DB) { db.plans = NewPlanCache(n) }
+}
+
 // NewDB returns an empty database.
 func NewDB(opts ...Option) *DB {
 	db := &DB{
 		tables: make(map[string]*Table),
 		merges: make(map[string]*MergeTable),
+		id:     dbSeq.Add(1),
+		plans:  DefaultPlanCache,
 	}
 	db.ec.Store(&ExecContext{Parallelism: DefaultParallelism(), MorselSize: DefaultMorselSize})
 	for _, o := range opts {
 		o(db)
 	}
 	return db
+}
+
+// PlanCache returns the cache this DB resolves statements through (nil
+// when disabled).
+func (db *DB) PlanCache() *PlanCache { return db.plans }
+
+// DataVersion is a monotonic counter covering every mutation of this DB's
+// catalog or data: DDL, INSERT, DELETE, and explicit BumpDataVersion calls.
+// Equal values mean no statement-visible change happened in between.
+func (db *DB) DataVersion() uint64 { return db.dataVer.Load() }
+
+// BumpDataVersion advances the data-version counter. Loaders that mutate a
+// registered *Table in place (bypassing SQL) call this so result caches
+// keyed on the version never serve stale data.
+func (db *DB) BumpDataVersion() { db.dataVer.Add(1) }
+
+// bumpSchema records a DDL change: cached plans become unreachable and the
+// data version advances too (a schema change is also a data change).
+func (db *DB) bumpSchema() {
+	db.schemaVer.Add(1)
+	db.dataVer.Add(1)
 }
 
 // SetParallelism changes the DB's parallelism degree at runtime (n < 1 is
@@ -166,6 +211,7 @@ func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 	t := NewTable(schema)
 	db.tables[key] = t
 	engTables.Inc()
+	db.bumpSchema()
 	return t, nil
 }
 
@@ -179,6 +225,7 @@ func (db *DB) RegisterTable(name string, t *Table) {
 		engTables.Inc()
 	}
 	db.tables[key] = t
+	db.bumpSchema()
 }
 
 // Table returns the named base table, or nil.
@@ -196,10 +243,12 @@ func (db *DB) DropTable(name string) bool {
 	if _, ok := db.tables[key]; ok {
 		delete(db.tables, key)
 		engTables.Dec()
+		db.bumpSchema()
 		return true
 	}
 	if _, ok := db.merges[key]; ok {
 		delete(db.merges, key)
+		db.bumpSchema()
 		return true
 	}
 	return false
@@ -212,6 +261,7 @@ func (db *DB) RegisterMerge(name string, m *MergeTable) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.merges[strings.ToLower(name)] = m
+	db.bumpSchema()
 }
 
 // Merge returns the named merge table, or nil.
@@ -263,12 +313,14 @@ func (db *DB) QueryWithStatsCtx(ctx context.Context, sql string) (*Table, QueryS
 	db.queries.Add(1)
 	var qs QueryStats
 	start := time.Now()
-	st, err := Parse(sql)
+	st, entry, hit, err := db.parseCached(sql)
 	if err != nil {
 		engQueryErrors.Inc()
 		return nil, qs, err
 	}
+	qs.CacheHit = hit
 	ec, finish := db.beginQuery(ctx, sql, &qs)
+	ec.plan = entry
 	t, err := db.run(st, &qs, ec)
 	elapsed := time.Since(start)
 	finish(err)
@@ -422,10 +474,31 @@ func (db *DB) runExplain(s *ExplainStmt, qs *QueryStats, ec *ExecContext) (*Tabl
 		if qs == nil {
 			qs = &local
 		}
+		// Surface (and use) the plan cache for the inner SELECT: EXPLAIN
+		// parses as one ExplainStmt, so the inner statement bypassed
+		// parseCached. A peek neither inserts nor reorders the LRU beyond the
+		// hit itself; the trailing cache= line reports the outcome.
+		cacheLine := ""
+		if sel, ok := s.Stmt.(*SelectStmt); ok && ec != nil {
+			if e, hit := db.lookupSelect(sel); hit {
+				ec.plan = e
+				qs.CacheHit = true
+				cacheLine = "cache=hit"
+			} else {
+				cacheLine = "cache=miss"
+			}
+		}
 		if _, err := db.run(s.Stmt, qs, ec); err != nil {
 			return nil, err
 		}
-		return planTable(qs.Root, true)
+		t, err := planTable(qs.Root, true)
+		if err != nil || cacheLine == "" {
+			return t, err
+		}
+		if err := t.AppendRow(cacheLine); err != nil {
+			return nil, err
+		}
+		return t, nil
 	}
 	plan, err := db.explainPlan(s.Stmt)
 	if err != nil {
@@ -444,6 +517,7 @@ func (db *DB) runInsert(s *InsertStmt) error {
 	if t == nil {
 		return fmt.Errorf("engine: unknown table %q", s.Name)
 	}
+	defer db.dataVer.Add(1)
 	colIdx := make([]int, 0, len(t.schema))
 	if len(s.Cols) == 0 {
 		for i := range t.schema {
@@ -480,6 +554,7 @@ func (db *DB) runDelete(s *DeleteStmt) error {
 	if t == nil {
 		return fmt.Errorf("engine: unknown table %q", s.Name)
 	}
+	defer db.dataVer.Add(1)
 	if s.Where == nil {
 		db.tables[strings.ToLower(s.Name)] = NewTable(t.schema)
 		return nil

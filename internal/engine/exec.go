@@ -10,9 +10,10 @@ import (
 
 // execSelect runs a parsed SELECT over an input table. It implements the
 // pipeline scan → filter → (group-by aggregate | project) → having →
-// order by → limit, column-at-a-time over morsels: the filter and
-// aggregate stages fan row ranges out across ec's worker pool, while
-// ORDER BY and LIMIT stay a serial tail. qs (optional, may be nil)
+// order by → limit, column-at-a-time over morsels: the filter, aggregate
+// and ORDER BY stages fan row ranges out across ec's worker pool (per-
+// morsel sort + parallel run merging), while LIMIT stays a serial tail.
+// qs (optional, may be nil)
 // accumulates rows/vectors touched and grows the plan tree one node per
 // executed stage (the scan/join/merge nodes below the first stage are
 // planted by db.run and the merge table before this runs).
@@ -100,7 +101,7 @@ func execSelect(ec *ExecContext, st *SelectStmt, input *Table, qs *QueryStats) (
 				return nil, err
 			}
 			so := qs.beginStage("order", orderDetail(st.OrderBy), out.NumRows())
-			out, err = execOrderBy(st.OrderBy, out)
+			out, err = execOrderByPar(ec, st.OrderBy, out, so)
 			if err != nil {
 				return nil, err
 			}
@@ -149,7 +150,7 @@ func execSelect(ec *ExecContext, st *SelectStmt, input *Table, qs *QueryStats) (
 			sp.end(ext)
 		}
 		so := qs.beginStage("order", orderDetail(st.OrderBy), ext.NumRows())
-		ext, err = execOrderBy(st.OrderBy, ext)
+		ext, err = execOrderByPar(ec, st.OrderBy, ext, so)
 		if err != nil {
 			return nil, err
 		}
@@ -543,7 +544,13 @@ func sortIdx(keys []OrderItem, t *Table) ([]int32, error) {
 	return idx, nil
 }
 
-// compareRows orders two rows of one vector; NULLs sort first.
+// compareRows orders two rows of one vector: NULLs sort first, and NaNs
+// sort after every number (so ASC puts them last, DESC first). Giving NaN
+// a fixed position keeps the comparator total — IEEE NaN comparisons are
+// all false, which would otherwise make "equality" intransitive and the
+// sorted order an artifact of the sort algorithm rather than of the data;
+// totality is what lets the parallel merge reproduce the serial sort
+// bit-identically.
 func compareRows(v *Vector, a, b int) int {
 	na, nb := v.IsNull(a), v.IsNull(b)
 	switch {
@@ -569,10 +576,18 @@ func compareRows(v *Vector, a, b int) int {
 		}
 	default:
 		f := v.CastFloat64().Float64s()
+		x, y := f[a], f[b]
+		nx, ny := math.IsNaN(x), math.IsNaN(y)
 		switch {
-		case f[a] < f[b]:
+		case nx && ny:
+			return 0
+		case nx:
+			return 1
+		case ny:
 			return -1
-		case f[a] > f[b]:
+		case x < y:
+			return -1
+		case x > y:
 			return 1
 		default:
 			return 0

@@ -25,7 +25,7 @@ import (
 // sorting the reordered output by the written-order rowid tuple reproduces
 // the written-order result bit for bit.
 func (db *DB) buildJoined(ec *ExecContext, st *SelectStmt, qs *QueryStats) (*Table, Expr, error) {
-	plan, err := db.planJoins(st, ec == nil || !ec.NoJoinReorder)
+	plan, err := db.planJoinsFor(ec, st, ec == nil || !ec.NoJoinReorder)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -99,12 +99,23 @@ func (m *MergeTable) setStats(s MergeStats) {
 // lastStats is protected by mergeStatsMu.
 // (kept simple: merge tables are read-mostly and stats are advisory)
 
-// execSelect serves a SELECT against the merge view.
+// execSelect serves a SELECT against the merge view. With a plan-cache
+// entry on the context, the pushdown decomposition and the rendered
+// per-part SQL come memoized from the entry instead of being rebuilt.
 func (m *MergeTable) execSelect(ec *ExecContext, st *SelectStmt, qs *QueryStats) (*Table, error) {
-	if plan, ok := m.decompose(st); ok {
-		return m.execPushdown(ec, st, plan, qs)
+	if e := ec.plan; e != nil {
+		e.mergePlan(m, st)
+		if e.pushOK {
+			return m.execPushdown(ec, st, e.specs, e.partSQL, e.partCols, qs)
+		}
+		return m.execMaterialize(ec, st, e.matSQL, e.matCols, qs)
 	}
-	return m.execMaterialize(ec, st, qs)
+	if specs, ok := m.decompose(st); ok {
+		sql, colNames := m.partialSQL(st, specs)
+		return m.execPushdown(ec, st, specs, sql, colNames, qs)
+	}
+	sql, cols := m.materializeSQL(st)
+	return m.execMaterialize(ec, st, sql, cols, qs)
 }
 
 // execMaterialize unions part rows locally and runs the query over the
@@ -116,8 +127,7 @@ func (m *MergeTable) execSelect(ec *ExecContext, st *SelectStmt, qs *QueryStats)
 // into the union as they arrive (in part order, so the result is
 // deterministic) and the part table is released immediately, instead of
 // holding every worker table until a final concatenation.
-func (m *MergeTable) execMaterialize(ec *ExecContext, st *SelectStmt, qs *QueryStats) (*Table, error) {
-	sql, pushedCols := m.materializeSQL(st)
+func (m *MergeTable) execMaterialize(ec *ExecContext, st *SelectStmt, sql string, pushedCols []string, qs *QueryStats) (*Table, error) {
 	t0 := time.Now()
 	ec.setOperator("merge materialize " + m.TableName)
 	union, parts, failed, err := m.streamUnion(ec, sql)
@@ -656,11 +666,9 @@ func (m *MergeTable) partialSQL(st *SelectStmt, specs []partialSpec) (string, []
 
 // execPushdown runs the decomposed plan: per-part partial aggregates,
 // merged locally, then the final projection.
-func (m *MergeTable) execPushdown(ec *ExecContext, st *SelectStmt, specs []partialSpec, qs *QueryStats) (*Table, error) {
-	// 1. Build the partial query.
-	sql, colNames := m.partialSQL(st, specs)
-
-	// 2. Fan out, folding each part's partials into the union as they land.
+func (m *MergeTable) execPushdown(ec *ExecContext, st *SelectStmt, specs []partialSpec, sql string, colNames [][]string, qs *QueryStats) (*Table, error) {
+	// Fan out the pre-built partial query, folding each part's partials
+	// into the union as they land.
 	t0 := time.Now()
 	ec.setOperator("merge pushdown " + m.TableName)
 	unionAll, partTables, failed, err := m.streamUnion(ec, sql)
@@ -780,7 +788,7 @@ func (m *MergeTable) execPushdown(ec *ExecContext, st *SelectStmt, specs []parti
 	sp.end(out)
 	if len(st.OrderBy) > 0 {
 		so := qs.beginStage("order", orderDetail(st.OrderBy), out.NumRows())
-		out, err = execOrderBy(st.OrderBy, out)
+		out, err = execOrderByPar(ec, st.OrderBy, out, so)
 		if err != nil {
 			return nil, err
 		}

@@ -40,6 +40,10 @@ type QueryStats struct {
 	// Verdict records how the statement ended: completed, cancelled,
 	// deadline, mem-limit, or error. Empty when governance was disabled.
 	Verdict string
+	// CacheHit reports that the statement's plan came from the plan cache
+	// (lex/parse and plan memoization skipped). Result-cache hits at the
+	// federation layer set it too — there the whole execution was skipped.
+	CacheHit bool
 	// Root is the executed operator tree (profiled plan). Nil for DDL/DML
 	// statements and for callers that executed with a nil QueryStats.
 	Root *PlanNode
@@ -63,6 +67,9 @@ func (qs *QueryStats) AttrMap() map[string]string {
 	}
 	if qs.Verdict != "" {
 		m["verdict"] = qs.Verdict
+	}
+	if qs.CacheHit {
+		m["cache"] = "hit"
 	}
 	return m
 }

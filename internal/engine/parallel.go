@@ -136,6 +136,7 @@ type ExecContext struct {
 
 	query *queryHandle  // active-registry handle; nil when unregistered
 	spill *spillSession // per-query spill dir manager; nil = spilling off
+	plan  *planEntry    // plan-cache entry for this statement; nil = uncached
 }
 
 // spillEnabled reports whether this statement may shed operator state to

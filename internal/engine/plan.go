@@ -383,7 +383,9 @@ func (db *DB) explainPlan(st Statement) (*PlanNode, error) {
 		wrap("aggregate", aggDetail(sel), predictPar(baseRows))
 		markFused()
 		if len(sel.OrderBy) > 0 {
-			wrap("order", orderDetail(sel.OrderBy), 0) // ORDER BY stays a serial tail
+			// Sort input is the (unknown) group count; predict no fan-out.
+			// EXPLAIN ANALYZE records the measured degree instead.
+			wrap("order", orderDetail(sel.OrderBy), 0)
 		}
 	} else if useTopk {
 		wrap("topk", orderDetail(sel.OrderBy)+" "+limitDetail(sel), predictPar(baseRows))
@@ -396,7 +398,9 @@ func (db *DB) explainPlan(st Statement) (*PlanNode, error) {
 		}
 		wrap("project", "extend", extPar)
 		markFused()
-		wrap("order", orderDetail(sel.OrderBy), 0)
+		// A WHERE shrinks the sort input by an unknown factor; predict the
+		// pre-filter degree anyway (the measured one lands in ANALYZE).
+		wrap("order", orderDetail(sel.OrderBy), predictPar(baseRows))
 		wrap("project", projectDetail(sel), 0)
 	} else {
 		projPar := 0

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Canonical SQL rendering. RenderSelect turns a parsed SelectStmt back into
+// one deterministic SQL text: uppercase keywords, single spaces, every
+// identifier quoted, every expression in the fully parenthesized form of
+// Expr.String(). Two query texts that parse to the same tree render to the
+// same canonical string, which is what the plan cache and the federated
+// result cache key on — "select a from t" and "SELECT  a  FROM  t" share
+// one entry. The renderer round-trips: Parse(RenderSelect(st)) yields an
+// equivalent statement (pinned by TestRenderSelectRoundTrip).
+
+// RenderSelect renders st in canonical form.
+func RenderSelect(st *SelectStmt) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if st.Star && len(st.Items) == 0 {
+		b.WriteByte('*')
+	}
+	for i, it := range st.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.Expr.String())
+		if it.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(QuoteIdent(it.Alias))
+		}
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(QuoteIdent(st.From))
+	if st.FromAlias != "" {
+		b.WriteString(" AS ")
+		b.WriteString(QuoteIdent(st.FromAlias))
+	}
+	for i := range st.Joins {
+		jc := &st.Joins[i]
+		if jc.Left {
+			b.WriteString(" LEFT JOIN ")
+		} else {
+			b.WriteString(" JOIN ")
+		}
+		b.WriteString(QuoteIdent(jc.Table))
+		if jc.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(QuoteIdent(jc.Alias))
+		}
+		b.WriteString(" ON ")
+		b.WriteString(jc.On.String())
+	}
+	if st.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(st.Where.String())
+	}
+	if len(st.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range st.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if st.Having != nil {
+		b.WriteString(" HAVING ")
+		b.WriteString(st.Having.String())
+	}
+	if len(st.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range st.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if st.Limit >= 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.Itoa(st.Limit))
+	}
+	if st.Offset > 0 {
+		b.WriteString(" OFFSET ")
+		b.WriteString(strconv.Itoa(st.Offset))
+	}
+	return b.String()
+}
+
+// NormalizeSQL parses one SELECT statement and returns its canonical text.
+// Non-SELECT statements (DDL, DML, EXPLAIN) and parse errors report ok =
+// false — callers cache only plain SELECTs.
+func NormalizeSQL(sql string) (string, bool) {
+	st, err := Parse(sql)
+	if err != nil {
+		return "", false
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return "", false
+	}
+	return RenderSelect(sel), true
+}

@@ -28,6 +28,9 @@ type SlowQuery struct {
 	Tenant   string   `json:"tenant,omitempty"`
 	Job      string   `json:"job,omitempty"`
 	Datasets []string `json:"datasets,omitempty"`
+	// Cache is "hit" when the statement was served through a cache (plan
+	// cache here; result cache at the federation layer), "miss" otherwise.
+	Cache string `json:"cache,omitempty"`
 }
 
 // SlowLog is a fixed-capacity ring buffer of statements that ran longer
@@ -79,6 +82,11 @@ func (l *SlowLog) observe(sql string, elapsed time.Duration, qs *QueryStats, err
 		When:    time.Now().UTC(),
 	}
 	if qs != nil {
+		if qs.CacheHit {
+			rec.Cache = "hit"
+		} else {
+			rec.Cache = "miss"
+		}
 		rec.RowsScanned = qs.RowsScanned
 		rec.RowsOut = qs.RowsOut
 		rec.MemPeakBytes = qs.MemPeakBytes

@@ -1,0 +1,100 @@
+package engine
+
+import "sort"
+
+// Parallel ORDER BY: per-morsel sort on the shared worker pool followed by
+// parallel pairwise run merging. Bit-identical to the serial path by
+// construction — both produce the unique permutation ordering rows by
+// (ORDER BY keys, global row index): the serial sort.SliceStable resolves
+// key ties by input position, and here each morsel run is sorted with an
+// explicit global-row-index tie-break, which the merge preserves across
+// runs. The comparator is total (compareRows gives NULLs and NaNs fixed
+// positions), so that permutation is well defined.
+
+// execOrderByPar sorts t by keys, fanning per-morsel sorts and run merges
+// across the pool when the input is large enough; small inputs take the
+// serial path. sg (nullable) receives the fan-out degree for EXPLAIN.
+func execOrderByPar(ec *ExecContext, keys []OrderItem, t *Table, sg *stage) (*Table, error) {
+	n := t.NumRows()
+	ms := ec.morselsOf(n)
+	degree := ec.degreeFor(len(ms))
+	if degree <= 1 {
+		return execOrderBy(keys, t)
+	}
+	vecs := make([]*Vector, len(keys))
+	for i, k := range keys {
+		v, err := Eval(k.Expr, t)
+		if err != nil {
+			return nil, err
+		}
+		vecs[i] = v
+	}
+	less := func(a, b int32) bool {
+		ia, ib := int(a), int(b)
+		for k, v := range vecs {
+			c := compareRows(v, ia, ib)
+			if c == 0 {
+				continue
+			}
+			if keys[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return a < b // global row index: reproduces the stable sort's tie order
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	node := sg.planNode()
+	runs := make([][]int32, len(ms))
+	if err := ec.parallelFor(len(ms), func(mi int) error {
+		run := idx[ms[mi].lo:ms[mi].hi]
+		sort.Slice(run, func(a, b int) bool { return less(run[a], run[b]) })
+		runs[mi] = run
+		if node != nil {
+			node.AddMorsels(1)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// Merge adjacent run pairs in rounds; pairs within a round merge
+	// concurrently. Pairing is by run index, so the merge tree — and with
+	// the total comparator, the output — is independent of scheduling.
+	for len(runs) > 1 {
+		next := make([][]int32, (len(runs)+1)/2)
+		if err := ec.parallelFor(len(next), func(i int) error {
+			if 2*i+1 == len(runs) {
+				next[i] = runs[2*i]
+				return nil
+			}
+			next[i] = mergeRuns(runs[2*i], runs[2*i+1], less)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		runs = next
+	}
+	sg.setParallelism(degree)
+	return t.Gather(runs[0]), nil
+}
+
+// mergeRuns merges two sorted runs under a total order.
+func mergeRuns(a, b []int32, less func(x, y int32) bool) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -650,7 +650,7 @@ func (db *DB) trySpillJoinAgg(ec *ExecContext, s *SelectStmt, qs *QueryStats) (*
 	if !ec.spillEnabled() || len(s.Joins) != 1 || !selHasAgg(s) || len(s.GroupBy) == 0 {
 		return nil, false, nil
 	}
-	plan, err := db.planJoins(s, ec == nil || !ec.NoJoinReorder)
+	plan, err := db.planJoinsFor(ec, s, ec == nil || !ec.NoJoinReorder)
 	if err != nil {
 		return nil, false, err
 	}

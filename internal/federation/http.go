@@ -21,7 +21,8 @@ import (
 //	POST /localrun  — execute a local step (LocalRunRequest → LocalRunResponse)
 //	POST /cancel    — abort an in-flight step by job id
 //	POST /query     — run SQL against the worker engine (non-sensitive mode)
-//	GET  /datasets  — list hosted datasets
+//	GET  /datasets  — list hosted datasets (+ version stamps)
+//	GET  /datastamp — cheap data-change probe for the result cache
 //	GET  /healthz   — liveness + worker status JSON
 //	GET  /metrics   — Prometheus text exposition
 //
@@ -51,6 +52,7 @@ func (s *WorkerServer) Handler() http.Handler {
 	mux.HandleFunc("POST /cancel", s.handleCancel)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /datasets", s.handleDatasets)
+	mux.HandleFunc("GET /datastamp", s.handleDataStamp)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", obs.MetricsHandler())
 	return obs.Middleware("worker", mux)
@@ -121,12 +123,23 @@ func (s *WorkerServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *WorkerServer) handleDatasets(w http.ResponseWriter, _ *http.Request) {
-	ds, err := s.Worker.Datasets()
+	info, err := s.Worker.DatasetInfo()
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string][]string{"datasets": ds})
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleDataStamp serves the cheap data-change probe the master's result
+// cache polls before serving a cached entry.
+func (s *WorkerServer) handleDataStamp(w http.ResponseWriter, _ *http.Request) {
+	stamp, err := s.Worker.DataStamp()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"stamp": stamp})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -302,16 +315,41 @@ func truncate(s string, n int) string {
 
 // Datasets implements WorkerClient. Idempotent: retried under Retry.
 func (c *HTTPWorkerClient) Datasets() ([]string, error) {
-	var out struct {
-		Datasets []string `json:"datasets"`
+	info, err := c.DatasetInfo()
+	if err != nil {
+		return nil, err
 	}
+	return info.Datasets, nil
+}
+
+// DatasetInfo implements the master's versioned-client interface over the
+// /datasets endpoint (the version fields are additive JSON). Idempotent:
+// retried under Retry.
+func (c *HTTPWorkerClient) DatasetInfo() (DatasetInfo, error) {
+	var out DatasetInfo
 	err := c.Retry.run(c.WorkerID, func() error {
 		return c.do(http.MethodGet, "/datasets", c.metaTimeout(), nil, nil, &out)
 	})
 	if err != nil {
-		return nil, err
+		return DatasetInfo{}, err
 	}
-	return out.Datasets, nil
+	return out, nil
+}
+
+// DataStamp implements the versioned-client probe against GET /datastamp.
+// A worker predating the endpoint returns an error, which the result cache
+// treats as "bypass caching for this worker".
+func (c *HTTPWorkerClient) DataStamp() (string, error) {
+	var out struct {
+		Stamp string `json:"stamp"`
+	}
+	err := c.Retry.run(c.WorkerID, func() error {
+		return c.do(http.MethodGet, "/datastamp", c.metaTimeout(), nil, nil, &out)
+	})
+	if err != nil {
+		return "", err
+	}
+	return out.Stamp, nil
 }
 
 // Health fetches the worker's /healthz document. Idempotent: retried.

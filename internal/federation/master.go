@@ -54,6 +54,12 @@ type Master struct {
 	// engineOpts configure the transient merge databases master-side
 	// queries run on (WithEngineOptions).
 	engineOpts []engine.Option
+
+	// Result cache (nil = disabled) plus the per-worker dataset-version
+	// snapshots it validates entries against.
+	results    *ResultCache
+	verMu      sync.Mutex
+	workerVers map[string]workerVerState
 }
 
 // MasterOption configures a Master.
@@ -68,6 +74,15 @@ func WithBreaker(b BreakerConfig) MasterOption {
 // new sessions and by MergeQuery.
 func WithTolerance(t Tolerance) MasterOption {
 	return func(m *Master) { m.tolerance = t }
+}
+
+// WithResultCacheBytes enables the master's federated result cache with
+// the given byte budget (<= 0 leaves it disabled). Repeated identical
+// aggregates are served from memory as long as every involved worker's
+// dataset versions still match; see resultcache.go for the invalidation
+// contract.
+func WithResultCacheBytes(budget int64) MasterOption {
+	return func(m *Master) { m.results = NewResultCache(budget) }
 }
 
 // WithEngineOptions sets the engine options applied to the master's
@@ -342,11 +357,48 @@ func (m *Master) MergeQueryDegraded(datasets []string, sql string) (*engine.Tabl
 // MergeQueryDegradedAs is MergeQueryDegraded with the statement attributed
 // to a tenant account: the master-side merge statement (and its shipped
 // rows/bytes) meters under that tenant and lands on the audit chain.
+//
+// With the result cache enabled, a repeat of a complete (non-degraded)
+// query whose workers' dataset versions are unchanged is served straight
+// from memory — no merge database, no worker fan-out — and is still
+// metered and audited under the tenant so accounting stays honest.
+// Identical concurrent misses collapse into one execution.
 func (m *Master) MergeQueryDegradedAs(tenant string, datasets []string, sql string) (*engine.Table, []string, error) {
 	ws := m.WorkersFor(datasets)
 	if len(ws) == 0 {
 		return nil, nil, fmt.Errorf("federation: no worker holds datasets %v", datasets)
 	}
+	key, cacheable := "", false
+	if m.results != nil {
+		key, cacheable = m.resultKey(tenant, datasets, sql, ws)
+	}
+	if !cacheable {
+		return m.mergeQueryExec(tenant, datasets, sql, ws)
+	}
+	start := m.now()
+	t, f, leader := m.results.begin(key)
+	if t != nil {
+		m.recordCacheHit(tenant, datasets, sql, ws, t, m.now().Sub(start))
+		return t, nil, nil
+	}
+	if !leader {
+		<-f.done
+		if f.err != nil {
+			return nil, nil, f.err
+		}
+		if f.table != nil && len(f.dropped) == 0 {
+			m.recordCacheHit(tenant, datasets, sql, ws, f.table, m.now().Sub(start))
+		}
+		return f.table, f.dropped, f.err
+	}
+	rt, dropped, err := m.mergeQueryExec(tenant, datasets, sql, ws)
+	m.results.finish(key, f, rt, dropped, err)
+	return rt, dropped, err
+}
+
+// mergeQueryExec runs one federated merge query over the given workers on
+// a transient merge database (the uncached execution path).
+func (m *Master) mergeQueryExec(tenant string, datasets []string, sql string, ws []WorkerClient) (*engine.Table, []string, error) {
 	mdb := engine.NewDB(m.engineOpts...)
 	mt := &engine.MergeTable{TableName: DataTable}
 	for _, w := range ws {
@@ -381,10 +433,31 @@ func (m *Master) Explain(datasets []string, sql string, analyze bool) ([]string,
 
 // ExplainAs is Explain with the (possibly executing, under analyze)
 // statement attributed to a tenant account.
+//
+// When the result cache holds the statement's current result, ANALYZE does
+// not fabricate an operator tree that never ran: it reports a single
+// `cached` node carrying the real row and byte counts of the stored
+// result, and the serve is metered like any other cache hit.
 func (m *Master) ExplainAs(tenant string, datasets []string, sql string, analyze bool) ([]string, error) {
 	ws := m.WorkersFor(datasets)
 	if len(ws) == 0 {
 		return nil, fmt.Errorf("federation: no worker holds datasets %v", datasets)
+	}
+	if analyze && m.results != nil {
+		start := m.now()
+		if key, ok := m.resultKey(tenant, datasets, sql, ws); ok {
+			if t, hit := m.results.lookup(key); hit {
+				node := &engine.PlanNode{
+					Op:      "cached",
+					Detail:  "result cache",
+					RowsOut: int64(t.NumRows()),
+					Batches: int64(t.NumCols()),
+					Bytes:   t.ByteSize(),
+				}
+				m.recordCacheHit(tenant, datasets, sql, ws, t, m.now().Sub(start))
+				return append(node.Render(true), "cache=hit"), nil
+			}
+		}
 	}
 	mdb := engine.NewDB(m.engineOpts...)
 	mt := &engine.MergeTable{TableName: DataTable}
@@ -410,6 +483,47 @@ func (m *Master) ExplainAs(tenant string, datasets []string, sql string, analyze
 		lines[i] = t.Col(0).StringAt(i)
 	}
 	return lines, nil
+}
+
+// recordCacheHit meters a result-cache serve under the tenant and seals it
+// onto the audit chain, mirroring what the engine governor records for an
+// executed statement — usage accounting must not go dark just because the
+// query never ran.
+func (m *Master) recordCacheHit(tenant string, datasets []string, sql string, ws []WorkerClient, t *engine.Table, elapsed time.Duration) {
+	ids := make([]string, len(ws))
+	for i, w := range ws {
+		ids[i] = w.ID()
+	}
+	obs.DefaultTenants.Record(tenant, obs.UsageDelta{
+		Queries: 1,
+		RowsOut: int64(t.NumRows()),
+		Seconds: elapsed.Seconds(),
+		Verdict: engine.VerdictCompleted,
+	})
+	obs.DefaultAudit.Append(obs.AuditRecord{
+		Kind:      "query",
+		Tenant:    tenant,
+		SQLDigest: obs.SQLDigest(sql),
+		Datasets:  datasets,
+		Workers:   ids,
+		Verdict:   "cached",
+		Seconds:   elapsed.Seconds(),
+		Rows:      int64(t.NumRows()),
+	})
+}
+
+// ResultCacheStats snapshots the master's result cache (zero when the
+// cache is disabled).
+func (m *Master) ResultCacheStats() ResultCacheStats {
+	return m.results.Stats()
+}
+
+// FlushResultCache drops every cached result, returning how many entries
+// were held. Exposed through the API's cache flush endpoint.
+func (m *Master) FlushResultCache() int {
+	n := m.results.Stats().Entries
+	m.results.Flush()
+	return n
 }
 
 // workerPart adapts a WorkerClient to the engine's merge-table Part,

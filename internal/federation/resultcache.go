@@ -1,0 +1,314 @@
+package federation
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"mip/internal/engine"
+	"mip/internal/obs"
+)
+
+// Result cache: the master-side cache of complete federated query results,
+// keyed on (canonical SQL, tenant, per-worker dataset versions). Because
+// every worker's dataset versions are baked into the key, invalidation is
+// strict and automatic: any data change on a relevant worker changes the
+// key, the old entry becomes unreachable, and the LRU ages it out. A
+// worker restart changes its boot id, so versions from a previous process
+// never validate a stale entry.
+//
+// Entries are byte-budgeted: each cached table's payload is charged to the
+// cache's MemAccountant and the least recently used entries are evicted
+// when the budget is exceeded. Concurrent identical misses collapse
+// singleflight-style — the first caller executes, the rest wait and share
+// its result — so a dashboard herd runs the query once.
+//
+// Cached tables are shared by reference across callers and must be treated
+// as immutable, which all read paths (API encoding, merge rendering) do.
+
+var (
+	fedResultCacheHits = obs.GetCounter("mip_result_cache_hits_total",
+		"Federated queries served from the master's result cache.")
+	fedResultCacheMisses = obs.GetCounter("mip_result_cache_misses_total",
+		"Cacheable federated queries that missed the result cache.")
+	fedResultCacheEvictions = obs.GetCounter("mip_result_cache_evictions_total",
+		"Result-cache entries evicted under the byte budget.")
+	fedResultCacheBytes = obs.GetGauge("mip_result_cache_bytes",
+		"Bytes of result payload currently held by the master's result cache.")
+)
+
+// versionedClient is the optional WorkerClient extension the result cache
+// needs: per-dataset version stamps plus the cheap change probe. *Worker
+// and *HTTPWorkerClient implement it; queries touching a worker that does
+// not bypass the cache.
+type versionedClient interface {
+	DatasetInfo() (DatasetInfo, error)
+	DataStamp() (string, error)
+}
+
+// ResultCacheStats is the snapshot served by GET /cache.
+type ResultCacheStats struct {
+	BudgetBytes int64 `json:"budget_bytes"`
+	Bytes       int64 `json:"bytes"`
+	Entries     int   `json:"entries"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+}
+
+// resultEntry is one cached federated result.
+type resultEntry struct {
+	key   string
+	table *engine.Table
+	bytes int64
+}
+
+// resultFlight is one in-progress execution that identical concurrent
+// queries wait on instead of re-executing.
+type resultFlight struct {
+	done    chan struct{}
+	table   *engine.Table
+	dropped []string
+	err     error
+}
+
+// ResultCache is a thread-safe, byte-budgeted LRU of federated query
+// results with singleflight collapsing of identical misses.
+type ResultCache struct {
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+
+	budget int64
+	acct   engine.MemAccountant // zero value: accounting without a hard limit
+
+	mu       sync.Mutex
+	ll       *list.List // front = most recent; values are *resultEntry
+	entries  map[string]*list.Element
+	inflight map[string]*resultFlight
+}
+
+// NewResultCache returns a cache evicting LRU past the given byte budget;
+// budget <= 0 returns nil (caching disabled).
+func NewResultCache(budget int64) *ResultCache {
+	if budget <= 0 {
+		return nil
+	}
+	return &ResultCache{
+		budget:   budget,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*resultFlight),
+	}
+}
+
+// Stats snapshots the cache counters; the zero value is returned for a nil
+// (disabled) cache.
+func (c *ResultCache) Stats() ResultCacheStats {
+	if c == nil {
+		return ResultCacheStats{}
+	}
+	c.mu.Lock()
+	n := c.ll.Len()
+	c.mu.Unlock()
+	return ResultCacheStats{
+		BudgetBytes: c.budget,
+		Bytes:       c.acct.Live(),
+		Entries:     n,
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+	}
+}
+
+// Flush drops every entry (counters are kept; in-flight executions finish
+// but publish into the fresh map only through put).
+func (c *ResultCache) Flush() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*resultEntry)
+		c.acct.Release(e.bytes)
+	}
+	c.ll.Init()
+	c.entries = make(map[string]*list.Element)
+	fedResultCacheBytes.Set(float64(c.acct.Live()))
+}
+
+// lookup peeks for a cached result without joining a flight. A find counts
+// as a hit; an absence is not counted as a miss, because the caller
+// (EXPLAIN ANALYZE) then executes outside the cache. Used by ExplainAs.
+func (c *ResultCache) lookup(key string) (*engine.Table, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el := c.entries[key]
+	if el == nil {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	fedResultCacheHits.Inc()
+	return el.Value.(*resultEntry).table, true
+}
+
+// begin resolves a key: a cached table (hit), an in-progress flight to
+// wait on (leader = false), or a freshly registered flight this caller
+// must execute and finish (leader = true).
+func (c *ResultCache) begin(key string) (t *engine.Table, f *resultFlight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el := c.entries[key]; el != nil {
+		c.ll.MoveToFront(el)
+		c.hits.Add(1)
+		fedResultCacheHits.Inc()
+		return el.Value.(*resultEntry).table, nil, false
+	}
+	c.misses.Add(1)
+	fedResultCacheMisses.Inc()
+	if f := c.inflight[key]; f != nil {
+		return nil, f, false
+	}
+	f = &resultFlight{done: make(chan struct{})}
+	c.inflight[key] = f
+	return nil, f, true
+}
+
+// finish publishes a leader's outcome: waiters are released, and a
+// complete (non-degraded, error-free) result is inserted under the key.
+func (c *ResultCache) finish(key string, f *resultFlight, t *engine.Table, dropped []string, err error) {
+	f.table, f.dropped, f.err = t, dropped, err
+	c.mu.Lock()
+	if c.inflight[key] == f {
+		delete(c.inflight, key)
+	}
+	if err == nil && len(dropped) == 0 && t != nil {
+		c.putLocked(key, t)
+	}
+	c.mu.Unlock()
+	close(f.done)
+}
+
+func (c *ResultCache) putLocked(key string, t *engine.Table) {
+	if c.entries[key] != nil {
+		return
+	}
+	e := &resultEntry{key: key, table: t, bytes: t.ByteSize()}
+	c.entries[key] = c.ll.PushFront(e)
+	c.acct.Charge(e.bytes)
+	for c.acct.Live() > c.budget && c.ll.Len() > 1 {
+		old := c.ll.Back()
+		oe := old.Value.(*resultEntry)
+		c.ll.Remove(old)
+		delete(c.entries, oe.key)
+		c.acct.Release(oe.bytes)
+		c.evictions.Add(1)
+		fedResultCacheEvictions.Inc()
+	}
+	// A single result larger than the whole budget is not worth keeping.
+	if c.acct.Live() > c.budget {
+		c.ll.Remove(c.entries[key])
+		delete(c.entries, key)
+		c.acct.Release(e.bytes)
+		c.evictions.Add(1)
+		fedResultCacheEvictions.Inc()
+	}
+	fedResultCacheBytes.Set(float64(c.acct.Live()))
+}
+
+// workerVerState is the master's last-known version snapshot for one
+// worker: while the worker's cheap DataStamp still equals stamp, every
+// entry of vers is current.
+type workerVerState struct {
+	stamp string
+	boot  string
+	vers  map[string]uint64
+}
+
+// resultKey derives the cache key for sql attributed to tenant over the
+// given workers, or ok = false when any worker cannot vouch for its data
+// versions (no version support, probe error) — those queries bypass the
+// cache entirely rather than risk a stale serve.
+//
+// The per-worker fragment enumerates the versions of exactly the datasets
+// the query touches (all of the worker's datasets when the request names
+// none), so data changes in unrelated datasets do not invalidate the entry.
+func (m *Master) resultKey(tenant string, datasets []string, sql string, ws []WorkerClient) (string, bool) {
+	canon := sql
+	if c, ok := engine.NormalizeSQL(sql); ok {
+		canon = c
+	}
+	want := map[string]bool{}
+	for _, d := range datasets {
+		want[d] = true
+	}
+	frags := make([]string, 0, len(ws))
+	for _, w := range ws {
+		vc, ok := w.(versionedClient)
+		if !ok {
+			return "", false
+		}
+		st, err := m.workerVersions(w.ID(), vc)
+		if err != nil {
+			return "", false
+		}
+		var b strings.Builder
+		b.WriteString(w.ID())
+		b.WriteString("@")
+		b.WriteString(st.boot)
+		b.WriteString("{")
+		codes := make([]string, 0, len(st.vers))
+		for ds := range st.vers {
+			if len(want) == 0 || want[ds] {
+				codes = append(codes, ds)
+			}
+		}
+		sort.Strings(codes)
+		for _, ds := range codes {
+			b.WriteString(ds)
+			b.WriteString("=")
+			b.WriteString(strconv.FormatUint(st.vers[ds], 10))
+			b.WriteString(",")
+		}
+		b.WriteString("}")
+		frags = append(frags, b.String())
+	}
+	sort.Strings(frags)
+	return tenant + "\x00" + strings.Join(frags, "|") + "\x00" + canon, true
+}
+
+// workerVersions returns a current version snapshot for the worker,
+// revalidating the cached snapshot with the cheap stamp probe and
+// refreshing it with a full DatasetInfo scan only when the stamp moved.
+func (m *Master) workerVersions(id string, vc versionedClient) (workerVerState, error) {
+	probe, err := vc.DataStamp()
+	if err != nil {
+		return workerVerState{}, err
+	}
+	m.verMu.Lock()
+	st, ok := m.workerVers[id]
+	m.verMu.Unlock()
+	if ok && st.stamp == probe {
+		return st, nil
+	}
+	info, err := vc.DatasetInfo()
+	if err != nil {
+		return workerVerState{}, err
+	}
+	st = workerVerState{stamp: info.Stamp, boot: info.Boot, vers: info.Versions}
+	m.verMu.Lock()
+	if m.workerVers == nil {
+		m.workerVers = make(map[string]workerVerState)
+	}
+	m.workerVers[id] = st
+	m.verMu.Unlock()
+	return st, nil
+}

@@ -1,0 +1,416 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mip/internal/engine"
+	"mip/internal/obs"
+)
+
+// buildCachedFed builds a 2-worker edsd federation with the master's
+// result cache enabled, returning the worker DBs for data mutations.
+func buildCachedFed(t *testing.T, budget int64) (*Master, []*engine.DB) {
+	t.Helper()
+	var clients []WorkerClient
+	var dbs []*engine.DB
+	for i := 0; i < 2; i++ {
+		db := newWorkerDB(t, "edsd", 40+10*i, float64(i))
+		dbs = append(dbs, db)
+		clients = append(clients, NewWorker(fmt.Sprintf("cw%d", i), db))
+	}
+	m, err := NewMaster(clients, nil, Security{}, WithResultCacheBytes(budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m, dbs
+}
+
+func TestResultCacheRepeatHit(t *testing.T) {
+	m, _ := buildCachedFed(t, 1<<20)
+	sql := `SELECT avg(age) AS m, count(*) AS n FROM data`
+
+	t1, err := m.MergeQuery([]string{"edsd"}, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := m.MergeQuery([]string{"edsd"}, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2 != t1 {
+		t.Fatal("repeat should serve the cached table by reference")
+	}
+	s := m.ResultCacheStats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", s)
+	}
+	if s.Bytes <= 0 || s.BudgetBytes != 1<<20 {
+		t.Fatalf("stats bytes = %d budget = %d", s.Bytes, s.BudgetBytes)
+	}
+}
+
+func TestResultCacheNormalizedSQLSharing(t *testing.T) {
+	m, _ := buildCachedFed(t, 1<<20)
+	if _, err := m.MergeQuery([]string{"edsd"}, `SELECT count(*) AS n FROM data`); err != nil {
+		t.Fatal(err)
+	}
+	// A respelled statement normalizes to the same canonical SQL and must
+	// land on the same entry.
+	if _, err := m.MergeQuery([]string{"edsd"}, `SELECT  count( * )  AS n FROM data`); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.ResultCacheStats(); s.Hits != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want the respelled query to hit the same entry", s)
+	}
+}
+
+func TestResultCacheInvalidationOnAppend(t *testing.T) {
+	m, dbs := buildCachedFed(t, 1<<20)
+	sql := `SELECT count(*) AS n FROM data`
+
+	t1, err := m.MergeQuery([]string{"edsd"}, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := t1.Col(0).CastFloat64().Float64s()[0]
+	if _, err := m.MergeQuery([]string{"edsd"}, sql); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.ResultCacheStats(); s.Hits != 1 {
+		t.Fatalf("warmup should hit once, stats = %+v", s)
+	}
+
+	// Appending a row on one worker bumps its dataset version: the old key
+	// becomes unreachable and the repeat re-executes against fresh data.
+	if _, err := dbs[0].Query(`INSERT INTO data VALUES ('edsd', 61, 25)`); err != nil {
+		t.Fatal(err)
+	}
+	t3, err := m.MergeQuery([]string{"edsd"}, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := t3.Col(0).CastFloat64().Float64s()[0]
+	if after != before+1 {
+		t.Fatalf("stale serve: count %v -> %v, want +1", before, after)
+	}
+	if s := m.ResultCacheStats(); s.Misses != 2 {
+		t.Fatalf("post-append query should miss, stats = %+v", s)
+	}
+}
+
+func TestResultCacheUnrelatedDatasetRetention(t *testing.T) {
+	// One worker hosting two datasets: mutating the unrelated one must not
+	// invalidate an entry keyed on the other.
+	db := engine.NewDB()
+	tab := engine.NewTable(engine.Schema{
+		{Name: "dataset", Type: engine.String},
+		{Name: "age", Type: engine.Float64},
+		{Name: "mmse", Type: engine.Float64},
+	})
+	for i := 0; i < 30; i++ {
+		ds := "edsd"
+		if i%2 == 0 {
+			ds = "ppmi"
+		}
+		if err := tab.AppendRow(ds, 60+float64(i), float64(20+i%10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.RegisterTable(DataTable, tab)
+	m, err := NewMaster([]WorkerClient{NewWorker("multi", db)}, nil, Security{}, WithResultCacheBytes(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+
+	sql := `SELECT count(*) AS n FROM data WHERE dataset = 'edsd'`
+	for i := 0; i < 2; i++ {
+		if _, err := m.MergeQuery([]string{"edsd"}, sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := m.ResultCacheStats(); s.Hits != 1 {
+		t.Fatalf("warmup stats = %+v", s)
+	}
+	// Touch only ppmi: the edsd entry's key is untouched, so this stays a hit.
+	if _, err := db.Query(`INSERT INTO data VALUES ('ppmi', 55, 29)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MergeQuery([]string{"edsd"}, sql); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.ResultCacheStats(); s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("unrelated-dataset append must not invalidate: stats = %+v", s)
+	}
+}
+
+func TestResultCacheWorkerRestartInvalidates(t *testing.T) {
+	db := newWorkerDB(t, "edsd", 30, 0)
+	var handler atomic.Value
+	handler.Store((&WorkerServer{Worker: NewWorker("rw0", db), AllowRawQuery: true}).Handler())
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	client := NewHTTPWorkerClient("rw0", srv.URL)
+	m, err := NewMaster([]WorkerClient{client}, nil, Security{}, WithResultCacheBytes(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+
+	sql := `SELECT avg(mmse) AS m FROM data`
+	for i := 0; i < 2; i++ {
+		if _, err := m.MergeQuery([]string{"edsd"}, sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := m.ResultCacheStats(); s.Hits != 1 {
+		t.Fatalf("warmup stats = %+v", s)
+	}
+
+	// "Restart" the worker process: same data, fresh boot id. Versions from
+	// the previous incarnation must never validate an entry.
+	handler.Store((&WorkerServer{Worker: NewWorker("rw0", db), AllowRawQuery: true}).Handler())
+	if _, err := m.MergeQuery([]string{"edsd"}, sql); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.ResultCacheStats(); s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("post-restart query must miss: stats = %+v", s)
+	}
+}
+
+// countingClient wraps an in-process worker, counting part-query executions
+// and slowing them down so concurrent misses genuinely overlap.
+type countingClient struct {
+	*Worker
+	queries atomic.Int64
+	delay   time.Duration
+}
+
+func (c *countingClient) Query(sql string) (*engine.Table, error) {
+	return c.QueryCtx(context.Background(), sql)
+}
+
+// QueryCtx shadows the embedded worker's method: the master prefers the
+// context-aware extension, so the counter must live here.
+func (c *countingClient) QueryCtx(ctx context.Context, sql string) (*engine.Table, error) {
+	c.queries.Add(1)
+	time.Sleep(c.delay)
+	return c.Worker.QueryCtx(ctx, sql)
+}
+
+func TestResultCacheSingleflight(t *testing.T) {
+	var clients []WorkerClient
+	var counters []*countingClient
+	for i := 0; i < 2; i++ {
+		cc := &countingClient{Worker: NewWorker(fmt.Sprintf("sf%d", i), newWorkerDB(t, "edsd", 30, float64(i))), delay: 50 * time.Millisecond}
+		counters = append(counters, cc)
+		clients = append(clients, cc)
+	}
+	m, err := NewMaster(clients, nil, Security{}, WithResultCacheBytes(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+
+	const goroutines = 8
+	sql := `SELECT avg(age) AS m, count(*) AS n FROM data`
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	tables := make([]*engine.Table, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tables[g], errs[g] = m.MergeQuery([]string{"edsd"}, sql)
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+		if tables[g] == nil || tables[g].NumRows() != 1 {
+			t.Fatalf("goroutine %d: bad table", g)
+		}
+	}
+	// The herd collapsed into one execution: each worker ran its part once.
+	for i, cc := range counters {
+		if n := cc.queries.Load(); n != 1 {
+			t.Fatalf("worker %d executed %d part queries, want 1", i, n)
+		}
+	}
+	if s := m.ResultCacheStats(); s.Hits+s.Misses != goroutines {
+		t.Fatalf("stats = %+v, want hits+misses = %d", s, goroutines)
+	}
+}
+
+func TestResultCacheHitMeteringAndAudit(t *testing.T) {
+	m, _ := buildCachedFed(t, 1<<20)
+	tenant := "cache-meter-test"
+	sql := `SELECT avg(age) AS m FROM data`
+
+	if _, _, err := m.MergeQueryDegradedAs(tenant, []string{"edsd"}, sql); err != nil {
+		t.Fatal(err)
+	}
+	cold, ok := obs.DefaultTenants.Usage(tenant)
+	if !ok {
+		t.Fatal("tenant account missing after cold query")
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := m.MergeQueryDegradedAs(tenant, []string{"edsd"}, sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u, _ := obs.DefaultTenants.Usage(tenant)
+	// Each cache hit must keep metering the tenant exactly like an executed
+	// statement would — serving from cache never goes dark on accounting.
+	if got := u.Queries - cold.Queries; got != 2 {
+		t.Fatalf("two cache hits metered %d queries, want 2", got)
+	}
+	var cached int
+	for _, r := range obs.DefaultAudit.Entries(obs.AuditFilter{Tenant: tenant}) {
+		if r.Verdict == "cached" {
+			cached++
+			if r.SQLDigest != obs.SQLDigest(sql) || len(r.Workers) == 0 {
+				t.Fatalf("cached audit record incomplete: %+v", r)
+			}
+		}
+	}
+	if cached != 2 {
+		t.Fatalf("audit has %d cached records, want 2", cached)
+	}
+}
+
+func TestResultCacheFlush(t *testing.T) {
+	m, _ := buildCachedFed(t, 1<<20)
+	sql := `SELECT count(*) AS n FROM data`
+	for i := 0; i < 2; i++ {
+		if _, err := m.MergeQuery([]string{"edsd"}, sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := m.FlushResultCache(); n != 1 {
+		t.Fatalf("flushed %d entries, want 1", n)
+	}
+	s := m.ResultCacheStats()
+	if s.Entries != 0 || s.Bytes != 0 {
+		t.Fatalf("post-flush stats = %+v", s)
+	}
+	if _, err := m.MergeQuery([]string{"edsd"}, sql); err != nil {
+		t.Fatal(err)
+	}
+	if s = m.ResultCacheStats(); s.Misses != 2 {
+		t.Fatalf("post-flush query should miss, stats = %+v", s)
+	}
+}
+
+func TestResultCacheEviction(t *testing.T) {
+	m, _ := buildCachedFed(t, 48) // roughly one single-row result at a time
+	for i := 0; i < 4; i++ {
+		sql := fmt.Sprintf(`SELECT avg(age) AS m, count(*) AS n FROM data WHERE age > %d`, 50+i)
+		if _, err := m.MergeQuery([]string{"edsd"}, sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := m.ResultCacheStats()
+	if s.Evictions == 0 {
+		t.Fatalf("tiny budget never evicted: stats = %+v", s)
+	}
+	if s.Bytes > 48 {
+		t.Fatalf("cache exceeds budget: stats = %+v", s)
+	}
+}
+
+func TestExplainAnalyzeCachedNode(t *testing.T) {
+	m, _ := buildCachedFed(t, 1<<20)
+	tenant := "explain-cache-test"
+	sql := `SELECT avg(age) AS m, count(*) AS n FROM data`
+
+	// Cold ANALYZE executes and reports the real operator tree.
+	lines, err := m.ExplainAs(tenant, []string{"edsd"}, sql, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(strings.Join(lines, "\n"), "cached") {
+		t.Fatalf("cold ANALYZE should not report a cached node:\n%s", strings.Join(lines, "\n"))
+	}
+	if _, _, err := m.MergeQueryDegradedAs(tenant, []string{"edsd"}, sql); err != nil {
+		t.Fatal(err)
+	}
+	lines, err = m.ExplainAs(tenant, []string{"edsd"}, sql, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "cached") || !strings.Contains(joined, "cache=hit") {
+		t.Fatalf("warm ANALYZE should report the cached node and trailer:\n%s", joined)
+	}
+	if !strings.Contains(joined, "rows_out=1") {
+		t.Fatalf("cached node should carry the stored result's real rows:\n%s", joined)
+	}
+}
+
+func TestHTTPWorkerDatasetInfoWire(t *testing.T) {
+	db := newWorkerDB(t, "edsd", 25, 0)
+	w := NewWorker("wire0", db)
+	srv := httptest.NewServer((&WorkerServer{Worker: w}).Handler())
+	defer srv.Close()
+	c := NewHTTPWorkerClient("wire0", srv.URL)
+
+	info, err := c.DatasetInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Datasets) != 1 || info.Datasets[0] != "edsd" {
+		t.Fatalf("datasets = %v", info.Datasets)
+	}
+	if info.Boot == "" || info.Versions["edsd"] == 0 {
+		t.Fatalf("missing version metadata: %+v", info)
+	}
+	if !strings.HasPrefix(info.Stamp, info.Boot+":") {
+		t.Fatalf("stamp %q not scoped to boot %q", info.Stamp, info.Boot)
+	}
+	stamp, err := c.DataStamp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stamp != info.Stamp {
+		t.Fatalf("stamp probe %q != info stamp %q", stamp, info.Stamp)
+	}
+	// Datasets() must still work against the extended JSON shape.
+	ds, err := c.Datasets()
+	if err != nil || len(ds) != 1 || ds[0] != "edsd" {
+		t.Fatalf("Datasets() = %v, %v", ds, err)
+	}
+
+	// A data change moves the cheap stamp and bumps the dataset version.
+	if _, err := db.Query(`INSERT INTO data VALUES ('edsd', 70, 22)`); err != nil {
+		t.Fatal(err)
+	}
+	stamp2, err := c.DataStamp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stamp2 == stamp {
+		t.Fatal("stamp did not move after INSERT")
+	}
+	info2, err := c.DatasetInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Versions["edsd"] <= info.Versions["edsd"] {
+		t.Fatalf("edsd version %d -> %d, want a bump", info.Versions["edsd"], info2.Versions["edsd"])
+	}
+}

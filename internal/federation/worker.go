@@ -2,6 +2,8 @@ package federation
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"strconv"
 	"strings"
@@ -88,6 +90,16 @@ type Worker struct {
 	datasets []string
 	jobs     map[string]*jobEntry // JobID → dedupe record (replayed /localrun)
 	jobOrder []string             // FIFO eviction order for jobs
+
+	// Dataset version stamps for the master's result cache. bootID is
+	// restart-unique, so versions from a previous process never validate a
+	// stale entry; dsVers assigns each dataset a monotonic version bumped
+	// when its data changes (see refreshDatasets).
+	bootID      string
+	verSeq      uint64
+	dsVers      map[string]uint64
+	dsCounts    map[string]float64 // dataset → row count at last refresh
+	lastDataVer uint64             // engine data version at last refresh
 }
 
 // jobDedupeCap bounds the replay-dedupe cache; the oldest job records are
@@ -133,6 +145,8 @@ func NewWorker(id string, db *engine.DB, opts ...WorkerOption) *Worker {
 		minRows: DefaultMinRows,
 		results: make(map[string]Transfer),
 		jobs:    make(map[string]*jobEntry),
+		bootID:  randHex(8),
+		dsVers:  make(map[string]uint64),
 	}
 	for _, o := range opts {
 		o(w)
@@ -142,22 +156,101 @@ func NewWorker(id string, db *engine.DB, opts ...WorkerOption) *Worker {
 	return w
 }
 
+// randHex mints a short random identifier (worker boot ids).
+func randHex(n int) string {
+	b := make([]byte, n)
+	rand.Read(b)
+	return hex.EncodeToString(b)
+}
+
 // ID implements WorkerClient.
 func (w *Worker) ID() string { return w.id }
 
 // DB exposes the worker's engine (tests, ETL).
 func (w *Worker) DB() *engine.DB { return w.db }
 
-// refreshDatasets scans the data table for the dataset column values.
+// refreshDatasets scans the data table for the dataset column values and
+// maintains the per-dataset version stamps. A dataset's version bumps when
+// its row count changes (append, partial delete, new dataset). When the
+// engine's data version advanced by more mutations than row-count changes
+// can explain (in-place updates, same-count replaces), attribution is
+// impossible and every dataset's version bumps — over-invalidation is safe,
+// serving stale cached results is not.
 func (w *Worker) refreshDatasets() {
 	w.datasets = nil
+	dv := w.db.DataVersion()
 	t, err := w.db.Query(fmt.Sprintf(`SELECT dataset, count(*) AS n FROM %s GROUP BY dataset ORDER BY dataset`, DataTable))
 	if err != nil {
 		return
 	}
+	counts := make(map[string]float64, t.NumRows())
 	for i := 0; i < t.NumRows(); i++ {
-		w.datasets = append(w.datasets, t.Col(0).StringAt(i))
+		ds := t.Col(0).StringAt(i)
+		w.datasets = append(w.datasets, ds)
+		counts[ds] = t.Col(1).CastFloat64().Float64s()[i]
 	}
+	changed := 0
+	for ds, n := range counts {
+		if old, ok := w.dsCounts[ds]; !ok || old != n {
+			w.verSeq++
+			w.dsVers[ds] = w.verSeq
+			changed++
+		}
+	}
+	for ds := range w.dsCounts {
+		if _, ok := counts[ds]; !ok {
+			delete(w.dsVers, ds)
+			changed++
+		}
+	}
+	if dv-w.lastDataVer > uint64(changed) {
+		for ds := range w.dsVers {
+			w.verSeq++
+			w.dsVers[ds] = w.verSeq
+		}
+	}
+	w.dsCounts = counts
+	w.lastDataVer = dv
+}
+
+// DatasetInfo bundles a worker's dataset availability with the version
+// stamps the master's result cache keys on. Additive JSON over the
+// /datasets wire shape, so older clients decoding only `datasets` keep
+// working.
+type DatasetInfo struct {
+	Datasets []string          `json:"datasets"`
+	Versions map[string]uint64 `json:"versions,omitempty"`
+	// Boot is the worker instance id (restart-unique).
+	Boot string `json:"boot,omitempty"`
+	// Stamp is the cheap change probe: Boot + ":" + the engine data version
+	// this snapshot was taken at. While a later DataStamp equals it, every
+	// version in Versions is still current.
+	Stamp string `json:"stamp,omitempty"`
+}
+
+// DatasetInfo implements the master's optional versioned-client interface:
+// availability plus current per-dataset versions.
+func (w *Worker) DatasetInfo() (DatasetInfo, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.refreshDatasets()
+	vers := make(map[string]uint64, len(w.dsVers))
+	for k, v := range w.dsVers {
+		vers[k] = v
+	}
+	return DatasetInfo{
+		Datasets: append([]string(nil), w.datasets...),
+		Versions: vers,
+		Boot:     w.bootID,
+		Stamp:    w.bootID + ":" + strconv.FormatUint(w.lastDataVer, 10),
+	}, nil
+}
+
+// DataStamp is the cheap change probe: no table scan, just the engine's
+// data-version atomic. If it still equals the Stamp of an earlier
+// DatasetInfo, no data on this worker has changed since that snapshot.
+func (w *Worker) DataStamp() (string, error) {
+	return w.bootID + ":" + strconv.FormatUint(w.db.DataVersion(), 10), nil
 }
 
 // Datasets implements WorkerClient: the dataset availability the master

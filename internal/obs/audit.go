@@ -21,7 +21,7 @@ import (
 type AuditRecord struct {
 	Seq       uint64    `json:"seq"`
 	Time      time.Time `json:"time"`
-	Kind      string    `json:"kind"` // "query" or "experiment"
+	Kind      string    `json:"kind"` // "query", "experiment" or "cache-flush"
 	Tenant    string    `json:"tenant,omitempty"`
 	Job       string    `json:"job,omitempty"`
 	QueryID   string    `json:"query_id,omitempty"`

@@ -139,6 +139,14 @@ type Config struct {
 	// statements over it are cancelled with a mem-limit verdict. With
 	// QuerySpillDir set the limit becomes a soft budget instead: see below.
 	QueryMemLimit int64
+	// PlanCacheSize overrides the engine plan cache capacity (statements).
+	// 0 keeps the process default (256, or MIP_PLAN_CACHE_SIZE); negative
+	// disables plan caching for this platform's databases.
+	PlanCacheSize int
+	// ResultCacheBytes enables the master's federated result cache with the
+	// given byte budget (0 = disabled). Repeated identical aggregates are
+	// served from memory while every worker's dataset versions still match.
+	ResultCacheBytes int64
 	// QuerySpillDir, when set together with QueryMemLimit, turns the limit
 	// into a spill budget: hash joins and grouped aggregates that would
 	// cross it partition their state to temp files under this directory
@@ -201,6 +209,13 @@ func New(cfg Config) (*Platform, error) {
 	if cfg.QuerySpillDir != "" {
 		masterOpts = append(masterOpts, engine.WithSpillDir(cfg.QuerySpillDir))
 	}
+	if cfg.PlanCacheSize > 0 {
+		// One cache shared by every worker DB and the master's transient
+		// merge DBs (keys embed per-DB identity, so sharing is safe).
+		masterOpts = append(masterOpts, engine.WithPlanCache(engine.NewPlanCache(cfg.PlanCacheSize)))
+	} else if cfg.PlanCacheSize < 0 {
+		masterOpts = append(masterOpts, engine.WithPlanCache(nil))
+	}
 
 	var clients []federation.WorkerClient
 	for _, wc := range cfg.Workers {
@@ -228,10 +243,15 @@ func New(cfg Config) (*Platform, error) {
 	case NoiseGaussian:
 		sec.Noise = smpc.Noise{Kind: smpc.GaussianNoise, Scale: cfg.NoiseScale}
 	}
-	master, err := federation.NewMaster(clients, cluster, sec,
+	masterOnly := []federation.MasterOption{
 		federation.WithTolerance(cfg.Tolerance),
 		federation.WithBreaker(cfg.Breaker),
-		federation.WithEngineOptions(masterOpts...))
+		federation.WithEngineOptions(masterOpts...),
+	}
+	if cfg.ResultCacheBytes > 0 {
+		masterOnly = append(masterOnly, federation.WithResultCacheBytes(cfg.ResultCacheBytes))
+	}
+	master, err := federation.NewMaster(clients, cluster, sec, masterOnly...)
 	if err != nil {
 		return nil, err
 	}
