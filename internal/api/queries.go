@@ -46,11 +46,12 @@ func (s *Server) handleSlowQueries(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// handleCacheStats serves both cache tiers' counters: the engine's plan
-// cache (process-wide) and the master's federated result cache.
+// handleCacheStats serves both cache tiers' counters: the engine plan
+// cache this platform's databases resolve statements through (see
+// SetPlanCache) and the master's federated result cache.
 func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"plan":   engine.DefaultPlanCache.Stats(),
+		"plan":   s.activePlanCache().Stats(),
 		"result": s.Master.ResultCacheStats(),
 	})
 }
@@ -59,8 +60,9 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
 // flush onto the audit chain (who cleared the caches, and when, is an
 // operational event worth keeping).
 func (s *Server) handleCacheFlush(w http.ResponseWriter, r *http.Request) {
-	plan := engine.DefaultPlanCache.Stats().Entries
-	engine.DefaultPlanCache.Flush()
+	pc := s.activePlanCache()
+	plan := pc.Stats().Entries
+	pc.Flush()
 	result := s.Master.FlushResultCache()
 	obs.DefaultAudit.Append(obs.AuditRecord{
 		Kind:    "cache-flush",

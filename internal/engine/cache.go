@@ -272,6 +272,14 @@ func (db *DB) planJoinsFor(ec *ExecContext, st *SelectStmt, reorder bool) (*join
 // dbSeq hands out process-unique DB identities for cache keys.
 var dbSeq atomic.Uint64
 
+// NewPlanCacheIdentity mints a fresh identity token from the DB id
+// sequence. A caller that builds a series of short-lived DBs following an
+// identical DDL sequence (the federation master's transient merge
+// databases) passes the token to WithPlanCacheIdentity on each of them so
+// their plan-cache keys coincide: repeated statements hit the cache
+// instead of each DB inserting keys no later DB can ever reach.
+func NewPlanCacheIdentity() uint64 { return dbSeq.Add(1) }
+
 // cacheKey scopes a SQL text to one DB at one schema version.
 func (db *DB) cacheKey(sql string) string {
 	return strconv.FormatUint(db.id, 36) + ":" + strconv.FormatUint(db.schemaVer.Load(), 36) + "\x00" + sql

@@ -27,7 +27,13 @@ type DB struct {
 	id        uint64
 	schemaVer atomic.Uint64
 	dataVer   atomic.Uint64
-	plans     *PlanCache
+	// blindVer counts the dataVer advances no row-count diff can attribute:
+	// explicit BumpDataVersion calls and DDL (RegisterTable can swap a
+	// table wholesale without changing its row count). Result caches that
+	// attribute changes by diffing per-dataset counts treat any advance
+	// here as "anything may have changed".
+	blindVer atomic.Uint64
+	plans    *PlanCache
 }
 
 // QueryCount returns the number of statements executed so far (scans,
@@ -143,6 +149,19 @@ func WithPlanCacheSize(n int) Option {
 	return func(db *DB) { db.plans = NewPlanCache(n) }
 }
 
+// WithPlanCacheIdentity replaces the DB's process-unique plan-cache key
+// namespace with a shared token from NewPlanCacheIdentity. Only safe when
+// every DB using the token applies the identical DDL sequence, so that an
+// equal (identity, schema version) pair implies an identical catalog
+// shape; zero is ignored.
+func WithPlanCacheIdentity(id uint64) Option {
+	return func(db *DB) {
+		if id != 0 {
+			db.id = id
+		}
+	}
+}
+
 // NewDB returns an empty database.
 func NewDB(opts ...Option) *DB {
 	db := &DB{
@@ -170,12 +189,22 @@ func (db *DB) DataVersion() uint64 { return db.dataVer.Load() }
 // BumpDataVersion advances the data-version counter. Loaders that mutate a
 // registered *Table in place (bypassing SQL) call this so result caches
 // keyed on the version never serve stale data.
-func (db *DB) BumpDataVersion() { db.dataVer.Add(1) }
+func (db *DB) BumpDataVersion() {
+	db.blindVer.Add(1)
+	db.dataVer.Add(1)
+}
+
+// DataBumps counts the data-version advances that cannot be attributed to
+// a row-count-visible DML statement: explicit BumpDataVersion calls and
+// DDL. While it holds still, every DataVersion advance came from an
+// INSERT or DELETE, whose effects are visible in per-dataset row counts.
+func (db *DB) DataBumps() uint64 { return db.blindVer.Load() }
 
 // bumpSchema records a DDL change: cached plans become unreachable and the
 // data version advances too (a schema change is also a data change).
 func (db *DB) bumpSchema() {
 	db.schemaVer.Add(1)
+	db.blindVer.Add(1)
 	db.dataVer.Add(1)
 }
 

@@ -52,8 +52,11 @@ type Master struct {
 	now       func() time.Time
 
 	// engineOpts configure the transient merge databases master-side
-	// queries run on (WithEngineOptions).
-	engineOpts []engine.Option
+	// queries run on (WithEngineOptions). mergePlanID is the plan-cache
+	// identity all of this master's merge DBs share, so their cache keys
+	// coincide across queries (see newMergeDB).
+	engineOpts  []engine.Option
+	mergePlanID uint64
 
 	// Result cache (nil = disabled) plus the per-worker dataset-version
 	// snapshots it validates entries against.
@@ -114,15 +117,16 @@ func NewMaster(workers []WorkerClient, cluster *smpc.Cluster, sec Security, opts
 		return nil, fmt.Errorf("federation: SMPC security requested but no cluster provided")
 	}
 	m := &Master{
-		workers:   workers,
-		byID:      make(map[string]WorkerClient, len(workers)),
-		workerDS:  make(map[string][]string),
-		avail:     make(map[string][]string),
-		smpc:      cluster,
-		security:  sec,
-		health:    make(map[string]*workerHealth, len(workers)),
-		stopProbe: make(chan struct{}),
-		now:       time.Now,
+		workers:     workers,
+		byID:        make(map[string]WorkerClient, len(workers)),
+		workerDS:    make(map[string][]string),
+		avail:       make(map[string][]string),
+		smpc:        cluster,
+		security:    sec,
+		health:      make(map[string]*workerHealth, len(workers)),
+		stopProbe:   make(chan struct{}),
+		now:         time.Now,
+		mergePlanID: engine.NewPlanCacheIdentity(),
 	}
 	for _, w := range workers {
 		if _, dup := m.byID[w.ID()]; dup {
@@ -383,23 +387,50 @@ func (m *Master) MergeQueryDegradedAs(tenant string, datasets []string, sql stri
 	}
 	if !leader {
 		<-f.done
-		if f.err != nil {
-			return nil, nil, f.err
+		if f.err != nil || f.table == nil {
+			// The leader's failure is its own — its deadline, its caller's
+			// cancellation, a cache flush aborting the flight. Don't hand
+			// it to an unrelated caller; run the query for this one.
+			return m.mergeQueryExec(tenant, datasets, sql, ws)
 		}
-		if f.table != nil && len(f.dropped) == 0 {
+		if len(f.dropped) == 0 {
 			m.recordCacheHit(tenant, datasets, sql, ws, f.table, m.now().Sub(start))
+			return f.table, nil, nil
 		}
-		return f.table, f.dropped, f.err
+		// A degraded result shared from the leader's flight is still a
+		// serve: meter and audit it like every other path.
+		m.recordServe(tenant, datasets, sql, ws, f.table, m.now().Sub(start), "shared-degraded")
+		return f.table, f.dropped, nil
 	}
-	rt, dropped, err := m.mergeQueryExec(tenant, datasets, sql, ws)
-	m.results.finish(key, f, rt, dropped, err)
-	return rt, dropped, err
+	return m.runFlightLeader(key, f, tenant, datasets, sql, ws)
 }
 
-// mergeQueryExec runs one federated merge query over the given workers on
-// a transient merge database (the uncached execution path).
-func (m *Master) mergeQueryExec(tenant string, datasets []string, sql string, ws []WorkerClient) (*engine.Table, []string, error) {
-	mdb := engine.NewDB(m.engineOpts...)
+// runFlightLeader executes a singleflight leader's query, guaranteeing the
+// flight is finished (waiters released) no matter how execution ends: a
+// panicking leader publishes an error to its waiters before re-panicking,
+// instead of leaving the inflight entry blocking every future identical
+// query forever.
+func (m *Master) runFlightLeader(key string, f *resultFlight, tenant string, datasets []string, sql string, ws []WorkerClient) (t *engine.Table, dropped []string, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			m.results.finish(key, f, nil, nil, fmt.Errorf("federation: query leader panicked: %v", p))
+			panic(p)
+		}
+		m.results.finish(key, f, t, dropped, err)
+	}()
+	return m.mergeQueryExec(tenant, datasets, sql, ws)
+}
+
+// newMergeDB builds the transient merge database for one master-side
+// statement over the given workers. All of a master's merge DBs share one
+// plan-cache identity: they apply the identical schema (RegisterMerge of
+// DataTable on a fresh DB), so their plan-cache keys coincide and a
+// repeated federated statement hits the memoized plan instead of every
+// query inserting keys no later DB could ever reach.
+func (m *Master) newMergeDB(ws []WorkerClient) (*engine.DB, *engine.MergeTable) {
+	opts := append(append([]engine.Option(nil), m.engineOpts...),
+		engine.WithPlanCacheIdentity(m.mergePlanID))
+	mdb := engine.NewDB(opts...)
 	mt := &engine.MergeTable{TableName: DataTable}
 	for _, w := range ws {
 		mt.Parts = append(mt.Parts, &workerPart{w: w, m: m})
@@ -408,6 +439,13 @@ func (m *Master) mergeQueryExec(tenant string, datasets []string, sql string, ws
 		mt.MinParts = req
 	}
 	mdb.RegisterMerge(DataTable, mt)
+	return mdb, mt
+}
+
+// mergeQueryExec runs one federated merge query over the given workers on
+// a transient merge database (the uncached execution path).
+func (m *Master) mergeQueryExec(tenant string, datasets []string, sql string, ws []WorkerClient) (*engine.Table, []string, error) {
+	mdb, mt := m.newMergeDB(ws)
 	ctx := engine.WithQueryAttribution(context.Background(),
 		engine.Attribution{Tenant: tenant, Datasets: datasets})
 	t, err := mdb.QueryCtx(ctx, sql)
@@ -459,15 +497,7 @@ func (m *Master) ExplainAs(tenant string, datasets []string, sql string, analyze
 			}
 		}
 	}
-	mdb := engine.NewDB(m.engineOpts...)
-	mt := &engine.MergeTable{TableName: DataTable}
-	for _, w := range ws {
-		mt.Parts = append(mt.Parts, &workerPart{w: w, m: m})
-	}
-	if req := m.tolerance.Required(len(ws)); req < len(ws) {
-		mt.MinParts = req
-	}
-	mdb.RegisterMerge(DataTable, mt)
+	mdb, _ := m.newMergeDB(ws)
 	keyword := "EXPLAIN "
 	if analyze {
 		keyword = "EXPLAIN ANALYZE "
@@ -490,6 +520,13 @@ func (m *Master) ExplainAs(tenant string, datasets []string, sql string, analyze
 // executed statement — usage accounting must not go dark just because the
 // query never ran.
 func (m *Master) recordCacheHit(tenant string, datasets []string, sql string, ws []WorkerClient, t *engine.Table, elapsed time.Duration) {
+	m.recordServe(tenant, datasets, sql, ws, t, elapsed, "cached")
+}
+
+// recordServe is the shared metering/audit path for results served without
+// this caller executing: result-cache hits ("cached") and degraded results
+// shared from a singleflight leader ("shared-degraded").
+func (m *Master) recordServe(tenant string, datasets []string, sql string, ws []WorkerClient, t *engine.Table, elapsed time.Duration, verdict string) {
 	ids := make([]string, len(ws))
 	for i, w := range ws {
 		ids[i] = w.ID()
@@ -506,7 +543,7 @@ func (m *Master) recordCacheHit(tenant string, datasets []string, sql string, ws
 		SQLDigest: obs.SQLDigest(sql),
 		Datasets:  datasets,
 		Workers:   ids,
-		Verdict:   "cached",
+		Verdict:   verdict,
 		Seconds:   elapsed.Seconds(),
 		Rows:      int64(t.NumRows()),
 	})

@@ -2,6 +2,7 @@ package federation
 
 import (
 	"container/list"
+	"errors"
 	"sort"
 	"strconv"
 	"strings"
@@ -24,7 +25,10 @@ import (
 // cache's MemAccountant and the least recently used entries are evicted
 // when the budget is exceeded. Concurrent identical misses collapse
 // singleflight-style — the first caller executes, the rest wait and share
-// its result — so a dashboard herd runs the query once.
+// its result — so a dashboard herd runs the query once. Only a successful
+// result is shared: a leader's error (its own deadline or cancellation, a
+// flush aborting the flight) sends the waiters back to execute for
+// themselves rather than failing unrelated callers.
 //
 // Cached tables are shared by reference across callers and must be treated
 // as immutable, which all read paths (API encoding, merge rendering) do.
@@ -66,10 +70,15 @@ type resultEntry struct {
 	bytes int64
 }
 
+// errFlightAborted is published to a flight's waiters when Flush drops the
+// flight mid-execution; waiters fall back to executing for themselves.
+var errFlightAborted = errors.New("federation: result cache flushed during execution")
+
 // resultFlight is one in-progress execution that identical concurrent
 // queries wait on instead of re-executing.
 type resultFlight struct {
 	done    chan struct{}
+	closed  bool // outcome published, done closed; guarded by the cache mu
 	table   *engine.Table
 	dropped []string
 	err     error
@@ -124,8 +133,11 @@ func (c *ResultCache) Stats() ResultCacheStats {
 	}
 }
 
-// Flush drops every entry (counters are kept; in-flight executions finish
-// but publish into the fresh map only through put).
+// Flush drops every entry and aborts every in-flight singleflight
+// execution (counters are kept). Aborted flights release their waiters
+// with errFlightAborted — the operational escape hatch if a leader ever
+// wedges — and the waiters fall back to executing for themselves; the
+// leader's own caller still receives the leader's real outcome.
 func (c *ResultCache) Flush() {
 	if c == nil {
 		return
@@ -138,6 +150,12 @@ func (c *ResultCache) Flush() {
 	}
 	c.ll.Init()
 	c.entries = make(map[string]*list.Element)
+	for key, f := range c.inflight {
+		f.closed = true
+		f.err = errFlightAborted
+		close(f.done)
+		delete(c.inflight, key)
+	}
 	fedResultCacheBytes.Set(float64(c.acct.Live()))
 }
 
@@ -184,9 +202,17 @@ func (c *ResultCache) begin(key string) (t *engine.Table, f *resultFlight, leade
 
 // finish publishes a leader's outcome: waiters are released, and a
 // complete (non-degraded, error-free) result is inserted under the key.
+// A flight already aborted by Flush is left as published — the leader's
+// late outcome is simply not cached (its own caller still gets it via the
+// leader's return values).
 func (c *ResultCache) finish(key string, f *resultFlight, t *engine.Table, dropped []string, err error) {
-	f.table, f.dropped, f.err = t, dropped, err
 	c.mu.Lock()
+	if f.closed {
+		c.mu.Unlock()
+		return
+	}
+	f.closed = true
+	f.table, f.dropped, f.err = t, dropped, err
 	if c.inflight[key] == f {
 		delete(c.inflight, key)
 	}

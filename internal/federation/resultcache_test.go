@@ -362,6 +362,195 @@ func TestExplainAnalyzeCachedNode(t *testing.T) {
 	}
 }
 
+// TestWorkerVersionsUnattributedReplaceNotMasked covers the attribution
+// trap: one retention DELETE spanning two datasets (one data-version
+// advance, two row-count changes) in the same refresh window as a
+// same-count in-place replace of a third dataset (BumpDataVersion, no
+// count change). The replace must bump the third dataset's version — it
+// must not hide behind the multi-dataset statement's count tally.
+func TestWorkerVersionsUnattributedReplaceNotMasked(t *testing.T) {
+	db := engine.NewDB()
+	tab := engine.NewTable(engine.Schema{
+		{Name: "dataset", Type: engine.String},
+		{Name: "age", Type: engine.Float64},
+		{Name: "mmse", Type: engine.Float64},
+	})
+	rows := []struct {
+		ds  string
+		age float64
+	}{{"a", 10}, {"a", 40}, {"b", 20}, {"b", 45}, {"c", 50}, {"c", 55}}
+	for _, r := range rows {
+		if err := tab.AppendRow(r.ds, r.age, 25.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.RegisterTable(DataTable, tab)
+	w := NewWorker("mask0", db)
+
+	info1, err := w.DatasetInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := info1.Versions["c"]
+	if v1 == 0 {
+		t.Fatalf("missing version for dataset c: %+v", info1)
+	}
+
+	// One statement touching rows in both a and b (c untouched)...
+	if _, err := db.Query(`DELETE FROM data WHERE age < 30`); err != nil {
+		t.Fatal(err)
+	}
+	// ...plus the documented loader path: rows of c replaced in place,
+	// same count, version bumped by hand.
+	db.BumpDataVersion()
+
+	info2, err := w.DatasetInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Versions["c"] <= v1 {
+		t.Fatalf("in-place replace masked by multi-dataset statement: c version %d -> %d, want a bump",
+			v1, info2.Versions["c"])
+	}
+}
+
+// flakyClient fails its first part query — slowly, so the singleflight
+// herd piles onto the leader's flight first — and succeeds afterwards.
+type flakyClient struct {
+	*Worker
+	calls atomic.Int64
+}
+
+func (c *flakyClient) Query(sql string) (*engine.Table, error) {
+	return c.QueryCtx(context.Background(), sql)
+}
+
+func (c *flakyClient) QueryCtx(ctx context.Context, sql string) (*engine.Table, error) {
+	if c.calls.Add(1) == 1 {
+		time.Sleep(100 * time.Millisecond)
+		return nil, fmt.Errorf("injected: first execution fails")
+	}
+	return c.Worker.QueryCtx(ctx, sql)
+}
+
+func TestResultCacheWaiterFallbackOnLeaderError(t *testing.T) {
+	fc := &flakyClient{Worker: NewWorker("fb0", newWorkerDB(t, "edsd", 30, 0))}
+	m, err := NewMaster([]WorkerClient{fc}, nil, Security{}, WithResultCacheBytes(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+
+	const goroutines = 6
+	sql := `SELECT avg(age) AS m, count(*) AS n FROM data`
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	tables := make([]*engine.Table, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tables[g], errs[g] = m.MergeQuery([]string{"edsd"}, sql)
+		}(g)
+	}
+	wg.Wait()
+	// Exactly one caller — the leader whose execution failed — surfaces the
+	// injected error. The waiters must not inherit the leader's failure:
+	// they fall back to executing for themselves and succeed.
+	fails := 0
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			fails++
+			continue
+		}
+		if tables[g] == nil || tables[g].NumRows() != 1 {
+			t.Fatalf("goroutine %d: bad fallback table", g)
+		}
+	}
+	if fails != 1 {
+		t.Fatalf("%d callers failed, want exactly the leader; errs = %v", fails, errs)
+	}
+	if n := fc.calls.Load(); n < 2 {
+		t.Fatalf("waiters never fell back to executing: %d part queries", n)
+	}
+}
+
+func TestResultCacheFlushAbortsInflight(t *testing.T) {
+	c := NewResultCache(1 << 20)
+	_, f, leader := c.begin("k")
+	if !leader || f == nil {
+		t.Fatal("first begin should lead")
+	}
+	_, f2, leader2 := c.begin("k")
+	if leader2 || f2 != f {
+		t.Fatal("second begin should join the leader's flight")
+	}
+	released := make(chan error, 1)
+	go func() {
+		<-f2.done
+		released <- f2.err
+	}()
+	c.Flush()
+	select {
+	case err := <-released:
+		if err == nil {
+			t.Fatal("aborted waiter should observe an error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("flush did not release the in-flight waiter")
+	}
+
+	// The leader's late finish is a no-op: no double close, nothing
+	// published into the flushed cache.
+	tab := engine.NewTable(engine.Schema{{Name: "n", Type: engine.Float64}})
+	if err := tab.AppendRow(1.0); err != nil {
+		t.Fatal(err)
+	}
+	c.finish("k", f, tab, nil, nil)
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("aborted flight published an entry: %+v", s)
+	}
+	// The key is free again for a fresh flight that caches normally.
+	_, f3, leader3 := c.begin("k")
+	if !leader3 {
+		t.Fatal("post-flush begin should lead a fresh flight")
+	}
+	c.finish("k", f3, tab, nil, nil)
+	if s := c.Stats(); s.Entries != 1 {
+		t.Fatalf("fresh flight did not cache: %+v", s)
+	}
+}
+
+// TestMergeQueryPlanCacheReuse: a master's transient merge DBs share one
+// plan-cache identity, so a repeated federated statement hits the plan
+// cache instead of every query inserting keys no later DB can reach.
+func TestMergeQueryPlanCacheReuse(t *testing.T) {
+	pc := engine.NewPlanCache(32)
+	var clients []WorkerClient
+	for i := 0; i < 2; i++ {
+		clients = append(clients, NewWorker(fmt.Sprintf("pc%d", i), newWorkerDB(t, "edsd", 30, float64(i))))
+	}
+	m, err := NewMaster(clients, nil, Security{}, WithEngineOptions(engine.WithPlanCache(pc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+
+	sql := `SELECT avg(age) AS m, count(*) AS n FROM data`
+	for i := 0; i < 3; i++ {
+		if _, err := m.MergeQuery([]string{"edsd"}, sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := pc.Stats()
+	if s.Entries != 1 {
+		t.Fatalf("merge DBs should converge on one plan entry, stats = %+v", s)
+	}
+	if s.Hits < 2 || s.Misses != 1 {
+		t.Fatalf("repeat federated statements should hit the plan cache, stats = %+v", s)
+	}
+}
+
 func TestHTTPWorkerDatasetInfoWire(t *testing.T) {
 	db := newWorkerDB(t, "edsd", 25, 0)
 	w := NewWorker("wire0", db)

@@ -100,6 +100,7 @@ type Worker struct {
 	dsVers      map[string]uint64
 	dsCounts    map[string]float64 // dataset → row count at last refresh
 	lastDataVer uint64             // engine data version at last refresh
+	lastBlind   uint64             // engine blind-bump count at last refresh
 }
 
 // jobDedupeCap bounds the replay-dedupe cache; the oldest job records are
@@ -171,14 +172,20 @@ func (w *Worker) DB() *engine.DB { return w.db }
 
 // refreshDatasets scans the data table for the dataset column values and
 // maintains the per-dataset version stamps. A dataset's version bumps when
-// its row count changes (append, partial delete, new dataset). When the
-// engine's data version advanced by more mutations than row-count changes
-// can explain (in-place updates, same-count replaces), attribution is
-// impossible and every dataset's version bumps — over-invalidation is safe,
-// serving stale cached results is not.
+// its row count changes (append, partial delete, new dataset). Attribution
+// by count-diffing is trusted only when it is airtight: if the engine
+// reports any blind bump (BumpDataVersion from an in-place loader, DDL
+// swapping a table wholesale), or the data version advanced by a number of
+// mutations different from the row-count-change tally (multi-dataset
+// statements, anything unexplained), every dataset's version bumps.
+// Strict equality matters: a surplus of count changes (one DELETE spanning
+// two datasets) must not bank headroom that would mask a concurrent
+// count-invisible mutation — over-invalidation is safe, serving stale
+// cached results is not.
 func (w *Worker) refreshDatasets() {
 	w.datasets = nil
 	dv := w.db.DataVersion()
+	blind := w.db.DataBumps()
 	t, err := w.db.Query(fmt.Sprintf(`SELECT dataset, count(*) AS n FROM %s GROUP BY dataset ORDER BY dataset`, DataTable))
 	if err != nil {
 		return
@@ -203,7 +210,7 @@ func (w *Worker) refreshDatasets() {
 			changed++
 		}
 	}
-	if dv-w.lastDataVer > uint64(changed) {
+	if blind != w.lastBlind || dv-w.lastDataVer != uint64(changed) {
 		for ds := range w.dsVers {
 			w.verSeq++
 			w.dsVers[ds] = w.verSeq
@@ -211,6 +218,7 @@ func (w *Worker) refreshDatasets() {
 	}
 	w.dsCounts = counts
 	w.lastDataVer = dv
+	w.lastBlind = blind
 }
 
 // DatasetInfo bundles a worker's dataset availability with the version

@@ -209,11 +209,17 @@ func New(cfg Config) (*Platform, error) {
 	if cfg.QuerySpillDir != "" {
 		masterOpts = append(masterOpts, engine.WithSpillDir(cfg.QuerySpillDir))
 	}
+	// planCache is the cache this platform's DBs actually resolve
+	// statements through; the API's /cache endpoints are pointed at the
+	// same one (not blindly at the process default) below.
+	planCache := engine.DefaultPlanCache
 	if cfg.PlanCacheSize > 0 {
 		// One cache shared by every worker DB and the master's transient
 		// merge DBs (keys embed per-DB identity, so sharing is safe).
-		masterOpts = append(masterOpts, engine.WithPlanCache(engine.NewPlanCache(cfg.PlanCacheSize)))
+		planCache = engine.NewPlanCache(cfg.PlanCacheSize)
+		masterOpts = append(masterOpts, engine.WithPlanCache(planCache))
 	} else if cfg.PlanCacheSize < 0 {
+		planCache = nil
 		masterOpts = append(masterOpts, engine.WithPlanCache(nil))
 	}
 
@@ -263,6 +269,7 @@ func New(cfg Config) (*Platform, error) {
 	}
 	p.runner = queue.NewRunner(queue.NewBroker(0, 0), qw)
 	p.api = apiserver.NewServer(master, p.cat, p.runner)
+	p.api.SetPlanCache(planCache)
 
 	p.noisy = cfg.NoiseKind != NoiseNone && cfg.NoiseScale > 0
 	if cfg.PrivacyBudget > 0 {
